@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation (DESIGN.md) — what each compiler optimization buys.
+ *
+ * Expected shape: layer-level pipelining matters for forward extraction
+ * with real sorting work (Fig. 6 / Fig. 7a), neuron-level pipelining
+ * overlaps sort(i+1) with acum(i) in backward loops (Fig. 7b), and the
+ * csps recompute trades a little accelerator time for a large cut in
+ * partial-sum memory traffic (Sec. IV-B).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/workspace.hh"
+#include "hw/area.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    std::printf("=== Ablation: compiler optimization passes "
+                "(AlexNet-class) ===\n\n");
+    auto &b = bench::getBundle("alexnet100");
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+
+    Table t("Compiler-pass ablation (latency/energy vs inference, "
+            "classifier tail excluded)");
+    t.header({"config", "Latency", "Energy", "extra DRAM"});
+
+    auto add = [&](const char *name, const path::ExtractionConfig &cfg,
+                   compiler::CompileOptions opts) {
+        const auto trace = bench::profileTrace(b, cfg);
+        const auto cost = bench::costOfTrace(b, cfg, trace, opts);
+        const auto fp =
+            compiler::Compiler(b.net, cfg, opts).dramFootprint(trace);
+        const auto dram = hw::extraDramBytes(
+            hw::HwConfig::baseline(), fp.psumCount, fp.maskBits,
+            fp.recomputePsums);
+        t.row({name, fmtX(cost.latencyXNoCls), fmtX(cost.energyXNoCls),
+               fmt(dram / 1024.0, 1) + " KB"});
+    };
+
+    const auto bwcu = path::ExtractionConfig::bwCu(n, 0.5);
+    compiler::CompileOptions all_on;
+    add("BwCu, all passes", bwcu, all_on);
+
+    compiler::CompileOptions no_neuron = all_on;
+    no_neuron.neuronPipelining = false;
+    add("BwCu, -neuron pipelining", bwcu, no_neuron);
+
+    compiler::CompileOptions no_recompute = all_on;
+    no_recompute.recomputePsums = false;
+    add("BwCu, -recompute (store psums)", bwcu, no_recompute);
+
+    compiler::CompileOptions none;
+    none.neuronPipelining = false;
+    none.layerPipelining = false;
+    none.recomputePsums = false;
+    add("BwCu, no passes (EP-like)", bwcu, none);
+
+    // Forward config with a cumulative last layer (the Fig. 6 program).
+    auto fw = bench::calibrated(b, path::ExtractionConfig::fwAb(n), 0.05);
+    fw.layers[n - 1].kind = path::ThresholdKind::Cumulative;
+    fw.layers[n - 1].theta = 0.5;
+    add("Fw (Fig. 6 shape), +layer pipelining", fw, all_on);
+    compiler::CompileOptions no_layer = all_on;
+    no_layer.layerPipelining = false;
+    add("Fw (Fig. 6 shape), -layer pipelining", fw, no_layer);
+
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation (DESIGN.md) — classifier feature set: the paper's overall
+ * similarity S alone vs the per-layer similarity vector this library
+ * feeds the random forest.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/suite.hh"
+#include "common/workspace.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+namespace
+{
+
+/** AUC with features truncated to the first @p k dims. */
+double
+aucWithFeatureDims(core::Detector &det,
+                   const std::vector<core::DetectionPair> &pairs,
+                   std::size_t k)
+{
+    Rng rng(17);
+    std::vector<std::size_t> order(pairs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+    const std::size_t n_train = pairs.size() / 2;
+
+    auto feats = [&](const nn::Tensor &x) {
+        auto rec = det.network().forward(x);
+        auto f = det.featuresFor(rec);
+        f.resize(std::min(k, f.size()));
+        return f;
+    };
+
+    classify::FeatureMatrix xs;
+    std::vector<int> ys;
+    for (std::size_t i = 0; i < n_train; ++i) {
+        xs.push_back(feats(pairs[order[i]].clean));
+        ys.push_back(0);
+        xs.push_back(feats(pairs[order[i]].adversarial));
+        ys.push_back(1);
+    }
+    classify::RandomForest rf;
+    rf.fit(xs, ys);
+
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (std::size_t i = n_train; i < pairs.size(); ++i) {
+        scores.push_back(rf.predictProb(feats(pairs[order[i]].clean)));
+        labels.push_back(0);
+        scores.push_back(
+            rf.predictProb(feats(pairs[order[i]].adversarial)));
+        labels.push_back(1);
+    }
+    return aucScore(scores, labels);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: similarity feature set ===\n\n");
+    auto &b = bench::getBundle("alexnet100");
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+    auto det = bench::makeDetector(b, path::ExtractionConfig::bwCu(n, 0.5));
+
+    auto attacks = attack::makeStandardAttacks();
+    Table t("AUC by feature set (feature 0 is the paper's overall S; "
+            "1..n are per-layer similarities)");
+    t.header({"attack", "overall S only", "S + per-layer"});
+    for (auto &atk : attacks) {
+        auto pairs = bench::getPairs(b, *atk, 80);
+        t.row({atk->name(), fmt(aucWithFeatureDims(det, pairs, 1), 3),
+               fmt(aucWithFeatureDims(det, pairs, 1 + n), 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 5 — inter-class path similarity matrices.
+ *
+ * Paper: 10 sampled ImageNet classes on AlexNet average 36.2% similarity
+ * (max 38.2%, p90 36.6%); the 10 CIFAR-10 classes on ResNet18 average
+ * 61.2% — CIFAR-class datasets have fewer, more-similar classes, so their
+ * class paths overlap more. Expected reproduction shape: class paths
+ * clearly distinct (diagonal 1.0, off-diagonal well below), and the
+ * 100-class model's 10-sample similarity at or below the 10-class
+ * model's.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/workspace.hh"
+#include "path/extractor.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+namespace
+{
+
+/** Build class paths at theta = 0.5 and print the similarity stats. */
+void
+runModel(const char *bundle_name, const char *paper_role, int sample_classes)
+{
+    auto &b = bench::getBundle(bundle_name);
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+    auto det = bench::makeDetector(
+        b, path::ExtractionConfig::bwCu(n, 0.5), 100);
+    const auto &store = det.classPaths();
+
+    // Sample evenly-spaced classes (the paper samples 10 of 1000),
+    // skipping classes whose canary path is empty because the scaled
+    // model never predicts them correctly — the paper's sampled ImageNet
+    // classes are all well-trained.
+    std::vector<std::size_t> populated;
+    for (std::size_t c = 0; c < store.numClasses(); ++c)
+        if (store.classPath(c).popcount() > 0)
+            populated.push_back(c);
+    std::vector<std::size_t> classes;
+    const std::size_t stride = std::max<std::size_t>(
+        1, populated.size() / sample_classes);
+    for (std::size_t i = 0; i < populated.size() &&
+         classes.size() < static_cast<std::size_t>(sample_classes);
+         i += stride)
+        classes.push_back(populated[i]);
+
+    Table t(std::string("Fig. 5 class-path similarity, ") + bundle_name +
+            " (plays " + paper_role + "), theta=0.5");
+    std::vector<std::string> header{"class"};
+    for (std::size_t c : classes)
+        header.push_back(std::to_string(c));
+    t.header(header);
+
+    std::vector<double> off_diagonal;
+    for (std::size_t a : classes) {
+        std::vector<std::string> row{std::to_string(a)};
+        for (std::size_t c : classes) {
+            const double s = store.interClassSimilarity(a, c);
+            row.push_back(fmt(s, 2));
+            if (a != c)
+                off_diagonal.push_back(s);
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::printf("  avg inter-class similarity: %.3f  (max %.3f, "
+                "90-percentile %.3f)\n\n",
+                mean(off_diagonal), maxOf(off_diagonal),
+                percentile(off_diagonal, 90));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 5: class paths are distinctive ===\n"
+                "Paper reference points: AlexNet@ImageNet avg 0.362, "
+                "ResNet18@CIFAR-10 avg 0.612.\n\n");
+    runModel("alexnet100", "AlexNet @ ImageNet", 10);
+    runModel("resnet18c10", "ResNet18 @ CIFAR-10", 10);
+
+    // Paper Sec. III-A also normalizes across datasets: ResNet on the
+    // many-class dataset should look like AlexNet on it (class count,
+    // not architecture, drives the similarity level).
+    runModel("resnet18c100", "ResNet @ many-class control", 10);
+    return 0;
+}

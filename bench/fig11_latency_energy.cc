@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 11 — latency and energy of the four Ptolemy variants vs EP,
+ * normalized to plain DNN inference, on both networks.
+ *
+ * Paper shape (AlexNet): BwCu 12.3x/7.7x, BwAb 1.2x/1.1x, FwAb 1.021x
+ * (2.1% latency) / modest energy, Hybrid 1.7x/1.4x; EP ~= BwCu. ResNet18
+ * overheads are much larger (BwCu 195x/106x) because deeper networks
+ * have more important neurons to extract. EP is modeled as BwCu without
+ * the compiler optimizations (store-all psums, no pipelining).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/workspace.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+namespace
+{
+
+void
+runModel(const char *bundle_name, const char *paper_role)
+{
+    auto &b = bench::getBundle(bundle_name);
+    const auto variants = bench::makeVariants(b);
+
+    Table t(std::string("Fig. 11 latency/energy vs inference, ") +
+            bundle_name + " (plays " + paper_role + ")");
+    t.header({"variant", "Latency", "Energy", "Latency (incl. RF tail)",
+              "Energy (incl. RF tail)"});
+
+    auto add = [&](const std::string &name,
+                   const path::ExtractionConfig &cfg,
+                   compiler::CompileOptions opts) {
+        const auto cost = bench::costOf(b, cfg, opts);
+        t.row({name, fmtX(cost.latencyXNoCls), fmtX(cost.energyXNoCls),
+               fmtX(cost.latencyX), fmtX(cost.energyX)});
+    };
+
+    compiler::CompileOptions ptolemy_opts; // all optimizations on
+    add("BwCu", variants.bwCu, ptolemy_opts);
+    add("BwAb", variants.bwAb, ptolemy_opts);
+    add("FwAb", variants.fwAb, ptolemy_opts);
+    add("Hybrid", variants.hybrid, ptolemy_opts);
+
+    // EP: same backward cumulative extraction, but as a software pass —
+    // no recompute optimization (all partial sums stored) and no
+    // pipelining (paper Sec. III-B: 15.4x/50.7x software-only overhead).
+    compiler::CompileOptions ep_opts;
+    ep_opts.recomputePsums = false;
+    ep_opts.neuronPipelining = false;
+    ep_opts.layerPipelining = false;
+    add("EP", variants.bwCu, ep_opts);
+
+    t.print(std::cout);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Fig. 11: latency and energy comparison ===\n"
+                "Columns exclude / include the constant random-forest "
+                "classifier tail (negligible at paper scale,\n"
+                "comparable to inference at mini-model scale — "
+                "EXPERIMENTS.md).\n\n");
+    runModel("alexnet100", "AlexNet @ ImageNet");
+    runModel("resnet18c100", "ResNet18 @ CIFAR-100");
+    return 0;
+}

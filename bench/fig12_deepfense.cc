@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 12 — comparison with DeepFense (DFL/DFM/DFH) on the 10-class
+ * dataset (plays ResNet18 @ CIFAR-10).
+ *
+ * Paper shape: every Ptolemy variant is more accurate than every
+ * DeepFense variant (FwAb beats even DFH by ~0.11 on average), and
+ * BwAb/FwAb are also cheaper than DFL, the lightest DeepFense setup.
+ * DeepFense cost scales with the number of redundant defender modules.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/suite.hh"
+#include "baselines/deepfense.hh"
+#include "common/workspace.hh"
+#include "path/trace.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    std::printf("=== Fig. 12: DeepFense comparison (ResNet18-class @ "
+                "10-class dataset) ===\n\n");
+    auto &b = bench::getBundle("resnet18c10");
+    auto attacks = attack::makeStandardAttacks();
+    const auto variants = bench::makeVariants(b);
+
+    std::vector<std::vector<core::DetectionPair>> pairs;
+    for (auto &atk : attacks)
+        pairs.push_back(bench::getPairs(b, *atk, 60));
+
+    Table acc("Fig. 12a accuracy (avg over 5 attacks)");
+    acc.header({"scheme", "avg AUC", "min", "max"});
+    Table cost("Fig. 12b latency/energy vs inference");
+    cost.header({"scheme", "Latency", "Energy"});
+
+    auto eval_variant = [&](const std::string &name,
+                            const path::ExtractionConfig &cfg) {
+        auto det = bench::makeDetector(b, cfg);
+        std::vector<double> aucs;
+        for (std::size_t a = 0; a < attacks.size(); ++a)
+            aucs.push_back(core::fitAndScore(det, pairs[a], 0.5).auc);
+        acc.row({name, fmt(mean(aucs), 3), fmt(minOf(aucs), 3),
+                 fmt(maxOf(aucs), 3)});
+        const auto c = bench::costOf(b, cfg);
+        cost.row({name, fmtX(c.latencyXNoCls), fmtX(c.energyXNoCls)});
+    };
+    eval_variant("BwCu", variants.bwCu);
+    eval_variant("BwAb", variants.bwAb);
+    eval_variant("FwAb", variants.fwAb);
+    eval_variant("Hybrid", variants.hybrid);
+
+    const std::size_t net_macs = path::networkMacs(b.net);
+    for (int n_def : {1, 8, 16}) {
+        baselines::DeepFenseBaseline df(b.net, n_def);
+        df.profile(b.net, b.data.train);
+        std::vector<double> aucs;
+        for (std::size_t a = 0; a < attacks.size(); ++a)
+            aucs.push_back(
+                baselines::evaluateBaselineAuc(df, b.net, pairs[a]));
+        acc.row({df.name(), fmt(mean(aucs), 3), fmt(minOf(aucs), 3),
+                 fmt(maxOf(aucs), 3)});
+        // DeepFense cost: the redundant defender modules run as extra
+        // dense layers on the same accelerator.
+        const double overhead =
+            1.0 + static_cast<double>(df.extraMacs()) / net_macs;
+        cost.row({df.name(), fmtX(overhead), fmtX(overhead)});
+    }
+
+    acc.print(std::cout);
+    std::printf("\n");
+    cost.print(std::cout);
+    return 0;
+}

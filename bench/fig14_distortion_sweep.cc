@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 14 — detection accuracy of adaptive adversarial inputs as a
+ * function of distortion (MSE).
+ *
+ * Paper shape: each point is the average detection accuracy over all
+ * adaptive samples with distortion <= x; accuracy drifts slightly
+ * downward as distortion grows, but the correlation is weak because the
+ * absolute distortions are small.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "attack/adaptive.hh"
+#include "common/workspace.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    std::printf("=== Fig. 14: detection accuracy vs adaptive-attack "
+                "distortion ===\n\n");
+    auto &b = bench::getBundle("alexnet100");
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+    auto det = bench::makeDetector(b, path::ExtractionConfig::bwCu(n, 0.5));
+
+    // Pool all adaptive attack strengths so the distortion axis is
+    // populated (cached from fig13 when it ran first).
+    std::vector<core::DetectionPair> pairs;
+    for (int at_n : {1, 2, 3, 8}) {
+        attack::AdaptiveActivationAttack atk(at_n, &b.data.train, 5, 50,
+                                             0.08);
+        for (auto &p : bench::getPairs(b, atk, 50))
+            pairs.push_back(std::move(p));
+    }
+    const auto scored = core::fitAndScore(det, pairs, 0.5);
+
+    // Cumulative accuracy at distortion <= x, like the paper's plot.
+    std::vector<double> mses;
+    for (const auto &s : scored.heldOut)
+        if (s.label == 1)
+            mses.push_back(s.mse);
+    std::sort(mses.begin(), mses.end());
+
+    Table t("Fig. 14: avg detection AUC over adaptive samples with "
+            "MSE <= x");
+    t.header({"MSE <= x", "samples", "AUC"});
+    for (double q : {0.25, 0.5, 0.75, 1.0}) {
+        const double x = mses.empty()
+            ? 0.0
+            : mses[static_cast<std::size_t>((mses.size() - 1) * q)];
+        std::vector<double> scores;
+        std::vector<int> labels;
+        std::size_t n_adv = 0;
+        for (const auto &s : scored.heldOut) {
+            if (s.label == 1 && s.mse > x)
+                continue;
+            scores.push_back(s.score);
+            labels.push_back(s.label);
+            n_adv += s.label;
+        }
+        t.row({fmt(x, 4), std::to_string(n_adv),
+               fmt(aucScore(scores, labels), 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

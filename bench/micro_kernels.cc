@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: path bit-vector
+ * ops (the online similarity computation), important-neuron extraction,
+ * random-forest classification and the cycle-level simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "classify/random_forest.hh"
+#include "compiler/compiler.hh"
+#include "hw/simulator.hh"
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "path/extractor.hh"
+#include "util/bitvector.hh"
+#include "util/rng.hh"
+
+using namespace ptolemy;
+
+namespace
+{
+
+BitVector
+randomBits(std::size_t n, double density, std::uint64_t seed)
+{
+    Rng rng(seed);
+    BitVector v(n);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n * density); ++i)
+        v.set(rng.below(n));
+    return v;
+}
+
+void
+BM_BitVectorAndPopcount(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    const auto a = randomBits(n, 0.05, 1);
+    const auto b = randomBits(n, 0.3, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.andPopcount(b));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BitVectorAndPopcount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_ClassPathAggregate(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    auto cls = randomBits(n, 0.3, 3);
+    const auto p = randomBits(n, 0.05, 4);
+    for (auto _ : state) {
+        cls |= p;
+        benchmark::DoNotOptimize(cls.rawWords().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ClassPathAggregate)->Arg(1 << 16)->Arg(1 << 20);
+
+/** Small trained-shape CNN for extraction benchmarks. */
+nn::Network &
+benchNet()
+{
+    static nn::Network net = [] {
+        nn::Network n("bench", nn::mapShape(3, 16, 16));
+        n.add(std::make_unique<nn::Conv2d>("c1", 3, 8, 3, 1, 1));
+        n.add(std::make_unique<nn::ReLU>("r1"));
+        n.add(std::make_unique<nn::MaxPool2d>("p1", 2));
+        n.add(std::make_unique<nn::Conv2d>("c2", 8, 16, 3, 1, 1));
+        n.add(std::make_unique<nn::ReLU>("r2"));
+        n.add(std::make_unique<nn::MaxPool2d>("p2", 2));
+        n.add(std::make_unique<nn::Flatten>("f"));
+        n.add(std::make_unique<nn::Linear>("fc", 256, 10));
+        nn::heInit(n, 3);
+        return n;
+    }();
+    return net;
+}
+
+void
+BM_ForwardPass(benchmark::State &state)
+{
+    auto &net = benchNet();
+    nn::Tensor x(nn::mapShape(3, 16, 16));
+    Rng rng(5);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    for (auto _ : state) {
+        auto rec = net.forward(x);
+        benchmark::DoNotOptimize(rec.logits().data());
+    }
+}
+BENCHMARK(BM_ForwardPass);
+
+void
+BM_BackwardCumulativeExtraction(benchmark::State &state)
+{
+    auto &net = benchNet();
+    const double theta = state.range(0) / 10.0;
+    path::PathExtractor ex(
+        net, path::ExtractionConfig::bwCu(
+                 static_cast<int>(net.weightedNodes().size()), theta));
+    nn::Tensor x(nn::mapShape(3, 16, 16));
+    Rng rng(6);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    auto rec = net.forward(x);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.extract(rec));
+}
+BENCHMARK(BM_BackwardCumulativeExtraction)->Arg(1)->Arg(5)->Arg(9);
+
+void
+BM_ForwardAbsoluteExtraction(benchmark::State &state)
+{
+    auto &net = benchNet();
+    path::PathExtractor ex(
+        net, path::ExtractionConfig::fwAb(
+                 static_cast<int>(net.weightedNodes().size()), 0.2));
+    nn::Tensor x(nn::mapShape(3, 16, 16));
+    Rng rng(7);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    auto rec = net.forward(x);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.extract(rec));
+}
+BENCHMARK(BM_ForwardAbsoluteExtraction);
+
+void
+BM_RandomForestPredict(benchmark::State &state)
+{
+    Rng rng(8);
+    classify::FeatureMatrix xs;
+    std::vector<int> ys;
+    for (int i = 0; i < 400; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform(),
+                      rng.uniform(), rng.uniform()});
+        ys.push_back(rng.bernoulli(0.5) ? 1 : 0);
+    }
+    classify::RandomForest rf;
+    rf.fit(xs, ys);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rf.predictProb(xs[0]));
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void
+BM_CycleSimulatorBwCu(benchmark::State &state)
+{
+    auto &net = benchNet();
+    const auto cfg = path::ExtractionConfig::bwCu(
+        static_cast<int>(net.weightedNodes().size()), 0.5);
+    path::PathExtractor ex(net, cfg);
+    nn::Tensor x(nn::mapShape(3, 16, 16));
+    Rng rng(9);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+    auto rec = net.forward(x);
+    path::ExtractionTrace trace;
+    ex.extract(rec, &trace);
+    compiler::Compiler comp(net, cfg);
+    const auto prog = comp.compile(trace);
+    hw::Simulator sim;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim.run(prog).cycles);
+}
+BENCHMARK(BM_CycleSimulatorBwCu);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sec. III-B cost analysis of the unoptimized detection algorithm.
+ *
+ * Paper: storing every partial sum costs 9-420x the normal memory
+ * footprint; important neurons are <5% of all neurons even at theta=0.9;
+ * the expensive sort/accumulate ops touch only that small fraction; a
+ * pure software implementation is 15.4x (AlexNet) / 50.7x (ResNet50)
+ * slower than inference.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/workspace.hh"
+#include "path/extractor.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    std::printf("=== Sec. III-B: cost analysis of the basic algorithm "
+                "===\n\n");
+
+    Table t("Unoptimized BwCu cost (per model)");
+    t.header({"model", "psum mem / fmap+weight mem",
+              "important-neuron fraction (theta=0.9)",
+              "software-only latency"});
+
+    for (const char *name : {"alexnet100", "resnet18c100"}) {
+        auto &b = bench::getBundle(name);
+        const int n = static_cast<int>(b.net.weightedNodes().size());
+
+        // Memory overhead: every partial sum (one per MAC, at 32-bit
+        // accumulator precision) vs the normal feature-map + weight
+        // traffic of the network.
+        const auto cfg9 = path::ExtractionConfig::bwCu(n, 0.9);
+        const auto trace9 = bench::profileTrace(b, cfg9);
+        std::size_t fmap_w_bytes = 0;
+        for (int id : b.net.weightedNodes()) {
+            fmap_w_bytes += b.net.nodeInputShape(id).numel() * 2;
+            fmap_w_bytes += b.net.nodeOutputShape(id).numel() * 2;
+        }
+        fmap_w_bytes += b.net.numParams() * 2;
+        const std::size_t psum_bytes = path::networkMacs(b.net) * 4;
+        const double mem_ratio =
+            static_cast<double>(psum_bytes) / fmap_w_bytes;
+
+        // Important-neuron sparsity at theta=0.9.
+        std::size_t total_neurons = 0;
+        for (int id : b.net.weightedNodes())
+            total_neurons += b.net.nodeInputShape(id).numel();
+        const double imp_frac =
+            static_cast<double>(trace9.pathBits) / total_neurons;
+
+        // Software-only: no pipelining, no recompute, and the sort /
+        // accumulate run serially on the scalar controller rather than
+        // the parallel path-constructor hardware (modeled by a
+        // single-sort-unit, single-way-merge configuration).
+        const auto cfg5 = path::ExtractionConfig::bwCu(n, 0.5);
+        compiler::CompileOptions sw;
+        sw.neuronPipelining = false;
+        sw.layerPipelining = false;
+        sw.recomputePsums = false;
+        hw::HwConfig sw_hw = hw::HwConfig::baseline();
+        sw_hw.numSortUnits = 1;
+        sw_hw.mergeTreeLen = 2;
+        const auto cost = bench::costOf(b, cfg5, sw, sw_hw);
+
+        t.row({name, fmtX(mem_ratio), fmtPct(imp_frac),
+               fmtX(cost.latencyXNoCls)});
+    }
+    t.print(std::cout);
+    std::printf("(Paper points: 9-420x memory, <5%% important neurons, "
+                "15.4x/50.7x software latency. Mini models are less\n"
+                " sparse than ImageNet-scale networks, so the "
+                "important-neuron fraction runs higher; orderings and "
+                "ratios are the result.)\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table II — BwCu sensitivity to theta.
+ *
+ * Paper (AlexNet): theta 0.1 -> acc 0.86, 4.7x latency, 2.9x energy;
+ * theta 0.5 -> 0.94 / 12.3x / 7.7x; theta 0.9 -> 0.91 / 25.7x / 15.6x.
+ * Expected shape: accuracy peaks at a mid theta (coverage vs class-path
+ * overlap trade-off) while latency/energy grow monotonically with theta.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "attack/gradient_attacks.hh"
+#include "common/workspace.hh"
+#include "util/table.hh"
+
+using namespace ptolemy;
+
+int
+main()
+{
+    auto &b = bench::getBundle("alexnet100");
+    const int n = static_cast<int>(b.net.weightedNodes().size());
+    attack::Fgsm fgsm;
+    auto pairs = bench::getPairs(b, fgsm, 120);
+
+    Table t("Table II: BwCu vs theta (AlexNet-class, FGSM) — paper: "
+            "0.86/4.7x/2.9x, 0.94/12.3x/7.7x, 0.91/25.7x/15.6x");
+    t.header({"theta", "Accuracy (AUC)", "Latency", "Energy",
+              "path bits set"});
+
+    for (double theta : {0.1, 0.5, 0.9}) {
+        auto cfg = path::ExtractionConfig::bwCu(n, theta);
+        auto det = bench::makeDetector(b, cfg);
+        const double auc = core::fitAndScore(det, pairs, 0.5).auc;
+        const auto trace = bench::profileTrace(b, cfg);
+        const auto cost = bench::costOfTrace(b, cfg, trace);
+        t.row({fmt(theta, 1), fmt(auc, 3), fmtX(cost.latencyXNoCls),
+               fmtX(cost.energyXNoCls),
+               std::to_string(trace.pathBits)});
+    }
+    t.print(std::cout);
+    std::printf("(Latency/energy exclude the constant random-forest tail; "
+                "see EXPERIMENTS.md on mini-model scale.)\n");
+    return 0;
+}

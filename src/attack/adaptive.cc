@@ -1,0 +1,101 @@
+#include "adaptive.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hh"
+
+namespace ptolemy::attack
+{
+
+AdaptiveActivationAttack::AdaptiveActivationAttack(
+    int layers_considered, const nn::Dataset *target_pool, int num_targets,
+    int iters, double lr, std::uint64_t seed)
+    : layersConsidered(layers_considered), targetPool(target_pool),
+      numTargets(num_targets), iters(iters), lr(lr), seed(seed)
+{
+}
+
+AttackResult
+AdaptiveActivationAttack::run(nn::Network &net, const nn::Tensor &x,
+                              std::size_t label)
+{
+    Rng rng(seed ^ (label * 0x2545F4914F6CDD1Dull));
+
+    // The activations considered: outputs of the last n weighted layers.
+    const auto &weighted = net.weightedNodes();
+    const int n_w = static_cast<int>(weighted.size());
+    const int first = std::max(0, n_w - layersConsidered);
+    std::vector<int> z_nodes(weighted.begin() + first, weighted.end());
+
+    nn::Tensor best_adv = x;
+    double best_loss = std::numeric_limits<double>::max();
+    int total_iters = 0;
+
+    std::vector<std::size_t> used_classes;
+    for (int t = 0; t < numTargets; ++t) {
+        // Draw a benign target of a fresh, different class.
+        const nn::Sample *target = nullptr;
+        for (int tries = 0; tries < 200 && !target; ++tries) {
+            const auto &cand = (*targetPool)[rng.below(targetPool->size())];
+            if (cand.label == label)
+                continue;
+            bool fresh = true;
+            for (std::size_t uc : used_classes)
+                if (uc == cand.label)
+                    fresh = false;
+            if (fresh)
+                target = &cand;
+        }
+        if (!target)
+            break;
+        used_classes.push_back(target->label);
+
+        // Record the target's activations z_i(x_t).
+        auto target_rec = net.forward(target->input);
+        std::vector<nn::Tensor> z_target;
+        z_target.reserve(z_nodes.size());
+        for (int id : z_nodes)
+            z_target.push_back(target_rec.outputs[id]);
+
+        // PGD on the activation-matching loss.
+        nn::Tensor adv = x;
+        double loss = 0.0;
+        for (int it = 0; it < iters; ++it) {
+            ++total_iters;
+            auto rec = net.forward(adv);
+            loss = 0.0;
+            std::vector<std::pair<int, nn::Tensor>> seeds;
+            seeds.reserve(z_nodes.size());
+            for (std::size_t zi = 0; zi < z_nodes.size(); ++zi) {
+                const auto &z = rec.outputs[z_nodes[zi]];
+                nn::Tensor g(z.shape());
+                for (std::size_t i = 0; i < z.size(); ++i) {
+                    const float d = z[i] - z_target[zi][i];
+                    loss += static_cast<double>(d) * d;
+                    g[i] = 2.0f * d;
+                }
+                seeds.emplace_back(z_nodes[zi], std::move(g));
+            }
+            nn::Tensor grad = net.backwardMulti(seeds);
+            // Normalize the step so the first iterations do not overshoot.
+            const double gnorm = std::sqrt(grad.sumSq()) + 1e-12;
+            for (std::size_t i = 0; i < adv.size(); ++i)
+                adv[i] -= static_cast<float>(lr / gnorm * grad[i]);
+            clipToImageRange(adv);
+        }
+        if (loss < best_loss && net.predict(adv) != label) {
+            best_loss = loss;
+            best_adv = adv;
+        }
+    }
+
+    AttackResult r;
+    r.success = net.predict(best_adv) != label;
+    r.mse = mseDistortion(best_adv, x);
+    r.iterations = total_iters;
+    r.adversarial = std::move(best_adv);
+    return r;
+}
+
+} // namespace ptolemy::attack

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Adaptive activation-matching attack (paper Sec. VII-E).
+ *
+ * The attacker knows everything about the defense. Since the path
+ * objective (force the adversarial sample to have the same activation path
+ * as a benign input) is non-differentiable, the paper relaxes it: add
+ * noise delta to x so that the activations of the last n layers match a
+ * benign target x_t of a different class, minimizing
+ * sum_i ||z_i(x+delta) - z_i(x_t)||^2 with PGD. Five candidate targets of
+ * distinct classes are tried and the lowest-loss sample is kept.
+ *
+ * AT-n considers the last n weighted layers; larger n is a stronger
+ * attack (paper Fig. 13).
+ */
+
+#ifndef PTOLEMY_ATTACK_ADAPTIVE_HH
+#define PTOLEMY_ATTACK_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "attack/attack.hh"
+#include "nn/trainer.hh"
+
+namespace ptolemy::attack
+{
+
+class AdaptiveActivationAttack : public Attack
+{
+  public:
+    /**
+     * @param layers_considered n in AT-n: how many trailing weighted
+     *        layers' activations the loss matches.
+     * @param target_pool benign samples to draw activation targets from
+     *        (borrowed; typically the training set).
+     * @param num_targets candidate targets of distinct classes (paper: 5).
+     * @param iters PGD iterations per target.
+     * @param lr PGD learning rate.
+     */
+    AdaptiveActivationAttack(int layers_considered,
+                             const nn::Dataset *target_pool,
+                             int num_targets = 5, int iters = 60,
+                             double lr = 0.08,
+                             std::uint64_t seed = 0xADA97);
+
+    std::string name() const override
+    {
+        return "AT" + std::to_string(layersConsidered);
+    }
+
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    int layersConsidered;
+    const nn::Dataset *targetPool;
+    int numTargets;
+    int iters;
+    double lr;
+    std::uint64_t seed;
+};
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_ADAPTIVE_HH

@@ -1,0 +1,80 @@
+#include "attack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hh"
+
+namespace ptolemy::attack
+{
+
+double
+mseDistortion(const nn::Tensor &a, const nn::Tensor &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return a.size() == 0 ? 0.0 : s / a.size();
+}
+
+double
+linfDistortion(const nn::Tensor &a, const nn::Tensor &b)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+    return m;
+}
+
+std::size_t
+l0Distortion(const nn::Tensor &a, const nn::Tensor &b, double tol)
+{
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::abs(static_cast<double>(a[i]) - b[i]) > tol)
+            ++n;
+    return n;
+}
+
+double
+l2Distortion(const nn::Tensor &a, const nn::Tensor &b)
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+nn::Tensor
+lossInputGradient(nn::Network &net, const nn::Tensor &x, std::size_t label,
+                  double *loss_out)
+{
+    auto rec = net.forward(x);
+    auto lg = nn::softmaxCrossEntropy(rec.logits(), label);
+    if (loss_out)
+        *loss_out = lg.loss;
+    return net.backward(lg.grad);
+}
+
+void
+clipToImageRange(nn::Tensor &t)
+{
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = std::clamp(t[i], 0.0f, 1.0f);
+}
+
+void
+clipToEpsBall(nn::Tensor &adv, const nn::Tensor &origin, double eps)
+{
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+        const float lo = static_cast<float>(origin[i] - eps);
+        const float hi = static_cast<float>(origin[i] + eps);
+        adv[i] = std::clamp(adv[i], std::max(0.0f, lo), std::min(1.0f, hi));
+    }
+}
+
+} // namespace ptolemy::attack

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Adversarial attack interface and distortion metrics.
+ *
+ * The paper evaluates five non-adaptive attacks covering all three input
+ * perturbation measures — BIM (L∞), CW-L2 (L2), DeepFool (L2), FGSM (L∞),
+ * JSMA (L0) — plus an adaptive activation-matching attack (Sec. VII-E).
+ * Every attack here perturbs a clean, correctly-classified input into one
+ * the model mispredicts, while this library's detector tries to flag it.
+ */
+
+#ifndef PTOLEMY_ATTACK_ATTACK_HH
+#define PTOLEMY_ATTACK_ATTACK_HH
+
+#include <string>
+
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+
+namespace ptolemy::attack
+{
+
+/** Outcome of one attack attempt. */
+struct AttackResult
+{
+    nn::Tensor adversarial; ///< perturbed input, clipped to [0,1]
+    bool success = false;   ///< model prediction changed away from truth
+    double mse = 0.0;       ///< mean-squared distortion vs the clean input
+    int iterations = 0;     ///< optimizer iterations consumed
+};
+
+/** Shared perturbation budget knobs. */
+struct AttackBudget
+{
+    double epsilon = 0.08;  ///< L∞ ball radius (where applicable)
+    double stepSize = 0.01; ///< per-iteration step
+    int maxIters = 40;
+};
+
+/**
+ * Abstract attack.
+ */
+class Attack
+{
+  public:
+    virtual ~Attack() = default;
+
+    /** Short name matching the paper ("FGSM", "BIM", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attack @p net on input @p x whose true class is @p label.
+     * The network's layer state is clobbered (forward/backward passes).
+     */
+    virtual AttackResult run(nn::Network &net, const nn::Tensor &x,
+                             std::size_t label) = 0;
+};
+
+/** Mean squared error between two same-shaped tensors. */
+double mseDistortion(const nn::Tensor &a, const nn::Tensor &b);
+
+/** L∞ distance. */
+double linfDistortion(const nn::Tensor &a, const nn::Tensor &b);
+
+/** Count of changed elements (L0). */
+std::size_t l0Distortion(const nn::Tensor &a, const nn::Tensor &b,
+                         double tol = 1e-6);
+
+/** L2 distance. */
+double l2Distortion(const nn::Tensor &a, const nn::Tensor &b);
+
+/**
+ * dLoss/dInput of the cross-entropy loss at (@p x, @p label).
+ * Clobbers the network's layer state. @p loss_out receives the loss.
+ */
+nn::Tensor lossInputGradient(nn::Network &net, const nn::Tensor &x,
+                             std::size_t label, double *loss_out = nullptr);
+
+/** Clip every element to [0, 1] (valid image range). */
+void clipToImageRange(nn::Tensor &t);
+
+/** Clip @p adv into the L∞ ball of radius @p eps around @p origin,
+ *  then to [0,1]. */
+void clipToEpsBall(nn::Tensor &adv, const nn::Tensor &origin, double eps);
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_ATTACK_HH

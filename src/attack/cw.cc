@@ -1,0 +1,67 @@
+#include "cw.hh"
+
+#include <algorithm>
+
+namespace ptolemy::attack
+{
+
+AttackResult
+CarliniWagnerL2::run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label)
+{
+    nn::Tensor adv = x;
+    nn::Tensor best_adv = x;
+    double best_l2 = 1e30;
+    bool found = false;
+    int it = 0;
+
+    for (; it < maxIters; ++it) {
+        auto rec = net.forward(adv);
+        const auto &logits = rec.logits();
+
+        // Strongest rival class.
+        std::size_t rival = label == 0 ? 1 : 0;
+        for (std::size_t k = 0; k < logits.size(); ++k)
+            if (k != label && logits[k] > logits[rival])
+                rival = k;
+
+        const double margin =
+            static_cast<double>(logits[label]) - logits[rival];
+        if (margin < -kappa) {
+            // Adversarial; keep the lowest-distortion success and keep
+            // shrinking the perturbation.
+            const double l2 = l2Distortion(adv, x);
+            if (l2 < best_l2) {
+                best_l2 = l2;
+                best_adv = adv;
+                found = true;
+            }
+        }
+
+        // Gradient of the margin part (only active while margin > -kappa).
+        nn::Tensor grad(x.shape());
+        if (margin > -kappa) {
+            nn::Tensor seed(logits.shape());
+            seed[label] = 1.0f;
+            seed[rival] = -1.0f;
+            grad = net.backward(seed);
+            grad *= static_cast<float>(tradeoffC);
+        }
+        // Plus the distortion gradient 2*(adv - x).
+        for (std::size_t i = 0; i < adv.size(); ++i)
+            grad[i] += 2.0f * (adv[i] - x[i]);
+
+        for (std::size_t i = 0; i < adv.size(); ++i)
+            adv[i] -= static_cast<float>(learnRate) * grad[i];
+        clipToImageRange(adv);
+    }
+
+    AttackResult r;
+    r.adversarial = found ? best_adv : adv;
+    r.success = net.predict(r.adversarial) != label;
+    r.mse = mseDistortion(r.adversarial, x);
+    r.iterations = it;
+    return r;
+}
+
+} // namespace ptolemy::attack

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Carlini-Wagner L2 attack [Carlini'17]: gradient descent on
+ * ||delta||^2 + c * max(logit_true - max_other, -kappa).
+ *
+ * With kappa = 0 the attack stops right at the decision boundary, which
+ * produces the "low-confidence rank-1 ≈ rank-2" adversarial samples the
+ * paper highlights in its CWL2 discussion (Sec. VII-B).
+ */
+
+#ifndef PTOLEMY_ATTACK_CW_HH
+#define PTOLEMY_ATTACK_CW_HH
+
+#include "attack/attack.hh"
+
+namespace ptolemy::attack
+{
+
+class CarliniWagnerL2 : public Attack
+{
+  public:
+    /**
+     * @param c trade-off between distortion and misclassification loss.
+     * @param lr gradient-descent learning rate.
+     * @param max_iters optimization steps.
+     * @param kappa confidence margin (0 = boundary-grazing samples).
+     */
+    CarliniWagnerL2(double c = 2.0, double lr = 0.02, int max_iters = 80,
+                    double kappa = 0.0)
+        : tradeoffC(c), learnRate(lr), maxIters(max_iters), kappa(kappa)
+    {}
+
+    std::string name() const override { return "CWL2"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    double tradeoffC, learnRate;
+    int maxIters;
+    double kappa;
+};
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_CW_HH

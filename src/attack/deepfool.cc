@@ -1,0 +1,90 @@
+#include "deepfool.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ptolemy::attack
+{
+
+namespace
+{
+
+/** Indices of the largest @p k logits excluding @p skip. */
+std::vector<std::size_t>
+topRivals(const nn::Tensor &logits, std::size_t skip, std::size_t k)
+{
+    std::vector<std::size_t> idx(logits.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+        return logits[a] > logits[b];
+    });
+    std::vector<std::size_t> out;
+    for (std::size_t i : idx) {
+        if (i == skip)
+            continue;
+        out.push_back(i);
+        if (out.size() == k)
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+AttackResult
+DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
+{
+    nn::Tensor adv = x;
+    int it = 0;
+    for (; it < maxIters; ++it) {
+        auto rec = net.forward(adv);
+        const auto &logits = rec.logits();
+        if (rec.predictedClass() != label)
+            break;
+
+        // For each rival class k, the linearized distance to the boundary
+        // is |f_k - f_label| / ||grad(f_k - f_label)||; move toward the
+        // closest one.
+        double best_dist = std::numeric_limits<double>::max();
+        nn::Tensor best_dir;
+        double best_fdiff = 0.0;
+        for (std::size_t k : topRivals(logits, label, 3)) {
+            nn::Tensor seed(logits.shape());
+            seed[k] = 1.0f;
+            seed[label] = -1.0f;
+            net.forward(adv); // refresh layer state for this backward
+            nn::Tensor grad = net.backward(seed);
+            const double gnorm2 = grad.sumSq();
+            if (gnorm2 < 1e-20)
+                continue;
+            const double fdiff =
+                static_cast<double>(logits[k]) - logits[label];
+            const double dist = std::abs(fdiff) / std::sqrt(gnorm2);
+            if (dist < best_dist) {
+                best_dist = dist;
+                best_dir = std::move(grad);
+                best_fdiff = fdiff;
+            }
+        }
+        if (best_dir.empty())
+            break;
+        // Step just across the boundary: delta = |f|/||g||^2 * g.
+        const double gnorm2 = best_dir.sumSq();
+        const double scale =
+            (1.0 + overshoot) * (std::abs(best_fdiff) + 1e-4) / gnorm2;
+        for (std::size_t i = 0; i < adv.size(); ++i)
+            adv[i] += static_cast<float>(scale * best_dir[i]);
+        clipToImageRange(adv);
+    }
+
+    AttackResult r;
+    r.success = net.predict(adv) != label;
+    r.mse = mseDistortion(adv, x);
+    r.iterations = it;
+    r.adversarial = std::move(adv);
+    return r;
+}
+
+} // namespace ptolemy::attack

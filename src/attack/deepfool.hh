@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DeepFool [Moosavi-Dezfooli'16]: iteratively project onto the nearest
+ * linearized decision boundary (an L2 attack).
+ */
+
+#ifndef PTOLEMY_ATTACK_DEEPFOOL_HH
+#define PTOLEMY_ATTACK_DEEPFOOL_HH
+
+#include "attack/attack.hh"
+
+namespace ptolemy::attack
+{
+
+class DeepFool : public Attack
+{
+  public:
+    /**
+     * @param max_iters linearization iterations.
+     * @param overshoot step multiplier (the original paper's 1+eta).
+     */
+    explicit DeepFool(int max_iters = 20, double overshoot = 0.02)
+        : maxIters(max_iters), overshoot(overshoot)
+    {}
+
+    std::string name() const override { return "DeepFool"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    int maxIters;
+    double overshoot;
+};
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_DEEPFOOL_HH

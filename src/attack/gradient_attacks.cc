@@ -1,0 +1,80 @@
+#include "gradient_attacks.hh"
+
+#include "util/rng.hh"
+
+namespace ptolemy::attack
+{
+
+namespace
+{
+
+/** One ascent step on the CE loss: x += step * sign(grad). */
+void
+signStep(nn::Tensor &x, const nn::Tensor &grad, double step)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (grad[i] > 0.0f)
+            x[i] += static_cast<float>(step);
+        else if (grad[i] < 0.0f)
+            x[i] -= static_cast<float>(step);
+    }
+}
+
+AttackResult
+finish(nn::Network &net, const nn::Tensor &x, nn::Tensor adv,
+       std::size_t label, int iters)
+{
+    AttackResult r;
+    r.success = net.predict(adv) != label;
+    r.mse = mseDistortion(adv, x);
+    r.iterations = iters;
+    r.adversarial = std::move(adv);
+    return r;
+}
+
+AttackResult
+iterativeLinf(nn::Network &net, const nn::Tensor &x, nn::Tensor adv,
+              std::size_t label, const AttackBudget &budget)
+{
+    int it = 0;
+    for (; it < budget.maxIters; ++it) {
+        if (net.predict(adv) != label)
+            break; // already adversarial
+        auto grad = lossInputGradient(net, adv, label);
+        signStep(adv, grad, budget.stepSize);
+        clipToEpsBall(adv, x, budget.epsilon);
+    }
+    return finish(net, x, std::move(adv), label, it);
+}
+
+} // namespace
+
+AttackResult
+Fgsm::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
+{
+    auto grad = lossInputGradient(net, x, label);
+    nn::Tensor adv = x;
+    signStep(adv, grad, budget.epsilon);
+    clipToImageRange(adv);
+    return finish(net, x, std::move(adv), label, 1);
+}
+
+AttackResult
+Bim::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
+{
+    return iterativeLinf(net, x, x, label, budget);
+}
+
+AttackResult
+Pgd::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
+{
+    Rng rng(seed ^ (label * 0x9E3779B9ull));
+    nn::Tensor adv = x;
+    for (std::size_t i = 0; i < adv.size(); ++i)
+        adv[i] += static_cast<float>(
+            rng.uniform(-budget.epsilon, budget.epsilon));
+    clipToEpsBall(adv, x, budget.epsilon);
+    return iterativeLinf(net, x, std::move(adv), label, budget);
+}
+
+} // namespace ptolemy::attack

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gradient-sign attacks: FGSM [Goodfellow'14], BIM [Kurakin'16] and
+ * PGD [Madry'17]. All perturb within an L∞ ball.
+ */
+
+#ifndef PTOLEMY_ATTACK_GRADIENT_ATTACKS_HH
+#define PTOLEMY_ATTACK_GRADIENT_ATTACKS_HH
+
+#include <cstdint>
+
+#include "attack/attack.hh"
+
+namespace ptolemy::attack
+{
+
+/** Single-step fast gradient sign method. */
+class Fgsm : public Attack
+{
+  public:
+    explicit Fgsm(AttackBudget budget = {}) : budget(budget) {}
+    std::string name() const override { return "FGSM"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    AttackBudget budget;
+};
+
+/** Basic iterative method: repeated small FGSM steps, clipped to the
+ *  epsilon ball; stops early on success. */
+class Bim : public Attack
+{
+  public:
+    explicit Bim(AttackBudget budget = {}) : budget(budget) {}
+    std::string name() const override { return "BIM"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    AttackBudget budget;
+};
+
+/** Projected gradient descent: BIM from a random start in the ball. */
+class Pgd : public Attack
+{
+  public:
+    explicit Pgd(AttackBudget budget = {}, std::uint64_t seed = 0xB0B)
+        : budget(budget), seed(seed)
+    {}
+    std::string name() const override { return "PGD"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    AttackBudget budget;
+    std::uint64_t seed;
+};
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_GRADIENT_ATTACKS_HH

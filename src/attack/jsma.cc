@@ -1,0 +1,72 @@
+#include "jsma.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ptolemy::attack
+{
+
+AttackResult
+Jsma::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
+{
+    nn::Tensor adv = x;
+    std::vector<bool> touched(x.size(), false);
+    int changed = 0, it = 0;
+
+    // Target: the runner-up class of the clean input.
+    auto rec0 = net.forward(adv);
+    std::size_t target = 0;
+    float best = -1e30f;
+    for (std::size_t k = 0; k < rec0.logits().size(); ++k) {
+        if (k != label && rec0.logits()[k] > best) {
+            best = rec0.logits()[k];
+            target = k;
+        }
+    }
+
+    while (changed < maxPixels) {
+        ++it;
+        auto rec = net.forward(adv);
+        if (rec.predictedClass() != label)
+            break;
+        // Saliency direction: grad of (logit_target - logit_label).
+        nn::Tensor seed(rec.logits().shape());
+        seed[target] = 1.0f;
+        seed[label] = -1.0f;
+        nn::Tensor grad = net.backward(seed);
+
+        // Pick the untouched element with the largest |saliency| that can
+        // still move in the helpful direction.
+        double best_sal = 0.0;
+        std::size_t best_idx = x.size();
+        for (std::size_t i = 0; i < grad.size(); ++i) {
+            if (touched[i])
+                continue;
+            const double sal = std::abs(static_cast<double>(grad[i]));
+            const bool movable = grad[i] > 0.0f ? adv[i] < 1.0f
+                                                : adv[i] > 0.0f;
+            if (movable && sal > best_sal) {
+                best_sal = sal;
+                best_idx = i;
+            }
+        }
+        if (best_idx == x.size())
+            break; // saturated
+        touched[best_idx] = true;
+        ++changed;
+        adv[best_idx] += grad[best_idx] > 0.0f
+            ? static_cast<float>(step)
+            : static_cast<float>(-step);
+        adv[best_idx] = std::clamp(adv[best_idx], 0.0f, 1.0f);
+    }
+
+    AttackResult r;
+    r.success = net.predict(adv) != label;
+    r.mse = mseDistortion(adv, x);
+    r.iterations = it;
+    r.adversarial = std::move(adv);
+    return r;
+}
+
+} // namespace ptolemy::attack

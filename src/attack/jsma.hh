@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Jacobian-based saliency map attack [Papernot'16] — an L0 attack that
+ * perturbs few, highly-salient input elements toward a target class.
+ */
+
+#ifndef PTOLEMY_ATTACK_JSMA_HH
+#define PTOLEMY_ATTACK_JSMA_HH
+
+#include "attack/attack.hh"
+
+namespace ptolemy::attack
+{
+
+class Jsma : public Attack
+{
+  public:
+    /**
+     * @param max_pixels maximum input elements to perturb (L0 budget).
+     * @param step per-modification magnitude.
+     */
+    explicit Jsma(int max_pixels = 60, double step = 0.35)
+        : maxPixels(max_pixels), step(step)
+    {}
+
+    std::string name() const override { return "JSMA"; }
+    AttackResult run(nn::Network &net, const nn::Tensor &x,
+                     std::size_t label) override;
+
+  private:
+    int maxPixels;
+    double step;
+};
+
+} // namespace ptolemy::attack
+
+#endif // PTOLEMY_ATTACK_JSMA_HH

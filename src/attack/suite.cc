@@ -1,0 +1,23 @@
+#include "suite.hh"
+
+#include "attack/cw.hh"
+#include "attack/deepfool.hh"
+#include "attack/gradient_attacks.hh"
+#include "attack/jsma.hh"
+
+namespace ptolemy::attack
+{
+
+std::vector<std::unique_ptr<Attack>>
+makeStandardAttacks(AttackBudget budget)
+{
+    std::vector<std::unique_ptr<Attack>> v;
+    v.push_back(std::make_unique<Bim>(budget));
+    v.push_back(std::make_unique<CarliniWagnerL2>());
+    v.push_back(std::make_unique<DeepFool>());
+    v.push_back(std::make_unique<Fgsm>(budget));
+    v.push_back(std::make_unique<Jsma>());
+    return v;
+}
+
+} // namespace ptolemy::attack

@@ -1,0 +1,43 @@
+#include "baseline.hh"
+
+#include <numeric>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace ptolemy::baselines
+{
+
+double
+evaluateBaselineAuc(BaselineDetector &det, nn::Network &net,
+                    const std::vector<core::DetectionPair> &pairs,
+                    double train_fraction, std::uint64_t seed)
+{
+    if (pairs.size() < 4)
+        return 0.5;
+    Rng rng(seed);
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+    const std::size_t n_train = std::max<std::size_t>(
+        2, static_cast<std::size_t>(train_fraction * pairs.size()));
+
+    std::vector<core::DetectionPair> train_pairs;
+    for (std::size_t i = 0; i < n_train; ++i)
+        train_pairs.push_back(pairs[order[i]]);
+    det.fit(net, train_pairs);
+
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (std::size_t i = n_train; i < pairs.size(); ++i) {
+        const auto &p = pairs[order[i]];
+        scores.push_back(det.score(net, p.clean));
+        labels.push_back(0);
+        scores.push_back(det.score(net, p.adversarial));
+        labels.push_back(1);
+    }
+    return aucScore(scores, labels);
+}
+
+} // namespace ptolemy::baselines

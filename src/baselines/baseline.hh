@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interface for the prior-work detection baselines the paper compares
+ * against (Sec. VI-B): EP [55], CDRP [72] and DeepFense [57].
+ */
+
+#ifndef PTOLEMY_BASELINES_BASELINE_HH
+#define PTOLEMY_BASELINES_BASELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hh"
+#include "nn/network.hh"
+
+namespace ptolemy::baselines
+{
+
+/**
+ * A detection baseline: profiled offline on benign training data, fitted
+ * on clean/adversarial pairs, scores inputs at test time.
+ */
+class BaselineDetector
+{
+  public:
+    virtual ~BaselineDetector() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Offline profiling on benign training data. */
+    virtual void profile(nn::Network &net, const nn::Dataset &train) = 0;
+
+    /** Supervised fitting on clean/adversarial training pairs (no-op for
+     *  purely unsupervised baselines). */
+    virtual void fit(nn::Network &net,
+                     const std::vector<core::DetectionPair> &pairs) = 0;
+
+    /** Adversarial score of @p x (higher = more likely adversarial). */
+    virtual double score(nn::Network &net, const nn::Tensor &x) = 0;
+
+    /** True when the scheme can run at inference time (CDRP cannot —
+     *  it requires retraining; paper Sec. VI-B). */
+    virtual bool inferenceTimeCapable() const { return true; }
+};
+
+/**
+ * Evaluate a baseline like core::fitAndScore evaluates Ptolemy: fit on a
+ * split of the pairs, AUC over benign+adversarial of the held-out split.
+ */
+double evaluateBaselineAuc(BaselineDetector &det, nn::Network &net,
+                           const std::vector<core::DetectionPair> &pairs,
+                           double train_fraction = 0.5,
+                           std::uint64_t seed = 17);
+
+} // namespace ptolemy::baselines
+
+#endif // PTOLEMY_BASELINES_BASELINE_HH

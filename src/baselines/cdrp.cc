@@ -1,0 +1,147 @@
+#include "cdrp.hh"
+
+#include <cmath>
+
+namespace ptolemy::baselines
+{
+
+CdrpBaseline::CdrpBaseline(nn::Network &net, std::size_t num_classes)
+{
+    std::size_t layer_idx = 0;
+    for (int id : net.weightedNodes()) {
+        if (net.layerAt(id).kind() == nn::LayerKind::Conv) {
+            convNodes.push_back(id);
+            const std::size_t c =
+                static_cast<std::size_t>(net.nodeOutputShape(id).c);
+            for (std::size_t k = 0; k < c; ++k)
+                layerOfGate.push_back(layer_idx);
+            gateDims += c;
+            ++layer_idx;
+        }
+    }
+    layerThreshold.assign(convNodes.size(), 0.0);
+    classGateFreq.assign(num_classes, std::vector<double>(gateDims, 0.0));
+    classCount.assign(num_classes, 0);
+}
+
+std::vector<double>
+CdrpBaseline::channelMeans(nn::Network &net, const nn::Tensor &x,
+                           std::size_t *pred)
+{
+    auto rec = net.forward(x);
+    if (pred)
+        *pred = rec.predictedClass();
+    std::vector<double> v;
+    v.reserve(gateDims);
+    for (int id : convNodes) {
+        const auto &out = rec.outputs[id];
+        const int hw = std::max(1, out.shape().h * out.shape().w);
+        for (int c = 0; c < out.shape().c; ++c) {
+            double m = 0.0;
+            for (int i = 0; i < hw; ++i)
+                m += std::max(
+                    0.0f, out[static_cast<std::size_t>(c) * hw + i]);
+            v.push_back(m / hw);
+        }
+    }
+    return v;
+}
+
+std::vector<std::uint8_t>
+CdrpBaseline::gates(nn::Network &net, const nn::Tensor &x,
+                    std::size_t *pred)
+{
+    const auto means = channelMeans(net, x, pred);
+    std::vector<std::uint8_t> g(gateDims);
+    for (std::size_t i = 0; i < gateDims; ++i)
+        g[i] = means[i] > layerThreshold[layerOfGate[i]] ? 1 : 0;
+    return g;
+}
+
+void
+CdrpBaseline::profile(nn::Network &net, const nn::Dataset &train)
+{
+    // Pass 1: per-layer gate thresholds = mean channel activation across
+    // a profiling slice (the gate's operating point).
+    std::vector<double> sum(convNodes.size(), 0.0);
+    std::vector<std::size_t> cnt(convNodes.size(), 0);
+    std::size_t probed = 0;
+    for (const auto &s : train) {
+        if (probed >= 200)
+            break;
+        const auto means = channelMeans(net, s.input);
+        for (std::size_t i = 0; i < gateDims; ++i) {
+            sum[layerOfGate[i]] += means[i];
+            ++cnt[layerOfGate[i]];
+        }
+        ++probed;
+    }
+    for (std::size_t l = 0; l < convNodes.size(); ++l)
+        layerThreshold[l] = cnt[l] ? sum[l] / cnt[l] : 0.0;
+
+    // Pass 2: per-class gate frequencies over correctly-predicted inputs.
+    for (const auto &s : train) {
+        if (classCount[s.label] >= 100)
+            continue;
+        std::size_t pred;
+        const auto g = gates(net, s.input, &pred);
+        if (pred != s.label)
+            continue;
+        auto &freq = classGateFreq[s.label];
+        for (std::size_t i = 0; i < gateDims; ++i)
+            freq[i] += g[i];
+        ++classCount[s.label];
+    }
+    for (std::size_t c = 0; c < classGateFreq.size(); ++c)
+        if (classCount[c] > 0)
+            for (double &f : classGateFreq[c])
+                f /= classCount[c];
+}
+
+std::vector<double>
+CdrpBaseline::features(nn::Network &net, const nn::Tensor &x)
+{
+    std::size_t pred;
+    const auto g = gates(net, x, &pred);
+    const auto &freq = classGateFreq[pred];
+
+    // Fraction of this input's on-gates that the class routinely uses,
+    // and the IoU against the class's majority gate vector.
+    std::size_t on = 0, inter = 0, uni = 0;
+    double covered = 0.0;
+    for (std::size_t i = 0; i < gateDims; ++i) {
+        const bool class_on = freq[i] >= 0.5;
+        if (g[i]) {
+            ++on;
+            covered += freq[i];
+        }
+        inter += g[i] && class_on;
+        uni += g[i] || class_on;
+    }
+    const double coverage = on ? covered / on : 1.0;
+    const double iou = uni ? static_cast<double>(inter) / uni : 1.0;
+    return {coverage, iou};
+}
+
+void
+CdrpBaseline::fit(nn::Network &net,
+                  const std::vector<core::DetectionPair> &pairs)
+{
+    classify::FeatureMatrix x;
+    std::vector<int> y;
+    for (const auto &p : pairs) {
+        x.push_back(features(net, p.clean));
+        y.push_back(0);
+        x.push_back(features(net, p.adversarial));
+        y.push_back(1);
+    }
+    rf.fit(x, y);
+}
+
+double
+CdrpBaseline::score(nn::Network &net, const nn::Tensor &x)
+{
+    return rf.predictProb(features(net, x));
+}
+
+} // namespace ptolemy::baselines

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CDRP baseline — "Interpret neural networks by identifying critical data
+ * routing paths" (Wang et al., CVPR 2018, the paper's reference [72]).
+ *
+ * CDRP learns channel-wise control gates by retraining the network per
+ * input and uses the resulting routing vector for interpretation /
+ * adversarial detection. Retraining per input is what makes CDRP
+ * unsuitable for inference-time detection (paper Sec. VI-B). We model the
+ * routing vector with its standard distillation-free approximation: the
+ * per-channel mean activation of every convolution layer, gated against
+ * per-layer thresholds; detection compares an input's gate vector with
+ * the profiled class centroid. The coarser channel granularity (versus
+ * Ptolemy's neuron-level paths) is what costs CDRP accuracy — matching
+ * the paper's Fig. 10, where CDRP trails by up to 0.1-0.16 AUC.
+ */
+
+#ifndef PTOLEMY_BASELINES_CDRP_HH
+#define PTOLEMY_BASELINES_CDRP_HH
+
+#include <vector>
+
+#include "baselines/baseline.hh"
+#include "classify/random_forest.hh"
+
+namespace ptolemy::baselines
+{
+
+class CdrpBaseline : public BaselineDetector
+{
+  public:
+    CdrpBaseline(nn::Network &net, std::size_t num_classes);
+
+    std::string name() const override { return "CDRP"; }
+    void profile(nn::Network &net, const nn::Dataset &train) override;
+    void fit(nn::Network &net,
+             const std::vector<core::DetectionPair> &pairs) override;
+    double score(nn::Network &net, const nn::Tensor &x) override;
+    bool inferenceTimeCapable() const override { return false; }
+
+  private:
+    /** Per-channel mean-activation vector across conv layers. */
+    std::vector<double> channelMeans(nn::Network &net, const nn::Tensor &x,
+                                     std::size_t *pred = nullptr);
+
+    /** Binary routing gates: channel on when its mean activation exceeds
+     *  the profiled per-layer threshold (CDRP's gate vector). */
+    std::vector<std::uint8_t> gates(nn::Network &net, const nn::Tensor &x,
+                                    std::size_t *pred = nullptr);
+
+    /** Features vs the predicted class's gate centroid. */
+    std::vector<double> features(nn::Network &net, const nn::Tensor &x);
+
+    std::vector<int> convNodes;
+    std::vector<std::size_t> layerOfGate; ///< conv-layer index per gate dim
+    std::size_t gateDims = 0;
+    std::vector<double> layerThreshold;   ///< profiled per conv layer
+    std::vector<std::vector<double>> classGateFreq; ///< per class
+    std::vector<std::size_t> classCount;
+    classify::RandomForest rf;
+};
+
+} // namespace ptolemy::baselines
+
+#endif // PTOLEMY_BASELINES_CDRP_HH

@@ -1,0 +1,158 @@
+#include "deepfense.hh"
+
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace ptolemy::baselines
+{
+
+DeepFenseBaseline::DeepFenseBaseline(nn::Network &net, int num_defenders,
+                                     int latent_dims, std::uint64_t seed)
+    : latentDims(latent_dims)
+{
+    Rng rng(seed);
+    const auto &weighted = net.weightedNodes();
+    defenders.resize(num_defenders);
+    for (int d = 0; d < num_defenders; ++d) {
+        // Tap deep layers first — latent distributions late in the
+        // network separate adversarial inputs best — then spread toward
+        // the input, cycling with fresh projections when there are more
+        // defenders than layers.
+        const int n_w = static_cast<int>(weighted.size());
+        const int w = n_w - 1 - (d % n_w);
+        Defender &def = defenders[d];
+        def.tapNode = weighted[w];
+        def.inDims = net.nodeOutputShape(def.tapNode).numel();
+        def.proj.resize(static_cast<std::size_t>(latentDims) * def.inDims);
+        const double scale = 1.0 / std::sqrt(static_cast<double>(
+            def.inDims));
+        for (float &p : def.proj)
+            p = static_cast<float>(rng.gaussian(0.0, scale));
+        def.mean.assign(latentDims, 0.0);
+        def.var.assign(latentDims, 0.0);
+    }
+}
+
+std::string
+DeepFenseBaseline::name() const
+{
+    const int n = numDefenders();
+    if (n <= 1)
+        return "DFL";
+    if (n <= 8)
+        return "DFM";
+    return "DFH";
+}
+
+std::vector<double>
+DeepFenseBaseline::defenderLatent(const Defender &d,
+                                  const nn::Tensor &act) const
+{
+    std::vector<double> z(latentDims, 0.0);
+    for (int k = 0; k < latentDims; ++k) {
+        const float *row = &d.proj[static_cast<std::size_t>(k) * d.inDims];
+        double acc = 0.0;
+        for (std::size_t i = 0; i < d.inDims; ++i)
+            acc += static_cast<double>(row[i]) * act[i];
+        z[k] = acc;
+    }
+    return z;
+}
+
+double
+DeepFenseBaseline::defenderMaha(const Defender &d,
+                                const nn::Tensor &act) const
+{
+    const auto z = defenderLatent(d, act);
+    double maha = 0.0;
+    for (int k = 0; k < latentDims; ++k) {
+        const double dz = z[k] - d.mean[k];
+        maha += dz * dz / d.var[k];
+    }
+    return maha / latentDims;
+}
+
+void
+DeepFenseBaseline::profile(nn::Network &net, const nn::Dataset &train)
+{
+    // Diagonal Gaussian fit in one sweep (sum / sum-of-squares).
+    std::vector<std::vector<double>> sum(defenders.size()),
+        sumsq(defenders.size());
+    for (std::size_t d = 0; d < defenders.size(); ++d) {
+        sum[d].assign(latentDims, 0.0);
+        sumsq[d].assign(latentDims, 0.0);
+    }
+    std::size_t n = 0;
+    for (const auto &s : train) {
+        if (n >= 1000)
+            break;
+        auto rec = net.forward(s.input);
+        for (std::size_t d = 0; d < defenders.size(); ++d) {
+            const auto z = defenderLatent(defenders[d],
+                                          rec.outputs[defenders[d].tapNode]);
+            for (int k = 0; k < latentDims; ++k) {
+                sum[d][k] += z[k];
+                sumsq[d][k] += z[k] * z[k];
+            }
+        }
+        ++n;
+    }
+    for (std::size_t d = 0; d < defenders.size(); ++d) {
+        defenders[d].fitted = n;
+        for (int k = 0; k < latentDims; ++k) {
+            const double m = sum[d][k] / std::max<std::size_t>(1, n);
+            defenders[d].mean[k] = m;
+            defenders[d].var[k] = std::max(
+                1e-6, sumsq[d][k] / std::max<std::size_t>(1, n) - m * m);
+        }
+    }
+
+    // Calibrate the benign Mahalanobis distribution so the anomaly score
+    // flags both over- and under-dispersed latents (boundary-grazing
+    // adversaries can look *more* typical than clean inputs).
+    std::vector<double> maha_sum(defenders.size(), 0.0),
+        maha_sumsq(defenders.size(), 0.0);
+    std::size_t m = 0;
+    for (const auto &s : train) {
+        if (m >= 300)
+            break;
+        auto rec = net.forward(s.input);
+        for (std::size_t d = 0; d < defenders.size(); ++d) {
+            const double v =
+                defenderMaha(defenders[d], rec.outputs[defenders[d].tapNode]);
+            maha_sum[d] += v;
+            maha_sumsq[d] += v * v;
+        }
+        ++m;
+    }
+    for (std::size_t d = 0; d < defenders.size(); ++d) {
+        const double mn = maha_sum[d] / std::max<std::size_t>(1, m);
+        defenders[d].mahaMean = mn;
+        defenders[d].mahaStd = std::sqrt(std::max(
+            1e-9, maha_sumsq[d] / std::max<std::size_t>(1, m) - mn * mn));
+    }
+}
+
+double
+DeepFenseBaseline::score(nn::Network &net, const nn::Tensor &x)
+{
+    auto rec = net.forward(x);
+    double total = 0.0;
+    for (const auto &d : defenders) {
+        const double maha = defenderMaha(d, rec.outputs[d.tapNode]);
+        total += std::abs(maha - d.mahaMean) / d.mahaStd;
+    }
+    return total / defenders.size();
+}
+
+std::size_t
+DeepFenseBaseline::extraMacs() const
+{
+    std::size_t macs = 0;
+    for (const auto &d : defenders)
+        macs += d.inDims * static_cast<std::size_t>(latentDims);
+    return macs;
+}
+
+} // namespace ptolemy::baselines

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DeepFense baseline — "Online accelerated defense against adversarial
+ * deep learning" (Rouhani et al., ICCAD 2018, the paper's reference [57]).
+ *
+ * DeepFense is the modular-redundancy school of defense: N latent
+ * defender modules each model the distribution of benign data in some
+ * latent space of the victim network and flag inputs that fall outside
+ * it. The paper compares against the three default variants — DFL (1
+ * defender), DFM (8) and DFH (16). Each of our defenders projects one
+ * intermediate feature map through a fixed random matrix and scores the
+ * Mahalanobis distance under a diagonal Gaussian fitted to benign
+ * training data; the ensemble score is the mean defender score. Cost
+ * scales with the number of redundant modules, which is exactly the
+ * trade-off Fig. 12 illustrates.
+ */
+
+#ifndef PTOLEMY_BASELINES_DEEPFENSE_HH
+#define PTOLEMY_BASELINES_DEEPFENSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/baseline.hh"
+
+namespace ptolemy::baselines
+{
+
+class DeepFenseBaseline : public BaselineDetector
+{
+  public:
+    /**
+     * @param net victim network (layer taps are chosen from it).
+     * @param num_defenders 1 (DFL), 8 (DFM) or 16 (DFH).
+     * @param latent_dims random-projection width per defender.
+     */
+    DeepFenseBaseline(nn::Network &net, int num_defenders,
+                      int latent_dims = 24, std::uint64_t seed = 0xDF);
+
+    std::string name() const override;
+    void profile(nn::Network &net, const nn::Dataset &train) override;
+    void fit(nn::Network &net,
+             const std::vector<core::DetectionPair> &pairs) override
+    {
+        (void)net;
+        (void)pairs; // unsupervised: defenders are fitted in profile()
+    }
+    double score(nn::Network &net, const nn::Tensor &x) override;
+
+    int numDefenders() const { return static_cast<int>(defenders.size()); }
+
+    /** MACs added per inference by the redundant modules (cost model for
+     *  Fig. 12b). */
+    std::size_t extraMacs() const;
+
+  private:
+    struct Defender
+    {
+        int tapNode;                 ///< graph node whose output it taps
+        std::size_t inDims;
+        std::vector<float> proj;     ///< latentDims x inDims random matrix
+        std::vector<double> mean, var;
+        double mahaMean = 0.0;       ///< benign Mahalanobis calibration
+        double mahaStd = 1.0;
+        std::size_t fitted = 0;
+    };
+
+    std::vector<double> defenderLatent(const Defender &d,
+                                       const nn::Tensor &act) const;
+
+    double defenderMaha(const Defender &d, const nn::Tensor &act) const;
+
+    int latentDims;
+    std::vector<Defender> defenders;
+};
+
+} // namespace ptolemy::baselines
+
+#endif // PTOLEMY_BASELINES_DEEPFENSE_HH

@@ -1,0 +1,62 @@
+#include "ep.hh"
+
+namespace ptolemy::baselines
+{
+
+EpBaseline::EpBaseline(nn::Network &net, std::size_t num_classes,
+                       double theta)
+{
+    auto cfg = path::ExtractionConfig::bwCu(
+        static_cast<int>(net.weightedNodes().size()), theta);
+    extractor = std::make_unique<path::PathExtractor>(net, std::move(cfg));
+    store = path::ClassPathStore(num_classes,
+                                 extractor->layout().totalBits());
+}
+
+void
+EpBaseline::profile(nn::Network &net, const nn::Dataset &train)
+{
+    for (const auto &s : train) {
+        if (store.samplesSeen(s.label) >=
+            static_cast<std::size_t>(maxPerClass))
+            continue;
+        auto rec = net.forward(s.input);
+        if (rec.predictedClass() != s.label)
+            continue;
+        store.aggregate(s.label, extractor->extract(rec));
+    }
+}
+
+double
+EpBaseline::overallSimilarity(nn::Network &net, const nn::Tensor &x)
+{
+    auto rec = net.forward(x);
+    const BitVector p = extractor->extract(rec);
+    const auto &pc = store.classPath(rec.predictedClass());
+    const std::size_t ones = p.popcount();
+    return ones == 0 ? 1.0
+                     : static_cast<double>(p.andPopcount(pc)) / ones;
+}
+
+void
+EpBaseline::fit(nn::Network &net,
+                const std::vector<core::DetectionPair> &pairs)
+{
+    classify::FeatureMatrix x;
+    std::vector<int> y;
+    for (const auto &p : pairs) {
+        x.push_back({overallSimilarity(net, p.clean)});
+        y.push_back(0);
+        x.push_back({overallSimilarity(net, p.adversarial)});
+        y.push_back(1);
+    }
+    rf.fit(x, y);
+}
+
+double
+EpBaseline::score(nn::Network &net, const nn::Tensor &x)
+{
+    return rf.predictProb({overallSimilarity(net, x)});
+}
+
+} // namespace ptolemy::baselines

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * EP baseline — "Adversarial defense through network profiling based path
+ * extraction" (Qiu et al., CVPR 2019, the paper's reference [55]).
+ *
+ * EP extracts per-class effective paths with a cumulative threshold over
+ * the whole network and classifies on the overall path similarity. It is
+ * the algorithmic ancestor of Ptolemy's BwCu: same backward cumulative
+ * extraction, but (a) always the full network, (b) only the aggregate
+ * similarity feature (no per-layer features), and (c) no
+ * compiler/hardware cost optimizations — a pure software pass the paper
+ * reports at 15.4x/50.7x inference latency (Sec. III-B).
+ */
+
+#ifndef PTOLEMY_BASELINES_EP_HH
+#define PTOLEMY_BASELINES_EP_HH
+
+#include <memory>
+
+#include "baselines/baseline.hh"
+#include "classify/random_forest.hh"
+#include "path/class_path.hh"
+#include "path/extractor.hh"
+
+namespace ptolemy::baselines
+{
+
+class EpBaseline : public BaselineDetector
+{
+  public:
+    /** @param theta cumulative coverage threshold (EP's default 0.5). */
+    EpBaseline(nn::Network &net, std::size_t num_classes,
+               double theta = 0.5);
+
+    std::string name() const override { return "EP"; }
+    void profile(nn::Network &net, const nn::Dataset &train) override;
+    void fit(nn::Network &net,
+             const std::vector<core::DetectionPair> &pairs) override;
+    double score(nn::Network &net, const nn::Tensor &x) override;
+
+    /** The extraction config (for cost modeling in the benches). */
+    const path::ExtractionConfig &config() const
+    {
+        return extractor->config();
+    }
+
+  private:
+    double overallSimilarity(nn::Network &net, const nn::Tensor &x);
+
+    std::unique_ptr<path::PathExtractor> extractor;
+    path::ClassPathStore store;
+    classify::RandomForest rf;
+    int maxPerClass = 100;
+};
+
+} // namespace ptolemy::baselines
+
+#endif // PTOLEMY_BASELINES_EP_HH

@@ -1,0 +1,153 @@
+#include "decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace ptolemy::classify
+{
+
+namespace
+{
+
+/** Gini impurity of a (count1, total) split side. */
+double
+gini(std::size_t ones, std::size_t total)
+{
+    if (total == 0)
+        return 0.0;
+    const double p = static_cast<double>(ones) / total;
+    return 2.0 * p * (1.0 - p);
+}
+
+} // namespace
+
+void
+DecisionTree::fit(const FeatureMatrix &x, const std::vector<int> &y,
+                  const std::vector<std::size_t> &row_indices,
+                  const GrowthConfig &cfg, Rng &rng)
+{
+    nodes.clear();
+    std::vector<std::size_t> rows = row_indices;
+    build(x, y, rows, 0, cfg, rng);
+}
+
+int
+DecisionTree::build(const FeatureMatrix &x, const std::vector<int> &y,
+                    std::vector<std::size_t> &rows, int depth_now,
+                    const GrowthConfig &cfg, Rng &rng)
+{
+    const int id = static_cast<int>(nodes.size());
+    nodes.emplace_back();
+    nodes[id].nodeDepth = depth_now;
+
+    std::size_t ones = 0;
+    for (std::size_t r : rows)
+        ones += static_cast<std::size_t>(y[r]);
+    nodes[id].prob = rows.empty()
+        ? 0.5
+        : static_cast<double>(ones) / rows.size();
+
+    const bool pure = ones == 0 || ones == rows.size();
+    if (pure || depth_now >= cfg.maxDepth ||
+        rows.size() < cfg.minSamplesSplit)
+        return id;
+
+    // Pick a random feature subset, then scan candidate thresholds.
+    const std::size_t n_feat = x[rows[0]].size();
+    std::vector<std::size_t> feats(n_feat);
+    for (std::size_t f = 0; f < n_feat; ++f)
+        feats[f] = f;
+    for (std::size_t i = n_feat; i > 1; --i)
+        std::swap(feats[i - 1], feats[rng.below(i)]);
+    const std::size_t n_try = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg.featureFraction * n_feat));
+
+    double best_gain = 1e-9;
+    std::size_t best_feat = 0;
+    double best_thr = 0.0;
+    const double parent_gini = gini(ones, rows.size());
+
+    std::vector<std::pair<double, int>> vals;
+    for (std::size_t fi = 0; fi < n_try; ++fi) {
+        const std::size_t f = feats[fi];
+        vals.clear();
+        for (std::size_t r : rows)
+            vals.emplace_back(x[r][f], y[r]);
+        std::sort(vals.begin(), vals.end());
+
+        std::size_t left_ones = 0;
+        for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+            left_ones += static_cast<std::size_t>(vals[i].second);
+            if (vals[i].first == vals[i + 1].first)
+                continue;
+            const std::size_t n_left = i + 1;
+            const std::size_t n_right = vals.size() - n_left;
+            const double w_gini =
+                (n_left * gini(left_ones, n_left) +
+                 n_right * gini(ones - left_ones, n_right)) / vals.size();
+            const double gain = parent_gini - w_gini;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feat = f;
+                best_thr = 0.5 * (vals[i].first + vals[i + 1].first);
+            }
+        }
+    }
+    if (best_gain <= 1e-9)
+        return id;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    for (std::size_t r : rows)
+        (x[r][best_feat] <= best_thr ? left_rows : right_rows).push_back(r);
+    if (left_rows.empty() || right_rows.empty())
+        return id;
+
+    rows.clear();
+    rows.shrink_to_fit();
+    nodes[id].feature = static_cast<int>(best_feat);
+    nodes[id].threshold = best_thr;
+    const int left = build(x, y, left_rows, depth_now + 1, cfg, rng);
+    nodes[id].left = left;
+    const int right = build(x, y, right_rows, depth_now + 1, cfg, rng);
+    nodes[id].right = right;
+    return id;
+}
+
+double
+DecisionTree::predict(const std::vector<double> &features) const
+{
+    int id = 0;
+    while (nodes[id].feature >= 0) {
+        id = features[nodes[id].feature] <= nodes[id].threshold
+            ? nodes[id].left
+            : nodes[id].right;
+    }
+    return nodes[id].prob;
+}
+
+int
+DecisionTree::depth() const
+{
+    int d = 0;
+    for (const auto &n : nodes)
+        d = std::max(d, n.nodeDepth);
+    return d;
+}
+
+std::size_t
+DecisionTree::decisionOps(const std::vector<double> &features) const
+{
+    std::size_t ops = 0;
+    int id = 0;
+    while (nodes[id].feature >= 0) {
+        ++ops;
+        id = features[nodes[id].feature] <= nodes[id].threshold
+            ? nodes[id].left
+            : nodes[id].right;
+    }
+    return ops;
+}
+
+} // namespace ptolemy::classify

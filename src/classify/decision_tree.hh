@@ -1,0 +1,78 @@
+/**
+ * @file
+ * CART decision tree for binary classification on small dense feature
+ * vectors (the path-similarity features).
+ */
+
+#ifndef PTOLEMY_CLASSIFY_DECISION_TREE_HH
+#define PTOLEMY_CLASSIFY_DECISION_TREE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ptolemy
+{
+class Rng;
+}
+
+namespace ptolemy::classify
+{
+
+/** Training matrix: one row per sample. */
+using FeatureMatrix = std::vector<std::vector<double>>;
+
+/**
+ * Binary CART tree with Gini-impurity splits.
+ */
+class DecisionTree
+{
+  public:
+    /** Tree growth limits. */
+    struct GrowthConfig
+    {
+        int maxDepth = 12;
+        std::size_t minSamplesSplit = 4;
+        double featureFraction = 0.7; ///< features considered per split
+    };
+
+    /**
+     * Fit on (a bootstrap sample of) the data.
+     * @param x feature rows; @param y binary labels (1 = adversarial).
+     * @param row_indices which rows to train on (bootstrap support).
+     */
+    void fit(const FeatureMatrix &x, const std::vector<int> &y,
+             const std::vector<std::size_t> &row_indices,
+             const GrowthConfig &cfg, Rng &rng);
+
+    /** Probability that @p features belongs to class 1. */
+    double predict(const std::vector<double> &features) const;
+
+    std::size_t numNodes() const { return nodes.size(); }
+
+    /** Depth of the deepest leaf (paper quotes average depth ~12). */
+    int depth() const;
+
+    /** Comparisons performed for one prediction (path length). */
+    std::size_t decisionOps(const std::vector<double> &features) const;
+
+  private:
+    struct Node
+    {
+        int feature = -1; ///< -1 for leaves
+        double threshold = 0.0;
+        int left = -1, right = -1;
+        double prob = 0.0; ///< class-1 probability at leaves
+        int nodeDepth = 0;
+    };
+
+    int build(const FeatureMatrix &x, const std::vector<int> &y,
+              std::vector<std::size_t> &rows, int depth_now,
+              const GrowthConfig &cfg, Rng &rng);
+
+    std::vector<Node> nodes;
+};
+
+} // namespace ptolemy::classify
+
+#endif // PTOLEMY_CLASSIFY_DECISION_TREE_HH

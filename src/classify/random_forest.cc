@@ -1,0 +1,53 @@
+#include "random_forest.hh"
+
+#include "util/rng.hh"
+
+namespace ptolemy::classify
+{
+
+void
+RandomForest::fit(const FeatureMatrix &x, const std::vector<int> &y)
+{
+    trees.assign(config.numTrees, DecisionTree());
+    Rng rng(config.seed);
+    const std::size_t n = x.size();
+    std::vector<std::size_t> bootstrap(n);
+    for (auto &tree : trees) {
+        for (std::size_t i = 0; i < n; ++i)
+            bootstrap[i] = rng.below(n);
+        tree.fit(x, y, bootstrap, config.growth, rng);
+    }
+}
+
+double
+RandomForest::predictProb(const std::vector<double> &features) const
+{
+    if (trees.empty())
+        return 0.5;
+    double acc = 0.0;
+    for (const auto &tree : trees)
+        acc += tree.predict(features);
+    return acc / trees.size();
+}
+
+double
+RandomForest::avgDepth() const
+{
+    if (trees.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &tree : trees)
+        acc += tree.depth();
+    return acc / trees.size();
+}
+
+std::size_t
+RandomForest::decisionOps(const std::vector<double> &features) const
+{
+    std::size_t ops = 0;
+    for (const auto &tree : trees)
+        ops += tree.decisionOps(features);
+    return ops;
+}
+
+} // namespace ptolemy::classify

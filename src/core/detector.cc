@@ -1,0 +1,78 @@
+#include "detector.hh"
+
+namespace ptolemy::core
+{
+
+Detector::Detector(nn::Network &net_ref, path::ExtractionConfig cfg,
+                   std::size_t num_classes,
+                   classify::ForestConfig forest_cfg)
+    : net(&net_ref), pathExtractor(net_ref, std::move(cfg)),
+      store(num_classes, pathExtractor.layout().totalBits()), rf(forest_cfg)
+{
+}
+
+std::size_t
+Detector::buildClassPaths(const nn::Dataset &train, int max_per_class)
+{
+    std::size_t aggregated = 0;
+    for (const auto &s : train) {
+        if (store.samplesSeen(s.label) >=
+            static_cast<std::size_t>(max_per_class))
+            continue;
+        auto rec = net->forward(s.input);
+        if (rec.predictedClass() != s.label)
+            continue; // only correctly-predicted samples define the canary
+        store.aggregate(s.label, pathExtractor.extract(rec));
+        ++aggregated;
+    }
+    return aggregated;
+}
+
+std::vector<double>
+Detector::featuresFor(const nn::Network::Record &rec,
+                      path::ExtractionTrace *trace)
+{
+    const BitVector p = pathExtractor.extract(rec, trace);
+    const auto &pc = store.classPath(rec.predictedClass());
+    return path::computeSimilarity(p, pc, pathExtractor.layout()).toVector();
+}
+
+void
+Detector::fitClassifier(const classify::FeatureMatrix &benign,
+                        const classify::FeatureMatrix &adversarial)
+{
+    classify::FeatureMatrix x;
+    std::vector<int> y;
+    x.reserve(benign.size() + adversarial.size());
+    for (const auto &row : benign) {
+        x.push_back(row);
+        y.push_back(0);
+    }
+    for (const auto &row : adversarial) {
+        x.push_back(row);
+        y.push_back(1);
+    }
+    rf.fit(x, y);
+}
+
+Detector::Decision
+Detector::detect(const nn::Tensor &x)
+{
+    auto rec = net->forward(x);
+    Decision d;
+    d.predictedClass = rec.predictedClass();
+    const BitVector p = pathExtractor.extract(rec);
+    const auto &pc = store.classPath(d.predictedClass);
+    d.features = path::computeSimilarity(p, pc, pathExtractor.layout());
+    d.score = rf.predictProb(d.features.toVector());
+    d.adversarial = d.score >= 0.5;
+    return d;
+}
+
+double
+Detector::score(const nn::Network::Record &rec)
+{
+    return rf.predictProb(featuresFor(rec));
+}
+
+} // namespace ptolemy::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Ptolemy adversarial-sample detector (paper Fig. 4).
+ *
+ * Offline: profile correctly-predicted training samples, extract their
+ * activation paths and OR them into per-class canary paths; fit the
+ * random-forest classifier on path-similarity features of benign and
+ * adversarial examples.
+ *
+ * Online: extract the input's activation path (per the configured
+ * direction/threshold/selective-extraction knobs), compare it against the
+ * canary path of the predicted class, and classify.
+ */
+
+#ifndef PTOLEMY_CORE_DETECTOR_HH
+#define PTOLEMY_CORE_DETECTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "classify/random_forest.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+#include "path/class_path.hh"
+#include "path/extractor.hh"
+
+namespace ptolemy::core
+{
+
+/**
+ * End-to-end detector for one (network, extraction-config) pair.
+ */
+class Detector
+{
+  public:
+    /** Verdict for one input. */
+    struct Decision
+    {
+        std::size_t predictedClass = 0;
+        bool adversarial = false;
+        double score = 0.0; ///< forest probability of "adversarial"
+        path::SimilarityFeatures features;
+    };
+
+    /**
+     * @param net the protected network (borrowed; must outlive this).
+     * @param cfg extraction configuration (one policy per weighted layer).
+     * @param num_classes classifier output arity.
+     * @param forest_cfg random-forest hyper-parameters.
+     */
+    Detector(nn::Network &net, path::ExtractionConfig cfg,
+             std::size_t num_classes,
+             classify::ForestConfig forest_cfg = {});
+
+    /**
+     * Offline profiling: aggregate activation paths of correctly-predicted
+     * training samples into class paths (paper: saturates around 100
+     * images per class).
+     * @param train training samples.
+     * @param max_per_class cap of aggregated samples per class.
+     * @return number of samples aggregated.
+     */
+    std::size_t buildClassPaths(const nn::Dataset &train,
+                                int max_per_class = 100);
+
+    /** Similarity features of a recorded inference against the canary
+     *  path of its predicted class. @p trace optionally receives the
+     *  extraction op counts. */
+    std::vector<double> featuresFor(const nn::Network::Record &rec,
+                                    path::ExtractionTrace *trace = nullptr);
+
+    /** Fit the forest on benign (label 0) and adversarial (label 1)
+     *  feature rows. */
+    void fitClassifier(const classify::FeatureMatrix &benign,
+                       const classify::FeatureMatrix &adversarial);
+
+    /** Full online pipeline: inference + extraction + classification. */
+    Decision detect(const nn::Tensor &x);
+
+    /** Adversarial-probability score for a recorded pass. */
+    double score(const nn::Network::Record &rec);
+
+    nn::Network &network() { return *net; }
+    const path::PathExtractor &extractor() const { return pathExtractor; }
+    const path::ClassPathStore &classPaths() const { return store; }
+    path::ClassPathStore &classPaths() { return store; }
+    const classify::RandomForest &forest() const { return rf; }
+    const path::ExtractionConfig &config() const
+    {
+        return pathExtractor.config();
+    }
+
+    /** Variant tag, e.g. "BwCu". */
+    std::string variantName() const { return config().variantName(); }
+
+  private:
+    nn::Network *net;
+    path::PathExtractor pathExtractor;
+    path::ClassPathStore store;
+    classify::RandomForest rf;
+};
+
+} // namespace ptolemy::core
+
+#endif // PTOLEMY_CORE_DETECTOR_HH

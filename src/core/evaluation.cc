@@ -1,0 +1,140 @@
+#include "evaluation.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace ptolemy::core
+{
+
+std::vector<DetectionPair>
+buildAttackPairs(nn::Network &net, attack::Attack &atk,
+                 const nn::Dataset &test, int max_samples,
+                 std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::size_t> order(test.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    std::vector<DetectionPair> pairs;
+    int attempted = 0;
+    for (std::size_t idx : order) {
+        if (attempted >= max_samples)
+            break;
+        const auto &s = test[idx];
+        if (net.predict(s.input) != s.label)
+            continue; // attacks start from correctly-classified inputs
+        ++attempted;
+        auto res = atk.run(net, s.input, s.label);
+        if (!res.success)
+            continue;
+        DetectionPair p;
+        p.clean = s.input;
+        p.adversarial = std::move(res.adversarial);
+        p.label = s.label;
+        p.mse = res.mse;
+        pairs.push_back(std::move(p));
+    }
+    return pairs;
+}
+
+PairScores
+fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
+            double train_fraction, std::uint64_t seed)
+{
+    PairScores out;
+    if (pairs.size() < 4)
+        return out;
+
+    Rng rng(seed);
+    std::vector<std::size_t> order(pairs.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+    const std::size_t n_train =
+        std::max<std::size_t>(2, static_cast<std::size_t>(
+            train_fraction * pairs.size()));
+
+    auto features_of = [&](const nn::Tensor &x, std::size_t *pred = nullptr) {
+        auto rec = det.network().forward(x);
+        if (pred)
+            *pred = rec.predictedClass();
+        return det.featuresFor(rec);
+    };
+
+    classify::FeatureMatrix benign, adversarial;
+    for (std::size_t i = 0; i < n_train; ++i) {
+        const auto &p = pairs[order[i]];
+        benign.push_back(features_of(p.clean));
+        adversarial.push_back(features_of(p.adversarial));
+    }
+    det.fitClassifier(benign, adversarial);
+
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (std::size_t i = n_train; i < pairs.size(); ++i) {
+        const auto &p = pairs[order[i]];
+        for (int adv = 0; adv < 2; ++adv) {
+            ScoredSample ss;
+            ss.label = adv;
+            ss.trueClass = p.label;
+            ss.mse = adv ? p.mse : 0.0;
+            const auto feats = features_of(adv ? p.adversarial : p.clean,
+                                           &ss.predictedClass);
+            ss.score = det.forest().predictProb(feats);
+            scores.push_back(ss.score);
+            labels.push_back(ss.label);
+            out.heldOut.push_back(std::move(ss));
+        }
+    }
+    out.auc = aucScore(scores, labels);
+    return out;
+}
+
+AttackEvalResult
+evaluateAttack(Detector &det, attack::Attack &atk, const nn::Dataset &test,
+               int max_samples, std::uint64_t seed)
+{
+    AttackEvalResult r;
+    r.attackName = atk.name();
+    auto pairs = buildAttackPairs(det.network(), atk, test, max_samples,
+                                  seed);
+    r.numPairs = pairs.size();
+    r.attackSuccessRate = max_samples == 0
+        ? 0.0
+        : static_cast<double>(pairs.size()) / max_samples;
+    double mse_sum = 0.0;
+    for (const auto &p : pairs)
+        mse_sum += p.mse;
+    r.avgMse = pairs.empty() ? 0.0 : mse_sum / pairs.size();
+    r.auc = fitAndScore(det, pairs, 0.5, seed).auc;
+    return r;
+}
+
+SuiteEvalResult
+evaluateSuite(Detector &det,
+              const std::vector<std::unique_ptr<attack::Attack>> &attacks,
+              const nn::Dataset &test, int max_samples_per_attack,
+              std::uint64_t seed)
+{
+    SuiteEvalResult suite;
+    double sum = 0.0;
+    for (const auto &atk : attacks) {
+        auto r = evaluateAttack(det, *atk, test, max_samples_per_attack,
+                                seed);
+        sum += r.auc;
+        suite.minAuc = std::min(suite.minAuc, r.auc);
+        suite.maxAuc = std::max(suite.maxAuc, r.auc);
+        suite.perAttack.push_back(std::move(r));
+    }
+    suite.avgAuc = suite.perAttack.empty()
+        ? 0.0
+        : sum / suite.perAttack.size();
+    return suite;
+}
+
+} // namespace ptolemy::core

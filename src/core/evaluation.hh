@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Detection-accuracy evaluation harness (paper Sec. VI-A metrics).
+ *
+ * Follows the paper's setup: test sets are evenly split between benign
+ * and (successful) adversarial inputs, the detector's random forest is
+ * fitted on a held-in split of the pairs, and accuracy is reported as the
+ * area under the ROC curve (AUC) on the held-out split.
+ */
+
+#ifndef PTOLEMY_CORE_EVALUATION_HH
+#define PTOLEMY_CORE_EVALUATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/attack.hh"
+#include "core/detector.hh"
+#include "nn/trainer.hh"
+
+namespace ptolemy::core
+{
+
+/** One clean/adversarial input pair produced by an attack. */
+struct DetectionPair
+{
+    nn::Tensor clean;
+    nn::Tensor adversarial;
+    std::size_t label = 0; ///< true class of the clean input
+    double mse = 0.0;      ///< attack distortion
+};
+
+/** One scored held-out sample. */
+struct ScoredSample
+{
+    double score = 0.0; ///< detector's adversarial probability
+    int label = 0;      ///< 1 = adversarial
+    double mse = 0.0;   ///< pair distortion (0 for benign rows)
+    std::size_t trueClass = 0;
+    std::size_t predictedClass = 0;
+};
+
+/** Evaluation output: held-out scores plus the AUC. */
+struct PairScores
+{
+    std::vector<ScoredSample> heldOut;
+    double auc = 0.5;
+};
+
+/** Per-attack summary row. */
+struct AttackEvalResult
+{
+    std::string attackName;
+    double auc = 0.5;
+    std::size_t numPairs = 0;
+    double attackSuccessRate = 0.0;
+    double avgMse = 0.0;
+};
+
+/** Suite summary (the paper reports avg plus min/max error bars). */
+struct SuiteEvalResult
+{
+    std::vector<AttackEvalResult> perAttack;
+    double avgAuc = 0.0, minAuc = 1.0, maxAuc = 0.0;
+};
+
+/**
+ * Attack up to @p max_samples correctly-classified test inputs; keep the
+ * successful ones as pairs.
+ */
+std::vector<DetectionPair> buildAttackPairs(nn::Network &net,
+                                            attack::Attack &atk,
+                                            const nn::Dataset &test,
+                                            int max_samples,
+                                            std::uint64_t seed = 0xE7A1);
+
+/**
+ * Fit @p det's classifier on a @p train_fraction split of the pairs'
+ * benign/adversarial features, then score the held-out split.
+ */
+PairScores fitAndScore(Detector &det,
+                       const std::vector<DetectionPair> &pairs,
+                       double train_fraction = 0.5,
+                       std::uint64_t seed = 17);
+
+/** buildAttackPairs + fitAndScore for one attack. */
+AttackEvalResult evaluateAttack(Detector &det, attack::Attack &atk,
+                                const nn::Dataset &test, int max_samples,
+                                std::uint64_t seed = 17);
+
+/** Evaluate every attack in @p attacks and summarize. */
+SuiteEvalResult evaluateSuite(
+    Detector &det,
+    const std::vector<std::unique_ptr<attack::Attack>> &attacks,
+    const nn::Dataset &test, int max_samples_per_attack,
+    std::uint64_t seed = 17);
+
+} // namespace ptolemy::core
+
+#endif // PTOLEMY_CORE_EVALUATION_HH

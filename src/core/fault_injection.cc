@@ -1,0 +1,81 @@
+#include "fault_injection.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/rng.hh"
+
+namespace ptolemy::core
+{
+
+nn::Network::Record
+forwardWithFault(nn::Network &net, const nn::Tensor &x,
+                 const FaultSpec &fault)
+{
+    nn::Network::Record rec;
+    rec.input = x;
+    rec.outputs.reserve(net.numNodes());
+    for (int id = 0; id < net.numNodes(); ++id) {
+        const auto &node = net.node(id);
+        std::vector<const nn::Tensor *> ins;
+        ins.reserve(node.inputs.size());
+        for (int in_id : node.inputs)
+            ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
+        rec.outputs.push_back(net.layerAt(id).forward(ins, false));
+
+        if (id == fault.nodeId && !rec.outputs[id].empty()) {
+            // Single-event upset: flip one bit of the stored value.
+            auto &t = rec.outputs[id];
+            const std::size_t e = fault.element % t.size();
+            std::uint32_t raw;
+            std::memcpy(&raw, &t[e], sizeof(raw));
+            raw ^= (1u << (fault.bit & 31));
+            float flipped;
+            std::memcpy(&flipped, &raw, sizeof(flipped));
+            // A flipped exponent can produce inf/NaN; a real accelerator
+            // would saturate its fixed-point value instead.
+            if (!std::isfinite(flipped))
+                flipped = flipped > 0 ? 1e6f : -1e6f;
+            t[e] = flipped;
+        }
+    }
+    return rec;
+}
+
+FaultCampaignResult
+runFaultCampaign(Detector &det, const nn::Dataset &inputs,
+                 int num_injections, std::uint64_t seed)
+{
+    Rng rng(seed);
+    FaultCampaignResult result;
+    nn::Network &net = det.network();
+
+    for (int i = 0; i < num_injections; ++i) {
+        const auto &sample = inputs[rng.below(inputs.size())];
+        const std::size_t clean_pred = net.predict(sample.input);
+
+        FaultSpec fault;
+        fault.nodeId = static_cast<int>(rng.below(net.numNodes() - 1));
+        fault.element = rng.below(
+            std::max<std::size_t>(1, net.nodeOutputShape(fault.nodeId)
+                                         .numel()));
+        // Exponent bits: large magnitude changes, the damaging SEU class
+        // (low-order mantissa flips are almost always masked).
+        fault.bit = 24 + static_cast<int>(rng.below(7));
+
+        auto rec = forwardWithFault(net, sample.input, fault);
+        ++result.injections;
+        const bool mispredicts = rec.predictedClass() != clean_pred;
+        const bool flagged = det.score(rec) >= 0.5;
+        if (mispredicts) {
+            ++result.mispredictions;
+            if (flagged)
+                ++result.detected;
+        } else if (flagged) {
+            ++result.falseAlarms;
+        }
+    }
+    return result;
+}
+
+} // namespace ptolemy::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Transient-fault detection extension (paper Sec. VIII).
+ *
+ * The paper notes that "Ptolemy could also be used for detecting the
+ * execution errors of DNN accelerators caused by transient hardware
+ * errors". A single-event upset flipping a bit in a feature map changes
+ * the downstream activation path the same way an adversarial input does,
+ * so the same canary-path comparison flags it.
+ *
+ * This module implements the experiment: replay a forward pass with one
+ * injected bit flip in a chosen intermediate tensor and run a fault
+ * campaign measuring how many mispredicting faulty executions the
+ * detector rejects.
+ */
+
+#ifndef PTOLEMY_CORE_FAULT_INJECTION_HH
+#define PTOLEMY_CORE_FAULT_INJECTION_HH
+
+#include <cstdint>
+
+#include "core/detector.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+
+namespace ptolemy::core
+{
+
+/** One transient fault: flip @p bit of element @p element of the output
+ *  of graph node @p nodeId. */
+struct FaultSpec
+{
+    int nodeId = 0;
+    std::size_t element = 0;
+    int bit = 23; ///< bit of the IEEE-754 float representation
+};
+
+/**
+ * Forward pass with a single-event upset injected: identical to
+ * Network::forward except the fault is applied to the chosen node's
+ * output before its consumers read it.
+ */
+nn::Network::Record forwardWithFault(nn::Network &net, const nn::Tensor &x,
+                                     const FaultSpec &fault);
+
+/** Fault-campaign outcome. */
+struct FaultCampaignResult
+{
+    std::size_t injections = 0;      ///< faults injected
+    std::size_t mispredictions = 0;  ///< faults that flipped the class
+    std::size_t detected = 0;        ///< mispredictions the detector flagged
+    std::size_t falseAlarms = 0;     ///< benign-outcome faults flagged
+
+    /** Detection rate over class-flipping faults. */
+    double
+    detectionRate() const
+    {
+        return mispredictions == 0
+            ? 0.0
+            : static_cast<double>(detected) / mispredictions;
+    }
+};
+
+/**
+ * Inject @p num_injections random high-order bit flips into random
+ * feature-map elements during inferences over @p inputs, and score each
+ * faulty execution with @p det. The detector must already be fitted
+ * (class paths + classifier); faults whose execution mispredicts count
+ * as "detected" when the detector's score crosses 0.5.
+ */
+FaultCampaignResult runFaultCampaign(Detector &det,
+                                     const nn::Dataset &inputs,
+                                     int num_injections,
+                                     std::uint64_t seed = 0xFA017);
+
+} // namespace ptolemy::core
+
+#endif // PTOLEMY_CORE_FAULT_INJECTION_HH

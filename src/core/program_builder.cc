@@ -1,0 +1,78 @@
+#include "program_builder.hh"
+
+#include <stdexcept>
+
+namespace ptolemy::core
+{
+
+ProgramBuilder::ProgramBuilder(const nn::Network &net)
+{
+    cfg = path::ExtractionConfig::bwCu(
+        static_cast<int>(net.weightedNodes().size()), 0.5);
+}
+
+ProgramBuilder &
+ProgramBuilder::backwardExtraction()
+{
+    cfg.direction = path::Direction::Backward;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::forwardExtraction()
+{
+    cfg.direction = path::Direction::Forward;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::extractNone()
+{
+    for (auto &lp : cfg.layers)
+        lp.extract = false;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::extractLayer(int layer, path::ThresholdKind kind,
+                             double threshold)
+{
+    if (layer < 0 || layer >= cfg.numLayers())
+        throw std::out_of_range("extractLayer: bad weighted-layer index");
+    auto &lp = cfg.layers[layer];
+    lp.extract = true;
+    lp.kind = kind;
+    if (kind == path::ThresholdKind::Cumulative)
+        lp.theta = threshold;
+    else
+        lp.phi = threshold;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::extractLayers(int first, int last, path::ThresholdKind kind,
+                              double threshold)
+{
+    for (int l = first; l <= last; ++l)
+        extractLayer(l, kind, threshold);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::startAtLayer(int first)
+{
+    if (first < 0 || first > cfg.numLayers())
+        throw std::out_of_range("startAtLayer: bad weighted-layer index");
+    cfg.selectFrom(first);
+    return *this;
+}
+
+path::ExtractionConfig
+ProgramBuilder::build() const
+{
+    if (cfg.numExtracted() == 0)
+        throw std::logic_error("ProgramBuilder: no layers extracted");
+    return cfg;
+}
+
+} // namespace ptolemy::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * High-level programming interface (paper Sec. III-D, Fig. 6).
+ *
+ * Mirrors the paper's Python-style API in C++: the programmer expresses
+ * which layers to extract, in which direction, and with which per-layer
+ * thresholding mechanism; the builder produces the ExtractionConfig the
+ * compiler consumes. The paper's one structural rule is enforced —
+ * backward and forward extraction cannot be combined in one network
+ * (the direction is a whole-network property).
+ *
+ * The paper's Fig. 6 example translates to:
+ * @code
+ *   auto cfg = ProgramBuilder(net)
+ *                  .forwardExtraction()
+ *                  .extractNone()
+ *                  .extractLayer(n - 3, ThresholdKind::Absolute, phi)
+ *                  .extractLayer(n - 2, ThresholdKind::Absolute, phi)
+ *                  .extractLayer(n - 1, ThresholdKind::Cumulative, theta)
+ *                  .build();
+ * @endcode
+ */
+
+#ifndef PTOLEMY_CORE_PROGRAM_BUILDER_HH
+#define PTOLEMY_CORE_PROGRAM_BUILDER_HH
+
+#include "nn/network.hh"
+#include "path/extraction_config.hh"
+
+namespace ptolemy::core
+{
+
+/**
+ * Fluent builder for extraction configurations.
+ */
+class ProgramBuilder
+{
+  public:
+    /** Starts with backward/cumulative(0.5) on every weighted layer. */
+    explicit ProgramBuilder(const nn::Network &net);
+
+    /** Set backward extraction (whole network). */
+    ProgramBuilder &backwardExtraction();
+
+    /** Set forward extraction (whole network). */
+    ProgramBuilder &forwardExtraction();
+
+    /** Disable extraction everywhere (then opt layers back in). */
+    ProgramBuilder &extractNone();
+
+    /**
+     * Configure one weighted layer.
+     * @param layer weighted-layer index (0-based, topological).
+     * @param kind threshold mechanism for this layer.
+     * @param threshold theta for cumulative, phi for absolute.
+     */
+    ProgramBuilder &extractLayer(int layer, path::ThresholdKind kind,
+                                 double threshold);
+
+    /** Configure an inclusive range [first, last] of weighted layers. */
+    ProgramBuilder &extractLayers(int first, int last,
+                                  path::ThresholdKind kind,
+                                  double threshold);
+
+    /** Selective-extraction knob: extract only layers >= @p first
+     *  (early termination / late start, paper Sec. III-C). */
+    ProgramBuilder &startAtLayer(int first);
+
+    /** Finalize. Validates indices and the forward/backward rule. */
+    path::ExtractionConfig build() const;
+
+  private:
+    path::ExtractionConfig cfg;
+};
+
+} // namespace ptolemy::core
+
+#endif // PTOLEMY_CORE_PROGRAM_BUILDER_HH

@@ -1,0 +1,131 @@
+#include "synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hh"
+
+namespace ptolemy::data
+{
+
+namespace
+{
+
+/** Base texture value in [0,1] for family @p fam at pixel (y,x). */
+double
+textureValue(int fam, double y, double x, double freq, double phase,
+             double size)
+{
+    const double cy = size / 2.0, cx = size / 2.0;
+    switch (fam) {
+      case 0: // horizontal stripes
+        return 0.5 + 0.5 * std::sin(freq * y + phase);
+      case 1: // vertical stripes
+        return 0.5 + 0.5 * std::sin(freq * x + phase);
+      case 2: // diagonal stripes
+        return 0.5 + 0.5 * std::sin(freq * (x + y) * 0.7071 + phase);
+      case 3: // checkerboard
+        return 0.5 + 0.5 * std::sin(freq * x + phase) *
+                          std::sin(freq * y + phase);
+      case 4: { // centered blob; width shrinks with frequency
+        const double sigma = size / (4.0 + freq * size / M_PI);
+        const double r2 = (y - cy) * (y - cy) + (x - cx) * (x - cx);
+        return std::exp(-r2 / (2.0 * sigma * sigma));
+      }
+      case 5: { // ring; radius wobbles with the phase draw
+        const double r = std::sqrt((y - cy) * (y - cy) +
+                                   (x - cx) * (x - cx));
+        const double ring_r = size / 4.0 + std::sin(phase);
+        return std::exp(-(r - ring_r) * (r - ring_r) / 3.0);
+      }
+      case 6: // x gradient
+        return x / size;
+      case 7: // y gradient
+        return y / size;
+      case 8: { // cross
+        const double dx = std::abs(x - cx), dy = std::abs(y - cy);
+        return (dx < size / 8.0 || dy < size / 8.0) ? 0.9 : 0.1;
+      }
+      default: { // concentric squares
+        const double d = std::max(std::abs(x - cx), std::abs(y - cy));
+        return 0.5 + 0.5 * std::sin(freq * d + phase);
+      }
+    }
+}
+
+/** Per-variant RGB tint; variant 0..9 walks around a simple color wheel. */
+void
+variantColor(int variant, double &r, double &g, double &b)
+{
+    const double hue = variant / 10.0 * 2.0 * M_PI;
+    r = 0.55 + 0.45 * std::cos(hue);
+    g = 0.55 + 0.45 * std::cos(hue - 2.0 * M_PI / 3.0);
+    b = 0.55 + 0.45 * std::cos(hue + 2.0 * M_PI / 3.0);
+}
+
+} // namespace
+
+nn::Sample
+makeSample(int label, int num_classes, int image_size, double noise_sigma,
+           Rng &rng)
+{
+    // With >10 classes, the label decomposes into (family, variant):
+    // the family picks the texture, the variant picks color and frequency.
+    const int per_family = std::max(1, num_classes / 10);
+    const int fam = num_classes > 10 ? label / per_family : label;
+    const int variant = num_classes > 10 ? label % per_family : fam;
+
+    double cr, cg, cb;
+    variantColor(variant, cr, cg, cb);
+
+    // Per-sample randomness: frequency jitter, phase, brightness.
+    const double base_freq = 2.0 * M_PI / image_size *
+                             (2.0 + (num_classes > 10 ? variant % 3 : 0));
+    const double freq = base_freq * (1.0 + 0.15 * (rng.uniform() - 0.5));
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    const double brightness = rng.uniform(0.85, 1.15);
+
+    nn::Sample s;
+    s.label = static_cast<std::size_t>(label);
+    s.input = nn::Tensor(nn::mapShape(3, image_size, image_size));
+    for (int y = 0; y < image_size; ++y) {
+        for (int x = 0; x < image_size; ++x) {
+            const double t =
+                textureValue(fam % 10, y, x, freq, phase, image_size);
+            const double chan[3] = {t * cr, t * cg, t * cb};
+            for (int c = 0; c < 3; ++c) {
+                double v = chan[c] * brightness +
+                           rng.gaussian(0.0, noise_sigma);
+                s.input.at(c, y, x) =
+                    static_cast<float>(std::clamp(v, 0.0, 1.0));
+            }
+        }
+    }
+    return s;
+}
+
+SplitDataset
+makeSyntheticDataset(const DatasetSpec &spec)
+{
+    Rng rng(spec.seed);
+    SplitDataset out;
+    out.numClasses = spec.numClasses;
+    out.imageSize = spec.imageSize;
+    out.train.reserve(static_cast<std::size_t>(spec.numClasses) *
+                      spec.trainPerClass);
+    out.test.reserve(static_cast<std::size_t>(spec.numClasses) *
+                     spec.testPerClass);
+    for (int cls = 0; cls < spec.numClasses; ++cls) {
+        for (int i = 0; i < spec.trainPerClass; ++i)
+            out.train.push_back(makeSample(cls, spec.numClasses,
+                                           spec.imageSize, spec.noiseSigma,
+                                           rng));
+        for (int i = 0; i < spec.testPerClass; ++i)
+            out.test.push_back(makeSample(cls, spec.numClasses,
+                                          spec.imageSize, spec.noiseSigma,
+                                          rng));
+    }
+    return out;
+}
+
+} // namespace ptolemy::data

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Procedural synthetic image datasets.
+ *
+ * Stand-in for the paper's ImageNet / CIFAR-10 / CIFAR-100 (see DESIGN.md
+ * substitution table): 3×S×S images in [0,1] whose classes are texture
+ * families (stripes, checkers, blobs, rings, gradients, crosses, dots)
+ * modulated per class by color and spatial frequency. Each sample draws
+ * random phase, frequency jitter, brightness and additive Gaussian noise,
+ * so classes are learnable but not trivially separable — exactly what the
+ * class-path analysis needs: a trained model whose per-class activation
+ * paths are distinctive (paper Fig. 5).
+ *
+ * The 10-class configuration plays the role of CIFAR-10; 100 classes
+ * (10 families × 10 color/frequency variants) plays CIFAR-100/ImageNet's
+ * "many finer classes" role.
+ */
+
+#ifndef PTOLEMY_DATA_SYNTHETIC_HH
+#define PTOLEMY_DATA_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "nn/trainer.hh"
+
+namespace ptolemy
+{
+class Rng;
+}
+
+namespace ptolemy::data
+{
+
+/** Dataset generation parameters. */
+struct DatasetSpec
+{
+    int numClasses = 10;    ///< 10 or 100 (families × variants)
+    int imageSize = 16;     ///< square image side
+    int trainPerClass = 120;
+    int testPerClass = 30;
+    double noiseSigma = 0.06;
+    std::uint64_t seed = 1234;
+};
+
+/** Train/test split produced by the generator. */
+struct SplitDataset
+{
+    nn::Dataset train;
+    nn::Dataset test;
+    int numClasses = 0;
+    int imageSize = 0;
+};
+
+/** Generate one sample of @p label (deterministic given the RNG state). */
+nn::Sample makeSample(int label, int num_classes, int image_size,
+                      double noise_sigma, Rng &rng);
+
+/** Generate a full train/test split. */
+SplitDataset makeSyntheticDataset(const DatasetSpec &spec);
+
+} // namespace ptolemy::data
+
+#endif // PTOLEMY_DATA_SYNTHETIC_HH

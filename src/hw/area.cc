@@ -1,0 +1,67 @@
+#include "area.hh"
+
+namespace ptolemy::hw
+{
+
+namespace
+{
+
+// 15 nm-class density constants (mm²), calibrated so the default
+// configuration lands on the paper's accounting (5.2% total overhead,
+// 3.9% SRAM / 0.4% MAC / 0.9% logic).
+constexpr double kSramMm2PerKB = 6.25e-4;
+constexpr double kMac16Mm2 = 1.3e-3;
+constexpr double kControlMm2 = 0.058;
+constexpr double kMacAugmentFraction = 0.012; ///< of MAC area
+constexpr double kSortUnitMm2Per16 = 3.0e-3;  ///< one 16-wide sort network
+constexpr double kMergeTreeMm2Per16 = 4.8e-3; ///< one 16-way merge tree
+constexpr double kAccumMaskSimMm2 = 2.0e-3;   ///< accum + maskgen + simil.
+
+double
+macMm2(const HwConfig &cfg)
+{
+    return kMac16Mm2 * (cfg.bitWidth == 8 ? 0.45 : 1.0);
+}
+
+} // namespace
+
+AreaBreakdown
+areaBreakdown(const HwConfig &cfg)
+{
+    AreaBreakdown a;
+    const double n_macs = static_cast<double>(cfg.arrayRows) * cfg.arrayCols;
+    a.baselineMm2 = cfg.accSramKB * kSramMm2PerKB + n_macs * macMm2(cfg) +
+                    kControlMm2;
+
+    a.extraSramMm2 = (cfg.psumSramKB + cfg.pcSramKB) * kSramMm2PerKB;
+    a.macAugmentMm2 = n_macs * macMm2(cfg) * kMacAugmentFraction;
+    const double logic_scale = cfg.bitWidth == 8 ? 0.55 : 1.0;
+    a.otherLogicMm2 =
+        (cfg.numSortUnits * kSortUnitMm2Per16 * (cfg.sortUnitWidth / 16.0) +
+         kMergeTreeMm2Per16 * (cfg.mergeTreeLen / 16.0) +
+         kAccumMaskSimMm2) * logic_scale;
+
+    a.totalOverheadMm2 =
+        a.extraSramMm2 + a.macAugmentMm2 + a.otherLogicMm2;
+    a.overheadFraction = a.totalOverheadMm2 / a.baselineMm2;
+    a.sramFraction = a.extraSramMm2 / a.baselineMm2;
+    a.macFraction = a.macAugmentMm2 / a.baselineMm2;
+    a.logicFraction = a.otherLogicMm2 / a.baselineMm2;
+    return a;
+}
+
+std::size_t
+extraDramBytes(const HwConfig &cfg, std::size_t psum_count,
+               std::size_t mask_bits, std::size_t recompute_psums)
+{
+    // Partial sums are buffered at accumulator precision (2x datapath
+    // width); masks are bit-packed. Everything is double-buffered between
+    // the SRAM and DRAM (Sec. V-B).
+    const std::size_t psum_bytes = psum_count * cfg.elemBytes() * 2;
+    const std::size_t recompute_bytes =
+        recompute_psums * cfg.elemBytes() * 2;
+    const std::size_t mask_bytes = (mask_bits + 7) / 8;
+    return 2 * (psum_bytes + recompute_bytes + mask_bytes);
+}
+
+} // namespace ptolemy::hw

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Area model (paper Sec. VII-A).
+ *
+ * Component areas in mm², calibrated to 15 nm-class densities so the
+ * default configuration reproduces the paper's accounting: Ptolemy adds
+ * 5.2% (0.08 mm²) on top of the baseline accelerator, of which 3.9% is
+ * SRAM, 0.4% MAC-unit augmentation and 0.9% other logic. The model also
+ * reproduces the scaling studies: 5.5% at 8-bit and 6.4% with a 32×32
+ * array (Sec. VII-G).
+ */
+
+#ifndef PTOLEMY_HW_AREA_HH
+#define PTOLEMY_HW_AREA_HH
+
+#include "hw/config.hh"
+
+namespace ptolemy::hw
+{
+
+/** Area accounting split. */
+struct AreaBreakdown
+{
+    double baselineMm2 = 0.0;      ///< unmodified accelerator
+    double extraSramMm2 = 0.0;     ///< psum/mask + path-constructor SRAM
+    double macAugmentMm2 = 0.0;    ///< per-MAC compare/mask mux
+    double otherLogicMm2 = 0.0;    ///< sort units, merge tree, accum, mask
+    double totalOverheadMm2 = 0.0;
+    double overheadFraction = 0.0; ///< totalOverhead / baseline
+    double sramFraction = 0.0;
+    double macFraction = 0.0;
+    double logicFraction = 0.0;
+};
+
+/** Compute the area breakdown for a configuration. */
+AreaBreakdown areaBreakdown(const HwConfig &cfg);
+
+/**
+ * Extra DRAM space (bytes) required for detection data structures.
+ * @param psum_count partial sums stored per inference (0 when masks or
+ *        recompute are used).
+ * @param mask_bits single-bit masks stored per inference.
+ * @param recompute_psums partial sums buffered under the csps recompute
+ *        optimization (only important receptive fields).
+ */
+std::size_t extraDramBytes(const HwConfig &cfg, std::size_t psum_count,
+                           std::size_t mask_bits,
+                           std::size_t recompute_psums);
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_AREA_HH

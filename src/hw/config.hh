@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware configuration (paper Sec. V / VII-A).
+ *
+ * Defaults model the paper's baseline: a TPU-like 20×20 MAC systolic array
+ * at 250 MHz with 1.5 MB of double-buffered SRAM (64 KB banks), augmented
+ * by Ptolemy with a 32 KB partial-sum/mask SRAM (2 KB banks), a 64 KB path
+ * constructor SRAM, two 16-element sort units and one 16-way merge tree.
+ * Off-chip memory is four LPDDR3-1600 channels.
+ */
+
+#ifndef PTOLEMY_HW_CONFIG_HH
+#define PTOLEMY_HW_CONFIG_HH
+
+#include <cstddef>
+
+namespace ptolemy::hw
+{
+
+/** Full hardware parameterization. */
+struct HwConfig
+{
+    // Baseline DNN accelerator.
+    int arrayRows = 20;
+    int arrayCols = 20;
+    double clockMhz = 250.0;
+    int bitWidth = 16;          ///< datapath precision (16 or 8)
+    std::size_t accSramKB = 1536;
+    std::size_t accSramBankKB = 64;
+
+    // Ptolemy extensions.
+    std::size_t psumSramKB = 32; ///< partial-sum / mask buffer (2 KB banks)
+    std::size_t pcSramKB = 64;   ///< path-constructor SRAM
+    int numSortUnits = 2;
+    int sortUnitWidth = 16;      ///< elements per sort-network pass
+    int mergeTreeLen = 16;       ///< sequences merged simultaneously
+
+    // Off-chip memory: 4x 16 Gb LPDDR3-1600 -> ~12.8 GB/s per channel.
+    int dramChannels = 4;
+    double dramGBps = 12.8; ///< per channel
+
+    /** MACs retired per cycle when the array is fully utilized. */
+    std::size_t
+    macsPerCycle() const
+    {
+        return static_cast<std::size_t>(arrayRows) * arrayCols;
+    }
+
+    /** DRAM bytes transferable per accelerator cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dramChannels * dramGBps * 1e9 / (clockMhz * 1e6);
+    }
+
+    /** Bytes per fixed-point element. */
+    std::size_t elemBytes() const { return bitWidth / 8; }
+
+    /** The paper's default configuration. */
+    static HwConfig baseline() { return HwConfig{}; }
+
+    /** 8-bit variant (paper Sec. VII-G). */
+    static HwConfig
+    eightBit()
+    {
+        HwConfig c;
+        c.bitWidth = 8;
+        return c;
+    }
+
+    /** 32x32 array variant (paper Sec. VII-G): the psum buffer, path
+     *  constructor SRAM and sort provisioning scale with the array's
+     *  partial-sum production rate. */
+    static HwConfig
+    bigArray()
+    {
+        HwConfig c;
+        c.arrayRows = 32;
+        c.arrayCols = 32;
+        c.psumSramKB = 82; // 32 KB * (32*32)/(20*20), rounded
+        c.pcSramKB = 96;
+        c.numSortUnits = 4;
+        return c;
+    }
+};
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_CONFIG_HH

@@ -1,0 +1,26 @@
+#include "energy.hh"
+
+namespace ptolemy::hw
+{
+
+EnergyModel::EnergyModel(const HwConfig &cfg)
+{
+    // 16-bit baseline constants (pJ), 15 nm-class estimates.
+    const double width_scale = cfg.bitWidth == 8 ? 0.45 : 1.0;
+    macPj = 0.9 * width_scale;
+    sramBytePj = 1.2;
+    dramBytePj = 21.0;
+    cmpPj = 0.35 * width_scale;  // compare-exchange in the sort network
+    addPj = 0.25 * width_scale;  // accumulator step
+    maskPj = 0.02;               // single-bit compare+store
+    mcuPj = 0.6;                 // Cortex-M4-class op
+    bitwPj = 0.3;                // 64-bit AND + popcount step
+    // Leakage + clock tree scaled to array size (the dominant static
+    // consumers). At the baseline 20x20 array this is ~1% of a fully
+    // busy inference's power — but it is what makes long, serialized
+    // extraction phases (BwCu) expensive in energy, since the wide MAC
+    // array sits idle while the path constructor sorts.
+    staticPj = 0.012 * cfg.arrayRows * cfg.arrayCols;
+}
+
+} // namespace ptolemy::hw

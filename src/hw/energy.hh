@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Energy model.
+ *
+ * Per-operation energies in picojoules, representative of a ~15 nm-class
+ * process (the paper synthesizes with the Silvaco 15 nm open cell library
+ * and an ARM memory compiler; we substitute published per-op constants of
+ * that technology class — see DESIGN.md). Absolute joules are not the
+ * reproduction target; the ratios between MAC, SRAM, DRAM and
+ * sort/accumulate work are what shape the paper's normalized energy
+ * overheads, and those ratios are preserved.
+ */
+
+#ifndef PTOLEMY_HW_ENERGY_HH
+#define PTOLEMY_HW_ENERGY_HH
+
+#include <cstddef>
+
+#include "hw/config.hh"
+
+namespace ptolemy::hw
+{
+
+/** Per-op energy constants (pJ), scaled by datapath width. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const HwConfig &cfg);
+
+    double macOp() const { return macPj; }          ///< one 16/8-bit MAC
+    double sramByte() const { return sramBytePj; }  ///< on-chip access
+    double dramByte() const { return dramBytePj; }  ///< off-chip access
+    double sortCompare() const { return cmpPj; }    ///< compare-exchange
+    double accumAdd() const { return addPj; }       ///< accumulate step
+    double maskBit() const { return maskPj; }       ///< mask gen/store
+    double mcuOp() const { return mcuPj; }          ///< controller op
+    double bitParallelWord() const { return bitwPj; } ///< 64-bit AND+popc
+
+    /** Leakage+clock power of the whole chip, pJ per cycle. */
+    double staticPerCycle() const { return staticPj; }
+
+  private:
+    double macPj, sramBytePj, dramBytePj, cmpPj, addPj, maskPj, mcuPj,
+        bitwPj, staticPj;
+};
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_ENERGY_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulation output: cycle and energy accounting per functional unit.
+ */
+
+#ifndef PTOLEMY_HW_REPORT_HH
+#define PTOLEMY_HW_REPORT_HH
+
+#include <array>
+#include <cstdint>
+
+namespace ptolemy::hw
+{
+
+/** Functional units the controller dispatches to (paper Fig. 8). */
+enum class FuncUnit : int
+{
+    Accel = 0, ///< systolic MAC array (inf / infsp / csps)
+    Sort,      ///< sort units + merge tree
+    Accum,     ///< threshold accumulator
+    Mask,      ///< mask generation / path assembly / similarity
+    Mcu,       ///< controller (dispatch, scalar ops, random forest)
+};
+
+inline constexpr int kNumFuncUnits = 5;
+
+/** Name of a functional unit. */
+const char *funcUnitName(FuncUnit u);
+
+/** One simulation's performance/energy report. */
+struct PerfReport
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructionsExecuted = 0;
+    std::uint64_t dramBytes = 0;
+    double energyPj = 0.0; ///< total, incl. static
+
+    std::array<std::uint64_t, kNumFuncUnits> unitBusyCycles{};
+    std::array<double, kNumFuncUnits> unitEnergyPj{};
+
+    /** Wall-clock latency at @p clock_mhz. */
+    double
+    latencyUs(double clock_mhz) const
+    {
+        return cycles / clock_mhz;
+    }
+
+    /** Average power in milliwatts at @p clock_mhz. */
+    double
+    avgPowerMw(double clock_mhz) const
+    {
+        const double us = latencyUs(clock_mhz);
+        return us <= 0.0 ? 0.0 : energyPj / us * 1e-3; // pJ/us = uW
+
+    }
+};
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_REPORT_HH

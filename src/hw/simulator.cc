@@ -1,0 +1,329 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ptolemy::hw
+{
+
+using isa::Instruction;
+using isa::InstrMeta;
+using isa::Opcode;
+
+const char *
+funcUnitName(FuncUnit u)
+{
+    switch (u) {
+      case FuncUnit::Accel: return "accel";
+      case FuncUnit::Sort: return "sort";
+      case FuncUnit::Accum: return "accum";
+      case FuncUnit::Mask: return "mask";
+      case FuncUnit::Mcu: return "mcu";
+    }
+    return "?";
+}
+
+Simulator::Simulator(HwConfig config) : cfg(config), energy(cfg) {}
+
+FuncUnit
+Simulator::unitFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::Inf:
+      case Opcode::InfSp:
+      case Opcode::Csps:
+        return FuncUnit::Accel;
+      case Opcode::Sort:
+        return FuncUnit::Sort;
+      case Opcode::Acum:
+        return FuncUnit::Accum;
+      case Opcode::GenMasks:
+        return FuncUnit::Mask;
+      case Opcode::Cls:
+        return FuncUnit::Mask; // bit-parallel similarity in the path ctor
+      default:
+        return FuncUnit::Mcu;
+    }
+}
+
+namespace
+{
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+/** Compare-exchange stages of a bitonic network of width w. */
+std::uint64_t
+bitonicDepth(int w)
+{
+    int lg = 0;
+    while ((1 << lg) < w)
+        ++lg;
+    return static_cast<std::uint64_t>(lg) * (lg + 1) / 2;
+}
+
+/** Source registers of an instruction under the compiler's conventions. */
+void
+sourceRegs(const Instruction &ins, int out[4], int &n)
+{
+    n = 0;
+    switch (ins.op) {
+      case Opcode::Inf:       // inf in, w, out
+      case Opcode::Csps:      // csps neuron, layer, psum
+        out[n++] = ins.r0;
+        out[n++] = ins.r1;
+        break;
+      case Opcode::InfSp:     // infsp in, w, out, psum
+        out[n++] = ins.r0;
+        out[n++] = ins.r1;
+        break;
+      case Opcode::Sort:      // sort src, len, dst
+        out[n++] = ins.r0;
+        out[n++] = ins.r1;
+        break;
+      case Opcode::Acum:      // acum src, dst, thr
+        out[n++] = ins.r0;
+        out[n++] = ins.r2;
+        break;
+      case Opcode::GenMasks:  // genmasks src, dst
+      case Opcode::FindRf:    // findrf neuron, dst
+        out[n++] = ins.r0;
+        break;
+      case Opcode::FindNeuron: // findneuron layer, pos, dst
+        out[n++] = ins.r0;
+        out[n++] = ins.r1;
+        break;
+      case Opcode::Cls:       // cls cpath, apath, result
+        out[n++] = ins.r0;
+        out[n++] = ins.r1;
+        break;
+      case Opcode::MovR:
+        out[n++] = ins.r1;
+        break;
+      case Opcode::Dec:
+      case Opcode::Jne:
+        out[n++] = ins.r0;
+        break;
+      default:
+        break;
+    }
+}
+
+/** Destination register, or -1. */
+int
+destReg(const Instruction &ins)
+{
+    switch (ins.op) {
+      case Opcode::Inf: return ins.r2;
+      case Opcode::InfSp: return ins.r2;
+      case Opcode::Csps: return ins.r2;
+      case Opcode::Sort: return ins.r2;
+      case Opcode::Acum: return ins.r1;
+      case Opcode::GenMasks: return ins.r1;
+      case Opcode::FindNeuron: return ins.r2;
+      case Opcode::FindRf: return ins.r1;
+      case Opcode::Cls: return ins.r2;
+      case Opcode::Mov: return ins.r0;
+      case Opcode::MovR: return ins.r0;
+      case Opcode::Dec: return ins.r0;
+      default: return -1;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Simulator::durationOf(const Instruction &ins, const InstrMeta &meta,
+                      std::uint64_t seq_len) const
+{
+    const std::uint64_t fill =
+        static_cast<std::uint64_t>(cfg.arrayRows) + cfg.arrayCols;
+    switch (ins.op) {
+      case Opcode::Inf: {
+        const std::uint64_t compute =
+            ceilDiv(meta.macs, cfg.macsPerCycle()) + fill;
+        const std::uint64_t dma = static_cast<std::uint64_t>(
+            (meta.ifmBytes + meta.wBytes + meta.ofmBytes) /
+            cfg.dramBytesPerCycle());
+        return std::max<std::uint64_t>(1, std::max(compute, dma));
+      }
+      case Opcode::InfSp: {
+        // Storing every partial sum stalls the array (Sec. III-B): the
+        // psum traffic serializes with compute.
+        const std::uint64_t compute =
+            ceilDiv(meta.macs, cfg.macsPerCycle()) + fill;
+        const std::uint64_t dma = static_cast<std::uint64_t>(
+            (meta.ifmBytes + meta.wBytes + meta.ofmBytes) /
+            cfg.dramBytesPerCycle());
+        const std::uint64_t psum_stall = static_cast<std::uint64_t>(
+            meta.psumBytes / cfg.dramBytesPerCycle());
+        return std::max<std::uint64_t>(
+            1, std::max(compute, dma) + psum_stall);
+      }
+      case Opcode::Csps:
+        // Recompute uses only the first PE row (Sec. V-B).
+        return std::max<std::uint64_t>(
+            1, ceilDiv(meta.macs, cfg.arrayCols) + cfg.arrayCols);
+      case Opcode::Sort: {
+        const std::uint64_t len =
+            seq_len > 0 ? seq_len : std::max<std::size_t>(1, meta.seqLen);
+        const std::uint64_t n_sub = ceilDiv(len, cfg.sortUnitWidth);
+        const std::uint64_t sub_cycles =
+            ceilDiv(n_sub, cfg.numSortUnits) *
+            bitonicDepth(cfg.sortUnitWidth);
+        std::uint64_t passes = 0;
+        for (std::uint64_t remaining = n_sub; remaining > 1;
+             remaining = ceilDiv(remaining, cfg.mergeTreeLen))
+            ++passes;
+        return std::max<std::uint64_t>(1, sub_cycles + passes * len);
+      }
+      case Opcode::Acum:
+        return std::max<std::uint64_t>(1, meta.accumLen);
+      case Opcode::GenMasks:
+        return std::max<std::uint64_t>(1, ceilDiv(meta.bits, 64));
+      case Opcode::Cls:
+        return std::max<std::uint64_t>(
+            1, ceilDiv(meta.bits, 64) + meta.mcuOps);
+      default:
+        return 1;
+    }
+}
+
+PerfReport
+Simulator::run(const isa::Program &prog) const
+{
+    PerfReport rep;
+    std::int64_t regs[isa::kNumRegisters] = {};
+    std::uint64_t reg_ready[isa::kNumRegisters] = {};
+    std::uint64_t unit_free[kNumFuncUnits] = {};
+    std::uint64_t dispatch_free = 0;
+
+    constexpr std::uint64_t kMaxInstructions = 400'000'000ull;
+    std::size_t pc = 0;
+
+    while (pc < prog.size() &&
+           rep.instructionsExecuted < kMaxInstructions) {
+        const Instruction &ins = prog.instruction(pc);
+        const InstrMeta &meta = prog.meta(pc);
+        if (ins.op == Opcode::Halt)
+            break;
+
+        const FuncUnit unit = unitFor(ins.op);
+        const int ui = static_cast<int>(unit);
+
+        int srcs[4];
+        int n_srcs;
+        sourceRegs(ins, srcs, n_srcs);
+        std::uint64_t ready = dispatch_free;
+        for (int i = 0; i < n_srcs; ++i)
+            ready = std::max(ready, reg_ready[srcs[i]]);
+        const std::uint64_t issue = std::max(ready, unit_free[ui]);
+
+        // Sort length comes from the register file (Listing 1's mov idiom).
+        std::uint64_t seq_len = 0;
+        if (ins.op == Opcode::Sort && regs[ins.r1] > 0)
+            seq_len = static_cast<std::uint64_t>(regs[ins.r1]);
+
+        const std::uint64_t dur = durationOf(ins, meta, seq_len);
+        const std::uint64_t finish = issue + dur;
+
+        // Blocking-issue in-order dispatch, one instruction per cycle.
+        dispatch_free = issue + 1;
+        unit_free[ui] = finish;
+        const int dst = destReg(ins);
+        if (dst >= 0)
+            reg_ready[dst] = finish;
+
+        rep.unitBusyCycles[ui] += dur;
+        ++rep.instructionsExecuted;
+
+        // ------------------------------------------------ energy + DRAM --
+        double e = 0.0;
+        switch (ins.op) {
+          case Opcode::Inf:
+          case Opcode::InfSp: {
+            e += meta.macs * energy.macOp();
+            const std::uint64_t data_bytes =
+                meta.ifmBytes + meta.wBytes + meta.ofmBytes;
+            e += data_bytes * (energy.sramByte() + energy.dramByte());
+            e += meta.psumBytes * (energy.sramByte() + energy.dramByte());
+            e += meta.maskBits * energy.maskBit();
+            rep.dramBytes += data_bytes + meta.psumBytes +
+                             (meta.maskBits + 7) / 8;
+            break;
+          }
+          case Opcode::Csps:
+            e += meta.macs * energy.macOp();
+            e += meta.macs * cfg.elemBytes() * energy.sramByte();
+            break;
+          case Opcode::Sort: {
+            const std::uint64_t len = std::max<std::uint64_t>(
+                1, seq_len > 0 ? seq_len : meta.seqLen);
+            const double lg = std::log2(static_cast<double>(
+                std::max<std::uint64_t>(2, len)));
+            e += len * lg * energy.sortCompare();
+            // Every merge pass re-streams the sequence through the SRAM
+            // (read + write), plus the initial sub-sort pass.
+            std::uint64_t passes = 1;
+            for (std::uint64_t rem = ceilDiv(len, cfg.sortUnitWidth);
+                 rem > 1; rem = ceilDiv(rem, cfg.mergeTreeLen))
+                ++passes;
+            e += static_cast<double>(len) * passes * cfg.elemBytes() *
+                 2.0 * energy.sramByte();
+            break;
+          }
+          case Opcode::Acum:
+            e += meta.accumLen * energy.accumAdd();
+            break;
+          case Opcode::GenMasks:
+            e += meta.bits * energy.maskBit();
+            e += ceilDiv(meta.bits, 64) * energy.bitParallelWord();
+            break;
+          case Opcode::Cls:
+            e += ceilDiv(meta.bits, 64) * energy.bitParallelWord();
+            e += meta.mcuOps * energy.mcuOp();
+            break;
+          default:
+            e += energy.mcuOp();
+            break;
+        }
+        rep.unitEnergyPj[ui] += e;
+        rep.energyPj += e;
+
+        // ------------------------------------------------ semantics ------
+        switch (ins.op) {
+          case Opcode::Mov:
+            regs[ins.r0] = ins.imm;
+            pc += 1;
+            break;
+          case Opcode::MovR:
+            regs[ins.r0] = regs[ins.r1];
+            pc += 1;
+            break;
+          case Opcode::Dec:
+            regs[ins.r0] -= 1;
+            pc += 1;
+            break;
+          case Opcode::Jne:
+            pc = regs[ins.r0] != 0 ? ins.imm : pc + 1;
+            break;
+          default:
+            if (dst >= 0)
+                regs[dst] = 0; // address/handle token
+            pc += 1;
+            break;
+        }
+    }
+
+    for (int u = 0; u < kNumFuncUnits; ++u)
+        rep.cycles = std::max(rep.cycles, unit_free[u]);
+    rep.cycles = std::max(rep.cycles, dispatch_free);
+    rep.energyPj += rep.cycles * energy.staticPerCycle();
+    return rep;
+}
+
+} // namespace ptolemy::hw

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cycle-level simulator for the Ptolemy architecture (paper Sec. V/VI-A).
+ *
+ * Executes compiled programs functionally (registers, loops, control
+ * flow) while modeling timing with an in-order, blocking-issue dispatch
+ * pipeline: the controller dispatches one instruction per cycle; an
+ * instruction issues when its functional unit is free and its source
+ * registers' producers have completed; dispatch stalls until the head
+ * instruction issues ("the hardware remains in-order ... with logic to
+ * check dependencies and stall the pipeline", Sec. IV-B). Different
+ * functional units execute concurrently, which is what lets the
+ * compiler's layer-level and neuron-level pipelining overlap inference
+ * with path construction.
+ */
+
+#ifndef PTOLEMY_HW_SIMULATOR_HH
+#define PTOLEMY_HW_SIMULATOR_HH
+
+#include "hw/config.hh"
+#include "hw/energy.hh"
+#include "hw/report.hh"
+#include "isa/program.hh"
+
+namespace ptolemy::hw
+{
+
+/**
+ * The cycle-level machine model.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(HwConfig cfg = HwConfig::baseline());
+
+    const HwConfig &config() const { return cfg; }
+
+    /** Execute @p prog to completion (halt / fall-through). */
+    PerfReport run(const isa::Program &prog) const;
+
+    /** Functional unit an opcode executes on. */
+    static FuncUnit unitFor(isa::Opcode op);
+
+    /** Timing of one instruction given its metadata and the sequence
+     *  length in @p seq_len (sort reads it from a register). Exposed for
+     *  unit tests. */
+    std::uint64_t durationOf(const isa::Instruction &ins,
+                             const isa::InstrMeta &meta,
+                             std::uint64_t seq_len) const;
+
+  private:
+    HwConfig cfg;
+    EnergyModel energy;
+};
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_SIMULATOR_HH

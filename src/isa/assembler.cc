@@ -1,0 +1,224 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace ptolemy::isa
+{
+
+namespace
+{
+
+/** Strip comments (';' to end of line) and surrounding whitespace. */
+std::string
+cleanLine(std::string line)
+{
+    const auto semi = line.find(';');
+    if (semi != std::string::npos)
+        line.erase(semi);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const auto last = line.find_last_not_of(" \t\r");
+    return line.substr(first, last - first + 1);
+}
+
+/** Split an operand list on commas/whitespace. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::optional<Opcode>
+opcodeFromName(const std::string &name)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"inf", Opcode::Inf},       {"infsp", Opcode::InfSp},
+        {"csps", Opcode::Csps},     {"sort", Opcode::Sort},
+        {"acum", Opcode::Acum},     {"genmasks", Opcode::GenMasks},
+        {"findneuron", Opcode::FindNeuron}, {"findrf", Opcode::FindRf},
+        {"cls", Opcode::Cls},       {"mov", Opcode::Mov},
+        {"movr", Opcode::MovR},     {"dec", Opcode::Dec},
+        {"jne", Opcode::Jne},       {"halt", Opcode::Halt},
+    };
+    const auto it = table.find(name);
+    if (it == table.end())
+        return std::nullopt;
+    return it->second;
+}
+
+/** Parse "rN" into a register number. */
+std::optional<int>
+parseReg(const std::string &tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return std::nullopt;
+    int v = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return std::nullopt;
+        v = v * 10 + (tok[i] - '0');
+    }
+    if (v >= kNumRegisters)
+        return std::nullopt;
+    return v;
+}
+
+/** Parse a decimal or 0x-prefixed immediate. */
+std::optional<long>
+parseImm(const std::string &tok,
+         const std::map<std::string, long> &constants)
+{
+    const auto it = constants.find(tok);
+    if (it != constants.end())
+        return it->second;
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(tok, &pos, 0);
+        if (pos != tok.size())
+            return std::nullopt;
+        return v;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+AssemblyResult
+assemble(const std::string &source)
+{
+    AssemblyResult result;
+    std::map<std::string, long> constants;
+    std::map<std::string, std::uint16_t> labels;
+
+    // Pass 1: collect labels and .set constants, count instructions.
+    std::vector<std::string> lines;
+    {
+        std::istringstream iss(source);
+        std::string raw;
+        std::uint16_t pc = 0;
+        while (std::getline(iss, raw)) {
+            const std::string line = cleanLine(raw);
+            if (line.empty())
+                continue;
+            if (line[0] == '.') { // directive
+                const auto toks = splitOperands(line.substr(1));
+                if (toks.size() == 3 && toks[0] == "set") {
+                    // handled in pass 2 via constants map (value parse now)
+                } else if (toks.size() != 3) {
+                    result.error = "bad directive: " + line;
+                    return result;
+                }
+                const auto v = parseImm(toks[2], constants);
+                if (!v) {
+                    result.error = "bad constant: " + line;
+                    return result;
+                }
+                constants[toks[1]] = *v;
+                continue;
+            }
+            if (line.front() == '<' && line.back() == '>') {
+                labels[line.substr(1, line.size() - 2)] = pc;
+                continue;
+            }
+            lines.push_back(line);
+            ++pc;
+        }
+    }
+
+    // Pass 2: encode.
+    for (const auto &line : lines) {
+        std::istringstream ls(line);
+        std::string mnemonic;
+        ls >> mnemonic;
+        const auto op = opcodeFromName(mnemonic);
+        if (!op) {
+            result.error = "unknown mnemonic: " + line;
+            return result;
+        }
+        std::string rest;
+        std::getline(ls, rest);
+        const auto toks = splitOperands(rest);
+
+        Instruction ins;
+        ins.op = *op;
+        if (*op == Opcode::Mov) {
+            const auto rd = toks.size() == 2 ? parseReg(toks[0])
+                                             : std::nullopt;
+            const auto imm = toks.size() == 2
+                ? parseImm(toks[1], constants)
+                : std::nullopt;
+            if (!rd || !imm) {
+                result.error = "bad mov: " + line;
+                return result;
+            }
+            ins.r0 = static_cast<std::uint8_t>(*rd);
+            ins.imm = static_cast<std::uint16_t>(*imm);
+        } else if (*op == Opcode::Jne) {
+            const auto rs = toks.size() == 2 ? parseReg(toks[0])
+                                             : std::nullopt;
+            if (!rs) {
+                result.error = "bad jne: " + line;
+                return result;
+            }
+            std::string target = toks[1];
+            if (target.front() == '<' && target.back() == '>')
+                target = target.substr(1, target.size() - 2);
+            const auto lbl = labels.find(target);
+            std::optional<long> imm;
+            if (lbl != labels.end())
+                imm = lbl->second;
+            else
+                imm = parseImm(target, constants);
+            if (!imm) {
+                result.error = "bad jump target: " + line;
+                return result;
+            }
+            ins.r0 = static_cast<std::uint8_t>(*rs);
+            ins.imm = static_cast<std::uint16_t>(*imm);
+        } else {
+            const int need = opcodeNumRegs(*op);
+            if (static_cast<int>(toks.size()) != need) {
+                result.error = "operand count mismatch: " + line;
+                return result;
+            }
+            std::uint8_t regs[4] = {0, 0, 0, 0};
+            for (int i = 0; i < need; ++i) {
+                const auto r = parseReg(toks[i]);
+                if (!r) {
+                    result.error = "bad register: " + line;
+                    return result;
+                }
+                regs[i] = static_cast<std::uint8_t>(*r);
+            }
+            ins.r0 = regs[0];
+            ins.r1 = regs[1];
+            ins.r2 = regs[2];
+            ins.r3 = regs[3];
+        }
+        result.program.append(ins);
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace ptolemy::isa

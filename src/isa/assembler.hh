@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Two-pass assembler for the Ptolemy ISA.
+ *
+ * Supports the paper's Listing-1 syntax: `.set NAME VALUE` directives,
+ * `<label>` definitions, `jne rX, <label>` references, register operands
+ * `rN`, and hex/decimal immediates. Intended for tests and for writing
+ * hand-crafted detection kernels; the compiler emits Program objects
+ * directly.
+ */
+
+#ifndef PTOLEMY_ISA_ASSEMBLER_HH
+#define PTOLEMY_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace ptolemy::isa
+{
+
+/** Assembly result: program plus error diagnostics. */
+struct AssemblyResult
+{
+    Program program;
+    bool ok = false;
+    std::string error; ///< first diagnostic when !ok
+};
+
+/** Assemble @p source into a program. */
+AssemblyResult assemble(const std::string &source);
+
+} // namespace ptolemy::isa
+
+#endif // PTOLEMY_ISA_ASSEMBLER_HH

@@ -1,0 +1,238 @@
+#include "instruction.hh"
+
+#include <cstdio>
+
+namespace ptolemy::isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Inf: return "inf";
+      case Opcode::InfSp: return "infsp";
+      case Opcode::Csps: return "csps";
+      case Opcode::Sort: return "sort";
+      case Opcode::Acum: return "acum";
+      case Opcode::GenMasks: return "genmasks";
+      case Opcode::FindNeuron: return "findneuron";
+      case Opcode::FindRf: return "findrf";
+      case Opcode::Cls: return "cls";
+      case Opcode::Mov: return "mov";
+      case Opcode::MovR: return "movr";
+      case Opcode::Dec: return "dec";
+      case Opcode::Jne: return "jne";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+int
+opcodeNumRegs(Opcode op)
+{
+    switch (op) {
+      case Opcode::Inf: return 3;
+      case Opcode::InfSp: return 4;
+      case Opcode::Csps: return 3;
+      case Opcode::Sort: return 3;
+      case Opcode::Acum: return 3;
+      case Opcode::GenMasks: return 2;
+      case Opcode::FindNeuron: return 3;
+      case Opcode::FindRf: return 2;
+      case Opcode::Cls: return 3;
+      case Opcode::Mov: return 1;
+      case Opcode::MovR: return 2;
+      case Opcode::Dec: return 1;
+      case Opcode::Jne: return 1;
+      case Opcode::Halt: return 0;
+    }
+    return 0;
+}
+
+bool
+opcodeHasImm(Opcode op)
+{
+    return op == Opcode::Mov || op == Opcode::Jne;
+}
+
+InstrClass
+opcodeClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Inf:
+      case Opcode::InfSp:
+      case Opcode::Csps:
+        return InstrClass::Inference;
+      case Opcode::Sort:
+      case Opcode::Acum:
+      case Opcode::GenMasks:
+      case Opcode::FindNeuron:
+      case Opcode::FindRf:
+        return InstrClass::PathConstruction;
+      case Opcode::Cls:
+        return InstrClass::Classification;
+      default:
+        return InstrClass::Other;
+    }
+}
+
+std::uint32_t
+Instruction::encode() const
+{
+    std::uint32_t w = static_cast<std::uint32_t>(op) << 20;
+    if (opcodeHasImm(op)) {
+        w |= static_cast<std::uint32_t>(r0 & 0xF) << 16;
+        w |= imm;
+        return w;
+    }
+    const std::uint8_t regs[4] = {r0, r1, r2, r3};
+    int shift = 16;
+    for (int i = 0; i < opcodeNumRegs(op); ++i, shift -= 4)
+        w |= static_cast<std::uint32_t>(regs[i] & 0xF) << shift;
+    return w;
+}
+
+Instruction
+Instruction::decode(std::uint32_t word)
+{
+    Instruction ins;
+    ins.op = static_cast<Opcode>((word >> 20) & 0xF);
+    if (opcodeHasImm(ins.op)) {
+        ins.r0 = (word >> 16) & 0xF;
+        ins.imm = word & 0xFFFF;
+        return ins;
+    }
+    std::uint8_t regs[4] = {0, 0, 0, 0};
+    int shift = 16;
+    for (int i = 0; i < opcodeNumRegs(ins.op); ++i, shift -= 4)
+        regs[i] = (word >> shift) & 0xF;
+    ins.r0 = regs[0];
+    ins.r1 = regs[1];
+    ins.r2 = regs[2];
+    ins.r3 = regs[3];
+    return ins;
+}
+
+std::string
+Instruction::toString() const
+{
+    char buf[96];
+    if (op == Opcode::Mov) {
+        std::snprintf(buf, sizeof(buf), "mov r%d, 0x%x", r0, imm);
+    } else if (op == Opcode::Jne) {
+        std::snprintf(buf, sizeof(buf), "jne r%d, %d", r0, imm);
+    } else {
+        const int n = opcodeNumRegs(op);
+        const std::uint8_t regs[4] = {r0, r1, r2, r3};
+        std::string s = opcodeName(op);
+        for (int i = 0; i < n; ++i) {
+            s += i == 0 ? " r" : ", r";
+            s += std::to_string(regs[i]);
+        }
+        return s;
+    }
+    return buf;
+}
+
+Instruction
+makeInf(int r_in, int r_w, int r_out)
+{
+    return {Opcode::Inf, static_cast<std::uint8_t>(r_in),
+            static_cast<std::uint8_t>(r_w),
+            static_cast<std::uint8_t>(r_out), 0, 0};
+}
+
+Instruction
+makeInfSp(int r_in, int r_w, int r_out, int r_psum)
+{
+    return {Opcode::InfSp, static_cast<std::uint8_t>(r_in),
+            static_cast<std::uint8_t>(r_w), static_cast<std::uint8_t>(r_out),
+            static_cast<std::uint8_t>(r_psum), 0};
+}
+
+Instruction
+makeCsps(int r_neuron, int r_layer, int r_psum)
+{
+    return {Opcode::Csps, static_cast<std::uint8_t>(r_neuron),
+            static_cast<std::uint8_t>(r_layer),
+            static_cast<std::uint8_t>(r_psum), 0, 0};
+}
+
+Instruction
+makeSort(int r_src, int r_len, int r_dst)
+{
+    return {Opcode::Sort, static_cast<std::uint8_t>(r_src),
+            static_cast<std::uint8_t>(r_len),
+            static_cast<std::uint8_t>(r_dst), 0, 0};
+}
+
+Instruction
+makeAcum(int r_src, int r_dst, int r_thr)
+{
+    return {Opcode::Acum, static_cast<std::uint8_t>(r_src),
+            static_cast<std::uint8_t>(r_dst),
+            static_cast<std::uint8_t>(r_thr), 0, 0};
+}
+
+Instruction
+makeGenMasks(int r_src, int r_dst)
+{
+    return {Opcode::GenMasks, static_cast<std::uint8_t>(r_src),
+            static_cast<std::uint8_t>(r_dst), 0, 0, 0};
+}
+
+Instruction
+makeFindNeuron(int r_layer, int r_pos, int r_dst)
+{
+    return {Opcode::FindNeuron, static_cast<std::uint8_t>(r_layer),
+            static_cast<std::uint8_t>(r_pos),
+            static_cast<std::uint8_t>(r_dst), 0, 0};
+}
+
+Instruction
+makeFindRf(int r_neuron, int r_dst)
+{
+    return {Opcode::FindRf, static_cast<std::uint8_t>(r_neuron),
+            static_cast<std::uint8_t>(r_dst), 0, 0, 0};
+}
+
+Instruction
+makeCls(int r_cpath, int r_apath, int r_result)
+{
+    return {Opcode::Cls, static_cast<std::uint8_t>(r_cpath),
+            static_cast<std::uint8_t>(r_apath),
+            static_cast<std::uint8_t>(r_result), 0, 0};
+}
+
+Instruction
+makeMov(int rd, std::uint16_t imm)
+{
+    return {Opcode::Mov, static_cast<std::uint8_t>(rd), 0, 0, 0, imm};
+}
+
+Instruction
+makeMovR(int rd, int rs)
+{
+    return {Opcode::MovR, static_cast<std::uint8_t>(rd),
+            static_cast<std::uint8_t>(rs), 0, 0, 0};
+}
+
+Instruction
+makeDec(int rd)
+{
+    return {Opcode::Dec, static_cast<std::uint8_t>(rd), 0, 0, 0, 0};
+}
+
+Instruction
+makeJne(int rs, std::uint16_t target)
+{
+    return {Opcode::Jne, static_cast<std::uint8_t>(rs), 0, 0, 0, target};
+}
+
+Instruction
+makeHalt()
+{
+    return {Opcode::Halt, 0, 0, 0, 0, 0};
+}
+
+} // namespace ptolemy::isa

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The Ptolemy ISA (paper Sec. IV-A, Table I).
+ *
+ * CISC-style 24-bit fixed-length instructions with 16 general-purpose
+ * registers. Four instruction classes:
+ *  - Inference:          inf, infsp, csps
+ *  - Path construction:  sort, acum, genmasks, findneuron, findrf
+ *  - Classification:     cls
+ *  - Others:             mov (imm16), movr, dec, jne, halt
+ *
+ * Encoding: [23:20] opcode. Register operands occupy successive 4-bit
+ * fields from [19:16] downward; mov/jne carry a 16-bit immediate in
+ * [15:0]. All detection instructions use register operands only, so the
+ * compiler moves statically-computed constants (receptive-field sizes,
+ * thresholds, trip counts) into registers first — exactly the paper's
+ * Listing 1 idiom.
+ */
+
+#ifndef PTOLEMY_ISA_INSTRUCTION_HH
+#define PTOLEMY_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ptolemy::isa
+{
+
+/** Number of general-purpose registers. */
+inline constexpr int kNumRegisters = 16;
+
+/** Opcodes, 4 bits. */
+enum class Opcode : std::uint8_t
+{
+    Inf = 0x0,        ///< inf in, w, out — run one layer's inference
+    InfSp = 0x1,      ///< infsp in, w, out, psum — inference storing psums
+    Csps = 0x2,       ///< csps outNeuron, layer, psum — recompute psums
+    Sort = 0x3,       ///< sort src, len, dst — sort a psum sequence
+    Acum = 0x4,       ///< acum src, dst, thr — accumulate to threshold
+    GenMasks = 0x5,   ///< genmasks src, dst — masks -> path bits
+    FindNeuron = 0x6, ///< findneuron layer, pos, dst — neuron address
+    FindRf = 0x7,     ///< findrf neuron, dst — receptive-field address
+    Cls = 0x8,        ///< cls classPath, actPath, result
+    Mov = 0x9,        ///< mov rd, imm16
+    MovR = 0xA,       ///< movr rd, rs
+    Dec = 0xB,        ///< dec rd
+    Jne = 0xC,        ///< jne rs, target — jump when rs != 0
+    Halt = 0xF,       ///< end of program
+};
+
+/** Instruction class (Table I row groups). */
+enum class InstrClass
+{
+    Inference,
+    PathConstruction,
+    Classification,
+    Other,
+};
+
+/** Mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Number of register operands an opcode takes. */
+int opcodeNumRegs(Opcode op);
+
+/** True when the opcode carries a 16-bit immediate. */
+bool opcodeHasImm(Opcode op);
+
+/** Class of an opcode. */
+InstrClass opcodeClass(Opcode op);
+
+/**
+ * One decoded instruction. Unused operand slots are zero.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Halt;
+    std::uint8_t r0 = 0, r1 = 0, r2 = 0, r3 = 0;
+    std::uint16_t imm = 0;
+
+    /** Pack into the low 24 bits of a word. */
+    std::uint32_t encode() const;
+
+    /** Unpack; fields beyond the opcode's arity read as zero. */
+    static Instruction decode(std::uint32_t word);
+
+    /** Assembly-like rendering, e.g. "sort r1, r3, r6". */
+    std::string toString() const;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+// Convenience constructors -------------------------------------------------
+
+Instruction makeInf(int r_in, int r_w, int r_out);
+Instruction makeInfSp(int r_in, int r_w, int r_out, int r_psum);
+Instruction makeCsps(int r_neuron, int r_layer, int r_psum);
+Instruction makeSort(int r_src, int r_len, int r_dst);
+Instruction makeAcum(int r_src, int r_dst, int r_thr);
+Instruction makeGenMasks(int r_src, int r_dst);
+Instruction makeFindNeuron(int r_layer, int r_pos, int r_dst);
+Instruction makeFindRf(int r_neuron, int r_dst);
+Instruction makeCls(int r_cpath, int r_apath, int r_result);
+Instruction makeMov(int rd, std::uint16_t imm);
+Instruction makeMovR(int rd, int rs);
+Instruction makeDec(int rd);
+Instruction makeJne(int rs, std::uint16_t target);
+Instruction makeHalt();
+
+} // namespace ptolemy::isa
+
+#endif // PTOLEMY_ISA_INSTRUCTION_HH

@@ -1,0 +1,27 @@
+#include "program.hh"
+
+namespace ptolemy::isa
+{
+
+std::size_t
+Program::append(const Instruction &ins, const InstrMeta &meta)
+{
+    instrs.push_back(ins);
+    metas.push_back(meta);
+    return instrs.size() - 1;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        out += std::to_string(i);
+        out += ":\t";
+        out += instrs[i].toString();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace ptolemy::isa

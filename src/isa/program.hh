@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Compiled Ptolemy program: the instruction stream plus per-instruction
+ * workload metadata.
+ *
+ * The metadata plays the role of the statically-known model configuration
+ * the paper's compiler bakes into each program (layer shapes, receptive
+ * field sizes) together with the profile-measured dynamic counts (number
+ * of important neurons); the cycle-level simulator uses it to cost each
+ * instruction. Programs stay tiny — the paper quotes ~30 static
+ * instructions (< 100 bytes) for the largest variant.
+ */
+
+#ifndef PTOLEMY_ISA_PROGRAM_HH
+#define PTOLEMY_ISA_PROGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace ptolemy::isa
+{
+
+/** Workload annotation for one instruction. */
+struct InstrMeta
+{
+    int layerNode = -1;          ///< graph node id (inference instrs)
+    std::size_t macs = 0;        ///< MACs (inf/infsp/csps)
+    std::size_t ifmBytes = 0;    ///< input feature-map DMA bytes
+    std::size_t wBytes = 0;      ///< weight DMA bytes
+    std::size_t ofmBytes = 0;    ///< output feature-map DMA bytes
+    std::size_t psumBytes = 0;   ///< partial-sum store/load bytes (infsp)
+    std::size_t maskBits = 0;    ///< single-bit masks written
+    std::size_t seqLen = 0;      ///< sort sequence length
+    std::size_t accumLen = 0;    ///< acum elements consumed (profiled avg)
+    std::size_t bits = 0;        ///< genmasks / cls path bits
+    std::size_t mcuOps = 0;      ///< controller ops (cls random forest)
+    std::size_t tripCount = 1;   ///< loop executions this instr sees
+};
+
+/**
+ * Instruction stream with metadata.
+ */
+class Program
+{
+  public:
+    /** Append an instruction. @return its index. */
+    std::size_t append(const Instruction &ins, const InstrMeta &meta = {});
+
+    std::size_t size() const { return instrs.size(); }
+    const Instruction &instruction(std::size_t i) const { return instrs[i]; }
+    Instruction &instruction(std::size_t i) { return instrs[i]; }
+    const InstrMeta &meta(std::size_t i) const { return metas[i]; }
+    InstrMeta &meta(std::size_t i) { return metas[i]; }
+
+    /** Static code size in bytes (24-bit instructions). */
+    std::size_t codeBytes() const { return instrs.size() * 3; }
+
+    /** Multi-line disassembly. */
+    std::string disassemble() const;
+
+  private:
+    std::vector<Instruction> instrs;
+    std::vector<InstrMeta> metas;
+};
+
+} // namespace ptolemy::isa
+
+#endif // PTOLEMY_ISA_PROGRAM_HH

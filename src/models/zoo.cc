@@ -1,0 +1,218 @@
+#include "zoo.hh"
+
+#include <memory>
+#include <stdexcept>
+
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+
+namespace ptolemy::models
+{
+
+using nn::Add;
+using nn::Concat;
+using nn::Conv2d;
+using nn::DownsamplePad;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::MaxPool2d;
+using nn::Network;
+using nn::Norm2d;
+using nn::ReLU;
+
+nn::Network
+makeMiniAlexNet(int num_classes)
+{
+    Network net("MiniAlexNet", nn::mapShape(3, 16, 16));
+    net.add(std::make_unique<Conv2d>("conv1", 3, 12, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("relu1"));
+    net.add(std::make_unique<MaxPool2d>("pool1", 2)); // 8x8
+    net.add(std::make_unique<Conv2d>("conv2", 12, 24, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("relu2"));
+    net.add(std::make_unique<MaxPool2d>("pool2", 2)); // 4x4
+    net.add(std::make_unique<Conv2d>("conv3", 24, 32, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("relu3"));
+    net.add(std::make_unique<Conv2d>("conv4", 32, 32, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("relu4"));
+    net.add(std::make_unique<Conv2d>("conv5", 32, 24, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("relu5"));
+    net.add(std::make_unique<MaxPool2d>("pool5", 2)); // 2x2
+    net.add(std::make_unique<Flatten>("flat"));
+    net.add(std::make_unique<Linear>("fc6", 24 * 2 * 2, 64));
+    net.add(std::make_unique<ReLU>("relu6"));
+    net.add(std::make_unique<Linear>("fc7", 64, 48));
+    net.add(std::make_unique<ReLU>("relu7"));
+    net.add(std::make_unique<Linear>("fc8", 48, num_classes));
+    return net;
+}
+
+namespace
+{
+
+/**
+ * Append one ResNet basic block (conv-norm-relu-conv-norm + skip, relu).
+ *
+ * @param net network under construction.
+ * @param tag name prefix for the block's layers.
+ * @param in_id node feeding the block.
+ * @param channels block width; when @p downsample the input has
+ *        channels/2 and the skip goes through DownsamplePad.
+ * @return output node id.
+ */
+int
+basicBlock(Network &net, const std::string &tag, int in_id, int channels,
+           bool downsample)
+{
+    const int in_ch = downsample ? channels / 2 : channels;
+    const int stride = downsample ? 2 : 1;
+    int skip = in_id;
+    if (downsample)
+        skip = net.add(std::make_unique<DownsamplePad>(tag + "_skip"),
+                       {in_id});
+    int x = net.add(std::make_unique<Conv2d>(tag + "_conv1", in_ch, channels,
+                                             3, stride, 1), {in_id});
+    x = net.add(std::make_unique<Norm2d>(tag + "_norm1", channels), {x});
+    x = net.add(std::make_unique<ReLU>(tag + "_relu1"), {x});
+    x = net.add(std::make_unique<Conv2d>(tag + "_conv2", channels, channels,
+                                         3, 1, 1), {x});
+    x = net.add(std::make_unique<Norm2d>(tag + "_norm2", channels), {x});
+    x = net.add(std::make_unique<Add>(tag + "_add"), {x, skip});
+    return net.add(std::make_unique<ReLU>(tag + "_relu2"), {x});
+}
+
+} // namespace
+
+nn::Network
+makeMiniResNet(int num_classes, int blocks_per_stage)
+{
+    const int name_layers = 2 + blocks_per_stage * 4 * 2; // conv1+fc+convs
+    Network net("MiniResNet" + std::to_string(name_layers),
+                nn::mapShape(3, 16, 16));
+    int x = net.add(std::make_unique<Conv2d>("conv1", 3, 8, 3, 1, 1));
+    x = net.add(std::make_unique<Norm2d>("norm1", 8), {x});
+    x = net.add(std::make_unique<ReLU>("relu1"), {x});
+
+    const int widths[4] = {8, 16, 32, 64};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (int blk = 0; blk < blocks_per_stage; ++blk) {
+            const bool down = stage > 0 && blk == 0;
+            const std::string tag = "s" + std::to_string(stage + 1) + "b" +
+                                    std::to_string(blk + 1);
+            x = basicBlock(net, tag, x, widths[stage], down);
+        }
+    }
+    x = net.add(std::make_unique<GlobalAvgPool>("gap"), {x});
+    net.add(std::make_unique<Linear>("fc", 64, num_classes), {x});
+    return net;
+}
+
+nn::Network
+makeMiniVGG16(int num_classes)
+{
+    Network net("MiniVGG16", nn::mapShape(3, 16, 16));
+    auto conv_relu = [&](const std::string &tag, int in_c, int out_c) {
+        net.add(std::make_unique<Conv2d>(tag, in_c, out_c, 3, 1, 1));
+        net.add(std::make_unique<ReLU>(tag + "_relu"));
+    };
+    conv_relu("conv1_1", 3, 8);
+    conv_relu("conv1_2", 8, 8);
+    net.add(std::make_unique<MaxPool2d>("pool1", 2)); // 8x8
+    conv_relu("conv2_1", 8, 16);
+    conv_relu("conv2_2", 16, 16);
+    net.add(std::make_unique<MaxPool2d>("pool2", 2)); // 4x4
+    conv_relu("conv3_1", 16, 24);
+    conv_relu("conv3_2", 24, 24);
+    conv_relu("conv3_3", 24, 24);
+    net.add(std::make_unique<MaxPool2d>("pool3", 2)); // 2x2
+    conv_relu("conv4_1", 24, 32);
+    conv_relu("conv4_2", 32, 32);
+    conv_relu("conv4_3", 32, 32);
+    net.add(std::make_unique<MaxPool2d>("pool4", 2)); // 1x1
+    conv_relu("conv5_1", 32, 32);
+    conv_relu("conv5_2", 32, 32);
+    conv_relu("conv5_3", 32, 32);
+    net.add(std::make_unique<Flatten>("flat"));
+    net.add(std::make_unique<Linear>("fc1", 32, 48));
+    net.add(std::make_unique<ReLU>("fc1_relu"));
+    net.add(std::make_unique<Linear>("fc2", 48, 48));
+    net.add(std::make_unique<ReLU>("fc2_relu"));
+    net.add(std::make_unique<Linear>("fc3", 48, num_classes));
+    return net;
+}
+
+nn::Network
+makeMiniInception(int num_classes)
+{
+    Network net("MiniInception", nn::mapShape(3, 16, 16));
+    int stem = net.add(std::make_unique<Conv2d>("stem", 3, 8, 3, 1, 1));
+    stem = net.add(std::make_unique<ReLU>("stem_relu"), {stem});
+    stem = net.add(std::make_unique<MaxPool2d>("stem_pool", 2), {stem});
+
+    auto module = [&](const std::string &tag, int in_id, int in_c,
+                      int branch_c) {
+        int a = net.add(std::make_unique<Conv2d>(tag + "_b1", in_c, branch_c,
+                                                 1, 1, 0), {in_id});
+        a = net.add(std::make_unique<ReLU>(tag + "_b1r"), {a});
+        int b = net.add(std::make_unique<Conv2d>(tag + "_b3", in_c, branch_c,
+                                                 3, 1, 1), {in_id});
+        b = net.add(std::make_unique<ReLU>(tag + "_b3r"), {b});
+        return net.add(std::make_unique<Concat>(tag + "_cat"), {a, b});
+    };
+
+    int x = module("inc1", stem, 8, 8);   // -> 16ch, 8x8
+    x = net.add(std::make_unique<MaxPool2d>("pool1", 2), {x}); // 4x4
+    x = module("inc2", x, 16, 16);        // -> 32ch, 4x4
+    x = net.add(std::make_unique<GlobalAvgPool>("gap"), {x});
+    net.add(std::make_unique<Linear>("fc", 32, num_classes), {x});
+    return net;
+}
+
+nn::Network
+makeMiniDenseNet(int num_classes)
+{
+    Network net("MiniDenseNet", nn::mapShape(3, 16, 16));
+    int x = net.add(std::make_unique<Conv2d>("stem", 3, 8, 3, 1, 1));
+    x = net.add(std::make_unique<ReLU>("stem_relu"), {x});
+    x = net.add(std::make_unique<MaxPool2d>("stem_pool", 2), {x}); // 8x8
+
+    auto dense_layer = [&](const std::string &tag, int in_id, int in_c,
+                           int growth) {
+        int y = net.add(std::make_unique<Conv2d>(tag, in_c, growth, 3, 1, 1),
+                        {in_id});
+        y = net.add(std::make_unique<ReLU>(tag + "_relu"), {y});
+        return net.add(std::make_unique<Concat>(tag + "_cat"), {in_id, y});
+    };
+
+    x = dense_layer("d1_1", x, 8, 8);   // 16
+    x = dense_layer("d1_2", x, 16, 8);  // 24
+    x = net.add(std::make_unique<Conv2d>("trans", 24, 16, 1, 1, 0), {x});
+    x = net.add(std::make_unique<ReLU>("trans_relu"), {x});
+    x = net.add(std::make_unique<MaxPool2d>("trans_pool", 2), {x}); // 4x4
+    x = dense_layer("d2_1", x, 16, 8);  // 24
+    x = dense_layer("d2_2", x, 24, 8);  // 32
+    x = net.add(std::make_unique<GlobalAvgPool>("gap"), {x});
+    net.add(std::make_unique<Linear>("fc", 32, num_classes), {x});
+    return net;
+}
+
+nn::Network
+makeByName(const std::string &name, int num_classes)
+{
+    if (name == "alexnet")
+        return makeMiniAlexNet(num_classes);
+    if (name == "resnet18")
+        return makeMiniResNet(num_classes, 2);
+    if (name == "resnet26")
+        return makeMiniResNet(num_classes, 3);
+    if (name == "vgg16")
+        return makeMiniVGG16(num_classes);
+    if (name == "inception")
+        return makeMiniInception(num_classes);
+    if (name == "densenet")
+        return makeMiniDenseNet(num_classes);
+    throw std::invalid_argument("unknown model name: " + name);
+}
+
+} // namespace ptolemy::models

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Model zoo: channel-scaled versions of the networks the paper evaluates.
+ *
+ * Layer *counts* match the originals (that is what the extraction sweeps
+ * and the overhead trends depend on); channel widths are scaled down so the
+ * models train from scratch on the synthetic datasets in seconds-to-minutes
+ * on a CPU. See DESIGN.md's substitution table.
+ *
+ *  - MiniAlexNet    : 8 weighted layers (5 conv + 3 FC), like AlexNet.
+ *  - MiniResNet-N   : conv1 + 4 stages of basic blocks + FC; N=18 uses
+ *                     2 blocks/stage (exactly 18 weighted layers), N=26
+ *                     uses 3 blocks/stage (stands in for ResNet-50 as the
+ *                     "deeper residual net" data point).
+ *  - MiniVGG16      : 13 conv + 3 FC = 16 weighted layers.
+ *  - MiniInception  : stem + parallel-branch (1x1 / 3x3) modules + FC.
+ *  - MiniDenseNet   : dense blocks with concatenated features + FC.
+ */
+
+#ifndef PTOLEMY_MODELS_ZOO_HH
+#define PTOLEMY_MODELS_ZOO_HH
+
+#include <string>
+
+#include "nn/network.hh"
+
+namespace ptolemy::models
+{
+
+/** AlexNet-class model: 5 conv + 3 FC. Input 3×16×16. */
+nn::Network makeMiniAlexNet(int num_classes);
+
+/** ResNet-class model with @p blocks_per_stage basic blocks per stage
+ *  (2 → 18 weighted layers, 3 → 26). Input 3×16×16. */
+nn::Network makeMiniResNet(int num_classes, int blocks_per_stage = 2);
+
+/** VGG16-class model: 13 conv + 3 FC. Input 3×16×16. */
+nn::Network makeMiniVGG16(int num_classes);
+
+/** Inception-class model with two parallel-branch modules. */
+nn::Network makeMiniInception(int num_classes);
+
+/** DenseNet-class model with two dense blocks. */
+nn::Network makeMiniDenseNet(int num_classes);
+
+/**
+ * Factory by name: "alexnet", "resnet18", "resnet26", "vgg16",
+ * "inception", "densenet". Throws std::invalid_argument on unknown names.
+ */
+nn::Network makeByName(const std::string &name, int num_classes);
+
+} // namespace ptolemy::models
+
+#endif // PTOLEMY_MODELS_ZOO_HH

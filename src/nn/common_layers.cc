@@ -1,0 +1,459 @@
+#include "common_layers.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ptolemy::nn
+{
+
+// ---------------------------------------------------------------- ReLU ----
+
+Shape
+ReLU::outputShape(const std::vector<Shape> &ins) const
+{
+    return ins[0];
+}
+
+Tensor
+ReLU::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    lastShape = in.shape();
+    Tensor out(in.shape());
+    mask.assign(in.size(), false);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        if (in[i] > 0.0f) {
+            out[i] = in[i];
+            mask[i] = true;
+        }
+    }
+    return out;
+}
+
+std::vector<Tensor>
+ReLU::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(lastShape);
+    for (std::size_t i = 0; i < grad_out.size(); ++i)
+        grad_in[i] = mask[i] ? grad_out[i] : 0.0f;
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+// ----------------------------------------------------------- MaxPool2d ----
+
+Shape
+MaxPool2d::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins[0].h % kSize == 0 && ins[0].w % kSize == 0);
+    return mapShape(ins[0].c, ins[0].h / kSize, ins[0].w / kSize);
+}
+
+Tensor
+MaxPool2d::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    lastInShape = in.shape();
+    Tensor out(outputShape({in.shape()}));
+    argmaxIdx.assign(out.size(), 0);
+    const int oh = out.shape().h, ow = out.shape().w;
+    for (int c = 0; c < out.shape().c; ++c) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float best = -1e30f;
+                std::size_t best_idx = 0;
+                for (int ky = 0; ky < kSize; ++ky) {
+                    for (int kx = 0; kx < kSize; ++kx) {
+                        const int iy = oy * kSize + ky;
+                        const int ix = ox * kSize + kx;
+                        const float v = in.at(c, iy, ix);
+                        if (v > best) {
+                            best = v;
+                            best_idx = in.index(c, iy, ix);
+                        }
+                    }
+                }
+                out.at(c, oy, ox) = best;
+                argmaxIdx[out.index(c, oy, ox)] = best_idx;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Tensor>
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(lastInShape);
+    for (std::size_t o = 0; o < grad_out.size(); ++o)
+        grad_in[argmaxIdx[o]] += grad_out[o];
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+void
+MaxPool2d::backmapImportant(
+    const std::vector<const Tensor *> &ins, const Tensor &out,
+    const std::vector<std::size_t> &out_idx,
+    std::vector<std::vector<std::size_t>> &per_input) const
+{
+    // Re-derive the winner from the recorded tensors: the important output
+    // value equals the maximal input in its pooling window.
+    const Tensor &in = *ins[0];
+    per_input.assign(1, {});
+    per_input[0].reserve(out_idx.size());
+    const int ow = out.shape().w;
+    const int oh = out.shape().h;
+    for (std::size_t o : out_idx) {
+        const int c = static_cast<int>(o / (static_cast<std::size_t>(oh) *
+                                            ow));
+        const std::size_t rem = o % (static_cast<std::size_t>(oh) * ow);
+        const int oy = static_cast<int>(rem / ow);
+        const int ox = static_cast<int>(rem % ow);
+        float best = -1e30f;
+        std::size_t best_idx = 0;
+        for (int ky = 0; ky < kSize; ++ky) {
+            for (int kx = 0; kx < kSize; ++kx) {
+                const float v = in.at(c, oy * kSize + ky, ox * kSize + kx);
+                if (v > best) {
+                    best = v;
+                    best_idx = in.index(c, oy * kSize + ky, ox * kSize + kx);
+                }
+            }
+        }
+        per_input[0].push_back(best_idx);
+    }
+}
+
+// ------------------------------------------------------- GlobalAvgPool ----
+
+Shape
+GlobalAvgPool::outputShape(const std::vector<Shape> &ins) const
+{
+    return flatShape(ins[0].c);
+}
+
+Tensor
+GlobalAvgPool::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    lastInShape = in.shape();
+    Tensor out(flatShape(in.shape().c));
+    const int hw = in.shape().h * in.shape().w;
+    for (int c = 0; c < in.shape().c; ++c) {
+        float acc = 0.0f;
+        for (int y = 0; y < in.shape().h; ++y)
+            for (int x = 0; x < in.shape().w; ++x)
+                acc += in.at(c, y, x);
+        out[c] = acc / hw;
+    }
+    return out;
+}
+
+std::vector<Tensor>
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(lastInShape);
+    const int hw = lastInShape.h * lastInShape.w;
+    for (int c = 0; c < lastInShape.c; ++c) {
+        const float g = grad_out[c] / hw;
+        for (int y = 0; y < lastInShape.h; ++y)
+            for (int x = 0; x < lastInShape.w; ++x)
+                grad_in.at(c, y, x) = g;
+    }
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+void
+GlobalAvgPool::backmapImportant(
+    const std::vector<const Tensor *> &ins, const Tensor &out,
+    const std::vector<std::size_t> &out_idx,
+    std::vector<std::vector<std::size_t>> &per_input) const
+{
+    // Every spatial element of an important channel contributes equally;
+    // mark the whole channel plane (windows are small in our models).
+    (void)out;
+    const Shape in_shape = ins[0]->shape();
+    per_input.assign(1, {});
+    for (std::size_t o : out_idx) {
+        const int c = static_cast<int>(o);
+        for (int y = 0; y < in_shape.h; ++y)
+            for (int x = 0; x < in_shape.w; ++x)
+                per_input[0].push_back(ins[0]->index(c, y, x));
+    }
+}
+
+// ------------------------------------------------------------- Flatten ----
+
+Shape
+Flatten::outputShape(const std::vector<Shape> &ins) const
+{
+    return flatShape(static_cast<int>(ins[0].numel()));
+}
+
+Tensor
+Flatten::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    lastInShape = ins[0]->shape();
+    return Tensor(flatShape(static_cast<int>(ins[0]->size())),
+                  ins[0]->vec());
+}
+
+std::vector<Tensor>
+Flatten::backward(const Tensor &grad_out)
+{
+    std::vector<Tensor> grads;
+    grads.emplace_back(lastInShape, grad_out.vec());
+    return grads;
+}
+
+// ----------------------------------------------------------------- Add ----
+
+Shape
+Add::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins.size() == 2 && ins[0] == ins[1]);
+    return ins[0];
+}
+
+Tensor
+Add::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    lastShape = ins[0]->shape();
+    Tensor out = *ins[0];
+    out += *ins[1];
+    return out;
+}
+
+std::vector<Tensor>
+Add::backward(const Tensor &grad_out)
+{
+    std::vector<Tensor> grads;
+    grads.push_back(grad_out);
+    grads.push_back(grad_out);
+    return grads;
+}
+
+void
+Add::backmapImportant(const std::vector<const Tensor *> &ins,
+                      const Tensor &out,
+                      const std::vector<std::size_t> &out_idx,
+                      std::vector<std::vector<std::size_t>> &per_input) const
+{
+    // Both branches carry the important value at the same element.
+    (void)ins;
+    (void)out;
+    per_input.assign(2, out_idx);
+}
+
+// -------------------------------------------------------------- Concat ----
+
+Shape
+Concat::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins.size() == 2 && ins[0].h == ins[1].h && ins[0].w == ins[1].w);
+    return mapShape(ins[0].c + ins[1].c, ins[0].h, ins[0].w);
+}
+
+Tensor
+Concat::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    inShapeA = ins[0]->shape();
+    inShapeB = ins[1]->shape();
+    Tensor out(outputShape({inShapeA, inShapeB}));
+    std::copy(ins[0]->vec().begin(), ins[0]->vec().end(),
+              out.vec().begin());
+    std::copy(ins[1]->vec().begin(), ins[1]->vec().end(),
+              out.vec().begin() + static_cast<std::ptrdiff_t>(ins[0]->size()));
+    return out;
+}
+
+std::vector<Tensor>
+Concat::backward(const Tensor &grad_out)
+{
+    Tensor ga(inShapeA), gb(inShapeB);
+    std::copy(grad_out.vec().begin(),
+              grad_out.vec().begin() + static_cast<std::ptrdiff_t>(ga.size()),
+              ga.vec().begin());
+    std::copy(grad_out.vec().begin() + static_cast<std::ptrdiff_t>(ga.size()),
+              grad_out.vec().end(), gb.vec().begin());
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(ga));
+    grads.push_back(std::move(gb));
+    return grads;
+}
+
+void
+Concat::backmapImportant(
+    const std::vector<const Tensor *> &ins, const Tensor &out,
+    const std::vector<std::size_t> &out_idx,
+    std::vector<std::vector<std::size_t>> &per_input) const
+{
+    (void)out;
+    const std::size_t split = ins[0]->size();
+    per_input.assign(2, {});
+    for (std::size_t o : out_idx) {
+        if (o < split)
+            per_input[0].push_back(o);
+        else
+            per_input[1].push_back(o - split);
+    }
+}
+
+// ------------------------------------------------------- DownsamplePad ----
+
+Shape
+DownsamplePad::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins[0].h % 2 == 0 && ins[0].w % 2 == 0);
+    return mapShape(ins[0].c * 2, ins[0].h / 2, ins[0].w / 2);
+}
+
+Tensor
+DownsamplePad::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    lastInShape = in.shape();
+    Tensor out(outputShape({in.shape()}));
+    for (int c = 0; c < in.shape().c; ++c)
+        for (int y = 0; y < out.shape().h; ++y)
+            for (int x = 0; x < out.shape().w; ++x)
+                out.at(c, y, x) = in.at(c, 2 * y, 2 * x);
+    return out;
+}
+
+std::vector<Tensor>
+DownsamplePad::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(lastInShape);
+    for (int c = 0; c < lastInShape.c; ++c)
+        for (int y = 0; y < grad_out.shape().h; ++y)
+            for (int x = 0; x < grad_out.shape().w; ++x)
+                grad_in.at(c, 2 * y, 2 * x) = grad_out.at(c, y, x);
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+void
+DownsamplePad::backmapImportant(
+    const std::vector<const Tensor *> &ins, const Tensor &out,
+    const std::vector<std::size_t> &out_idx,
+    std::vector<std::vector<std::size_t>> &per_input) const
+{
+    const Tensor &in = *ins[0];
+    per_input.assign(1, {});
+    const int oh = out.shape().h, ow = out.shape().w;
+    for (std::size_t o : out_idx) {
+        const int c = static_cast<int>(o / (static_cast<std::size_t>(oh) *
+                                            ow));
+        if (c >= in.shape().c)
+            continue; // zero-padded channel: no input neuron behind it
+        const std::size_t rem = o % (static_cast<std::size_t>(oh) * ow);
+        const int y = static_cast<int>(rem / ow);
+        const int x = static_cast<int>(rem % ow);
+        per_input[0].push_back(in.index(c, 2 * y, 2 * x));
+    }
+}
+
+// -------------------------------------------------------------- Norm2d ----
+
+Norm2d::Norm2d(std::string name, int channels, float momentum, float eps)
+    : Layer(std::move(name)), chans(channels), mom(momentum), epsilon(eps),
+      gamma(channels, 1.0f), beta(channels, 0.0f),
+      gradGamma(channels, 0.0f), gradBeta(channels, 0.0f),
+      runMean(channels, 0.0f), runVar(channels, 1.0f)
+{
+}
+
+Shape
+Norm2d::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins[0].c == chans);
+    return ins[0];
+}
+
+Tensor
+Norm2d::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    const Tensor &in = *ins[0];
+    lastShape = in.shape();
+    const int hw = std::max(1, in.shape().h * in.shape().w);
+
+    if (train) {
+        // Update the running statistics from this sample, then normalize
+        // with the updated running stats (streaming batch-norm).
+        for (int c = 0; c < chans; ++c) {
+            double m = 0.0, v = 0.0;
+            for (int i = 0; i < hw; ++i) {
+                const float x = in[static_cast<std::size_t>(c) * hw + i];
+                m += x;
+                v += static_cast<double>(x) * x;
+            }
+            m /= hw;
+            v = v / hw - m * m;
+            runMean[c] = (1.0f - mom) * runMean[c] + mom * static_cast<float>(m);
+            runVar[c] = (1.0f - mom) * runVar[c] +
+                        mom * static_cast<float>(std::max(v, 0.0));
+        }
+    }
+
+    Tensor out(in.shape());
+    lastXhat = Tensor(in.shape());
+    for (int c = 0; c < chans; ++c) {
+        const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
+        for (int i = 0; i < hw; ++i) {
+            const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
+            const float xhat = (in[idx] - runMean[c]) * inv;
+            lastXhat[idx] = xhat;
+            out[idx] = gamma[c] * xhat + beta[c];
+        }
+    }
+    return out;
+}
+
+std::vector<Tensor>
+Norm2d::backward(const Tensor &grad_out)
+{
+    Tensor grad_in(lastShape);
+    const int hw = std::max(1, lastShape.h * lastShape.w);
+    for (int c = 0; c < chans; ++c) {
+        const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
+        const float scale = gamma[c] * inv;
+        for (int i = 0; i < hw; ++i) {
+            const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
+            gradGamma[c] += grad_out[idx] * lastXhat[idx];
+            gradBeta[c] += grad_out[idx];
+            grad_in[idx] = grad_out[idx] * scale;
+        }
+    }
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+std::vector<Param>
+Norm2d::params()
+{
+    return {{&gamma, &gradGamma}, {&beta, &gradBeta}};
+}
+
+std::vector<Param>
+Norm2d::state()
+{
+    return {{&runMean, nullptr}, {&runVar, nullptr}};
+}
+
+} // namespace ptolemy::nn

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Parameter-light layers: ReLU, MaxPool2d, GlobalAvgPool, Flatten,
+ * residual Add, channel Concat, and the EMA-statistics Norm2d.
+ */
+
+#ifndef PTOLEMY_NN_COMMON_LAYERS_HH
+#define PTOLEMY_NN_COMMON_LAYERS_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace ptolemy::nn
+{
+
+/** Element-wise rectifier. */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::ReLU; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+
+  private:
+    std::vector<bool> mask;
+    Shape lastShape;
+};
+
+/** Non-overlapping max pooling with square window. */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(std::string name, int k) : Layer(std::move(name)), kSize(k) {}
+
+    LayerKind kind() const override { return LayerKind::MaxPool; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const override;
+
+    int kernel() const { return kSize; }
+
+  private:
+    int kSize;
+    Shape lastInShape;
+    std::vector<std::size_t> argmaxIdx; ///< winner input index per output
+};
+
+/** Global average pool: (C,H,W) -> flat (C). */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::GlobalAvgPool; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const override;
+
+  private:
+    Shape lastInShape;
+};
+
+/** Reshape (C,H,W) -> flat (C*H*W). Values are unchanged. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Flatten; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+
+  private:
+    Shape lastInShape;
+};
+
+/** Element-wise sum of two same-shaped tensors (residual connection). */
+class Add : public Layer
+{
+  public:
+    explicit Add(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Add; }
+    int numInputs() const override { return 2; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const override;
+
+  private:
+    Shape lastShape;
+};
+
+/** Channel-dimension concatenation of two maps with equal H and W. */
+class Concat : public Layer
+{
+  public:
+    explicit Concat(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Concat; }
+    int numInputs() const override { return 2; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const override;
+
+  private:
+    Shape inShapeA, inShapeB;
+};
+
+/**
+ * Parameter-free residual shortcut for strided stages (ResNet "option A"):
+ * spatially subsample by 2 and zero-pad the channel dimension to 2C.
+ * Keeps ResNet-18's weighted-layer count at exactly 18.
+ */
+class DownsamplePad : public Layer
+{
+  public:
+    explicit DownsamplePad(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Downsample; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const override;
+
+  private:
+    Shape lastInShape;
+};
+
+/**
+ * Per-channel normalization with EMA running statistics.
+ *
+ * y = gamma * (x - mu_run) / sqrt(var_run + eps) + beta.
+ *
+ * During training the running statistics are updated from the current
+ * sample and then treated as constants in backward (streaming/"frozen"
+ * batch-norm), which is stable with our sample-at-a-time training loop
+ * and keeps the backward pass simple. The running stats are serialized
+ * as layer state.
+ */
+class Norm2d : public Layer
+{
+  public:
+    Norm2d(std::string name, int channels, float momentum = 0.05f,
+           float eps = 1e-5f);
+
+    LayerKind kind() const override { return LayerKind::Norm; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    std::vector<Param> params() override;
+    std::vector<Param> state() override;
+
+  private:
+    int chans;
+    float mom, epsilon;
+    std::vector<float> gamma, beta, gradGamma, gradBeta;
+    std::vector<float> runMean, runVar;
+    Tensor lastXhat; ///< normalized input, needed for gradGamma
+    Shape lastShape;
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_COMMON_LAYERS_HH

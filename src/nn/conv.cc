@@ -1,0 +1,149 @@
+#include "conv.hh"
+
+#include <cassert>
+
+namespace ptolemy::nn
+{
+
+Conv2d::Conv2d(std::string name, int in_c, int out_c, int k, int stride,
+               int pad)
+    : Layer(std::move(name)), inC(in_c), outC(out_c), kSize(k), strd(stride),
+      padding(pad),
+      weight(static_cast<std::size_t>(out_c) * in_c * k * k, 0.0f),
+      bias(out_c, 0.0f), gradWeight(weight.size(), 0.0f),
+      gradBias(out_c, 0.0f)
+{
+}
+
+Shape
+Conv2d::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins.size() == 1 && ins[0].c == inC);
+    const int oh = (ins[0].h + 2 * padding - kSize) / strd + 1;
+    const int ow = (ins[0].w + 2 * padding - kSize) / strd + 1;
+    return mapShape(outC, oh, ow);
+}
+
+Tensor
+Conv2d::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    lastInput = in;
+    Tensor out(outputShape({in.shape()}));
+    const int ih = in.shape().h, iw = in.shape().w;
+    const int oh = out.shape().h, ow = out.shape().w;
+
+    for (int oc = 0; oc < outC; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float acc = bias[oc];
+                const int iy0 = oy * strd - padding;
+                const int ix0 = ox * strd - padding;
+                for (int ic = 0; ic < inC; ++ic) {
+                    for (int ky = 0; ky < kSize; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int kx = 0; kx < kSize; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= iw)
+                                continue;
+                            acc += wAt(oc, ic, ky, kx) * in.at(ic, iy, ix);
+                        }
+                    }
+                }
+                out.at(oc, oy, ox) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Tensor>
+Conv2d::backward(const Tensor &grad_out)
+{
+    const Tensor &in = lastInput;
+    Tensor grad_in(in.shape());
+    const int ih = in.shape().h, iw = in.shape().w;
+    const int oh = grad_out.shape().h, ow = grad_out.shape().w;
+
+    for (int oc = 0; oc < outC; ++oc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                const float g = grad_out.at(oc, oy, ox);
+                if (g == 0.0f)
+                    continue;
+                gradBias[oc] += g;
+                const int iy0 = oy * strd - padding;
+                const int ix0 = ox * strd - padding;
+                for (int ic = 0; ic < inC; ++ic) {
+                    for (int ky = 0; ky < kSize; ++ky) {
+                        const int iy = iy0 + ky;
+                        if (iy < 0 || iy >= ih)
+                            continue;
+                        for (int kx = 0; kx < kSize; ++kx) {
+                            const int ix = ix0 + kx;
+                            if (ix < 0 || ix >= iw)
+                                continue;
+                            const std::size_t wi =
+                                ((static_cast<std::size_t>(oc) * inC + ic) *
+                                 kSize + ky) * kSize + kx;
+                            gradWeight[wi] += g * in.at(ic, iy, ix);
+                            grad_in.at(ic, iy, ix) += g * weight[wi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+std::vector<Param>
+Conv2d::params()
+{
+    return {{&weight, &gradWeight}, {&bias, &gradBias}};
+}
+
+void
+Conv2d::partialSums(const Tensor &input, std::size_t out_index,
+                    std::vector<PartialSum> &out) const
+{
+    out.clear();
+    const int ih = input.shape().h, iw = input.shape().w;
+    const int ow = (iw + 2 * padding - kSize) / strd + 1;
+    const int oc = static_cast<int>(out_index / (static_cast<std::size_t>(
+        (ih + 2 * padding - kSize) / strd + 1) * ow));
+    const std::size_t rem = out_index % (static_cast<std::size_t>(
+        (ih + 2 * padding - kSize) / strd + 1) * ow);
+    const int oy = static_cast<int>(rem / ow);
+    const int ox = static_cast<int>(rem % ow);
+
+    const int iy0 = oy * strd - padding;
+    const int ix0 = ox * strd - padding;
+    for (int ic = 0; ic < inC; ++ic) {
+        for (int ky = 0; ky < kSize; ++ky) {
+            const int iy = iy0 + ky;
+            if (iy < 0 || iy >= ih)
+                continue;
+            for (int kx = 0; kx < kSize; ++kx) {
+                const int ix = ix0 + kx;
+                if (ix < 0 || ix >= iw)
+                    continue;
+                const float v = wAt(oc, ic, ky, kx) * input.at(ic, iy, ix);
+                out.push_back({input.index(ic, iy, ix), v});
+            }
+        }
+    }
+}
+
+std::size_t
+Conv2d::receptiveFieldSize() const
+{
+    return static_cast<std::size_t>(inC) * kSize * kSize;
+}
+
+} // namespace ptolemy::nn

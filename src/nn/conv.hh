@@ -1,0 +1,79 @@
+/**
+ * @file
+ * 2-D convolution layer (NCHW, square kernel, zero padding).
+ */
+
+#ifndef PTOLEMY_NN_CONV_HH
+#define PTOLEMY_NN_CONV_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace ptolemy::nn
+{
+
+/**
+ * Standard 2-D convolution with bias.
+ *
+ * Weight layout: [outC][inC][k][k]; bias: [outC].
+ */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param name layer name (unique within a network).
+     * @param in_c input channels.
+     * @param out_c output channels.
+     * @param k square kernel size.
+     * @param stride stride in both dimensions.
+     * @param pad zero padding on each border.
+     */
+    Conv2d(std::string name, int in_c, int out_c, int k, int stride = 1,
+           int pad = 1);
+
+    LayerKind kind() const override { return LayerKind::Conv; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    std::vector<Param> params() override;
+    bool weighted() const override { return true; }
+    void partialSums(const Tensor &input, std::size_t out_index,
+                     std::vector<PartialSum> &out) const override;
+    std::size_t receptiveFieldSize() const override;
+
+    int inChannels() const { return inC; }
+    int outChannels() const { return outC; }
+    int kernel() const { return kSize; }
+    int strideOf() const { return strd; }
+    int padOf() const { return padding; }
+
+    /** Direct access for initializers and tests. */
+    std::vector<float> &weights() { return weight; }
+    std::vector<float> &biases() { return bias; }
+
+  private:
+    float &
+    wAt(int oc, int ic, int ky, int kx)
+    {
+        return weight[((static_cast<std::size_t>(oc) * inC + ic) * kSize +
+                       ky) * kSize + kx];
+    }
+
+    float
+    wAt(int oc, int ic, int ky, int kx) const
+    {
+        return weight[((static_cast<std::size_t>(oc) * inC + ic) * kSize +
+                       ky) * kSize + kx];
+    }
+
+    int inC, outC, kSize, strd, padding;
+    std::vector<float> weight, bias;
+    std::vector<float> gradWeight, gradBias;
+    Tensor lastInput;
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_CONV_HH

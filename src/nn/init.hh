@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Weight initialization.
+ */
+
+#ifndef PTOLEMY_NN_INIT_HH
+#define PTOLEMY_NN_INIT_HH
+
+#include <cstdint>
+
+namespace ptolemy
+{
+class Rng;
+}
+
+namespace ptolemy::nn
+{
+
+class Network;
+
+/**
+ * He-normal initialization for every conv/linear weight (std =
+ * sqrt(2 / fan_in)); biases and Norm affine parameters keep their
+ * defaults (0 / identity).
+ */
+void heInit(Network &net, std::uint64_t seed);
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_INIT_HH

@@ -1,0 +1,37 @@
+#include "layer.hh"
+
+namespace ptolemy::nn
+{
+
+const char *
+layerKindName(LayerKind k)
+{
+    switch (k) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Linear: return "linear";
+      case LayerKind::ReLU: return "relu";
+      case LayerKind::MaxPool: return "maxpool";
+      case LayerKind::GlobalAvgPool: return "gavgpool";
+      case LayerKind::Flatten: return "flatten";
+      case LayerKind::Add: return "add";
+      case LayerKind::Concat: return "concat";
+      case LayerKind::Norm: return "norm";
+      case LayerKind::Downsample: return "downsample";
+    }
+    return "?";
+}
+
+void
+Layer::backmapImportant(const std::vector<const Tensor *> &ins,
+                        const Tensor &out,
+                        const std::vector<std::size_t> &out_idx,
+                        std::vector<std::vector<std::size_t>> &per_input) const
+{
+    // Default: element-wise unary layer; importance maps through
+    // identically (covers ReLU, Norm, Flatten).
+    (void)ins;
+    (void)out;
+    per_input.assign(1, out_idx);
+}
+
+} // namespace ptolemy::nn

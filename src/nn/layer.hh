@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Layer interface for the NN substrate.
+ *
+ * Every layer implements forward and backward (the attack suite needs
+ * gradients with respect to the input, and training needs gradients with
+ * respect to the weights). Weighted layers (conv, linear) additionally
+ * expose their per-output partial sums so the Ptolemy path extractor can
+ * rank/threshold them exactly as the hardware would (paper Fig. 3).
+ *
+ * Contract: backward() must be called right after the matching forward()
+ * on the same layer object; layers stash the forward state they need.
+ */
+
+#ifndef PTOLEMY_NN_LAYER_HH
+#define PTOLEMY_NN_LAYER_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace ptolemy::nn
+{
+
+/** Layer taxonomy; the compiler and hw model key their costs off this. */
+enum class LayerKind
+{
+    Conv,
+    Linear,
+    ReLU,
+    MaxPool,
+    GlobalAvgPool,
+    Flatten,
+    Add,
+    Concat,
+    Norm,
+    Downsample,
+};
+
+/** Human-readable kind name (for dumps and error messages). */
+const char *layerKindName(LayerKind k);
+
+/** A mutable view of one parameter (or state buffer) and its gradient. */
+struct Param
+{
+    std::vector<float> *value = nullptr;
+    std::vector<float> *grad = nullptr; ///< null for non-trainable state
+};
+
+/** One partial-sum term of an output neuron: (input flat index, value). */
+struct PartialSum
+{
+    std::size_t inputIndex;
+    float value;
+};
+
+/**
+ * Abstract NN layer.
+ */
+class Layer
+{
+  public:
+    explicit Layer(std::string layer_name) : layerName(std::move(layer_name))
+    {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    const std::string &name() const { return layerName; }
+    virtual LayerKind kind() const = 0;
+
+    /** Number of input tensors this layer consumes (1 except Add/Concat). */
+    virtual int numInputs() const { return 1; }
+
+    /** Output shape given input shapes (for graph construction checks). */
+    virtual Shape outputShape(const std::vector<Shape> &ins) const = 0;
+
+    /**
+     * Run the layer.
+     * @param ins borrowed input tensors, one per declared input.
+     * @param train true during training (affects Norm running stats).
+     */
+    virtual Tensor forward(const std::vector<const Tensor *> &ins,
+                           bool train) = 0;
+
+    /**
+     * Back-propagate.
+     * @param grad_out gradient of the loss w.r.t. this layer's output.
+     * @return gradient w.r.t. each input, in input order. Weight gradients
+     *         are accumulated into the layer's grad buffers.
+     */
+    virtual std::vector<Tensor> backward(const Tensor &grad_out) = 0;
+
+    /** Trainable parameters (empty by default). */
+    virtual std::vector<Param> params() { return {}; }
+
+    /** Non-trainable state saved with the model (e.g. Norm running stats). */
+    virtual std::vector<Param> state() { return {}; }
+
+    /** True for layers that own weights and define partial sums. */
+    virtual bool weighted() const { return false; }
+
+    /**
+     * Partial sums of output neuron @p out_index given recorded input
+     * @p input: the terms input[i] * w that the MAC array generates.
+     * Only meaningful when weighted(). Bias is excluded: it is not
+     * attributable to any input neuron (consistent with paper Fig. 3,
+     * which ranks input-element contributions only).
+     */
+    virtual void
+    partialSums(const Tensor &input, std::size_t out_index,
+                std::vector<PartialSum> &out) const
+    {
+        (void)input;
+        (void)out_index;
+        out.clear();
+    }
+
+    /** Receptive-field size (partial sums per output neuron), 0 if not
+     *  weighted. For conv this is inC*k*k (interior); edges may be less. */
+    virtual std::size_t receptiveFieldSize() const { return 0; }
+
+    /**
+     * Map important output elements back to important input elements for
+     * layers that merely reshape/route values (ReLU, pool, add, concat...).
+     * Weighted layers do not use this; the extractor thresholds their
+     * partial sums instead.
+     *
+     * @param ins recorded inputs of the forward pass being analyzed.
+     * @param out recorded output of that pass.
+     * @param out_idx sorted important output flat indices.
+     * @param per_input filled with important input flat indices per input.
+     */
+    virtual void backmapImportant(
+        const std::vector<const Tensor *> &ins, const Tensor &out,
+        const std::vector<std::size_t> &out_idx,
+        std::vector<std::vector<std::size_t>> &per_input) const;
+
+  private:
+    std::string layerName;
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_LAYER_HH

@@ -1,0 +1,87 @@
+#include "linear.hh"
+
+#include <cassert>
+
+namespace ptolemy::nn
+{
+
+Linear::Linear(std::string name, int in_n, int out_n)
+    : Layer(std::move(name)), inN(in_n), outN(out_n),
+      weight(static_cast<std::size_t>(in_n) * out_n, 0.0f), bias(out_n, 0.0f),
+      gradWeight(weight.size(), 0.0f), gradBias(out_n, 0.0f)
+{
+}
+
+Shape
+Linear::outputShape(const std::vector<Shape> &ins) const
+{
+    assert(ins.size() == 1 && static_cast<int>(ins[0].numel()) == inN);
+    (void)ins;
+    return flatShape(outN);
+}
+
+Tensor
+Linear::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    (void)train;
+    const Tensor &in = *ins[0];
+    assert(static_cast<int>(in.size()) == inN);
+    lastInput = in;
+    Tensor out(flatShape(outN));
+    for (int o = 0; o < outN; ++o) {
+        float acc = bias[o];
+        const float *wrow = &weight[static_cast<std::size_t>(o) * inN];
+        const float *x = in.data();
+        for (int i = 0; i < inN; ++i)
+            acc += wrow[i] * x[i];
+        out[o] = acc;
+    }
+    return out;
+}
+
+std::vector<Tensor>
+Linear::backward(const Tensor &grad_out)
+{
+    const Tensor &in = lastInput;
+    Tensor grad_in(in.shape());
+    for (int o = 0; o < outN; ++o) {
+        const float g = grad_out[o];
+        if (g == 0.0f)
+            continue;
+        gradBias[o] += g;
+        float *gwrow = &gradWeight[static_cast<std::size_t>(o) * inN];
+        const float *wrow = &weight[static_cast<std::size_t>(o) * inN];
+        for (int i = 0; i < inN; ++i) {
+            gwrow[i] += g * in[i];
+            grad_in[i] += g * wrow[i];
+        }
+    }
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+std::vector<Param>
+Linear::params()
+{
+    return {{&weight, &gradWeight}, {&bias, &gradBias}};
+}
+
+void
+Linear::partialSums(const Tensor &input, std::size_t out_index,
+                    std::vector<PartialSum> &out) const
+{
+    out.clear();
+    out.reserve(inN);
+    const float *wrow = &weight[out_index * inN];
+    for (int i = 0; i < inN; ++i)
+        out.push_back({static_cast<std::size_t>(i), wrow[i] * input[i]});
+}
+
+std::size_t
+Linear::receptiveFieldSize() const
+{
+    return static_cast<std::size_t>(inN);
+}
+
+} // namespace ptolemy::nn

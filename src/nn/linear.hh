@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fully-connected layer.
+ */
+
+#ifndef PTOLEMY_NN_LINEAR_HH
+#define PTOLEMY_NN_LINEAR_HH
+
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace ptolemy::nn
+{
+
+/**
+ * Dense layer y = W x + b over flat vectors. Weight layout: [out][in].
+ */
+class Linear : public Layer
+{
+  public:
+    Linear(std::string name, int in_n, int out_n);
+
+    LayerKind kind() const override { return LayerKind::Linear; }
+    Shape outputShape(const std::vector<Shape> &ins) const override;
+    Tensor forward(const std::vector<const Tensor *> &ins,
+                   bool train) override;
+    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    std::vector<Param> params() override;
+    bool weighted() const override { return true; }
+    void partialSums(const Tensor &input, std::size_t out_index,
+                     std::vector<PartialSum> &out) const override;
+    std::size_t receptiveFieldSize() const override;
+
+    int inFeatures() const { return inN; }
+    int outFeatures() const { return outN; }
+    std::vector<float> &weights() { return weight; }
+    std::vector<float> &biases() { return bias; }
+
+  private:
+    int inN, outN;
+    std::vector<float> weight, bias;
+    std::vector<float> gradWeight, gradBias;
+    Tensor lastInput;
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_LINEAR_HH

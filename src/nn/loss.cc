@@ -1,0 +1,35 @@
+#include "loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptolemy::nn
+{
+
+std::vector<double>
+softmax(const Tensor &logits)
+{
+    const float mx = *std::max_element(logits.vec().begin(),
+                                       logits.vec().end());
+    std::vector<double> p(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(static_cast<double>(logits[i]) - mx);
+        denom += p[i];
+    }
+    for (double &v : p)
+        v /= denom;
+    return p;
+}
+
+LossGrad
+softmaxCrossEntropy(const Tensor &logits, std::size_t label)
+{
+    const auto p = softmax(logits);
+    LossGrad lg{-std::log(std::max(p[label], 1e-12)), Tensor(logits.shape())};
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        lg.grad[i] = static_cast<float>(p[i] - (i == label ? 1.0 : 0.0));
+    return lg;
+}
+
+} // namespace ptolemy::nn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Softmax cross-entropy loss and probability helpers.
+ */
+
+#ifndef PTOLEMY_NN_LOSS_HH
+#define PTOLEMY_NN_LOSS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace ptolemy::nn
+{
+
+/** Numerically-stable softmax of a flat logits tensor. */
+std::vector<double> softmax(const Tensor &logits);
+
+/** Loss value and dLoss/dLogits pair. */
+struct LossGrad
+{
+    double loss;
+    Tensor grad;
+};
+
+/**
+ * Softmax cross-entropy against an integer label.
+ * grad = softmax(logits) - onehot(label).
+ */
+LossGrad softmaxCrossEntropy(const Tensor &logits, std::size_t label);
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_LOSS_HH

@@ -1,0 +1,204 @@
+#include "network.hh"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+#include "util/serialize.hh"
+
+namespace ptolemy::nn
+{
+
+int
+Network::add(std::unique_ptr<Layer> layer, std::vector<int> inputs)
+{
+    const int id = static_cast<int>(nodes.size());
+    if (inputs.empty())
+        inputs.push_back(id - 1); // previous node; -1 == network input
+    assert(static_cast<int>(inputs.size()) == layer->numInputs());
+
+    std::vector<Shape> in_shapes;
+    for (int in_id : inputs) {
+        assert(in_id >= -1 && in_id < id); // topological order
+        in_shapes.push_back(in_id < 0 ? inShape : nodes[in_id].outShape);
+    }
+    Node n;
+    n.outShape = layer->outputShape(in_shapes);
+    if (layer->weighted())
+        weightedIds.push_back(id);
+    n.layer = std::move(layer);
+    n.inputs = std::move(inputs);
+    nodes.push_back(std::move(n));
+    return id;
+}
+
+Shape
+Network::nodeInputShape(int id, int input_slot) const
+{
+    const int in_id = nodes[id].inputs[input_slot];
+    return in_id < 0 ? inShape : nodes[in_id].outShape;
+}
+
+std::vector<int>
+Network::consumersOf(int id) const
+{
+    std::vector<int> out;
+    for (int n = 0; n < numNodes(); ++n)
+        for (int in_id : nodes[n].inputs)
+            if (in_id == id)
+                out.push_back(n);
+    return out;
+}
+
+Network::Record
+Network::forward(const Tensor &x, bool train)
+{
+    assert(x.shape() == inShape);
+    Record rec;
+    rec.input = x;
+    rec.outputs.reserve(nodes.size());
+    for (auto &n : nodes) {
+        std::vector<const Tensor *> ins;
+        ins.reserve(n.inputs.size());
+        for (int in_id : n.inputs)
+            ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
+        rec.outputs.push_back(n.layer->forward(ins, train));
+    }
+    return rec;
+}
+
+Tensor
+Network::backward(const Tensor &grad_logits)
+{
+    std::vector<std::pair<int, Tensor>> seeds;
+    seeds.emplace_back(numNodes() - 1, grad_logits);
+    return backwardMulti(seeds);
+}
+
+Tensor
+Network::backwardMulti(const std::vector<std::pair<int, Tensor>> &seeds)
+{
+    // Gradients accumulated at each node's *output*, plus the net input.
+    std::vector<Tensor> grad_at(nodes.size());
+    Tensor grad_input(inShape);
+    for (const auto &[node_id, grad] : seeds) {
+        if (grad_at[node_id].empty())
+            grad_at[node_id] = grad;
+        else
+            grad_at[node_id] += grad;
+    }
+
+    for (int id = numNodes() - 1; id >= 0; --id) {
+        if (grad_at[id].empty())
+            continue; // node does not reach the loss
+        auto grads = nodes[id].layer->backward(grad_at[id]);
+        for (std::size_t slot = 0; slot < grads.size(); ++slot) {
+            const int in_id = nodes[id].inputs[slot];
+            Tensor &dst = in_id < 0 ? grad_input : grad_at[in_id];
+            if (dst.empty())
+                dst = std::move(grads[slot]);
+            else
+                dst += grads[slot];
+        }
+    }
+    return grad_input;
+}
+
+std::size_t
+Network::predict(const Tensor &x)
+{
+    return forward(x).predictedClass();
+}
+
+std::vector<Param>
+Network::params()
+{
+    std::vector<Param> out;
+    for (auto &n : nodes)
+        for (auto p : n.layer->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto p : params())
+        if (p.grad)
+            std::fill(p.grad->begin(), p.grad->end(), 0.0f);
+}
+
+std::size_t
+Network::numParams()
+{
+    std::size_t total = 0;
+    for (auto p : params())
+        total += p.value->size();
+    return total;
+}
+
+std::string
+Network::signature() const
+{
+    std::ostringstream oss;
+    oss << netName << ":" << inShape.c << "x" << inShape.h << "x"
+        << inShape.w;
+    for (const auto &n : nodes) {
+        oss << "|" << layerKindName(n.layer->kind()) << ":"
+            << n.layer->name();
+        for (int in_id : n.inputs)
+            oss << "," << in_id;
+    }
+    return oss.str();
+}
+
+bool
+Network::save(const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    writeString(os, signature());
+    std::uint64_t n_bufs = 0;
+    for (auto &n : nodes)
+        n_bufs += n.layer->params().size() + n.layer->state().size();
+    writeU64(os, n_bufs);
+    for (auto &n : nodes) {
+        for (auto p : n.layer->params())
+            writeFloats(os, *p.value);
+        for (auto p : n.layer->state())
+            writeFloats(os, *p.value);
+    }
+    return os.good();
+}
+
+bool
+Network::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::string sig;
+    if (!readString(is, sig) || sig != signature())
+        return false;
+    std::uint64_t n_bufs;
+    if (!readU64(is, n_bufs))
+        return false;
+    for (auto &n : nodes) {
+        for (auto p : n.layer->params()) {
+            std::vector<float> v;
+            if (!readFloats(is, v) || v.size() != p.value->size())
+                return false;
+            *p.value = std::move(v);
+        }
+        for (auto p : n.layer->state()) {
+            std::vector<float> v;
+            if (!readFloats(is, v) || v.size() != p.value->size())
+                return false;
+            *p.value = std::move(v);
+        }
+    }
+    return true;
+}
+
+} // namespace ptolemy::nn

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * DAG of layers with activation recording.
+ *
+ * The network is the substrate both for inference/training and for the
+ * Ptolemy detector: a forward pass can record every node's output tensor
+ * (the "feature maps" the paper's extractor walks), and the node graph
+ * exposes which nodes are weighted so the extractor can follow the data
+ * graph backward through residual adds, concats and pools.
+ */
+
+#ifndef PTOLEMY_NN_NETWORK_HH
+#define PTOLEMY_NN_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace ptolemy::nn
+{
+
+/**
+ * Feed-forward DAG. Nodes must be added in topological order; input id -1
+ * denotes the network input. The last added node is the output (logits).
+ */
+class Network
+{
+  public:
+    /** One graph node: a layer plus the node ids feeding it. */
+    struct Node
+    {
+        std::unique_ptr<Layer> layer;
+        std::vector<int> inputs; ///< node ids; -1 = network input
+        Shape outShape;
+    };
+
+    /** Recorded activations of one forward pass. */
+    struct Record
+    {
+        Tensor input;
+        std::vector<Tensor> outputs; ///< per node, in node order
+
+        /** Network output (logits) — last node's output. */
+        const Tensor &logits() const { return outputs.back(); }
+
+        /** Predicted class. */
+        std::size_t predictedClass() const { return logits().argmax(); }
+    };
+
+    Network(std::string name, Shape input_shape)
+        : netName(std::move(name)), inShape(input_shape)
+    {}
+
+    const std::string &name() const { return netName; }
+    const Shape &inputShape() const { return inShape; }
+
+    /**
+     * Append a layer.
+     * @param layer the layer (ownership transfers).
+     * @param inputs feeding node ids; empty means "previous node"
+     *        (or the network input for the first node).
+     * @return the new node's id.
+     */
+    int add(std::unique_ptr<Layer> layer, std::vector<int> inputs = {});
+
+    int numNodes() const { return static_cast<int>(nodes.size()); }
+    const Node &node(int id) const { return nodes[id]; }
+    Layer &layerAt(int id) { return *nodes[id].layer; }
+    const Layer &layerAt(int id) const { return *nodes[id].layer; }
+
+    /** Shape a node consumes/produces. */
+    Shape nodeInputShape(int id, int input_slot = 0) const;
+    const Shape &nodeOutputShape(int id) const { return nodes[id].outShape; }
+
+    /** Node ids of weighted (conv/linear) layers, topological order. */
+    const std::vector<int> &weightedNodes() const { return weightedIds; }
+
+    /** Node ids that consume node @p id's output (or the input for -1). */
+    std::vector<int> consumersOf(int id) const;
+
+    /** Run the network, recording every node's output. */
+    Record forward(const Tensor &x, bool train = false);
+
+    /**
+     * Back-propagate from the logits. Must directly follow the matching
+     * forward() on this network.
+     * @param grad_logits dLoss/dLogits.
+     * @return dLoss/dInput.
+     */
+    Tensor backward(const Tensor &grad_logits);
+
+    /**
+     * Back-propagate from gradients seeded at arbitrary nodes (used by the
+     * adaptive attack, whose loss is defined on intermediate activations).
+     * Must directly follow the matching forward().
+     * @param seeds (node id, dLoss/dNodeOutput) pairs.
+     * @return dLoss/dInput.
+     */
+    Tensor backwardMulti(
+        const std::vector<std::pair<int, Tensor>> &seeds);
+
+    /** Argmax class of a plain forward pass. */
+    std::size_t predict(const Tensor &x);
+
+    /** All trainable parameters in node order. */
+    std::vector<Param> params();
+
+    /** Zero every parameter gradient. */
+    void zeroGrads();
+
+    /** Total trainable parameter count. */
+    std::size_t numParams();
+
+    /**
+     * Architecture signature used to validate weight caches: layer names,
+     * kinds and parameter sizes.
+     */
+    std::string signature() const;
+
+    /** Serialize parameters + state to @p path. @return success. */
+    bool save(const std::string &path);
+
+    /** Load parameters + state; fails if the signature mismatches. */
+    bool load(const std::string &path);
+
+  private:
+    std::string netName;
+    Shape inShape;
+    std::vector<Node> nodes;
+    std::vector<int> weightedIds;
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_NETWORK_HH

@@ -1,0 +1,98 @@
+#include "trainer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "nn/loss.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::nn
+{
+
+std::vector<EpochStats>
+Trainer::train(Network &net, const Dataset &data)
+{
+    auto params = net.params();
+    velocity.clear();
+    for (auto p : params)
+        velocity.emplace_back(p.value->size(), 0.0f);
+
+    Rng rng(config.shuffleSeed);
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<EpochStats> history;
+    double lr = config.learningRate;
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+        // Fisher-Yates with our deterministic RNG.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+
+        double loss_sum = 0.0;
+        std::size_t correct = 0;
+        std::size_t in_batch = 0;
+        net.zeroGrads();
+
+        auto apply_step = [&](std::size_t batch_n) {
+            if (batch_n == 0)
+                return;
+            const double scale = 1.0 / static_cast<double>(batch_n);
+            for (std::size_t pi = 0; pi < params.size(); ++pi) {
+                auto &val = *params[pi].value;
+                auto &grd = *params[pi].grad;
+                auto &vel = velocity[pi];
+                for (std::size_t i = 0; i < val.size(); ++i) {
+                    const double g = grd[i] * scale +
+                                     config.weightDecay * val[i];
+                    vel[i] = static_cast<float>(config.momentum * vel[i] -
+                                                lr * g);
+                    val[i] += vel[i];
+                }
+            }
+            net.zeroGrads();
+        };
+
+        for (std::size_t k = 0; k < order.size(); ++k) {
+            const Sample &s = data[order[k]];
+            auto rec = net.forward(s.input, /*train=*/true);
+            if (rec.predictedClass() == s.label)
+                ++correct;
+            auto lg = softmaxCrossEntropy(rec.logits(), s.label);
+            loss_sum += lg.loss;
+            net.backward(lg.grad);
+            if (++in_batch == static_cast<std::size_t>(config.batchSize)) {
+                apply_step(in_batch);
+                in_batch = 0;
+            }
+        }
+        apply_step(in_batch);
+
+        EpochStats st{loss_sum / data.size(),
+                      static_cast<double>(correct) / data.size()};
+        history.push_back(st);
+        if (config.verbose) {
+            std::printf("[train %s] epoch %d loss=%.4f acc=%.3f lr=%.4f\n",
+                        net.name().c_str(), epoch, st.avgLoss,
+                        st.trainAccuracy, lr);
+        }
+        if (config.lrDecayEvery > 0 && (epoch + 1) % config.lrDecayEvery == 0)
+            lr *= config.lrDecay;
+    }
+    return history;
+}
+
+double
+Trainer::evaluate(Network &net, const Dataset &data)
+{
+    if (data.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const auto &s : data)
+        if (net.predict(s.input) == s.label)
+            ++correct;
+    return static_cast<double>(correct) / data.size();
+}
+
+} // namespace ptolemy::nn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SGD trainer with momentum and step decay.
+ */
+
+#ifndef PTOLEMY_NN_TRAINER_HH
+#define PTOLEMY_NN_TRAINER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/network.hh"
+#include "nn/tensor.hh"
+
+namespace ptolemy::nn
+{
+
+/** A labelled sample. */
+struct Sample
+{
+    Tensor input;
+    std::size_t label;
+};
+
+/** Labelled dataset — a plain vector with helpers lives in src/data. */
+using Dataset = std::vector<Sample>;
+
+/** Trainer hyper-parameters. */
+struct TrainConfig
+{
+    double learningRate = 0.05;
+    double momentum = 0.9;
+    double weightDecay = 1e-4;
+    int epochs = 6;
+    int batchSize = 16;
+    double lrDecay = 0.5;    ///< multiplied in every lrDecayEvery epochs
+    int lrDecayEvery = 2;
+    std::uint64_t shuffleSeed = 7;
+    bool verbose = false;
+};
+
+/** One epoch's summary. */
+struct EpochStats
+{
+    double avgLoss;
+    double trainAccuracy;
+};
+
+/**
+ * Sample-at-a-time SGD with momentum: gradients are accumulated over
+ * batchSize samples, then a single parameter step is applied.
+ */
+class Trainer
+{
+  public:
+    explicit Trainer(TrainConfig cfg = {}) : config(cfg) {}
+
+    /** Train in place; returns per-epoch stats. */
+    std::vector<EpochStats> train(Network &net, const Dataset &data);
+
+    /** Top-1 accuracy over @p data. */
+    static double evaluate(Network &net, const Dataset &data);
+
+  private:
+    TrainConfig config;
+    std::vector<std::vector<float>> velocity; ///< per-parameter momentum
+};
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_TRAINER_HH

@@ -1,0 +1,108 @@
+#include "class_path.hh"
+
+#include <fstream>
+
+#include "util/serialize.hh"
+
+namespace ptolemy::path
+{
+
+ClassPathStore::ClassPathStore(std::size_t num_classes, std::size_t num_bits)
+    : paths(num_classes, BitVector(num_bits)), counts(num_classes, 0)
+{
+}
+
+std::size_t
+ClassPathStore::aggregate(std::size_t cls, const BitVector &path)
+{
+    const std::size_t before = paths[cls].popcount();
+    paths[cls] |= path;
+    ++counts[cls];
+    return paths[cls].popcount() - before;
+}
+
+double
+ClassPathStore::interClassSimilarity(std::size_t a, std::size_t b) const
+{
+    return paths[a].jaccard(paths[b]);
+}
+
+std::vector<std::vector<double>>
+ClassPathStore::similarityMatrix() const
+{
+    const std::size_t n = numClasses();
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 1.0));
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = a + 1; b < n; ++b)
+            m[a][b] = m[b][a] = interClassSimilarity(a, b);
+    return m;
+}
+
+bool
+ClassPathStore::save(const std::string &file_path) const
+{
+    std::ofstream os(file_path, std::ios::binary);
+    if (!os)
+        return false;
+    writeU64(os, paths.size());
+    for (std::size_t c = 0; c < paths.size(); ++c) {
+        writeU64(os, counts[c]);
+        writeString(os, paths[c].serialize());
+    }
+    return os.good();
+}
+
+bool
+ClassPathStore::load(const std::string &file_path)
+{
+    std::ifstream is(file_path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint64_t n;
+    if (!readU64(is, n))
+        return false;
+    paths.assign(n, BitVector());
+    counts.assign(n, 0);
+    for (std::size_t c = 0; c < n; ++c) {
+        std::uint64_t cnt;
+        std::string blob;
+        if (!readU64(is, cnt) || !readString(is, blob) ||
+            !BitVector::deserialize(blob, paths[c]))
+            return false;
+        counts[c] = cnt;
+    }
+    return true;
+}
+
+std::vector<double>
+SimilarityFeatures::toVector() const
+{
+    std::vector<double> v;
+    v.reserve(1 + perLayer.size());
+    v.push_back(overall);
+    v.insert(v.end(), perLayer.begin(), perLayer.end());
+    return v;
+}
+
+SimilarityFeatures
+computeSimilarity(const BitVector &p, const BitVector &pc,
+                  const PathLayout &layout)
+{
+    SimilarityFeatures f;
+    const std::size_t p_ones = p.popcount();
+    f.overall = p_ones == 0
+        ? 1.0
+        : static_cast<double>(p.andPopcount(pc)) / p_ones;
+    f.perLayer.reserve(layout.segments().size());
+    for (const auto &seg : layout.segments()) {
+        const std::size_t ones =
+            p.popcountRange(seg.bitOffset, seg.bitOffset + seg.numBits);
+        const std::size_t inter = p.andPopcountRange(
+            pc, seg.bitOffset, seg.bitOffset + seg.numBits);
+        f.perLayer.push_back(
+            ones == 0 ? 1.0 : static_cast<double>(inter) / ones);
+    }
+    return f;
+}
+
+} // namespace ptolemy::path

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Canary class paths (paper Sec. III-A/III-B).
+ *
+ * The class path of class c is the bitwise OR of the activation paths of
+ * training inputs correctly predicted as c: Pc = ∪_{x∈x̄c} P(x). Class
+ * paths are generated offline, stored, and incrementally updatable — a new
+ * sample's path is simply OR-ed in without regenerating anything.
+ */
+
+#ifndef PTOLEMY_PATH_CLASS_PATH_HH
+#define PTOLEMY_PATH_CLASS_PATH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "path/path_layout.hh"
+#include "util/bitvector.hh"
+
+namespace ptolemy::path
+{
+
+/**
+ * Per-class canary path store.
+ */
+class ClassPathStore
+{
+  public:
+    ClassPathStore() = default;
+
+    /** @param num_classes class count; @param num_bits path bit width. */
+    ClassPathStore(std::size_t num_classes, std::size_t num_bits);
+
+    std::size_t numClasses() const { return paths.size(); }
+    std::size_t numBits() const
+    {
+        return paths.empty() ? 0 : paths[0].size();
+    }
+
+    /**
+     * OR @p path into class @p cls (incremental profiling).
+     * @return number of newly set bits — zero once the class path has
+     *         saturated (the paper observes saturation around 100 images).
+     */
+    std::size_t aggregate(std::size_t cls, const BitVector &path);
+
+    const BitVector &classPath(std::size_t cls) const { return paths[cls]; }
+    std::size_t samplesSeen(std::size_t cls) const { return counts[cls]; }
+
+    /** Jaccard similarity between two class paths (paper Fig. 5). */
+    double interClassSimilarity(std::size_t a, std::size_t b) const;
+
+    /** Full inter-class similarity matrix. */
+    std::vector<std::vector<double>> similarityMatrix() const;
+
+    /** Serialize to @p file_path. @return success. */
+    bool save(const std::string &file_path) const;
+
+    /** Load; replaces current contents. @return success. */
+    bool load(const std::string &file_path);
+
+  private:
+    std::vector<BitVector> paths;
+    std::vector<std::size_t> counts;
+};
+
+/**
+ * Similarity between an activation path and a canary class path
+ * (paper Sec. III-B): overall S = ‖P ∧ Pc‖₁ / ‖P‖₁ plus the same ratio
+ * restricted to each layer segment. The per-layer ratios are the feature
+ * vector fed to the random-forest classifier.
+ */
+struct SimilarityFeatures
+{
+    double overall = 0.0;
+    std::vector<double> perLayer;
+
+    /** Flatten to a feature vector: [overall, perLayer...]. */
+    std::vector<double> toVector() const;
+};
+
+/** Compute similarity features of @p p against class path @p pc. */
+SimilarityFeatures computeSimilarity(const BitVector &p, const BitVector &pc,
+                                     const PathLayout &layout);
+
+} // namespace ptolemy::path
+
+#endif // PTOLEMY_PATH_CLASS_PATH_HH

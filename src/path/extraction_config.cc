@@ -1,0 +1,85 @@
+#include "extraction_config.hh"
+
+namespace ptolemy::path
+{
+
+int
+ExtractionConfig::firstExtractedLayer() const
+{
+    for (int i = 0; i < numLayers(); ++i)
+        if (layers[i].extract)
+            return i;
+    return numLayers();
+}
+
+int
+ExtractionConfig::numExtracted() const
+{
+    int n = 0;
+    for (const auto &lp : layers)
+        if (lp.extract)
+            ++n;
+    return n;
+}
+
+void
+ExtractionConfig::selectFrom(int first)
+{
+    for (int i = 0; i < numLayers(); ++i)
+        layers[i].extract = i >= first;
+}
+
+std::string
+ExtractionConfig::variantName() const
+{
+    bool any_cu = false, any_ab = false;
+    for (const auto &lp : layers) {
+        if (!lp.extract)
+            continue;
+        (lp.kind == ThresholdKind::Cumulative ? any_cu : any_ab) = true;
+    }
+    const std::string dir = direction == Direction::Backward ? "Bw" : "Fw";
+    if (any_cu && any_ab)
+        return "Hybrid";
+    return dir + (any_cu ? "Cu" : "Ab");
+}
+
+ExtractionConfig
+ExtractionConfig::bwCu(int n, double theta)
+{
+    ExtractionConfig cfg;
+    cfg.direction = Direction::Backward;
+    cfg.layers.assign(n, {true, ThresholdKind::Cumulative, theta, 0.0});
+    return cfg;
+}
+
+ExtractionConfig
+ExtractionConfig::bwAb(int n, double phi)
+{
+    ExtractionConfig cfg;
+    cfg.direction = Direction::Backward;
+    cfg.layers.assign(n, {true, ThresholdKind::Absolute, 0.5, phi});
+    return cfg;
+}
+
+ExtractionConfig
+ExtractionConfig::fwAb(int n, double phi)
+{
+    ExtractionConfig cfg;
+    cfg.direction = Direction::Forward;
+    cfg.layers.assign(n, {true, ThresholdKind::Absolute, 0.5, phi});
+    return cfg;
+}
+
+ExtractionConfig
+ExtractionConfig::hybrid(int n, double theta, double phi)
+{
+    ExtractionConfig cfg;
+    cfg.direction = Direction::Backward;
+    cfg.layers.assign(n, {true, ThresholdKind::Absolute, theta, phi});
+    for (int i = n / 2; i < n; ++i)
+        cfg.layers[i].kind = ThresholdKind::Cumulative;
+    return cfg;
+}
+
+} // namespace ptolemy::path

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Algorithmic knobs of the Ptolemy detection framework (paper Sec. III-C).
+ *
+ * Three knobs control how activation paths are extracted:
+ *  - extraction direction: backward (from the predicted class) or forward
+ *    (alongside inference) — applies to the whole network;
+ *  - thresholding mechanism per layer: cumulative (θ, rank partial sums and
+ *    accumulate until θ of the output is covered) or absolute (φ, compare
+ *    each partial sum / activation against a constant);
+ *  - selective extraction: only a suffix of layers is extracted
+ *    ("early termination" for backward, "late start" for forward).
+ *
+ * The paper's four named variants (Sec. VI-B) are provided as presets:
+ * BwCu, BwAb, FwAb and Hybrid (BwAb on the first half, BwCu on the rest).
+ */
+
+#ifndef PTOLEMY_PATH_EXTRACTION_CONFIG_HH
+#define PTOLEMY_PATH_EXTRACTION_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace ptolemy::path
+{
+
+/** Which end of the network extraction walks from. */
+enum class Direction
+{
+    Backward, ///< from the predicted class toward the input (serialized)
+    Forward,  ///< layer-by-layer alongside inference (can be overlapped)
+};
+
+/** How important neurons are selected within one layer. */
+enum class ThresholdKind
+{
+    Cumulative, ///< sort partial sums, accumulate until >= theta * output
+    Absolute,   ///< compare each partial sum / activation against phi
+};
+
+/** Per-weighted-layer extraction policy. */
+struct LayerPolicy
+{
+    bool extract = true;
+    ThresholdKind kind = ThresholdKind::Cumulative;
+    double theta = 0.5; ///< cumulative coverage threshold in [0,1]
+    double phi = 0.0;   ///< absolute threshold (set by calibration)
+};
+
+/**
+ * Full extraction configuration: direction plus one policy per weighted
+ * layer, indexed in topological weighted-layer order.
+ */
+struct ExtractionConfig
+{
+    Direction direction = Direction::Backward;
+    std::vector<LayerPolicy> layers;
+
+    /** Number of weighted layers this config describes. */
+    int numLayers() const { return static_cast<int>(layers.size()); }
+
+    /** Weighted-layer index extraction effectively begins at (first
+     *  extracted layer); layers below it are skipped. */
+    int firstExtractedLayer() const;
+
+    /** Count of extracted layers. */
+    int numExtracted() const;
+
+    /**
+     * Restrict extraction to weighted layers [first, N). For backward
+     * variants this is the paper's early-termination knob ("terminate at
+     * layer first+1" in the paper's 1-based numbering); for forward
+     * variants it is late-start.
+     */
+    void selectFrom(int first);
+
+    /** Human-readable variant tag ("BwCu", "FwAb", "Hybrid", ...). */
+    std::string variantName() const;
+
+    // Presets (paper Sec. VI-B). @p n = number of weighted layers.
+
+    /** Backward extraction, cumulative threshold theta everywhere. */
+    static ExtractionConfig bwCu(int n, double theta = 0.5);
+
+    /** Backward extraction, absolute thresholds (phi via calibration). */
+    static ExtractionConfig bwAb(int n, double phi = 0.0);
+
+    /** Forward extraction, absolute thresholds. */
+    static ExtractionConfig fwAb(int n, double phi = 0.0);
+
+    /** BwAb on the first half of the network, BwCu on the rest. */
+    static ExtractionConfig hybrid(int n, double theta = 0.5,
+                                   double phi = 0.0);
+};
+
+} // namespace ptolemy::path
+
+#endif // PTOLEMY_PATH_EXTRACTION_CONFIG_HH

@@ -1,0 +1,297 @@
+#include "extractor.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hh"
+
+namespace ptolemy::path
+{
+
+PathExtractor::PathExtractor(const nn::Network &net_ref,
+                             ExtractionConfig config)
+    : net(&net_ref), cfg(std::move(config)), lay(net_ref, cfg),
+      weightedIndexOfNode(net_ref.numNodes(), -1)
+{
+    const auto &weighted = net->weightedNodes();
+    assert(cfg.numLayers() == static_cast<int>(weighted.size()));
+    for (int w = 0; w < static_cast<int>(weighted.size()); ++w)
+        weightedIndexOfNode[weighted[w]] = w;
+}
+
+BitVector
+PathExtractor::extract(const nn::Network::Record &rec,
+                       ExtractionTrace *trace) const
+{
+    BitVector bits(lay.totalBits());
+    if (trace) {
+        trace->direction = cfg.direction;
+        trace->layers.clear();
+        trace->totalMacs = networkMacs(*net);
+    }
+    if (cfg.direction == Direction::Backward)
+        extractBackward(rec, bits, trace);
+    else
+        extractForward(rec, bits, trace);
+    if (trace)
+        trace->pathBits = bits.popcount();
+    return bits;
+}
+
+void
+PathExtractor::selectImportantInputs(const nn::Layer &layer,
+                                     const nn::Tensor &input,
+                                     std::size_t out_idx, float out_val,
+                                     const LayerPolicy &policy,
+                                     std::vector<nn::PartialSum> &scratch,
+                                     std::vector<std::size_t> &selected) const
+{
+    selected.clear();
+    layer.partialSums(input, out_idx, scratch);
+    if (scratch.empty())
+        return;
+
+    if (policy.kind == ThresholdKind::Absolute) {
+        for (const auto &ps : scratch)
+            if (ps.value >= policy.phi)
+                selected.push_back(ps.inputIndex);
+        return;
+    }
+
+    // Cumulative: rank partial sums, take the minimal prefix whose sum
+    // reaches theta * output. A non-positive output has no meaningful
+    // coverage target; keep the single largest contributor (minimal set).
+    std::sort(scratch.begin(), scratch.end(),
+              [](const nn::PartialSum &a, const nn::PartialSum &b) {
+                  return a.value > b.value;
+              });
+    const double target = policy.theta * out_val;
+    if (out_val <= 0.0f) {
+        selected.push_back(scratch.front().inputIndex);
+        return;
+    }
+    double cum = 0.0;
+    for (const auto &ps : scratch) {
+        selected.push_back(ps.inputIndex);
+        cum += ps.value;
+        if (cum >= target)
+            break;
+    }
+}
+
+void
+PathExtractor::extractBackward(const nn::Network::Record &rec,
+                               BitVector &bits,
+                               ExtractionTrace *trace) const
+{
+    const int n_nodes = net->numNodes();
+    // Important output-element sets per node, deduplicated via flags.
+    std::vector<std::vector<std::size_t>> important(n_nodes);
+    std::vector<std::vector<std::uint8_t>> seen(n_nodes);
+
+    auto mark = [&](int node_id, std::size_t idx) {
+        if (node_id < 0)
+            return; // reached the network input
+        auto &flags = seen[node_id];
+        if (flags.empty())
+            flags.assign(rec.outputs[node_id].size(), 0);
+        if (!flags[idx]) {
+            flags[idx] = 1;
+            important[node_id].push_back(idx);
+        }
+    };
+
+    // Seed: the predicted class neuron of the last layer (paper Sec. III-A).
+    mark(n_nodes - 1, rec.predictedClass());
+
+    std::vector<nn::PartialSum> scratch;
+    std::vector<std::size_t> selected;
+
+    for (int id = n_nodes - 1; id >= 0; --id) {
+        if (important[id].empty())
+            continue;
+        const auto &node = net->node(id);
+        const int w = weightedIndexOfNode[id];
+
+        if (w >= 0) {
+            const LayerPolicy &policy = cfg.layers[w];
+            if (!policy.extract)
+                continue; // early termination: stop below this layer
+            const int in_id = node.inputs[0];
+            const nn::Tensor &input =
+                in_id < 0 ? rec.input : rec.outputs[in_id];
+            const auto *seg = lay.segmentForWeighted(w);
+
+            LayerTrace lt;
+            lt.weightedIndex = w;
+            lt.nodeId = id;
+            lt.kind = policy.kind;
+            lt.inputFmapSize = input.size();
+            lt.outputFmapSize = rec.outputs[id].size();
+            lt.rfSize = node.layer->receptiveFieldSize();
+            lt.macs = weightedLayerMacs(*net, id);
+            lt.importantOut = important[id].size();
+
+            for (std::size_t o : important[id]) {
+                selectImportantInputs(*node.layer, input, o,
+                                      rec.outputs[id][o], policy, scratch,
+                                      selected);
+                lt.psumsConsidered += scratch.size();
+                if (policy.kind == ThresholdKind::Cumulative)
+                    lt.sortedElems += scratch.size();
+                else
+                    lt.thresholdCmps += scratch.size();
+                for (std::size_t in_idx : selected) {
+                    if (!bits.test(seg->bitOffset + in_idx)) {
+                        bits.set(seg->bitOffset + in_idx);
+                        ++lt.importantIn;
+                    }
+                    mark(in_id, in_idx);
+                }
+            }
+            // Absolute variants store one single-bit mask per partial sum
+            // during inference (paper Sec. III-C); cumulative variants
+            // store the partial sums themselves (costed by the hw model).
+            lt.masksWritten =
+                policy.kind == ThresholdKind::Absolute ? lt.macs : 0;
+            if (trace)
+                trace->layers.push_back(lt);
+        } else {
+            // Route importance through the non-weighted layer.
+            std::vector<const nn::Tensor *> ins;
+            for (int in_id : node.inputs)
+                ins.push_back(in_id < 0 ? &rec.input
+                                        : &rec.outputs[in_id]);
+            std::vector<std::vector<std::size_t>> per_input;
+            node.layer->backmapImportant(ins, rec.outputs[id],
+                                         important[id], per_input);
+            for (std::size_t slot = 0; slot < per_input.size(); ++slot)
+                for (std::size_t idx : per_input[slot])
+                    mark(node.inputs[slot], idx);
+        }
+    }
+    if (trace)
+        std::reverse(trace->layers.begin(), trace->layers.end());
+}
+
+void
+PathExtractor::extractForward(const nn::Network::Record &rec,
+                              BitVector &bits, ExtractionTrace *trace) const
+{
+    const auto &weighted = net->weightedNodes();
+    std::vector<std::size_t> order; // indices of extracted elements
+
+    for (int w = 0; w < cfg.numLayers(); ++w) {
+        const LayerPolicy &policy = cfg.layers[w];
+        if (!policy.extract)
+            continue;
+        const int id = weighted[w];
+        const auto &node = net->node(id);
+        const int in_id = node.inputs[0];
+        const nn::Tensor &input = in_id < 0 ? rec.input
+                                            : rec.outputs[in_id];
+        const auto *seg = lay.segmentForWeighted(w);
+
+        LayerTrace lt;
+        lt.weightedIndex = w;
+        lt.nodeId = id;
+        lt.kind = policy.kind;
+        lt.inputFmapSize = input.size();
+        lt.outputFmapSize = rec.outputs[id].size();
+        lt.rfSize = node.layer->receptiveFieldSize();
+        lt.macs = weightedLayerMacs(*net, id);
+        lt.importantOut = 0; // forward mode is not driven by outputs
+
+        if (policy.kind == ThresholdKind::Absolute) {
+            // Threshold the freshly produced feature map; the single-bit
+            // masks are generated during inference (paper Sec. III-C).
+            lt.thresholdCmps = input.size();
+            lt.masksWritten = input.size();
+            for (std::size_t i = 0; i < input.size(); ++i) {
+                if (input[i] >= policy.phi) {
+                    bits.set(seg->bitOffset + i);
+                    ++lt.importantIn;
+                }
+            }
+        } else {
+            // Forward cumulative (paper Fig. 6, last layer): rank the
+            // feature-map elements and keep the minimal prefix covering
+            // theta of the total activation mass.
+            order.resize(input.size());
+            for (std::size_t i = 0; i < input.size(); ++i)
+                order[i] = i;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return input[a] > input[b];
+                      });
+            double total = 0.0;
+            for (std::size_t i = 0; i < input.size(); ++i)
+                total += std::max(0.0f, input[i]);
+            const double target = policy.theta * total;
+            lt.sortedElems = input.size();
+            double cum = 0.0;
+            for (std::size_t i : order) {
+                bits.set(seg->bitOffset + i);
+                ++lt.importantIn;
+                cum += std::max(0.0f, input[i]);
+                if (cum >= target)
+                    break;
+            }
+        }
+        if (trace)
+            trace->layers.push_back(lt);
+    }
+}
+
+void
+calibrateAbsoluteThresholds(nn::Network &net, ExtractionConfig &cfg,
+                            const std::vector<nn::Tensor> &samples,
+                            double target_fraction)
+{
+    const auto &weighted = net.weightedNodes();
+    std::vector<std::vector<float>> pools(cfg.numLayers());
+    Rng rng(0xCA11B8A7Eull);
+    std::vector<nn::PartialSum> scratch;
+
+    for (const auto &x : samples) {
+        auto rec = net.forward(x);
+        for (int w = 0; w < cfg.numLayers(); ++w) {
+            if (!cfg.layers[w].extract ||
+                cfg.layers[w].kind != ThresholdKind::Absolute)
+                continue;
+            const int id = weighted[w];
+            const auto &node = net.node(id);
+            const int in_id = node.inputs[0];
+            const nn::Tensor &input = in_id < 0 ? rec.input
+                                                : rec.outputs[in_id];
+            if (cfg.direction == Direction::Forward) {
+                for (std::size_t i = 0; i < input.size(); ++i)
+                    pools[w].push_back(input[i]);
+            } else {
+                // Sample a few output neurons' partial sums.
+                const std::size_t n_out = rec.outputs[id].size();
+                const std::size_t n_probe = std::min<std::size_t>(32, n_out);
+                for (std::size_t p = 0; p < n_probe; ++p) {
+                    const std::size_t o = rng.below(n_out);
+                    net.layerAt(id).partialSums(input, o, scratch);
+                    for (const auto &ps : scratch)
+                        pools[w].push_back(ps.value);
+                }
+            }
+        }
+    }
+
+    for (int w = 0; w < cfg.numLayers(); ++w) {
+        auto &pool = pools[w];
+        if (pool.empty())
+            continue;
+        const std::size_t k = static_cast<std::size_t>(
+            (1.0 - target_fraction) * (pool.size() - 1));
+        std::nth_element(pool.begin(),
+                         pool.begin() + static_cast<std::ptrdiff_t>(k),
+                         pool.end());
+        cfg.layers[w].phi = pool[k];
+    }
+}
+
+} // namespace ptolemy::path

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Activation-path extraction (paper Sec. III-A/III-C, Fig. 3).
+ *
+ * Backward extraction starts from the predicted class neuron in the last
+ * layer and walks the data graph toward the input: for every important
+ * output neuron of a weighted layer, the partial sums in its receptive
+ * field are ranked (cumulative θ) or compared against a constant
+ * (absolute φ) to pick the important input neurons; those propagate
+ * through non-weighted layers (ReLU, pools, residual adds, concats) via
+ * each layer's index back-mapping.
+ *
+ * Forward extraction thresholds each extracted layer's input feature map
+ * as soon as it is produced, which the compiler can overlap with the next
+ * layer's inference (paper Sec. IV-B).
+ */
+
+#ifndef PTOLEMY_PATH_EXTRACTOR_HH
+#define PTOLEMY_PATH_EXTRACTOR_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "path/extraction_config.hh"
+#include "path/path_layout.hh"
+#include "path/trace.hh"
+#include "util/bitvector.hh"
+
+namespace ptolemy::path
+{
+
+/**
+ * Extracts activation paths from recorded forward passes.
+ */
+class PathExtractor
+{
+  public:
+    /**
+     * @param net network the records come from (borrowed; must outlive
+     *            the extractor).
+     * @param cfg extraction configuration; must describe exactly the
+     *            network's weighted layers.
+     */
+    PathExtractor(const nn::Network &net, ExtractionConfig cfg);
+
+    const PathLayout &layout() const { return lay; }
+    const ExtractionConfig &config() const { return cfg; }
+    const nn::Network &network() const { return *net; }
+
+    /**
+     * Extract the activation path for one recorded inference.
+     * @param rec recorded forward pass.
+     * @param trace optional op-count trace for the compiler/hardware model.
+     */
+    BitVector extract(const nn::Network::Record &rec,
+                      ExtractionTrace *trace = nullptr) const;
+
+  private:
+    void extractBackward(const nn::Network::Record &rec, BitVector &bits,
+                         ExtractionTrace *trace) const;
+    void extractForward(const nn::Network::Record &rec, BitVector &bits,
+                        ExtractionTrace *trace) const;
+
+    /** Pick important inputs of one weighted output neuron. */
+    void selectImportantInputs(const nn::Layer &layer,
+                               const nn::Tensor &input, std::size_t out_idx,
+                               float out_val, const LayerPolicy &policy,
+                               std::vector<nn::PartialSum> &scratch,
+                               std::vector<std::size_t> &selected) const;
+
+    const nn::Network *net;
+    ExtractionConfig cfg;
+    PathLayout lay;
+    std::vector<int> weightedIndexOfNode; ///< node id -> weighted idx or -1
+};
+
+/**
+ * Calibrate per-layer absolute thresholds phi so that roughly
+ * @p target_fraction of the compared values pass, using a handful of
+ * training samples. Backward-absolute layers calibrate on partial sums;
+ * forward-absolute layers calibrate on input activations.
+ *
+ * Mirrors the paper's offline profiling step: phi "can be specified at
+ * each layer" (Sec. III-C) and must match between the offline and online
+ * phases.
+ */
+void calibrateAbsoluteThresholds(nn::Network &net, ExtractionConfig &cfg,
+                                 const std::vector<nn::Tensor> &samples,
+                                 double target_fraction);
+
+} // namespace ptolemy::path
+
+#endif // PTOLEMY_PATH_EXTRACTOR_HH

@@ -1,0 +1,36 @@
+#include "path_layout.hh"
+
+#include <cassert>
+
+#include "nn/network.hh"
+
+namespace ptolemy::path
+{
+
+PathLayout::PathLayout(const nn::Network &net, const ExtractionConfig &cfg)
+{
+    const auto &weighted = net.weightedNodes();
+    assert(cfg.numLayers() == static_cast<int>(weighted.size()));
+    for (int w = 0; w < cfg.numLayers(); ++w) {
+        if (!cfg.layers[w].extract)
+            continue;
+        Segment s;
+        s.weightedIndex = w;
+        s.nodeId = weighted[w];
+        s.bitOffset = bits;
+        s.numBits = net.nodeInputShape(weighted[w]).numel();
+        bits += s.numBits;
+        segs.push_back(s);
+    }
+}
+
+const PathLayout::Segment *
+PathLayout::segmentForWeighted(int w) const
+{
+    for (const auto &s : segs)
+        if (s.weightedIndex == w)
+            return &s;
+    return nullptr;
+}
+
+} // namespace ptolemy::path

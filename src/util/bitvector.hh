@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dense bit vector used to represent activation paths and class paths.
+ *
+ * A path is a bitmask where bit (layer i, position j) records whether the
+ * input-feature-map element j of layer i is an important neuron
+ * (paper Sec. III-A, "From Neurons to Paths"). Class paths are the bitwise
+ * OR of many activation paths, and the detection similarity is
+ * popcount(P & Pc) / popcount(P), so the hot operations here are
+ * word-parallel AND/OR and popcount.
+ */
+
+#ifndef PTOLEMY_UTIL_BITVECTOR_HH
+#define PTOLEMY_UTIL_BITVECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ptolemy
+{
+
+/**
+ * Fixed-size dense bit vector with word-parallel set operations.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct an all-zero vector with @p nbits bits. */
+    explicit BitVector(std::size_t nbits)
+        : numBits(nbits), words((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of addressable bits. */
+    std::size_t size() const { return numBits; }
+
+    /** True when the vector holds zero bits. */
+    bool empty() const { return numBits == 0; }
+
+    /** Set bit @p idx to 1. Out-of-range indices are a programming error. */
+    void
+    set(std::size_t idx)
+    {
+        words[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Clear bit @p idx. */
+    void
+    clear(std::size_t idx)
+    {
+        words[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Read bit @p idx. */
+    bool
+    test(std::size_t idx) const
+    {
+        return (words[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Set all bits to zero, keeping the size. */
+    void reset();
+
+    /** Number of set bits (the paper's ‖P‖₁). */
+    std::size_t popcount() const;
+
+    /** Number of set bits within the half-open bit range [begin, end). */
+    std::size_t popcountRange(std::size_t begin, std::size_t end) const;
+
+    /** In-place bitwise OR (class-path aggregation). Sizes must match. */
+    BitVector &operator|=(const BitVector &other);
+
+    /** In-place bitwise AND. Sizes must match. */
+    BitVector &operator&=(const BitVector &other);
+
+    /** popcount(this & other) without materializing the intersection. */
+    std::size_t andPopcount(const BitVector &other) const;
+
+    /** popcount(this & other) restricted to the bit range [begin, end). */
+    std::size_t andPopcountRange(const BitVector &other, std::size_t begin,
+                                 std::size_t end) const;
+
+    /**
+     * Jaccard-style similarity used for the paper's Fig. 5 class-path
+     * similarity matrices: |A ∧ B| / |A ∨ B|.
+     */
+    double jaccard(const BitVector &other) const;
+
+    bool operator==(const BitVector &other) const = default;
+
+    /** Raw 64-bit words, little-endian bit order within a word. */
+    const std::vector<std::uint64_t> &rawWords() const { return words; }
+
+    /** Serialize to a compact binary string (size + words). */
+    std::string serialize() const;
+
+    /** Inverse of serialize(). Returns false on malformed input. */
+    static bool deserialize(const std::string &blob, BitVector &out);
+
+  private:
+    std::size_t numBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_BITVECTOR_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in the reproduction (dataset synthesis, weight init, attack
+ * noise, forest bagging) draws from this generator so that every test,
+ * example and bench is bit-reproducible across runs.
+ */
+
+#ifndef PTOLEMY_UTIL_RNG_HH
+#define PTOLEMY_UTIL_RNG_HH
+
+#include <cstdint>
+#include <cmath>
+
+namespace ptolemy
+{
+
+/**
+ * xoshiro256** generator seeded through SplitMix64.
+ *
+ * Chosen over std::mt19937 because its stream is specified independently of
+ * the standard library implementation, keeping results identical across
+ * toolchains.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-seed the full 256-bit state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state)
+            word = splitmix64(seed);
+        hasGauss = false;
+    }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be positive. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (cached pair). */
+    double
+    gaussian()
+    {
+        if (hasGauss) {
+            hasGauss = false;
+            return cachedGauss;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-12)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double theta = 2.0 * M_PI * u2;
+        cachedGauss = r * std::sin(theta);
+        hasGauss = true;
+        return r * std::cos(theta);
+    }
+
+    /** Gaussian with explicit mean/stddev. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** True with probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state[4] = {};
+    bool hasGauss = false;
+    double cachedGauss = 0.0;
+};
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_RNG_HH

@@ -1,0 +1,87 @@
+#include "serialize.hh"
+
+#include <cstring>
+
+namespace ptolemy
+{
+
+void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeF64(std::ostream &os, double v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeFloats(std::ostream &os, const std::vector<float> &v)
+{
+    writeU64(os, v.size());
+    os.write(reinterpret_cast<const char *>(v.data()),
+             v.size() * sizeof(float));
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writeU64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+readU64(std::istream &is, std::uint64_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return is.good();
+}
+
+bool
+readU32(std::istream &is, std::uint32_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return is.good();
+}
+
+bool
+readF64(std::istream &is, double &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return is.good();
+}
+
+bool
+readFloats(std::istream &is, std::vector<float> &v)
+{
+    std::uint64_t n;
+    if (!readU64(is, n))
+        return false;
+    v.resize(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    return is.good() || (is.eof() && is.gcount() ==
+        static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+bool
+readString(std::istream &is, std::string &s)
+{
+    std::uint64_t n;
+    if (!readU64(is, n))
+        return false;
+    s.resize(n);
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    return is.good() || (is.eof() && is.gcount() ==
+        static_cast<std::streamsize>(n));
+}
+
+} // namespace ptolemy

@@ -1,0 +1,142 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptolemy
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / xs.size();
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / xs.size());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double rank = (p / 100.0) * (xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - lo;
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+aucScore(const std::vector<double> &scores, const std::vector<int> &labels)
+{
+    // Rank-sum (Mann-Whitney U) formulation with midrank tie handling.
+    const std::size_t n = scores.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return scores[a] < scores[b];
+    });
+
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && scores[order[j + 1]] == scores[order[i]])
+            ++j;
+        const double mid = 0.5 * (i + j) + 1.0; // 1-based midrank
+        for (std::size_t k = i; k <= j; ++k)
+            rank[order[k]] = mid;
+        i = j + 1;
+    }
+
+    double pos_rank_sum = 0.0;
+    std::size_t n_pos = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        if (labels[k] == 1) {
+            pos_rank_sum += rank[k];
+            ++n_pos;
+        }
+    }
+    const std::size_t n_neg = n - n_pos;
+    if (n_pos == 0 || n_neg == 0)
+        return 0.5;
+    const double u = pos_rank_sum - n_pos * (n_pos + 1.0) / 2.0;
+    return u / (static_cast<double>(n_pos) * n_neg);
+}
+
+double
+DetectionCounts::tpr() const
+{
+    const auto denom = truePos + falseNeg;
+    return denom == 0 ? 0.0 : static_cast<double>(truePos) / denom;
+}
+
+double
+DetectionCounts::fpr() const
+{
+    const auto denom = falsePos + trueNeg;
+    return denom == 0 ? 0.0 : static_cast<double>(falsePos) / denom;
+}
+
+double
+DetectionCounts::accuracy() const
+{
+    const auto total = truePos + falsePos + trueNeg + falseNeg;
+    return total == 0 ? 0.0
+                      : static_cast<double>(truePos + trueNeg) / total;
+}
+
+DetectionCounts
+countsAtThreshold(const std::vector<double> &scores,
+                  const std::vector<int> &labels, double threshold)
+{
+    DetectionCounts c;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        const bool predicted_adv = scores[i] >= threshold;
+        if (labels[i] == 1) {
+            if (predicted_adv)
+                ++c.truePos;
+            else
+                ++c.falseNeg;
+        } else {
+            if (predicted_adv)
+                ++c.falsePos;
+            else
+                ++c.trueNeg;
+        }
+    }
+    return c;
+}
+
+} // namespace ptolemy

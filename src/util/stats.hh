@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harnesses.
+ */
+
+#ifndef PTOLEMY_UTIL_STATS_HH
+#define PTOLEMY_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ptolemy
+{
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Minimum; 0 for an empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; 0 for an empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Percentile with linear interpolation, @p p in [0, 100].
+ * Used for the paper's "90-percentile path similarity" statistics.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Area under the ROC curve for binary labels.
+ *
+ * @param scores Higher score means "more likely adversarial".
+ * @param labels 1 = adversarial (positive), 0 = benign.
+ * @return AUC in [0, 1]; 0.5 for degenerate inputs with one class only.
+ */
+double aucScore(const std::vector<double> &scores,
+                const std::vector<int> &labels);
+
+/** True/false positive counts at a fixed decision threshold. */
+struct DetectionCounts
+{
+    std::size_t truePos = 0;
+    std::size_t falsePos = 0;
+    std::size_t trueNeg = 0;
+    std::size_t falseNeg = 0;
+
+    double tpr() const;
+    double fpr() const;
+    double accuracy() const;
+};
+
+/** Confusion counts for thresholded scores. */
+DetectionCounts countsAtThreshold(const std::vector<double> &scores,
+                                  const std::vector<int> &labels,
+                                  double threshold);
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_STATS_HH

@@ -1,0 +1,102 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ptolemy
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    headerCells = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    assert(cells.size() == headerCells.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headerCells.size(), 0);
+    for (std::size_t c = 0; c < headerCells.size(); ++c)
+        width[c] = headerCells[c].size();
+    for (const auto &r : rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << " " << cells[c];
+            for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+    auto print_sep = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            for (std::size_t pad = 0; pad < width[c] + 2; ++pad)
+                os << '-';
+            os << "+";
+        }
+        os << "\n";
+    };
+
+    os << "== " << tableTitle << " ==\n";
+    print_sep();
+    print_row(headerCells);
+    print_sep();
+    for (const auto &r : rows)
+        print_row(r);
+    print_sep();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headerCells);
+    for (const auto &r : rows)
+        emit(r);
+}
+
+std::string
+fmt(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+fmtX(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", digits, value);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace ptolemy

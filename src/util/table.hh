@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harnesses to print the rows
+ * and series that match the paper's tables and figures.
+ */
+
+#ifndef PTOLEMY_UTIL_TABLE_HH
+#define PTOLEMY_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptolemy
+{
+
+/**
+ * Column-aligned table with a title, a header row and string cells.
+ *
+ * Numeric formatting is the caller's job (see fmt() helpers below) so that
+ * each bench can match the precision the paper reports.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : tableTitle(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with box-drawing separators to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string tableTitle;
+    std::vector<std::string> headerCells;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits decimal places. */
+std::string fmt(double value, int digits = 3);
+
+/** Format a ratio like the paper's overheads, e.g. "12.3x". */
+std::string fmtX(double value, int digits = 1);
+
+/** Format a percentage, e.g. "5.2%". */
+std::string fmtPct(double fraction, int digits = 1);
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_TABLE_HH

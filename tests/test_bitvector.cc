@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the BitVector path representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitvector.hh"
+#include "util/rng.hh"
+
+namespace ptolemy
+{
+namespace
+{
+
+TEST(BitVector, StartsAllZero)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_EQ(v.popcount(), 0u);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, SetClearTest)
+{
+    BitVector v(100);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(99);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(99));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.clear(63);
+    EXPECT_FALSE(v.test(63));
+    EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, ResetKeepsSize)
+{
+    BitVector v(70);
+    v.set(5);
+    v.reset();
+    EXPECT_EQ(v.size(), 70u);
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, OrAggregation)
+{
+    BitVector a(128), b(128);
+    a.set(3);
+    a.set(100);
+    b.set(100);
+    b.set(127);
+    a |= b;
+    EXPECT_TRUE(a.test(3));
+    EXPECT_TRUE(a.test(100));
+    EXPECT_TRUE(a.test(127));
+    EXPECT_EQ(a.popcount(), 3u);
+}
+
+TEST(BitVector, AndPopcountMatchesMaterializedAnd)
+{
+    Rng rng(11);
+    BitVector a(517), b(517);
+    for (int i = 0; i < 200; ++i) {
+        a.set(rng.below(517));
+        b.set(rng.below(517));
+    }
+    BitVector c = a;
+    c &= b;
+    EXPECT_EQ(a.andPopcount(b), c.popcount());
+}
+
+TEST(BitVector, PopcountRange)
+{
+    BitVector v(256);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(128);
+    v.set(255);
+    EXPECT_EQ(v.popcountRange(0, 256), 5u);
+    EXPECT_EQ(v.popcountRange(0, 64), 2u);
+    EXPECT_EQ(v.popcountRange(64, 128), 1u);
+    EXPECT_EQ(v.popcountRange(64, 65), 1u);
+    EXPECT_EQ(v.popcountRange(65, 128), 0u);
+    EXPECT_EQ(v.popcountRange(128, 256), 2u);
+    EXPECT_EQ(v.popcountRange(10, 10), 0u);
+}
+
+TEST(BitVector, AndPopcountRange)
+{
+    BitVector a(200), b(200);
+    a.set(5);
+    a.set(70);
+    a.set(150);
+    b.set(5);
+    b.set(150);
+    EXPECT_EQ(a.andPopcountRange(b, 0, 200), 2u);
+    EXPECT_EQ(a.andPopcountRange(b, 0, 64), 1u);
+    EXPECT_EQ(a.andPopcountRange(b, 64, 128), 0u);
+    EXPECT_EQ(a.andPopcountRange(b, 100, 200), 1u);
+}
+
+TEST(BitVector, JaccardSimilarity)
+{
+    BitVector a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    // intersection 1, union 3
+    EXPECT_DOUBLE_EQ(a.jaccard(b), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(a.jaccard(a), 1.0);
+    BitVector e1(64), e2(64);
+    EXPECT_DOUBLE_EQ(e1.jaccard(e2), 1.0); // both empty: identical
+}
+
+TEST(BitVector, SerializeRoundtrip)
+{
+    Rng rng(99);
+    BitVector v(321);
+    for (int i = 0; i < 100; ++i)
+        v.set(rng.below(321));
+    BitVector w;
+    ASSERT_TRUE(BitVector::deserialize(v.serialize(), w));
+    EXPECT_EQ(v, w);
+}
+
+TEST(BitVector, DeserializeRejectsGarbage)
+{
+    BitVector w;
+    EXPECT_FALSE(BitVector::deserialize("", w));
+    EXPECT_FALSE(BitVector::deserialize("abc", w));
+    std::string truncated = BitVector(200).serialize();
+    truncated.resize(truncated.size() - 3);
+    EXPECT_FALSE(BitVector::deserialize(truncated, w));
+}
+
+/** Property sweep: popcountRange sums over a partition equal popcount. */
+class BitVectorSizeSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BitVectorSizeSweep, RangePartitionSumsToTotal)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n);
+    BitVector v(n);
+    for (std::size_t i = 0; i < n / 3 + 1; ++i)
+        v.set(rng.below(n));
+    const std::size_t step = n / 7 + 1;
+    std::size_t total = 0;
+    for (std::size_t lo = 0; lo < n; lo += step)
+        total += v.popcountRange(lo, std::min(n, lo + step));
+    EXPECT_EQ(total, v.popcount());
+}
+
+TEST_P(BitVectorSizeSweep, AndPopcountSymmetric)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 3 + 1);
+    BitVector a(n), b(n);
+    for (std::size_t i = 0; i < n / 2 + 1; ++i) {
+        a.set(rng.below(n));
+        b.set(rng.below(n));
+    }
+    EXPECT_EQ(a.andPopcount(b), b.andPopcount(a));
+    EXPECT_LE(a.andPopcount(b), std::min(a.popcount(), b.popcount()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeSweep,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           4096));
+
+} // namespace
+} // namespace ptolemy

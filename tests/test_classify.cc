@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Decision tree and random forest tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "classify/random_forest.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace ptolemy::classify
+{
+namespace
+{
+
+/** Two 2-D Gaussian blobs with some overlap. */
+void
+makeBlobs(std::size_t n_per_class, FeatureMatrix &x, std::vector<int> &y,
+          std::uint64_t seed, double separation = 2.0)
+{
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n_per_class; ++i) {
+        x.push_back({rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)});
+        y.push_back(0);
+        x.push_back({rng.gaussian(separation, 1.0),
+                     rng.gaussian(separation, 1.0)});
+        y.push_back(1);
+    }
+}
+
+TEST(DecisionTree, FitsSeparableData)
+{
+    FeatureMatrix x;
+    std::vector<int> y;
+    makeBlobs(100, x, y, 1, 6.0); // well separated
+
+    std::vector<std::size_t> rows(x.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    DecisionTree tree;
+    Rng rng(2);
+    tree.fit(x, y, rows, DecisionTree::GrowthConfig{}, rng);
+
+    int correct = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        correct += (tree.predict(x[i]) >= 0.5) == (y[i] == 1);
+    EXPECT_GT(static_cast<double>(correct) / x.size(), 0.97);
+    EXPECT_GT(tree.numNodes(), 1u);
+    EXPECT_LE(tree.depth(), 12);
+}
+
+TEST(DecisionTree, PureDataYieldsLeafOnly)
+{
+    FeatureMatrix x = {{1.0}, {2.0}, {3.0}};
+    std::vector<int> y = {1, 1, 1};
+    std::vector<std::size_t> rows = {0, 1, 2};
+    DecisionTree tree;
+    Rng rng(3);
+    tree.fit(x, y, rows, DecisionTree::GrowthConfig{}, rng);
+    EXPECT_EQ(tree.numNodes(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predict({5.0}), 1.0);
+    EXPECT_EQ(tree.decisionOps({5.0}), 0u);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    Rng data_rng(4);
+    FeatureMatrix x;
+    std::vector<int> y;
+    for (int i = 0; i < 400; ++i) {
+        x.push_back({data_rng.uniform(), data_rng.uniform()});
+        y.push_back(data_rng.bernoulli(0.5) ? 1 : 0); // pure noise
+    }
+    std::vector<std::size_t> rows(x.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        rows[i] = i;
+    DecisionTree::GrowthConfig gc;
+    gc.maxDepth = 4;
+    DecisionTree tree;
+    Rng rng(5);
+    tree.fit(x, y, rows, gc, rng);
+    EXPECT_LE(tree.depth(), 4);
+}
+
+TEST(RandomForest, BeatsChanceOnOverlappingBlobs)
+{
+    FeatureMatrix x;
+    std::vector<int> y;
+    makeBlobs(150, x, y, 6, 1.5);
+    FeatureMatrix xt;
+    std::vector<int> yt;
+    makeBlobs(80, xt, yt, 7, 1.5);
+
+    RandomForest rf;
+    rf.fit(x, y);
+    std::vector<double> scores;
+    for (const auto &row : xt)
+        scores.push_back(rf.predictProb(row));
+    EXPECT_GT(aucScore(scores, yt), 0.85);
+}
+
+TEST(RandomForest, MatchesPaperScaleDescription)
+{
+    // "100 decision trees, each of which has an average depth of 12"
+    // (Sec. V-D). Our default config matches tree count and caps depth.
+    FeatureMatrix x;
+    std::vector<int> y;
+    makeBlobs(100, x, y, 8, 1.0);
+    RandomForest rf;
+    rf.fit(x, y);
+    EXPECT_EQ(rf.numTrees(), 100);
+    EXPECT_LE(rf.avgDepth(), 12.0);
+    // Total decision ops stay in the low thousands -> microseconds on an
+    // MCU, five orders below inference (paper Sec. V-D).
+    EXPECT_LT(rf.decisionOps(x[0]), 2000u);
+}
+
+TEST(RandomForest, DeterministicForSeed)
+{
+    FeatureMatrix x;
+    std::vector<int> y;
+    makeBlobs(60, x, y, 9, 2.0);
+    RandomForest a, b;
+    a.fit(x, y);
+    b.fit(x, y);
+    for (std::size_t i = 0; i < x.size(); i += 13)
+        EXPECT_DOUBLE_EQ(a.predictProb(x[i]), b.predictProb(x[i]));
+}
+
+TEST(RandomForest, UnfittedPredictsHalf)
+{
+    RandomForest rf;
+    EXPECT_DOUBLE_EQ(rf.predictProb({0.5}), 0.5);
+}
+
+} // namespace
+} // namespace ptolemy::classify

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic dataset tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::data
+{
+namespace
+{
+
+TEST(SyntheticData, ShapesAndCounts)
+{
+    DatasetSpec spec;
+    spec.numClasses = 10;
+    spec.trainPerClass = 8;
+    spec.testPerClass = 3;
+    const auto ds = makeSyntheticDataset(spec);
+    EXPECT_EQ(ds.train.size(), 80u);
+    EXPECT_EQ(ds.test.size(), 30u);
+    EXPECT_EQ(ds.numClasses, 10);
+    for (const auto &s : ds.train) {
+        EXPECT_EQ(s.input.shape(), nn::mapShape(3, 16, 16));
+        EXPECT_LT(s.label, 10u);
+    }
+}
+
+TEST(SyntheticData, PixelRangeIsValidImage)
+{
+    DatasetSpec spec;
+    spec.trainPerClass = 5;
+    spec.testPerClass = 1;
+    const auto ds = makeSyntheticDataset(spec);
+    for (const auto &s : ds.train)
+        for (std::size_t i = 0; i < s.input.size(); ++i) {
+            EXPECT_GE(s.input[i], 0.0f);
+            EXPECT_LE(s.input[i], 1.0f);
+        }
+}
+
+TEST(SyntheticData, DeterministicForSeed)
+{
+    DatasetSpec spec;
+    spec.trainPerClass = 4;
+    spec.testPerClass = 2;
+    const auto a = makeSyntheticDataset(spec);
+    const auto b = makeSyntheticDataset(spec);
+    ASSERT_EQ(a.train.size(), b.train.size());
+    for (std::size_t i = 0; i < a.train.size(); ++i)
+        for (std::size_t j = 0; j < a.train[i].input.size(); ++j)
+            EXPECT_EQ(a.train[i].input[j], b.train[i].input[j]);
+}
+
+TEST(SyntheticData, DifferentSeedsDiffer)
+{
+    DatasetSpec a_spec, b_spec;
+    a_spec.trainPerClass = b_spec.trainPerClass = 2;
+    a_spec.testPerClass = b_spec.testPerClass = 1;
+    b_spec.seed = a_spec.seed + 1;
+    const auto a = makeSyntheticDataset(a_spec);
+    const auto b = makeSyntheticDataset(b_spec);
+    int diffs = 0;
+    for (std::size_t j = 0; j < a.train[0].input.size(); ++j)
+        diffs += a.train[0].input[j] != b.train[0].input[j];
+    EXPECT_GT(diffs, 100);
+}
+
+TEST(SyntheticData, ClassesAreVisuallyDistinct)
+{
+    // Mean image of different classes should differ clearly more than two
+    // samples of the same class differ from their own mean.
+    DatasetSpec spec;
+    spec.trainPerClass = 20;
+    spec.testPerClass = 1;
+    spec.noiseSigma = 0.03;
+    const auto ds = makeSyntheticDataset(spec);
+
+    auto class_mean = [&](int cls) {
+        nn::Tensor m(nn::mapShape(3, 16, 16));
+        int n = 0;
+        for (const auto &s : ds.train)
+            if (static_cast<int>(s.label) == cls) {
+                m += s.input;
+                ++n;
+            }
+        m *= 1.0f / n;
+        return m;
+    };
+    const auto m0 = class_mean(0);
+    const auto m1 = class_mean(1);
+    double inter = 0.0;
+    for (std::size_t i = 0; i < m0.size(); ++i)
+        inter += (m0[i] - m1[i]) * (m0[i] - m1[i]);
+    EXPECT_GT(inter / m0.size(), 1e-3);
+}
+
+TEST(SyntheticData, HundredClassVariantWorks)
+{
+    DatasetSpec spec;
+    spec.numClasses = 100;
+    spec.trainPerClass = 2;
+    spec.testPerClass = 1;
+    const auto ds = makeSyntheticDataset(spec);
+    EXPECT_EQ(ds.train.size(), 200u);
+    std::size_t max_label = 0;
+    for (const auto &s : ds.train)
+        max_label = std::max(max_label, s.label);
+    EXPECT_EQ(max_label, 99u);
+}
+
+} // namespace
+} // namespace ptolemy::data

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Area / DRAM / energy model tests against the paper's Sec. VII-A and
+ * VII-G accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/area.hh"
+#include "hw/energy.hh"
+
+namespace ptolemy::hw
+{
+namespace
+{
+
+TEST(AreaModel, DefaultConfigMatchesPaperOverhead)
+{
+    const auto a = areaBreakdown(HwConfig::baseline());
+    // Paper: 5.2% total (0.08 mm^2), 3.9% SRAM, 0.4% MAC, 0.9% logic.
+    EXPECT_NEAR(a.overheadFraction, 0.052, 0.006);
+    EXPECT_NEAR(a.totalOverheadMm2, 0.08, 0.01);
+    EXPECT_NEAR(a.sramFraction, 0.039, 0.005);
+    EXPECT_NEAR(a.macFraction, 0.004, 0.002);
+    EXPECT_NEAR(a.logicFraction, 0.009, 0.004);
+    // Components sum to the total.
+    EXPECT_NEAR(a.extraSramMm2 + a.macAugmentMm2 + a.otherLogicMm2,
+                a.totalOverheadMm2, 1e-12);
+}
+
+TEST(AreaModel, EightBitIncreasesOverheadFraction)
+{
+    // Paper Sec. VII-G: 5.2% -> 5.5% at 8 bit.
+    const auto base = areaBreakdown(HwConfig::baseline());
+    const auto eight = areaBreakdown(HwConfig::eightBit());
+    EXPECT_GT(eight.overheadFraction, base.overheadFraction);
+    EXPECT_NEAR(eight.overheadFraction, 0.055, 0.008);
+}
+
+TEST(AreaModel, BigArrayIncreasesOverheadFraction)
+{
+    // Paper Sec. VII-G: 5.2% -> 6.4% at 32x32.
+    const auto base = areaBreakdown(HwConfig::baseline());
+    const auto big = areaBreakdown(HwConfig::bigArray());
+    EXPECT_GT(big.overheadFraction, base.overheadFraction);
+    EXPECT_NEAR(big.overheadFraction, 0.064, 0.012);
+}
+
+TEST(DramModel, MasksAreBitPacked)
+{
+    const HwConfig cfg = HwConfig::baseline();
+    // 8 mask bits -> 1 byte, double-buffered -> 2 bytes.
+    EXPECT_EQ(extraDramBytes(cfg, 0, 8, 0), 2u);
+}
+
+TEST(DramModel, PsumStoreDwarfsMaskStore)
+{
+    const HwConfig cfg = HwConfig::baseline();
+    const std::size_t n = 1'000'000; // psums == mask bits
+    EXPECT_GT(extraDramBytes(cfg, n, 0, 0),
+              20 * extraDramBytes(cfg, 0, n, 0));
+}
+
+TEST(DramModel, RecomputeBuffersOnlyImportantRfs)
+{
+    const HwConfig cfg = HwConfig::baseline();
+    // Under recompute only ~5% of psums are ever materialized
+    // (paper Sec. IV-B observation).
+    const std::size_t all = 1'000'000, important = 50'000;
+    EXPECT_LT(extraDramBytes(cfg, 0, 0, important),
+              extraDramBytes(cfg, all, 0, 0) / 10);
+}
+
+TEST(EnergyModel, DramDominatesSramPerByte)
+{
+    const EnergyModel e(HwConfig::baseline());
+    EXPECT_GT(e.dramByte(), 10.0 * e.sramByte() / 2.0);
+    EXPECT_GT(e.macOp(), 0.0);
+    EXPECT_GT(e.sortCompare(), e.maskBit());
+}
+
+TEST(EnergyModel, EightBitCheaperPerOp)
+{
+    const EnergyModel e16(HwConfig::baseline());
+    const EnergyModel e8(HwConfig::eightBit());
+    EXPECT_LT(e8.macOp(), e16.macOp());
+    EXPECT_LT(e8.sortCompare(), e16.sortCompare());
+}
+
+TEST(HwConfigTest, DerivedQuantities)
+{
+    const HwConfig cfg = HwConfig::baseline();
+    EXPECT_EQ(cfg.macsPerCycle(), 400u);
+    EXPECT_EQ(cfg.elemBytes(), 2u);
+    // 4 channels x 12.8 GB/s at 250 MHz ~ 204.8 B/cycle.
+    EXPECT_NEAR(cfg.dramBytesPerCycle(), 204.8, 0.1);
+}
+
+} // namespace
+} // namespace ptolemy::hw

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ISA tests: 24-bit encode/decode roundtrips, Table I operand arities,
+ * and the assembler with the paper's Listing 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace ptolemy::isa
+{
+namespace
+{
+
+TEST(Instruction, EncodingFitsIn24Bits)
+{
+    const auto ins = makeInfSp(15, 14, 13, 12);
+    EXPECT_LT(ins.encode(), 1u << 24);
+    const auto mv = makeMov(15, 0xFFFF);
+    EXPECT_LT(mv.encode(), 1u << 24);
+}
+
+class OpcodeRoundtrip : public ::testing::TestWithParam<Instruction>
+{
+};
+
+TEST_P(OpcodeRoundtrip, EncodeDecodeIdentity)
+{
+    const Instruction ins = GetParam();
+    EXPECT_EQ(Instruction::decode(ins.encode()), ins);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundtrip,
+    ::testing::Values(makeInf(1, 2, 3), makeInfSp(4, 5, 6, 7),
+                      makeCsps(8, 9, 10), makeSort(1, 3, 6),
+                      makeAcum(6, 1, 5), makeGenMasks(2, 14),
+                      makeFindNeuron(5, 3, 4), makeFindRf(4, 1),
+                      makeCls(13, 14, 15), makeMov(3, 0x200),
+                      makeMovR(2, 9), makeDec(11), makeJne(11, 5),
+                      makeHalt()));
+
+TEST(Instruction, OperandArityMatchesTableI)
+{
+    EXPECT_EQ(opcodeNumRegs(Opcode::Inf), 3);
+    EXPECT_EQ(opcodeNumRegs(Opcode::InfSp), 4);
+    EXPECT_EQ(opcodeNumRegs(Opcode::Csps), 3);
+    EXPECT_EQ(opcodeNumRegs(Opcode::Sort), 3);
+    EXPECT_EQ(opcodeNumRegs(Opcode::Acum), 3);
+    EXPECT_EQ(opcodeNumRegs(Opcode::GenMasks), 2);
+    EXPECT_EQ(opcodeNumRegs(Opcode::FindNeuron), 3);
+    EXPECT_EQ(opcodeNumRegs(Opcode::FindRf), 2);
+    EXPECT_EQ(opcodeNumRegs(Opcode::Cls), 3);
+}
+
+TEST(Instruction, ClassesMatchTableI)
+{
+    EXPECT_EQ(opcodeClass(Opcode::Inf), InstrClass::Inference);
+    EXPECT_EQ(opcodeClass(Opcode::Csps), InstrClass::Inference);
+    EXPECT_EQ(opcodeClass(Opcode::Sort), InstrClass::PathConstruction);
+    EXPECT_EQ(opcodeClass(Opcode::FindRf), InstrClass::PathConstruction);
+    EXPECT_EQ(opcodeClass(Opcode::Cls), InstrClass::Classification);
+    EXPECT_EQ(opcodeClass(Opcode::Mov), InstrClass::Other);
+    EXPECT_EQ(opcodeClass(Opcode::Jne), InstrClass::Other);
+}
+
+TEST(Instruction, ToStringRendersOperands)
+{
+    EXPECT_EQ(makeSort(1, 3, 6).toString(), "sort r1, r3, r6");
+    EXPECT_EQ(makeMov(3, 0x200).toString(), "mov r3, 0x200");
+    EXPECT_EQ(makeHalt().toString(), "halt");
+}
+
+TEST(Program, CodeBytesAreThreePerInstruction)
+{
+    Program p;
+    p.append(makeMov(3, 1));
+    p.append(makeHalt());
+    EXPECT_EQ(p.codeBytes(), 6u);
+    EXPECT_NE(p.disassemble().find("mov r3"), std::string::npos);
+}
+
+TEST(Assembler, AssemblesListingOneStyleProgram)
+{
+    // The paper's Listing 1 (cumulative-threshold extraction kernel),
+    // with the omitted loop-prologue lines made concrete.
+    const std::string src = R"(
+.set rfsize 0x200
+.set thrd 0x08
+mov r3, rfsize
+mov r5, thrd
+mov r11, 0x10
+<start>
+findneuron r2, r7, r4
+findrf r4, r1
+sort r1, r3, r6
+acum r6, r1, r5
+dec r11
+jne r11, <start>
+halt
+)";
+    const auto res = assemble(src);
+    ASSERT_TRUE(res.ok) << res.error;
+    // mov x3, findneuron, findrf, sort, acum, dec, jne, halt.
+    EXPECT_EQ(res.program.size(), 10u);
+    // Program stays under 100 bytes (paper Sec. V-D).
+    EXPECT_LT(res.program.codeBytes(), 100u);
+    // Label resolved to the findneuron instruction (index 3).
+    const auto &jne = res.program.instruction(8);
+    EXPECT_EQ(jne.op, Opcode::Jne);
+    EXPECT_EQ(jne.imm, 3);
+    // .set constant resolved.
+    EXPECT_EQ(res.program.instruction(0).imm, 0x200);
+}
+
+TEST(Assembler, ReportsUnknownMnemonic)
+{
+    const auto res = assemble("frobnicate r1, r2\n");
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Assembler, ReportsBadRegister)
+{
+    EXPECT_FALSE(assemble("dec r16\n").ok);
+    EXPECT_FALSE(assemble("dec x1\n").ok);
+}
+
+TEST(Assembler, ReportsOperandCountMismatch)
+{
+    EXPECT_FALSE(assemble("sort r1, r2\n").ok);
+}
+
+TEST(Assembler, ReportsUnresolvedLabel)
+{
+    EXPECT_FALSE(assemble("jne r1, <nowhere>\n").ok);
+}
+
+TEST(Assembler, IgnoresCommentsAndBlankLines)
+{
+    const auto res = assemble("; comment only\n\nhalt ; trailing\n");
+    ASSERT_TRUE(res.ok);
+    EXPECT_EQ(res.program.size(), 1u);
+}
+
+TEST(Assembler, RoundTripsThroughDisassembly)
+{
+    const auto res = assemble("mov r3, 0x20\nsort r1, r3, r6\nhalt\n");
+    ASSERT_TRUE(res.ok);
+    const auto res2 = assemble(res.program.disassemble() == ""
+                                   ? "halt"
+                                   : "mov r3, 0x20\nsort r1, r3, r6\nhalt");
+    ASSERT_TRUE(res2.ok);
+    for (std::size_t i = 0; i < res.program.size(); ++i)
+        EXPECT_EQ(res.program.instruction(i), res2.program.instruction(i));
+}
+
+} // namespace
+} // namespace ptolemy::isa

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Layer forward correctness (including the paper's Fig. 3 worked example)
+ * and backward numerical gradient checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/linear.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::nn
+{
+namespace
+{
+
+/** loss = sum(weight_i * out_i); returns analytic dLoss/dInput. */
+Tensor
+analyticInputGrad(Layer &layer, const Tensor &x, const Tensor &loss_w)
+{
+    auto out = layer.forward({&x}, false);
+    EXPECT_EQ(out.size(), loss_w.size());
+    auto grads = layer.backward(loss_w);
+    return grads[0];
+}
+
+/** Central-difference dLoss/dInput for the same loss. */
+Tensor
+numericInputGrad(Layer &layer, const Tensor &x, const Tensor &loss_w,
+                 float h = 1e-3f)
+{
+    Tensor g(x.shape());
+    Tensor xp = x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        xp[i] = x[i] + h;
+        auto up = layer.forward({&xp}, false);
+        xp[i] = x[i] - h;
+        auto dn = layer.forward({&xp}, false);
+        xp[i] = x[i];
+        double lp = 0.0, ln = 0.0;
+        for (std::size_t o = 0; o < up.size(); ++o) {
+            lp += static_cast<double>(loss_w[o]) * up[o];
+            ln += static_cast<double>(loss_w[o]) * dn[o];
+        }
+        g[i] = static_cast<float>((lp - ln) / (2.0 * h));
+    }
+    return g;
+}
+
+void
+expectGradsClose(const Tensor &a, const Tensor &b, float tol = 2e-2f)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], tol) << "at index " << i;
+}
+
+Tensor
+randomTensor(Shape s, std::uint64_t seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    Tensor t(s);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.gaussian(0.0, scale));
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(LinearLayer, ForwardMatchesManualDotProduct)
+{
+    Linear lin("fc", 3, 2);
+    lin.weights() = {1.0f, 2.0f, 3.0f, /*row1*/ -1.0f, 0.5f, 0.0f};
+    lin.biases() = {0.5f, -0.5f};
+    Tensor x(flatShape(3), {1.0f, 1.0f, 2.0f});
+    auto y = lin.forward({&x}, false);
+    EXPECT_FLOAT_EQ(y[0], 1.0f + 2.0f + 6.0f + 0.5f);
+    EXPECT_FLOAT_EQ(y[1], -1.0f + 0.5f + 0.0f - 0.5f);
+}
+
+TEST(LinearLayer, PartialSumsMatchPaperFig3FcExample)
+{
+    // Paper Fig. 3 (left): inputs produce partial sums
+    // 0.1*2.1, 1.0*0.09, 0.4*0.2, 0.3*0.2, 0.2*0.1 summing to 0.46.
+    Linear lin("fc", 5, 1);
+    lin.weights() = {2.1f, 0.09f, 0.2f, 0.2f, 0.1f};
+    lin.biases() = {0.0f};
+    Tensor x(flatShape(5), {0.1f, 1.0f, 0.4f, 0.3f, 0.2f});
+    auto y = lin.forward({&x}, false);
+    EXPECT_NEAR(y[0], 0.46f, 1e-6);
+
+    std::vector<PartialSum> ps;
+    lin.partialSums(x, 0, ps);
+    ASSERT_EQ(ps.size(), 5u);
+    EXPECT_NEAR(ps[0].value, 0.21f, 1e-6);
+    EXPECT_NEAR(ps[1].value, 0.09f, 1e-6);
+    double total = 0.0;
+    for (const auto &p : ps)
+        total += p.value;
+    EXPECT_NEAR(total, 0.46, 1e-6);
+}
+
+TEST(LinearLayer, BackwardNumericalGradient)
+{
+    Linear lin("fc", 6, 4);
+    Rng rng(3);
+    for (auto &w : lin.weights())
+        w = static_cast<float>(rng.gaussian(0.0, 0.5));
+    const Tensor x = randomTensor(flatShape(6), 10);
+    const Tensor lw = randomTensor(flatShape(4), 11);
+    expectGradsClose(analyticInputGrad(lin, x, lw),
+                     numericInputGrad(lin, x, lw));
+}
+
+TEST(ConvLayer, ForwardIdentityKernel)
+{
+    // 1x1 kernel with weight 1 and zero bias must copy the input.
+    Conv2d conv("c", 1, 1, 1, 1, 0);
+    conv.weights() = {1.0f};
+    Tensor x = randomTensor(mapShape(1, 4, 4), 5);
+    auto y = conv.forward({&x}, false);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(ConvLayer, OutputShapeWithStrideAndPad)
+{
+    Conv2d conv("c", 3, 8, 3, 2, 1);
+    const Shape out = conv.outputShape({mapShape(3, 16, 16)});
+    EXPECT_EQ(out.c, 8);
+    EXPECT_EQ(out.h, 8);
+    EXPECT_EQ(out.w, 8);
+}
+
+TEST(ConvLayer, PartialSumsSumToOutputMinusBias)
+{
+    Conv2d conv("c", 2, 3, 3, 1, 1);
+    Rng rng(8);
+    for (auto &w : conv.weights())
+        w = static_cast<float>(rng.gaussian(0.0, 0.5));
+    conv.biases() = {0.1f, -0.2f, 0.3f};
+    const Tensor x = randomTensor(mapShape(2, 5, 5), 21);
+    auto y = conv.forward({&x}, false);
+
+    std::vector<PartialSum> ps;
+    for (std::size_t o = 0; o < y.size(); o += 7) {
+        conv.partialSums(x, o, ps);
+        double total = 0.0;
+        for (const auto &p : ps)
+            total += p.value;
+        const int oc = static_cast<int>(o / (5 * 5));
+        EXPECT_NEAR(total, y[o] - conv.biases()[oc], 1e-4);
+    }
+}
+
+TEST(ConvLayer, ReceptiveFieldSizeInterior)
+{
+    Conv2d conv("c", 4, 2, 3, 1, 1);
+    EXPECT_EQ(conv.receptiveFieldSize(), 4u * 3 * 3);
+}
+
+TEST(ConvLayer, BackwardNumericalGradient)
+{
+    Conv2d conv("c", 2, 3, 3, 1, 1);
+    Rng rng(4);
+    for (auto &w : conv.weights())
+        w = static_cast<float>(rng.gaussian(0.0, 0.5));
+    const Tensor x = randomTensor(mapShape(2, 4, 4), 12);
+    const Tensor lw = randomTensor(mapShape(3, 4, 4), 13);
+    expectGradsClose(analyticInputGrad(conv, x, lw),
+                     numericInputGrad(conv, x, lw));
+}
+
+TEST(ConvLayer, StridedBackwardNumericalGradient)
+{
+    Conv2d conv("c", 2, 2, 3, 2, 1);
+    Rng rng(6);
+    for (auto &w : conv.weights())
+        w = static_cast<float>(rng.gaussian(0.0, 0.5));
+    const Tensor x = randomTensor(mapShape(2, 6, 6), 14);
+    const Tensor lw = randomTensor(mapShape(2, 3, 3), 15);
+    expectGradsClose(analyticInputGrad(conv, x, lw),
+                     numericInputGrad(conv, x, lw));
+}
+
+TEST(ReLULayer, ForwardAndMaskedBackward)
+{
+    ReLU relu("r");
+    Tensor x(flatShape(4), {-1.0f, 2.0f, 0.0f, 3.0f});
+    auto y = relu.forward({&x}, false);
+    EXPECT_FLOAT_EQ(y[0], 0.0f);
+    EXPECT_FLOAT_EQ(y[1], 2.0f);
+    EXPECT_FLOAT_EQ(y[3], 3.0f);
+    Tensor g(flatShape(4), {1.0f, 1.0f, 1.0f, 1.0f});
+    auto gi = relu.backward(g);
+    EXPECT_FLOAT_EQ(gi[0][0], 0.0f);
+    EXPECT_FLOAT_EQ(gi[0][1], 1.0f);
+    EXPECT_FLOAT_EQ(gi[0][2], 0.0f);
+}
+
+TEST(MaxPoolLayer, ForwardPicksWindowMax)
+{
+    MaxPool2d pool("p", 2);
+    Tensor x(mapShape(1, 2, 2), {1.0f, 4.0f, 3.0f, 2.0f});
+    auto y = pool.forward({&x}, false);
+    ASSERT_EQ(y.size(), 1u);
+    EXPECT_FLOAT_EQ(y[0], 4.0f);
+}
+
+TEST(MaxPoolLayer, BackwardRoutesToArgmax)
+{
+    MaxPool2d pool("p", 2);
+    Tensor x(mapShape(1, 2, 2), {1.0f, 4.0f, 3.0f, 2.0f});
+    pool.forward({&x}, false);
+    Tensor g(mapShape(1, 1, 1), {2.5f});
+    auto gi = pool.backward(g);
+    EXPECT_FLOAT_EQ(gi[0][1], 2.5f);
+    EXPECT_FLOAT_EQ(gi[0][0], 0.0f);
+    EXPECT_FLOAT_EQ(gi[0][2], 0.0f);
+}
+
+TEST(MaxPoolLayer, BackmapFindsWinner)
+{
+    MaxPool2d pool("p", 2);
+    Tensor x(mapShape(1, 2, 2), {1.0f, 4.0f, 3.0f, 2.0f});
+    auto y = pool.forward({&x}, false);
+    std::vector<std::vector<std::size_t>> per_input;
+    pool.backmapImportant({&x}, y, {0}, per_input);
+    ASSERT_EQ(per_input.size(), 1u);
+    ASSERT_EQ(per_input[0].size(), 1u);
+    EXPECT_EQ(per_input[0][0], 1u);
+}
+
+TEST(GlobalAvgPoolLayer, ForwardAveragesChannel)
+{
+    GlobalAvgPool gap("g");
+    Tensor x(mapShape(2, 2, 2),
+             {1.0f, 2.0f, 3.0f, 4.0f, 10.0f, 10.0f, 10.0f, 10.0f});
+    auto y = gap.forward({&x}, false);
+    EXPECT_FLOAT_EQ(y[0], 2.5f);
+    EXPECT_FLOAT_EQ(y[1], 10.0f);
+}
+
+TEST(GlobalAvgPoolLayer, BackwardSpreadsUniformly)
+{
+    GlobalAvgPool gap("g");
+    Tensor x = randomTensor(mapShape(1, 2, 2), 30);
+    gap.forward({&x}, false);
+    Tensor g(flatShape(1), {4.0f});
+    auto gi = gap.backward(g);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(gi[0][i], 1.0f);
+}
+
+TEST(FlattenLayer, RoundTripValues)
+{
+    Flatten flat("f");
+    Tensor x = randomTensor(mapShape(2, 3, 3), 31);
+    auto y = flat.forward({&x}, false);
+    EXPECT_TRUE(y.shape().isFlat());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_FLOAT_EQ(y[i], x[i]);
+    auto gi = flat.backward(y);
+    EXPECT_EQ(gi[0].shape(), x.shape());
+}
+
+TEST(AddLayer, ForwardAndBackward)
+{
+    Add add("a");
+    Tensor a(flatShape(3), {1.0f, 2.0f, 3.0f});
+    Tensor b(flatShape(3), {0.1f, 0.2f, 0.3f});
+    auto y = add.forward({&a, &b}, false);
+    EXPECT_FLOAT_EQ(y[2], 3.3f);
+    Tensor g(flatShape(3), {1.0f, 1.0f, 1.0f});
+    auto gi = add.backward(g);
+    ASSERT_EQ(gi.size(), 2u);
+    EXPECT_FLOAT_EQ(gi[0][0], 1.0f);
+    EXPECT_FLOAT_EQ(gi[1][0], 1.0f);
+}
+
+TEST(ConcatLayer, SplitsImportanceByBranch)
+{
+    Concat cat("c");
+    Tensor a = randomTensor(mapShape(2, 2, 2), 40);
+    Tensor b = randomTensor(mapShape(3, 2, 2), 41);
+    auto y = cat.forward({&a, &b}, false);
+    EXPECT_EQ(y.shape().c, 5);
+    std::vector<std::vector<std::size_t>> per_input;
+    cat.backmapImportant({&a, &b}, y, {0, 7, 8, 19}, per_input);
+    ASSERT_EQ(per_input.size(), 2u);
+    EXPECT_EQ(per_input[0], (std::vector<std::size_t>{0, 7}));
+    EXPECT_EQ(per_input[1], (std::vector<std::size_t>{0, 11}));
+}
+
+TEST(DownsamplePadLayer, ShapeAndValues)
+{
+    DownsamplePad ds("d");
+    Tensor x = randomTensor(mapShape(2, 4, 4), 50);
+    auto y = ds.forward({&x}, false);
+    EXPECT_EQ(y.shape().c, 4);
+    EXPECT_EQ(y.shape().h, 2);
+    EXPECT_FLOAT_EQ(y.at(0, 0, 0), x.at(0, 0, 0));
+    EXPECT_FLOAT_EQ(y.at(1, 1, 1), x.at(1, 2, 2));
+    EXPECT_FLOAT_EQ(y.at(2, 0, 0), 0.0f); // zero-padded channel
+}
+
+TEST(DownsamplePadLayer, BackmapSkipsPaddedChannels)
+{
+    DownsamplePad ds("d");
+    Tensor x = randomTensor(mapShape(1, 4, 4), 51);
+    auto y = ds.forward({&x}, false);
+    std::vector<std::vector<std::size_t>> per_input;
+    // Output idx 0 = (c0, 0, 0) maps to input (0,0,0); idx 4 = padded c1.
+    ds.backmapImportant({&x}, y, {0, 4}, per_input);
+    ASSERT_EQ(per_input[0].size(), 1u);
+    EXPECT_EQ(per_input[0][0], 0u);
+}
+
+TEST(NormLayer, InferenceIsAffineOfRunningStats)
+{
+    Norm2d norm("n", 2);
+    Tensor x = randomTensor(mapShape(2, 3, 3), 60);
+    // Without training the running stats are (0,1): y ~= x.
+    auto y = norm.forward({&x}, false);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(y[i], x[i], 1e-4);
+}
+
+TEST(NormLayer, TrainingMovesRunningStats)
+{
+    Norm2d norm("n", 1);
+    Tensor x(mapShape(1, 2, 2), {10.0f, 10.0f, 10.0f, 10.0f});
+    for (int i = 0; i < 200; ++i)
+        norm.forward({&x}, true);
+    // Running mean approaches 10, so the normalized output approaches 0.
+    auto y = norm.forward({&x}, false);
+    EXPECT_NEAR(y[0], 0.0f, 0.2f);
+}
+
+TEST(NormLayer, BackwardNumericalGradient)
+{
+    Norm2d norm("n", 2);
+    // Prime the running stats, then check the frozen-stats gradient.
+    Tensor warm = randomTensor(mapShape(2, 3, 3), 61);
+    for (int i = 0; i < 10; ++i)
+        norm.forward({&warm}, true);
+    const Tensor x = randomTensor(mapShape(2, 3, 3), 62);
+    const Tensor lw = randomTensor(mapShape(2, 3, 3), 63);
+    expectGradsClose(analyticInputGrad(norm, x, lw),
+                     numericInputGrad(norm, x, lw));
+}
+
+} // namespace
+} // namespace ptolemy::nn

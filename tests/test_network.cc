@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Network graph tests: topology, recording, backward consistency,
+ * serialization, and the model zoo's structural invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "models/zoo.hh"
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/loss.hh"
+#include "nn/network.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::nn
+{
+namespace
+{
+
+Tensor
+randomImage(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(mapShape(3, 16, 16));
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = static_cast<float>(rng.uniform());
+    return t;
+}
+
+Network
+smallNet()
+{
+    Network net("small", mapShape(3, 16, 16));
+    net.add(std::make_unique<Conv2d>("c1", 3, 4, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r1"));
+    net.add(std::make_unique<MaxPool2d>("p1", 2));
+    net.add(std::make_unique<Flatten>("f"));
+    net.add(std::make_unique<Linear>("fc", 4 * 8 * 8, 5));
+    heInit(net, 17);
+    return net;
+}
+
+TEST(Network, RecordsEveryNodeOutput)
+{
+    auto net = smallNet();
+    auto rec = net.forward(randomImage(1));
+    EXPECT_EQ(rec.outputs.size(), 5u);
+    EXPECT_EQ(rec.logits().size(), 5u);
+    EXPECT_LT(rec.predictedClass(), 5u);
+}
+
+TEST(Network, WeightedNodesInTopologicalOrder)
+{
+    auto net = smallNet();
+    const auto &w = net.weightedNodes();
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_LT(w[0], w[1]);
+    EXPECT_EQ(net.layerAt(w[0]).kind(), LayerKind::Conv);
+    EXPECT_EQ(net.layerAt(w[1]).kind(), LayerKind::Linear);
+}
+
+TEST(Network, ConsumersOfInputAndNodes)
+{
+    auto net = smallNet();
+    const auto input_consumers = net.consumersOf(-1);
+    ASSERT_EQ(input_consumers.size(), 1u);
+    EXPECT_EQ(input_consumers[0], 0);
+    EXPECT_EQ(net.consumersOf(0), std::vector<int>{1});
+}
+
+TEST(Network, BackwardMatchesNumericalLossGradient)
+{
+    auto net = smallNet();
+    const Tensor x = randomImage(2);
+    const std::size_t label = 3;
+
+    auto rec = net.forward(x);
+    auto lg = softmaxCrossEntropy(rec.logits(), label);
+    const Tensor analytic = net.backward(lg.grad);
+
+    // Spot-check a handful of input coordinates numerically.
+    const float h = 1e-3f;
+    Tensor xp = x;
+    for (std::size_t i = 0; i < x.size(); i += 97) {
+        xp[i] = x[i] + h;
+        auto up = softmaxCrossEntropy(net.forward(xp).logits(), label).loss;
+        xp[i] = x[i] - h;
+        auto dn = softmaxCrossEntropy(net.forward(xp).logits(), label).loss;
+        xp[i] = x[i];
+        EXPECT_NEAR(analytic[i], (up - dn) / (2.0 * h), 5e-2)
+            << "at " << i;
+    }
+}
+
+TEST(Network, BackwardMultiWithLogitsSeedMatchesBackward)
+{
+    auto net = smallNet();
+    const Tensor x = randomImage(3);
+    auto rec = net.forward(x);
+    Tensor seed(rec.logits().shape());
+    seed[0] = 1.0f;
+    seed[2] = -0.5f;
+
+    net.forward(x);
+    const Tensor a = net.backward(seed);
+    net.forward(x);
+    const Tensor b =
+        net.backwardMulti({{net.numNodes() - 1, seed}});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Network, SaveLoadRoundtrip)
+{
+    auto net = smallNet();
+    const Tensor x = randomImage(4);
+    const auto logits_before = net.forward(x).logits();
+
+    const std::string path = ::testing::TempDir() + "/net_roundtrip.bin";
+    ASSERT_TRUE(net.save(path));
+
+    auto net2 = smallNet(); // same arch, different init seed state
+    heInit(net2, 999);
+    ASSERT_TRUE(net2.load(path));
+    const auto logits_after = net2.forward(x).logits();
+    for (std::size_t i = 0; i < logits_before.size(); ++i)
+        EXPECT_FLOAT_EQ(logits_before[i], logits_after[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Network, LoadRejectsArchitectureMismatch)
+{
+    auto net = smallNet();
+    const std::string path = ::testing::TempDir() + "/net_mismatch.bin";
+    ASSERT_TRUE(net.save(path));
+    auto other = models::makeMiniAlexNet(10);
+    EXPECT_FALSE(other.load(path));
+    std::remove(path.c_str());
+}
+
+TEST(Network, NumParamsCountsEverything)
+{
+    Network net("p", mapShape(1, 4, 4));
+    net.add(std::make_unique<Conv2d>("c", 1, 2, 3, 1, 1)); // 18 + 2
+    net.add(std::make_unique<Flatten>("f"));
+    net.add(std::make_unique<Linear>("l", 32, 3)); // 96 + 3
+    EXPECT_EQ(net.numParams(), 18u + 2 + 96 + 3);
+}
+
+// ------------------------------------------------------------- model zoo --
+
+struct ZooCase
+{
+    const char *name;
+    int expectedWeighted;
+};
+
+class ModelZoo : public ::testing::TestWithParam<ZooCase>
+{
+};
+
+TEST_P(ModelZoo, BuildsAndRuns)
+{
+    auto net = models::makeByName(GetParam().name, 10);
+    heInit(net, 5);
+    EXPECT_EQ(static_cast<int>(net.weightedNodes().size()),
+              GetParam().expectedWeighted);
+    auto rec = net.forward(randomImage(6));
+    EXPECT_EQ(rec.logits().size(), 10u);
+    // Gradients flow end-to-end.
+    auto lg = softmaxCrossEntropy(rec.logits(), 0);
+    const Tensor g = net.backward(lg.grad);
+    double mag = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i)
+        mag += std::abs(g[i]);
+    EXPECT_GT(mag, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ModelZoo,
+    ::testing::Values(ZooCase{"alexnet", 8}, ZooCase{"resnet18", 18},
+                      ZooCase{"resnet26", 26}, ZooCase{"vgg16", 16},
+                      ZooCase{"inception", 6}, ZooCase{"densenet", 7}),
+    [](const ::testing::TestParamInfo<ZooCase> &info) {
+        return info.param.name;
+    });
+
+TEST(ModelZoo, UnknownNameThrows)
+{
+    EXPECT_THROW(models::makeByName("nope", 10), std::invalid_argument);
+}
+
+} // namespace
+} // namespace ptolemy::nn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Determinism and distribution sanity tests for the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hh"
+
+namespace ptolemy
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(1234);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sumsq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(77);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.03);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng rng(321);
+    const auto first = rng.next();
+    rng.next();
+    rng.reseed(321);
+    EXPECT_EQ(rng.next(), first);
+}
+
+} // namespace
+} // namespace ptolemy

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cycle-level simulator tests: instruction timing models, loop execution,
+ * functional-unit overlap, and hardware-provisioning sensitivity
+ * (the mechanisms behind the paper's Figs. 7 and 18).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/simulator.hh"
+
+namespace ptolemy::hw
+{
+namespace
+{
+
+using isa::InstrMeta;
+using isa::Program;
+
+TEST(UnitMapping, MatchesArchitectureBlocks)
+{
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::Inf), FuncUnit::Accel);
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::Csps), FuncUnit::Accel);
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::Sort), FuncUnit::Sort);
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::Acum), FuncUnit::Accum);
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::GenMasks), FuncUnit::Mask);
+    EXPECT_EQ(Simulator::unitFor(isa::Opcode::Mov), FuncUnit::Mcu);
+}
+
+TEST(Durations, InfScalesWithMacs)
+{
+    Simulator sim;
+    InstrMeta small, big;
+    small.macs = 4000;
+    big.macs = 400000;
+    const auto ins = isa::makeInf(0, 2, 1);
+    EXPECT_LT(sim.durationOf(ins, small, 0), sim.durationOf(ins, big, 0));
+    // 400 MACs/cycle at 20x20: 400000 MACs ~ 1000 cycles + fill.
+    EXPECT_NEAR(static_cast<double>(sim.durationOf(ins, big, 0)), 1040.0,
+                1.0);
+}
+
+TEST(Durations, InfSpPaysPsumStorePenalty)
+{
+    Simulator sim;
+    InstrMeta m;
+    m.macs = 400000;
+    m.psumBytes = 400000 * 4;
+    const auto inf = sim.durationOf(isa::makeInf(0, 2, 1), m, 0);
+    const auto infsp = sim.durationOf(isa::makeInfSp(0, 2, 1, 12), m, 0);
+    EXPECT_GT(infsp, inf);
+}
+
+TEST(Durations, CspsUsesOneRowOnly)
+{
+    Simulator sim;
+    InstrMeta m;
+    m.macs = 2000;
+    const auto inf_cycles = sim.durationOf(isa::makeInf(0, 2, 1), m, 0);
+    const auto csps_cycles =
+        sim.durationOf(isa::makeCsps(4, 5, 12), m, 0);
+    // Recompute on 20 PEs is slower per MAC than the full 400-PE array,
+    // but the workload (one receptive field) is small.
+    EXPECT_GT(csps_cycles, inf_cycles / 20);
+}
+
+TEST(Durations, SortLatencyDropsWithLargerMergeTree)
+{
+    HwConfig narrow = HwConfig::baseline();
+    narrow.mergeTreeLen = 4;
+    HwConfig wide = HwConfig::baseline();
+    wide.mergeTreeLen = 32;
+    InstrMeta m;
+    m.seqLen = 20000;
+    const auto ins = isa::makeSort(1, 3, 6);
+    EXPECT_GT(Simulator(narrow).durationOf(ins, m, 20000),
+              Simulator(wide).durationOf(ins, m, 20000));
+}
+
+TEST(Durations, SortLatencyBarelyChangesWithMoreSortUnits)
+{
+    // Paper Fig. 18b: latency decreases only marginally with more sort
+    // units because merging dominates.
+    HwConfig few = HwConfig::baseline();
+    few.numSortUnits = 2;
+    HwConfig many = HwConfig::baseline();
+    many.numSortUnits = 16;
+    InstrMeta m;
+    m.seqLen = 20000;
+    const auto ins = isa::makeSort(1, 3, 6);
+    const auto t_few = Simulator(few).durationOf(ins, m, 20000);
+    const auto t_many = Simulator(many).durationOf(ins, m, 20000);
+    EXPECT_GE(t_few, t_many);
+    EXPECT_LT(static_cast<double>(t_few - t_many) / t_few, 0.30);
+}
+
+TEST(Durations, SortReadsLengthFromRegister)
+{
+    Simulator sim;
+    Program p;
+    p.append(isa::makeMov(3, 1024));
+    InstrMeta sort_m;
+    sort_m.seqLen = 16; // stale metadata; the register must win
+    p.append(isa::makeSort(1, 3, 6), sort_m);
+    p.append(isa::makeHalt());
+    const auto rep = sim.run(p);
+
+    Program q;
+    q.append(isa::makeMov(3, 16));
+    q.append(isa::makeSort(1, 3, 6), sort_m);
+    q.append(isa::makeHalt());
+    EXPECT_GT(rep.cycles, sim.run(q).cycles);
+}
+
+TEST(Execution, LoopRunsExactTripCount)
+{
+    Simulator sim;
+    Program p;
+    p.append(isa::makeMov(3, 10));
+    const std::uint16_t loop = static_cast<std::uint16_t>(p.size());
+    p.append(isa::makeDec(3));
+    p.append(isa::makeJne(3, loop));
+    p.append(isa::makeHalt());
+    const auto rep = sim.run(p);
+    // mov + 10 * (dec + jne) = 21 executed instructions.
+    EXPECT_EQ(rep.instructionsExecuted, 21u);
+}
+
+TEST(Execution, HaltStopsImmediately)
+{
+    Simulator sim;
+    Program p;
+    p.append(isa::makeHalt());
+    p.append(isa::makeMov(1, 5));
+    const auto rep = sim.run(p);
+    EXPECT_EQ(rep.instructionsExecuted, 0u);
+}
+
+TEST(Execution, IndependentUnitsOverlap)
+{
+    // A sort (Sort unit) followed by an *independent* genmasks
+    // (Mask unit) overlap; a dependent acum does not.
+    Simulator sim;
+    InstrMeta sort_m;
+    sort_m.seqLen = 50000;
+    InstrMeta gm;
+    gm.bits = 1 << 20;
+
+    Program indep;
+    indep.append(isa::makeMov(3, 0));
+    indep.append(isa::makeSort(1, 3, 6), sort_m);
+    indep.append(isa::makeGenMasks(2, 14), gm); // reads r2, not r6
+    indep.append(isa::makeHalt());
+
+    Program dep;
+    dep.append(isa::makeMov(3, 0));
+    dep.append(isa::makeSort(1, 3, 6), sort_m);
+    dep.append(isa::makeGenMasks(6, 14), gm); // reads the sort output
+    dep.append(isa::makeHalt());
+
+    const auto r_indep = sim.run(indep);
+    const auto r_dep = sim.run(dep);
+    EXPECT_LT(r_indep.cycles, r_dep.cycles);
+    // The dependent version is roughly the serial sum.
+    const auto sort_cycles =
+        sim.durationOf(isa::makeSort(1, 3, 6), sort_m, 0);
+    const auto gm_cycles =
+        sim.durationOf(isa::makeGenMasks(6, 14), gm, 0);
+    EXPECT_GE(r_dep.cycles, sort_cycles + gm_cycles);
+}
+
+TEST(Execution, EnergyAccountedPerUnit)
+{
+    Simulator sim;
+    InstrMeta inf_m;
+    inf_m.macs = 100000;
+    inf_m.ifmBytes = 2048;
+    inf_m.wBytes = 4096;
+    inf_m.ofmBytes = 2048;
+    Program p;
+    p.append(isa::makeInf(0, 2, 1), inf_m);
+    p.append(isa::makeHalt());
+    const auto rep = sim.run(p);
+    EXPECT_GT(rep.energyPj, 0.0);
+    EXPECT_GT(rep.unitEnergyPj[static_cast<int>(FuncUnit::Accel)], 0.0);
+    EXPECT_EQ(rep.dramBytes, 2048u + 4096 + 2048);
+    EXPECT_GT(rep.latencyUs(250.0), 0.0);
+    EXPECT_GT(rep.avgPowerMw(250.0), 0.0);
+}
+
+TEST(Execution, RunawayLoopIsBounded)
+{
+    Simulator sim;
+    Program p;
+    p.append(isa::makeMov(3, 1));
+    const std::uint16_t loop = static_cast<std::uint16_t>(p.size());
+    p.append(isa::makeJne(3, loop)); // r3 never changes: infinite loop
+    const auto rep = sim.run(p);
+    EXPECT_GT(rep.instructionsExecuted, 0u); // terminated by the guard
+}
+
+} // namespace
+} // namespace ptolemy::hw

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers, especially the AUC metric the
+ * whole evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace ptolemy
+{
+namespace
+{
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({5.0}, 90), 5.0);
+}
+
+TEST(Auc, PerfectSeparation)
+{
+    // All adversarial scores above all benign scores.
+    EXPECT_DOUBLE_EQ(aucScore({0.9, 0.8, 0.1, 0.2}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(Auc, PerfectInversion)
+{
+    EXPECT_DOUBLE_EQ(aucScore({0.1, 0.2, 0.9, 0.8}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(Auc, RandomScoresGiveHalf)
+{
+    // Identical scores: AUC must be exactly 0.5 via midranks.
+    EXPECT_DOUBLE_EQ(aucScore({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(Auc, HandlesTiesByMidrank)
+{
+    // One tie straddling the classes: 2 pos, 2 neg.
+    // pairs: (0.3pos vs 0.1neg)=1, (0.3pos vs 0.3neg)=0.5,
+    //        (0.7pos vs 0.1neg)=1, (0.7pos vs 0.3neg)=1 -> 3.5/4
+    EXPECT_DOUBLE_EQ(aucScore({0.3, 0.7, 0.1, 0.3}, {1, 1, 0, 0}), 0.875);
+}
+
+TEST(Auc, DegenerateSingleClass)
+{
+    EXPECT_DOUBLE_EQ(aucScore({0.1, 0.9}, {1, 1}), 0.5);
+    EXPECT_DOUBLE_EQ(aucScore({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(DetectionCounts, ThresholdCounting)
+{
+    const std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};
+    const std::vector<int> labels = {1, 1, 0, 0};
+    const auto c = countsAtThreshold(scores, labels, 0.5);
+    EXPECT_EQ(c.truePos, 1u);
+    EXPECT_EQ(c.falseNeg, 1u);
+    EXPECT_EQ(c.falsePos, 1u);
+    EXPECT_EQ(c.trueNeg, 1u);
+    EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+    EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+} // namespace
+} // namespace ptolemy

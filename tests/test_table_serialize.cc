@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the table printer and binary serialization helpers that the
+ * caches and bench outputs rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/serialize.hh"
+#include "util/table.hh"
+
+namespace ptolemy
+{
+namespace
+{
+
+TEST(TablePrinter, AlignsColumnsAndKeepsCells)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22222"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("| alpha |"), std::string::npos);
+    EXPECT_NE(out.find("22222"), std::string::npos);
+    // Every data row has the same width as the header row.
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    std::getline(is, line); // title
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << line;
+    }
+}
+
+TEST(TablePrinter, CsvRendering)
+{
+    Table t("csv");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Formatters, NumberFormats)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmtX(12.34), "12.3x");
+    EXPECT_EQ(fmtPct(0.052), "5.2%");
+}
+
+TEST(Serialize, IntegerRoundtrip)
+{
+    std::stringstream ss;
+    writeU64(ss, 0xDEADBEEFCAFEull);
+    writeU32(ss, 42);
+    writeF64(ss, -3.5);
+    std::uint64_t a;
+    std::uint32_t b;
+    double c;
+    ASSERT_TRUE(readU64(ss, a));
+    ASSERT_TRUE(readU32(ss, b));
+    ASSERT_TRUE(readF64(ss, c));
+    EXPECT_EQ(a, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(b, 42u);
+    EXPECT_DOUBLE_EQ(c, -3.5);
+}
+
+TEST(Serialize, FloatVectorRoundtrip)
+{
+    std::stringstream ss;
+    std::vector<float> v = {1.0f, -2.5f, 3.25f};
+    writeFloats(ss, v);
+    writeFloats(ss, {});
+    std::vector<float> w, e;
+    ASSERT_TRUE(readFloats(ss, w));
+    ASSERT_TRUE(readFloats(ss, e));
+    EXPECT_EQ(w, v);
+    EXPECT_TRUE(e.empty());
+}
+
+TEST(Serialize, StringRoundtripIncludingNulBytes)
+{
+    std::stringstream ss;
+    const std::string s("a\0b", 3);
+    writeString(ss, s);
+    std::string t;
+    ASSERT_TRUE(readString(ss, t));
+    EXPECT_EQ(t, s);
+}
+
+TEST(Serialize, ShortReadFails)
+{
+    std::stringstream ss;
+    writeU64(ss, 100); // length prefix claims 100 floats, none follow
+    std::vector<float> v;
+    EXPECT_FALSE(readFloats(ss, v));
+
+    std::stringstream empty;
+    std::uint64_t x;
+    EXPECT_FALSE(readU64(empty, x));
+}
+
+} // namespace
+} // namespace ptolemy

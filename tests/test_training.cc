@@ -1,0 +1,91 @@
+/**
+ * @file
+ * End-to-end training tests: the substrate must be able to fit the
+ * synthetic data (the whole reproduction depends on trained models whose
+ * class paths are meaningful).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/test_models.hh"
+#include "nn/loss.hh"
+
+namespace ptolemy
+{
+namespace
+{
+
+TEST(Loss, SoftmaxSumsToOne)
+{
+    nn::Tensor logits(nn::flatShape(4), {1.0f, 2.0f, 3.0f, 4.0f});
+    const auto p = nn::softmax(logits);
+    double sum = 0.0;
+    for (double v : p)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GT(p[3], p[0]);
+}
+
+TEST(Loss, CrossEntropyGradientSignsPushTowardLabel)
+{
+    nn::Tensor logits(nn::flatShape(3), {0.0f, 0.0f, 0.0f});
+    const auto lg = nn::softmaxCrossEntropy(logits, 1);
+    EXPECT_NEAR(lg.loss, std::log(3.0), 1e-6);
+    EXPECT_LT(lg.grad[1], 0.0f); // increase the true-class logit
+    EXPECT_GT(lg.grad[0], 0.0f);
+    EXPECT_GT(lg.grad[2], 0.0f);
+    float sum = lg.grad[0] + lg.grad[1] + lg.grad[2];
+    EXPECT_NEAR(sum, 0.0f, 1e-6);
+}
+
+TEST(Training, LossDecreasesAndTestAccuracyIsHigh)
+{
+    auto &w = testing::world();
+    // The shared tiny CNN must clearly learn the 10-class problem.
+    EXPECT_GT(w.testAccuracy, 0.85) << "tiny model failed to train";
+}
+
+TEST(Training, TrainedModelBeatsChanceOnEveryClass)
+{
+    auto &w = testing::world();
+    std::vector<int> correct(10, 0), total(10, 0);
+    for (const auto &s : w.dataset.test) {
+        ++total[s.label];
+        if (w.net.predict(s.input) == s.label)
+            ++correct[s.label];
+    }
+    for (int c = 0; c < 10; ++c) {
+        ASSERT_GT(total[c], 0);
+        EXPECT_GT(static_cast<double>(correct[c]) / total[c], 0.4)
+            << "class " << c;
+    }
+}
+
+TEST(Training, EpochStatsImprove)
+{
+    // Train a fresh copy for two epochs and check the loss trajectory.
+    auto net = testing::makeTinyNet(10);
+    nn::heInit(net, 21);
+    data::DatasetSpec spec;
+    spec.trainPerClass = 30;
+    spec.testPerClass = 5;
+    const auto ds = data::makeSyntheticDataset(spec);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    nn::Trainer trainer(tc);
+    const auto hist = trainer.train(net, ds.train);
+    ASSERT_EQ(hist.size(), 2u);
+    EXPECT_LT(hist[1].avgLoss, hist[0].avgLoss);
+    EXPECT_GT(hist[1].trainAccuracy, hist[0].trainAccuracy);
+}
+
+TEST(Training, EvaluateOnEmptyDatasetIsZero)
+{
+    auto net = testing::makeTinyNet(10);
+    EXPECT_DOUBLE_EQ(nn::Trainer::evaluate(net, {}), 0.0);
+}
+
+} // namespace
+} // namespace ptolemy

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ptolemy-asm — command-line assembler / disassembler / simulator for the
+ * Ptolemy ISA.
+ *
+ * Usage:
+ *   ptolemy_asm asm  <file.s>          assemble; print hex words
+ *   ptolemy_asm dis  <file.s>          assemble then disassemble (check)
+ *   ptolemy_asm sim  <file.s> [--merge N] [--sort-units N] [--accum N]
+ *                                      assemble and run on the cycle model
+ *
+ * The simulator flags mirror the path-constructor provisioning knobs of
+ * paper Fig. 18. `--accum N` sets the profiled accumulate length used for
+ * acum instructions (workload metadata the compiler would provide).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hw/simulator.hh"
+#include "isa/assembler.hh"
+
+using namespace ptolemy;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ptolemy_asm asm|dis|sim <file.s> "
+                 "[--merge N] [--sort-units N] [--accum N]\n");
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string mode = argv[1];
+    std::string source;
+    if (!readFile(argv[2], source)) {
+        std::fprintf(stderr, "cannot read %s\n", argv[2]);
+        return 1;
+    }
+
+    auto res = isa::assemble(source);
+    if (!res.ok) {
+        std::fprintf(stderr, "assembly error: %s\n", res.error.c_str());
+        return 1;
+    }
+
+    if (mode == "asm") {
+        for (std::size_t i = 0; i < res.program.size(); ++i)
+            std::printf("%06x\n", res.program.instruction(i).encode());
+        return 0;
+    }
+    if (mode == "dis") {
+        std::fputs(res.program.disassemble().c_str(), stdout);
+        return 0;
+    }
+    if (mode != "sim")
+        return usage();
+
+    hw::HwConfig cfg = hw::HwConfig::baseline();
+    std::size_t accum_len = 16;
+    for (int i = 3; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--merge"))
+            cfg.mergeTreeLen = std::atoi(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--sort-units"))
+            cfg.numSortUnits = std::atoi(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--accum"))
+            accum_len = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+        else
+            return usage();
+    }
+    for (std::size_t i = 0; i < res.program.size(); ++i)
+        if (res.program.instruction(i).op == isa::Opcode::Acum)
+            res.program.meta(i).accumLen = accum_len;
+
+    const auto rep = hw::Simulator(cfg).run(res.program);
+    std::printf("instructions executed: %llu\n",
+                static_cast<unsigned long long>(rep.instructionsExecuted));
+    std::printf("cycles:  %llu (%.2f us @ %.0f MHz)\n",
+                static_cast<unsigned long long>(rep.cycles),
+                rep.latencyUs(cfg.clockMhz), cfg.clockMhz);
+    std::printf("energy:  %.1f nJ   avg power: %.2f mW\n",
+                rep.energyPj / 1e3, rep.avgPowerMw(cfg.clockMhz));
+    for (int u = 0; u < hw::kNumFuncUnits; ++u)
+        std::printf("  %-6s busy %llu cycles\n",
+                    hw::funcUnitName(static_cast<hw::FuncUnit>(u)),
+                    static_cast<unsigned long long>(rep.unitBusyCycles[u]));
+    return 0;
+}
