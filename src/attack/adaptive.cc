@@ -61,9 +61,10 @@ AdaptiveActivationAttack::run(nn::Network &net, const nn::Tensor &x,
         // PGD on the activation-matching loss.
         nn::Tensor adv = x;
         double loss = 0.0;
+        nn::Network::Record rec; // reused across PGD iterations
         for (int it = 0; it < iters; ++it) {
             ++total_iters;
-            auto rec = net.forward(adv);
+            net.forwardInto(adv, rec);
             loss = 0.0;
             std::vector<std::pair<int, nn::Tensor>> seeds;
             seeds.reserve(z_nodes.size());

@@ -53,7 +53,8 @@ nn::Tensor
 lossInputGradient(nn::Network &net, const nn::Tensor &x, std::size_t label,
                   double *loss_out)
 {
-    auto rec = net.forward(x);
+    thread_local nn::Network::Record rec; // reused across gradient queries
+    net.forwardInto(x, rec);
     auto lg = nn::softmaxCrossEntropy(rec.logits(), label);
     if (loss_out)
         *loss_out = lg.loss;

@@ -14,9 +14,10 @@ CarliniWagnerL2::run(nn::Network &net, const nn::Tensor &x,
     double best_l2 = 1e30;
     bool found = false;
     int it = 0;
+    nn::Network::Record rec; // reused across iterations
 
     for (; it < maxIters; ++it) {
-        auto rec = net.forward(adv);
+        net.forwardInto(adv, rec); // stashes state for the backward below
         const auto &logits = rec.logits();
 
         // Strongest rival class.

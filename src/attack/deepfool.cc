@@ -38,8 +38,9 @@ DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
 {
     nn::Tensor adv = x;
     int it = 0;
+    nn::Network::Record rec, rec_refresh; // reused across iterations
     for (; it < maxIters; ++it) {
-        auto rec = net.forward(adv);
+        net.forwardInto(adv, rec);
         const auto &logits = rec.logits();
         if (rec.predictedClass() != label)
             break;
@@ -54,7 +55,8 @@ DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
             nn::Tensor seed(logits.shape());
             seed[k] = 1.0f;
             seed[label] = -1.0f;
-            net.forward(adv); // refresh layer state for this backward
+            // Refresh layer state for this backward.
+            net.forwardInto(adv, rec_refresh);
             nn::Tensor grad = net.backward(seed);
             const double gnorm2 = grad.sumSq();
             if (gnorm2 < 1e-20)

@@ -25,9 +25,10 @@ Jsma::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
         }
     }
 
+    nn::Network::Record rec; // reused across iterations
     while (changed < maxPixels) {
         ++it;
-        auto rec = net.forward(adv);
+        net.forwardInto(adv, rec);
         if (rec.predictedClass() != label)
             break;
         // Saliency direction: grad of (logit_target - logit_label).

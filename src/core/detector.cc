@@ -19,10 +19,12 @@ Detector::buildClassPaths(const nn::Dataset &train, int max_per_class)
         if (store.samplesSeen(s.label) >=
             static_cast<std::size_t>(max_per_class))
             continue;
-        auto rec = net->forward(s.input);
-        if (rec.predictedClass() != s.label)
+        net->forwardInto(s.input, recScratch, /*train=*/false,
+                         /*stash=*/false);
+        if (recScratch.predictedClass() != s.label)
             continue; // only correctly-predicted samples define the canary
-        store.aggregate(s.label, pathExtractor.extract(rec));
+        pathExtractor.extractInto(recScratch, ws, pathScratch);
+        store.aggregate(s.label, pathScratch);
         ++aggregated;
     }
     return aggregated;
@@ -32,9 +34,10 @@ std::vector<double>
 Detector::featuresFor(const nn::Network::Record &rec,
                       path::ExtractionTrace *trace)
 {
-    const BitVector p = pathExtractor.extract(rec, trace);
+    pathExtractor.extractInto(rec, ws, pathScratch, trace);
     const auto &pc = store.classPath(rec.predictedClass());
-    return path::computeSimilarity(p, pc, pathExtractor.layout()).toVector();
+    return path::computeSimilarity(pathScratch, pc, pathExtractor.layout())
+        .toVector();
 }
 
 void
@@ -58,12 +61,13 @@ Detector::fitClassifier(const classify::FeatureMatrix &benign,
 Detector::Decision
 Detector::detect(const nn::Tensor &x)
 {
-    auto rec = net->forward(x);
+    net->forwardInto(x, recScratch, /*train=*/false, /*stash=*/false);
     Decision d;
-    d.predictedClass = rec.predictedClass();
-    const BitVector p = pathExtractor.extract(rec);
+    d.predictedClass = recScratch.predictedClass();
+    pathExtractor.extractInto(recScratch, ws, pathScratch);
     const auto &pc = store.classPath(d.predictedClass);
-    d.features = path::computeSimilarity(p, pc, pathExtractor.layout());
+    d.features =
+        path::computeSimilarity(pathScratch, pc, pathExtractor.layout());
     d.score = rf.predictProb(d.features.toVector());
     d.adversarial = d.score >= 0.5;
     return d;

@@ -98,6 +98,11 @@ class Detector
     path::PathExtractor pathExtractor;
     path::ClassPathStore store;
     classify::RandomForest rf;
+    // Reused hot-path buffers: the online pipeline (forward -> extract
+    // -> compare) allocates nothing once these are warm.
+    nn::Network::Record recScratch;
+    path::ExtractionWorkspace ws;
+    BitVector pathScratch;
 };
 
 } // namespace ptolemy::core

@@ -22,11 +22,13 @@ buildAttackPairs(nn::Network &net, attack::Attack &atk,
 
     std::vector<DetectionPair> pairs;
     int attempted = 0;
+    nn::Network::Record rec;
     for (std::size_t idx : order) {
         if (attempted >= max_samples)
             break;
         const auto &s = test[idx];
-        if (net.predict(s.input) != s.label)
+        net.forwardInto(s.input, rec, /*train=*/false, /*stash=*/false);
+        if (rec.predictedClass() != s.label)
             continue; // attacks start from correctly-classified inputs
         ++attempted;
         auto res = atk.run(net, s.input, s.label);
@@ -59,8 +61,9 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
         std::max<std::size_t>(2, static_cast<std::size_t>(
             train_fraction * pairs.size()));
 
+    nn::Network::Record rec; // reused for every scored sample
     auto features_of = [&](const nn::Tensor &x, std::size_t *pred = nullptr) {
-        auto rec = det.network().forward(x);
+        det.network().forwardInto(x, rec, /*train=*/false, /*stash=*/false);
         if (pred)
             *pred = rec.predictedClass();
         return det.featuresFor(rec);

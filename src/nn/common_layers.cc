@@ -15,21 +15,22 @@ ReLU::outputShape(const std::vector<Shape> &ins) const
     return ins[0];
 }
 
-Tensor
-ReLU::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+ReLU::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                  bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    lastShape = in.shape();
-    Tensor out(in.shape());
-    mask.assign(in.size(), false);
-    for (std::size_t i = 0; i < in.size(); ++i) {
-        if (in[i] > 0.0f) {
-            out[i] = in[i];
-            mask[i] = true;
-        }
+    out.resize(in.shape());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    if (stash) {
+        lastShape = in.shape();
+        mask.assign(in.size(), false);
+        for (std::size_t i = 0; i < in.size(); ++i)
+            if (in[i] > 0.0f)
+                mask[i] = true;
     }
-    return out;
 }
 
 std::vector<Tensor>
@@ -52,14 +53,17 @@ MaxPool2d::outputShape(const std::vector<Shape> &ins) const
     return mapShape(ins[0].c, ins[0].h / kSize, ins[0].w / kSize);
 }
 
-Tensor
-MaxPool2d::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                       bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    lastInShape = in.shape();
-    Tensor out(outputShape({in.shape()}));
-    argmaxIdx.assign(out.size(), 0);
+    out.resize(outputShape({in.shape()}));
+    if (stash) {
+        lastInShape = in.shape();
+        argmaxIdx.assign(out.size(), 0);
+    }
     const int oh = out.shape().h, ow = out.shape().w;
     for (int c = 0; c < out.shape().c; ++c) {
         for (int oy = 0; oy < oh; ++oy) {
@@ -78,11 +82,11 @@ MaxPool2d::forward(const std::vector<const Tensor *> &ins, bool train)
                     }
                 }
                 out.at(c, oy, ox) = best;
-                argmaxIdx[out.index(c, oy, ox)] = best_idx;
+                if (stash)
+                    argmaxIdx[out.index(c, oy, ox)] = best_idx;
             }
         }
     }
-    return out;
 }
 
 std::vector<Tensor>
@@ -138,13 +142,15 @@ GlobalAvgPool::outputShape(const std::vector<Shape> &ins) const
     return flatShape(ins[0].c);
 }
 
-Tensor
-GlobalAvgPool::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+GlobalAvgPool::forwardInto(const std::vector<const Tensor *> &ins,
+                           Tensor &out, bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    lastInShape = in.shape();
-    Tensor out(flatShape(in.shape().c));
+    if (stash)
+        lastInShape = in.shape();
+    out.resize(flatShape(in.shape().c));
     const int hw = in.shape().h * in.shape().w;
     for (int c = 0; c < in.shape().c; ++c) {
         float acc = 0.0f;
@@ -153,7 +159,6 @@ GlobalAvgPool::forward(const std::vector<const Tensor *> &ins, bool train)
                 acc += in.at(c, y, x);
         out[c] = acc / hw;
     }
-    return out;
 }
 
 std::vector<Tensor>
@@ -199,13 +204,15 @@ Flatten::outputShape(const std::vector<Shape> &ins) const
     return flatShape(static_cast<int>(ins[0].numel()));
 }
 
-Tensor
-Flatten::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Flatten::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash)
 {
     (void)train;
-    lastInShape = ins[0]->shape();
-    return Tensor(flatShape(static_cast<int>(ins[0]->size())),
-                  ins[0]->vec());
+    if (stash)
+        lastInShape = ins[0]->shape();
+    out.resize(flatShape(static_cast<int>(ins[0]->size())));
+    std::copy(ins[0]->vec().begin(), ins[0]->vec().end(), out.vec().begin());
 }
 
 std::vector<Tensor>
@@ -225,14 +232,17 @@ Add::outputShape(const std::vector<Shape> &ins) const
     return ins[0];
 }
 
-Tensor
-Add::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Add::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                 bool train, bool stash)
 {
     (void)train;
-    lastShape = ins[0]->shape();
-    Tensor out = *ins[0];
-    out += *ins[1];
-    return out;
+    if (stash)
+        lastShape = ins[0]->shape();
+    const Tensor &a = *ins[0], &b = *ins[1];
+    out.resize(a.shape());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
 }
 
 std::vector<Tensor>
@@ -265,18 +275,20 @@ Concat::outputShape(const std::vector<Shape> &ins) const
     return mapShape(ins[0].c + ins[1].c, ins[0].h, ins[0].w);
 }
 
-Tensor
-Concat::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Concat::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                    bool train, bool stash)
 {
     (void)train;
-    inShapeA = ins[0]->shape();
-    inShapeB = ins[1]->shape();
-    Tensor out(outputShape({inShapeA, inShapeB}));
+    if (stash) {
+        inShapeA = ins[0]->shape();
+        inShapeB = ins[1]->shape();
+    }
+    out.resize(outputShape({ins[0]->shape(), ins[1]->shape()}));
     std::copy(ins[0]->vec().begin(), ins[0]->vec().end(),
               out.vec().begin());
     std::copy(ins[1]->vec().begin(), ins[1]->vec().end(),
               out.vec().begin() + static_cast<std::ptrdiff_t>(ins[0]->size()));
-    return out;
 }
 
 std::vector<Tensor>
@@ -320,18 +332,19 @@ DownsamplePad::outputShape(const std::vector<Shape> &ins) const
     return mapShape(ins[0].c * 2, ins[0].h / 2, ins[0].w / 2);
 }
 
-Tensor
-DownsamplePad::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+DownsamplePad::forwardInto(const std::vector<const Tensor *> &ins,
+                           Tensor &out, bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    lastInShape = in.shape();
-    Tensor out(outputShape({in.shape()}));
+    if (stash)
+        lastInShape = in.shape();
+    out.resizeZero(outputShape({in.shape()})); // padded channels stay zero
     for (int c = 0; c < in.shape().c; ++c)
         for (int y = 0; y < out.shape().h; ++y)
             for (int x = 0; x < out.shape().w; ++x)
                 out.at(c, y, x) = in.at(c, 2 * y, 2 * x);
-    return out;
 }
 
 std::vector<Tensor>
@@ -385,11 +398,13 @@ Norm2d::outputShape(const std::vector<Shape> &ins) const
     return ins[0];
 }
 
-Tensor
-Norm2d::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Norm2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                    bool train, bool stash)
 {
     const Tensor &in = *ins[0];
-    lastShape = in.shape();
+    if (stash)
+        lastShape = in.shape();
     const int hw = std::max(1, in.shape().h * in.shape().w);
 
     if (train) {
@@ -410,18 +425,19 @@ Norm2d::forward(const std::vector<const Tensor *> &ins, bool train)
         }
     }
 
-    Tensor out(in.shape());
-    lastXhat = Tensor(in.shape());
+    out.resize(in.shape());
+    if (stash)
+        lastXhat.resize(in.shape());
     for (int c = 0; c < chans; ++c) {
         const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
         for (int i = 0; i < hw; ++i) {
             const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
             const float xhat = (in[idx] - runMean[c]) * inv;
-            lastXhat[idx] = xhat;
+            if (stash)
+                lastXhat[idx] = xhat;
             out[idx] = gamma[c] * xhat + beta[c];
         }
     }
-    return out;
 }
 
 std::vector<Tensor>

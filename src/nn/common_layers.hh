@@ -22,8 +22,8 @@ class ReLU : public Layer
 
     LayerKind kind() const override { return LayerKind::ReLU; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
 
   private:
@@ -39,8 +39,8 @@ class MaxPool2d : public Layer
 
     LayerKind kind() const override { return LayerKind::MaxPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
@@ -63,8 +63,8 @@ class GlobalAvgPool : public Layer
 
     LayerKind kind() const override { return LayerKind::GlobalAvgPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
@@ -83,8 +83,8 @@ class Flatten : public Layer
 
     LayerKind kind() const override { return LayerKind::Flatten; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
 
   private:
@@ -100,8 +100,8 @@ class Add : public Layer
     LayerKind kind() const override { return LayerKind::Add; }
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
@@ -121,8 +121,8 @@ class Concat : public Layer
     LayerKind kind() const override { return LayerKind::Concat; }
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
@@ -145,8 +145,8 @@ class DownsamplePad : public Layer
 
     LayerKind kind() const override { return LayerKind::Downsample; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
@@ -176,8 +176,8 @@ class Norm2d : public Layer
 
     LayerKind kind() const override { return LayerKind::Norm; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     std::vector<Param> params() override;
     std::vector<Param> state() override;

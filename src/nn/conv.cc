@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "nn/gemm.hh"
+
 namespace ptolemy::nn
 {
 
@@ -24,13 +26,42 @@ Conv2d::outputShape(const std::vector<Shape> &ins) const
     return mapShape(outC, oh, ow);
 }
 
-Tensor
-Conv2d::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                    bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    lastInput = in;
-    Tensor out(outputShape({in.shape()}));
+    if (stash)
+        lastInput = in;
+    out.resize(outputShape({in.shape()}));
+    if (naiveConvFlag())
+        forwardNaive(in, out);
+    else
+        forwardGemm(in, out);
+}
+
+void
+Conv2d::forwardGemm(const Tensor &in, Tensor &out) const
+{
+    const int ih = in.shape().h, iw = in.shape().w;
+    const int oh = out.shape().h, ow = out.shape().w;
+    const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    auto &scratch = gemmScratch();
+    im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow, scratch.col);
+    sgemm(outC, static_cast<int>(ohw), inC * kSize * kSize, weight.data(),
+          scratch.col.data(), out.data());
+    for (int oc = 0; oc < outC; ++oc) {
+        const float b = bias[oc];
+        float *row = out.data() + static_cast<std::size_t>(oc) * ohw;
+        for (std::size_t i = 0; i < ohw; ++i)
+            row[i] += b;
+    }
+}
+
+void
+Conv2d::forwardNaive(const Tensor &in, Tensor &out) const
+{
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = out.shape().h, ow = out.shape().w;
 
@@ -57,11 +88,52 @@ Conv2d::forward(const std::vector<const Tensor *> &ins, bool train)
             }
         }
     }
-    return out;
 }
 
 std::vector<Tensor>
 Conv2d::backward(const Tensor &grad_out)
+{
+    return naiveConvFlag() ? backwardNaive(grad_out) : backwardGemm(grad_out);
+}
+
+std::vector<Tensor>
+Conv2d::backwardGemm(const Tensor &grad_out)
+{
+    const Tensor &in = lastInput;
+    Tensor grad_in(in.shape());
+    const int ih = in.shape().h, iw = in.shape().w;
+    const int oh = grad_out.shape().h, ow = grad_out.shape().w;
+    const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    const int kdim = inC * kSize * kSize;
+
+    for (int oc = 0; oc < outC; ++oc) {
+        const float *row =
+            grad_out.data() + static_cast<std::size_t>(oc) * ohw;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < ohw; ++i)
+            acc += row[i];
+        gradBias[oc] += acc;
+    }
+
+    auto &scratch = gemmScratch();
+    im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow, scratch.col);
+    // grad_W[outC x kdim] += grad_out[outC x ohw] * col^T.
+    sgemmNT(outC, kdim, static_cast<int>(ohw), grad_out.data(),
+            scratch.col.data(), gradWeight.data(), /*accumulate=*/true);
+    // col_grad[kdim x ohw] = W^T * grad_out, scattered back to the image.
+    scratch.colGrad.resize(static_cast<std::size_t>(kdim) * ohw);
+    sgemmTN(kdim, static_cast<int>(ohw), outC, weight.data(),
+            grad_out.data(), scratch.colGrad.data());
+    col2im(scratch.colGrad, inC, ih, iw, kSize, strd, padding, oh, ow,
+           grad_in.data());
+
+    std::vector<Tensor> grads;
+    grads.push_back(std::move(grad_in));
+    return grads;
+}
+
+std::vector<Tensor>
+Conv2d::backwardNaive(const Tensor &grad_out)
 {
     const Tensor &in = lastInput;
     Tensor grad_in(in.shape());
@@ -113,12 +185,13 @@ Conv2d::partialSums(const Tensor &input, std::size_t out_index,
                     std::vector<PartialSum> &out) const
 {
     out.clear();
+    out.reserve(receptiveFieldSize());
     const int ih = input.shape().h, iw = input.shape().w;
+    const int oh = (ih + 2 * padding - kSize) / strd + 1;
     const int ow = (iw + 2 * padding - kSize) / strd + 1;
-    const int oc = static_cast<int>(out_index / (static_cast<std::size_t>(
-        (ih + 2 * padding - kSize) / strd + 1) * ow));
-    const std::size_t rem = out_index % (static_cast<std::size_t>(
-        (ih + 2 * padding - kSize) / strd + 1) * ow);
+    const std::size_t plane = static_cast<std::size_t>(oh) * ow;
+    const int oc = static_cast<int>(out_index / plane);
+    const std::size_t rem = out_index % plane;
     const int oy = static_cast<int>(rem / ow);
     const int ox = static_cast<int>(rem % ow);
 

@@ -34,8 +34,8 @@ class Conv2d : public Layer
 
     LayerKind kind() const override { return LayerKind::Conv; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }
@@ -54,6 +54,15 @@ class Conv2d : public Layer
     std::vector<float> &biases() { return bias; }
 
   private:
+    /** Scalar reference forward (PTOLEMY_NAIVE_CONV / equivalence tests). */
+    void forwardNaive(const Tensor &in, Tensor &out) const;
+    /** GEMM forward: im2col + cache-blocked sgemm (the hot path). */
+    void forwardGemm(const Tensor &in, Tensor &out) const;
+    /** Scalar reference backward. */
+    std::vector<Tensor> backwardNaive(const Tensor &grad_out);
+    /** GEMM backward: grad_W via NT, grad_in via TN + col2im. */
+    std::vector<Tensor> backwardGemm(const Tensor &grad_out);
+
     float &
     wAt(int oc, int ic, int ky, int kx)
     {

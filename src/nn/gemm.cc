@@ -1,0 +1,236 @@
+#include "gemm.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace ptolemy::nn
+{
+
+namespace
+{
+
+// Block sizes sized for typical L1/L2: a BM x BK panel of A (32*128
+// floats = 16 KiB) and a BK x BN panel of B (128*256 floats = 128 KiB)
+// stay resident while a BM x BN tile of C is streamed.
+constexpr int BM = 32;
+constexpr int BK = 128;
+constexpr int BN = 256;
+
+/**
+ * Inner kernel: C[i0..imax) x [j0..jmax) += A-panel * B-panel.
+ * @p a_at maps (i, k) to the A element so the same kernel serves the
+ * NN and TN variants without a transposed copy.
+ */
+template <typename AAt>
+inline void
+panelKernel(int i0, int imax, int j0, int jmax, int k0, int kmax, int N,
+            AAt a_at, const float *B, float *C)
+{
+    for (int i = i0; i < imax; ++i) {
+        float *c = C + static_cast<std::size_t>(i) * N;
+        int k = k0;
+        // Four A coefficients per pass quarters the C read/write traffic.
+        for (; k + 3 < kmax; k += 4) {
+            const float a0 = a_at(i, k);
+            const float a1 = a_at(i, k + 1);
+            const float a2 = a_at(i, k + 2);
+            const float a3 = a_at(i, k + 3);
+            const float *b0 = B + static_cast<std::size_t>(k) * N;
+            const float *b1 = b0 + N;
+            const float *b2 = b1 + N;
+            const float *b3 = b2 + N;
+            for (int j = j0; j < jmax; ++j)
+                c[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        for (; k < kmax; ++k) {
+            const float a = a_at(i, k);
+            const float *b = B + static_cast<std::size_t>(k) * N;
+            for (int j = j0; j < jmax; ++j)
+                c[j] += a * b[j];
+        }
+    }
+}
+
+template <typename AAt>
+void
+blockedGemm(int M, int N, int K, AAt a_at, const float *B, float *C,
+            bool accumulate)
+{
+    if (!accumulate)
+        std::fill(C, C + static_cast<std::size_t>(M) * N, 0.0f);
+    for (int k0 = 0; k0 < K; k0 += BK) {
+        const int kmax = std::min(K, k0 + BK);
+        for (int i0 = 0; i0 < M; i0 += BM) {
+            const int imax = std::min(M, i0 + BM);
+            for (int j0 = 0; j0 < N; j0 += BN) {
+                const int jmax = std::min(N, j0 + BN);
+                panelKernel(i0, imax, j0, jmax, k0, kmax, N, a_at, B, C);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+sgemm(int M, int N, int K, const float *A, const float *B, float *C,
+      bool accumulate)
+{
+    blockedGemm(
+        M, N, K,
+        [A, K](int i, int k) { return A[static_cast<std::size_t>(i) * K + k]; },
+        B, C, accumulate);
+}
+
+void
+sgemmTN(int M, int N, int K, const float *A, const float *B, float *C,
+        bool accumulate)
+{
+    blockedGemm(
+        M, N, K,
+        [A, M](int i, int k) { return A[static_cast<std::size_t>(k) * M + i]; },
+        B, C, accumulate);
+}
+
+void
+sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
+        bool accumulate)
+{
+    for (int i = 0; i < M; ++i) {
+        const float *a = A + static_cast<std::size_t>(i) * K;
+        float *c = C + static_cast<std::size_t>(i) * N;
+        for (int j = 0; j < N; ++j) {
+            const float *b = B + static_cast<std::size_t>(j) * K;
+            float s = 0.0f;
+            for (int k = 0; k < K; ++k)
+                s += a[k] * b[k];
+            if (accumulate)
+                c[j] += s;
+            else
+                c[j] = s;
+        }
+    }
+}
+
+void
+sgemvBias(int M, int K, const float *A, const float *x, const float *bias,
+          float *y)
+{
+    for (int i = 0; i < M; ++i) {
+        const float *a = A + static_cast<std::size_t>(i) * K;
+        float s = bias[i];
+        for (int k = 0; k < K; ++k)
+            s += a[k] * x[k];
+        y[i] = s;
+    }
+}
+
+void
+sgemvT(int M, int K, const float *A, const float *x, float *y, bool accumulate)
+{
+    if (!accumulate)
+        std::fill(y, y + K, 0.0f);
+    for (int i = 0; i < M; ++i) {
+        const float xi = x[i];
+        if (xi == 0.0f)
+            continue;
+        const float *a = A + static_cast<std::size_t>(i) * K;
+        for (int k = 0; k < K; ++k)
+            y[k] += xi * a[k];
+    }
+}
+
+GemmScratch &
+gemmScratch()
+{
+    thread_local GemmScratch scratch;
+    return scratch;
+}
+
+void
+im2col(const float *in, int in_c, int ih, int iw, int k, int stride, int pad,
+       int oh, int ow, std::vector<float> &col)
+{
+    const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    col.resize(static_cast<std::size_t>(in_c) * k * k * ohw);
+    float *dst = col.data();
+    for (int ic = 0; ic < in_c; ++ic) {
+        const float *plane = in + static_cast<std::size_t>(ic) * ih * iw;
+        for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride - pad + ky;
+                    float *row = dst + static_cast<std::size_t>(oy) * ow;
+                    if (iy < 0 || iy >= ih) {
+                        std::memset(row, 0, sizeof(float) * ow);
+                        continue;
+                    }
+                    const float *src = plane + static_cast<std::size_t>(iy) * iw;
+                    if (stride == 1) {
+                        // Contiguous tap run; clamp the borders once. All
+                        // three extents are clamped to the row so kernel
+                        // footprints wider than the padded image (e.g.
+                        // k=5, pad=2 on a 1-wide input) stay in bounds.
+                        const int ix0 = -pad + kx;
+                        const int lead = std::clamp(-ix0, 0, ow);
+                        const int valid_end = std::clamp(iw - ix0, 0, ow);
+                        const int body = std::max(0, valid_end - lead);
+                        const int tail = ow - lead - body;
+                        if (lead > 0)
+                            std::memset(row, 0, sizeof(float) * lead);
+                        if (body > 0)
+                            std::memcpy(row + lead, src + ix0 + lead,
+                                        sizeof(float) * body);
+                        if (tail > 0)
+                            std::memset(row + lead + body, 0,
+                                        sizeof(float) * tail);
+                    } else {
+                        for (int ox = 0; ox < ow; ++ox) {
+                            const int ix = ox * stride - pad + kx;
+                            row[ox] = (ix < 0 || ix >= iw) ? 0.0f : src[ix];
+                        }
+                    }
+                }
+                dst += ohw;
+            }
+        }
+    }
+}
+
+void
+col2im(const std::vector<float> &col, int in_c, int ih, int iw, int k,
+       int stride, int pad, int oh, int ow, float *grad_in)
+{
+    const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    const float *src = col.data();
+    for (int ic = 0; ic < in_c; ++ic) {
+        float *plane = grad_in + static_cast<std::size_t>(ic) * ih * iw;
+        for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * stride - pad + ky;
+                    if (iy < 0 || iy >= ih)
+                        continue;
+                    const float *row = src + static_cast<std::size_t>(oy) * ow;
+                    float *drow = plane + static_cast<std::size_t>(iy) * iw;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * stride - pad + kx;
+                        if (ix >= 0 && ix < iw)
+                            drow[ix] += row[ox];
+                    }
+                }
+                src += ohw;
+            }
+        }
+    }
+}
+
+bool &
+naiveConvFlag()
+{
+    static bool flag = std::getenv("PTOLEMY_NAIVE_CONV") != nullptr;
+    return flag;
+}
+
+} // namespace ptolemy::nn

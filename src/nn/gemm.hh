@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small single-precision GEMM kernels and im2col/col2im helpers.
+ *
+ * The inference hot path lowers convolution to matrix multiplication:
+ * im2col unrolls each receptive field into a column, so the layer's
+ * forward pass is one [outC x K] * [K x OHW] product computed by a
+ * cache-blocked, vectorizable kernel instead of a 6-deep scalar loop.
+ * The same kernels back the backward pass (weight gradient via NT,
+ * input gradient via TN + col2im) and the Linear layer (gemv).
+ *
+ * All matrices are dense row-major. The kernels are deliberately plain
+ * C++ (no intrinsics): the inner loops are written so the compiler can
+ * auto-vectorize them, which keeps the code portable across the
+ * container toolchains we target.
+ */
+
+#ifndef PTOLEMY_NN_GEMM_HH
+#define PTOLEMY_NN_GEMM_HH
+
+#include <vector>
+
+namespace ptolemy::nn
+{
+
+/**
+ * C[MxN] = A[MxK] * B[KxN], or += when @p accumulate.
+ * Cache-blocked with a k-unrolled inner kernel over contiguous C/B rows.
+ */
+void sgemm(int M, int N, int K, const float *A, const float *B, float *C,
+           bool accumulate = false);
+
+/**
+ * C[MxN] = A^T * B where A is [KxM] row-major, or += when @p accumulate.
+ * Used for the convolution input gradient: col_grad = W^T * grad_out.
+ */
+void sgemmTN(int M, int N, int K, const float *A, const float *B, float *C,
+             bool accumulate = false);
+
+/**
+ * C[MxN] = A[MxK] * B^T where B is [NxK] row-major, or += when
+ * @p accumulate. Each output element is a contiguous dot product; used
+ * for the convolution weight gradient: grad_W = grad_out * col^T.
+ */
+void sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
+             bool accumulate = false);
+
+/**
+ * y[M] = bias[M] + A[MxK] * x[K], seeding each dot product's
+ * accumulator with the bias (bit-identical to the historical scalar
+ * Linear layer, which several statistical tests are calibrated on).
+ */
+void sgemvBias(int M, int K, const float *A, const float *x,
+               const float *bias, float *y);
+
+/** y[K] = A^T * x where A is [MxK] row-major (+= when @p accumulate). */
+void sgemvT(int M, int K, const float *A, const float *x, float *y,
+            bool accumulate = false);
+
+/**
+ * Reusable im2col/col2im scratch. One instance lives per thread (see
+ * gemmScratch()), so a warmed-up inference loop performs no heap
+ * allocation regardless of how many conv layers share it.
+ */
+struct GemmScratch
+{
+    std::vector<float> col;     ///< im2col matrix [inC*k*k x oh*ow]
+    std::vector<float> colGrad; ///< col-space gradient for backward
+};
+
+/** Thread-local scratch shared by every conv layer on this thread. */
+GemmScratch &gemmScratch();
+
+/**
+ * Unroll @p in (CHW, @p in_c x @p ih x @p iw) into @p col as a
+ * [in_c*k*k x oh*ow] row-major matrix; out-of-image taps are zero.
+ * Row (ic*k + ky)*k + kx matches the Conv2d weight layout, so the
+ * weight matrix multiplies @p col directly.
+ */
+void im2col(const float *in, int in_c, int ih, int iw, int k, int stride,
+            int pad, int oh, int ow, std::vector<float> &col);
+
+/**
+ * Inverse scatter-add of im2col: accumulate the col-space gradient
+ * @p col [in_c*k*k x oh*ow] back into the image gradient @p grad_in
+ * (CHW, must be pre-zeroed by the caller).
+ */
+void col2im(const std::vector<float> &col, int in_c, int ih, int iw, int k,
+            int stride, int pad, int oh, int ow, float *grad_in);
+
+/**
+ * Process-wide switch to the scalar reference convolution (equivalence
+ * tests, perf baselines). Initialized from the PTOLEMY_NAIVE_CONV
+ * environment variable; tests and benches may flip it at runtime.
+ */
+bool &naiveConvFlag();
+
+} // namespace ptolemy::nn
+
+#endif // PTOLEMY_NN_GEMM_HH

@@ -80,12 +80,35 @@ class Layer
     virtual Shape outputShape(const std::vector<Shape> &ins) const = 0;
 
     /**
-     * Run the layer.
+     * Run the layer, writing the result into @p out (resized as needed;
+     * a warmed-up @p out buffer makes the call allocation-free for the
+     * overriding layers).
+     *
      * @param ins borrowed input tensors, one per declared input.
+     * @param out output tensor, resized to the layer's output shape.
      * @param train true during training (affects Norm running stats).
+     * @param stash when true, record the forward state backward() needs.
+     *        Passing false with train == false makes the call free of
+     *        writes to layer state, which is what lets
+     *        Network::forwardBatch run samples on several threads against
+     *        one layer object — but the matching backward() is then
+     *        undefined. stash == false with train == true is invalid
+     *        (train-mode layers update running statistics regardless).
      */
-    virtual Tensor forward(const std::vector<const Tensor *> &ins,
-                           bool train) = 0;
+    virtual void forwardInto(const std::vector<const Tensor *> &ins,
+                             Tensor &out, bool train, bool stash) = 0;
+
+    /**
+     * Convenience wrapper around forwardInto() that allocates the output
+     * and stashes backward state (the single-sample training path).
+     */
+    Tensor
+    forward(const std::vector<const Tensor *> &ins, bool train)
+    {
+        Tensor out;
+        forwardInto(ins, out, train, /*stash=*/true);
+        return out;
+    }
 
     /**
      * Back-propagate.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "nn/gemm.hh"
+
 namespace ptolemy::nn
 {
 
@@ -20,23 +22,17 @@ Linear::outputShape(const std::vector<Shape> &ins) const
     return flatShape(outN);
 }
 
-Tensor
-Linear::forward(const std::vector<const Tensor *> &ins, bool train)
+void
+Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                    bool train, bool stash)
 {
     (void)train;
     const Tensor &in = *ins[0];
     assert(static_cast<int>(in.size()) == inN);
-    lastInput = in;
-    Tensor out(flatShape(outN));
-    for (int o = 0; o < outN; ++o) {
-        float acc = bias[o];
-        const float *wrow = &weight[static_cast<std::size_t>(o) * inN];
-        const float *x = in.data();
-        for (int i = 0; i < inN; ++i)
-            acc += wrow[i] * x[i];
-        out[o] = acc;
-    }
-    return out;
+    if (stash)
+        lastInput = in;
+    out.resize(flatShape(outN));
+    sgemvBias(outN, inN, weight.data(), in.data(), bias.data(), out.data());
 }
 
 std::vector<Tensor>
@@ -44,17 +40,17 @@ Linear::backward(const Tensor &grad_out)
 {
     const Tensor &in = lastInput;
     Tensor grad_in(in.shape());
+    // grad_in = W^T * grad_out; the kernel skips zero gradient rows just
+    // like the fused scalar loop did.
+    sgemvT(outN, inN, weight.data(), grad_out.data(), grad_in.data());
     for (int o = 0; o < outN; ++o) {
         const float g = grad_out[o];
         if (g == 0.0f)
             continue;
         gradBias[o] += g;
         float *gwrow = &gradWeight[static_cast<std::size_t>(o) * inN];
-        const float *wrow = &weight[static_cast<std::size_t>(o) * inN];
-        for (int i = 0; i < inN; ++i) {
+        for (int i = 0; i < inN; ++i)
             gwrow[i] += g * in[i];
-            grad_in[i] += g * wrow[i];
-        }
     }
     std::vector<Tensor> grads;
     grads.push_back(std::move(grad_in));

@@ -23,8 +23,8 @@ class Linear : public Layer
 
     LayerKind kind() const override { return LayerKind::Linear; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
-    Tensor forward(const std::vector<const Tensor *> &ins,
-                   bool train) override;
+    void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
+                     bool train, bool stash) override;
     std::vector<Tensor> backward(const Tensor &grad_out) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/serialize.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::nn
 {
@@ -53,18 +54,57 @@ Network::consumersOf(int id) const
 Network::Record
 Network::forward(const Tensor &x, bool train)
 {
-    assert(x.shape() == inShape);
     Record rec;
-    rec.input = x;
-    rec.outputs.reserve(nodes.size());
-    for (auto &n : nodes) {
-        std::vector<const Tensor *> ins;
-        ins.reserve(n.inputs.size());
-        for (int in_id : n.inputs)
-            ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
-        rec.outputs.push_back(n.layer->forward(ins, train));
-    }
+    forwardInto(x, rec, train);
     return rec;
+}
+
+void
+Network::forwardInto(const Tensor &x, Record &rec, bool train, bool stash)
+{
+    assert(x.shape() == inShape);
+    // Train-mode passes mutate layer state (Norm running stats) no
+    // matter what; stash=false only guarantees state-free execution for
+    // inference passes.
+    assert(stash || !train);
+    rec.input = x; // copy-assign reuses the record's buffer
+    rec.outputs.resize(nodes.size());
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        auto &n = nodes[id];
+        insScratch.clear();
+        for (int in_id : n.inputs)
+            insScratch.push_back(in_id < 0 ? &rec.input
+                                           : &rec.outputs[in_id]);
+        n.layer->forwardInto(insScratch, rec.outputs[id], train, stash);
+    }
+}
+
+void
+Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
+                      ThreadPool *pool)
+{
+    recs.resize(xs.size());
+    if (pool && pool->size() > 1 && xs.size() > 1) {
+        pool->parallelFor(xs.size(), [&](std::size_t i) {
+            // stash=false: no layer-state writes, so concurrent samples
+            // through the shared layer objects do not race.
+            std::vector<const Tensor *> ins;
+            Record &rec = recs[i];
+            rec.input = xs[i];
+            rec.outputs.resize(nodes.size());
+            for (std::size_t id = 0; id < nodes.size(); ++id) {
+                auto &n = nodes[id];
+                ins.clear();
+                for (int in_id : n.inputs)
+                    ins.push_back(in_id < 0 ? &rec.input
+                                            : &rec.outputs[in_id]);
+                n.layer->forwardInto(ins, rec.outputs[id], false, false);
+            }
+        });
+        return;
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        forwardInto(xs[i], recs[i], /*train=*/false, /*stash=*/false);
 }
 
 Tensor

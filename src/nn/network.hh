@@ -19,6 +19,11 @@
 #include "nn/layer.hh"
 #include "nn/tensor.hh"
 
+namespace ptolemy
+{
+class ThreadPool;
+}
+
 namespace ptolemy::nn
 {
 
@@ -85,6 +90,37 @@ class Network
     Record forward(const Tensor &x, bool train = false);
 
     /**
+     * Run the network into a caller-owned Record. Re-using the same
+     * Record across calls makes the steady-state forward pass
+     * allocation-free: every node output and the stashed input are
+     * written into the buffers of the previous pass.
+     *
+     * @param stash when true (default), layers stash the state their
+     *        backward() needs. Pass false for inference-only passes;
+     *        such a pass performs no writes to layer state, which is
+     *        what makes forwardBatch safe to parallelize.
+     */
+    void forwardInto(const Tensor &x, Record &rec, bool train = false,
+                     bool stash = true);
+
+    /**
+     * Run a batch of inputs, one Record per sample, optionally fanned
+     * out over a thread pool. Records are inference-only (no backward
+     * state is stashed): use them for extraction, detection and
+     * evaluation, not for a following backward().
+     *
+     * @param xs batch inputs.
+     * @param recs resized to xs.size(); per-sample records (buffers are
+     *        reused across calls, so a persistent vector makes repeated
+     *        batches allocation-free).
+     * @param pool optional pool; samples are independent, so any
+     *        interleaving is equivalent to the serial loop.
+     */
+    void forwardBatch(const std::vector<Tensor> &xs,
+                      std::vector<Record> &recs,
+                      ThreadPool *pool = nullptr);
+
+    /**
      * Back-propagate from the logits. Must directly follow the matching
      * forward() on this network.
      * @param grad_logits dLoss/dLogits.
@@ -131,6 +167,7 @@ class Network
     Shape inShape;
     std::vector<Node> nodes;
     std::vector<int> weightedIds;
+    std::vector<const Tensor *> insScratch; ///< forwardInto input views
 };
 
 } // namespace ptolemy::nn

@@ -103,6 +103,26 @@ class Tensor
         return (static_cast<std::size_t>(c) * shp.h + y) * shp.w + x;
     }
 
+    /**
+     * Reshape to @p s, reusing the existing buffer when capacity allows
+     * (no heap traffic in a warmed-up inference loop). Element values
+     * are unspecified afterwards; callers must overwrite them.
+     */
+    void
+    resize(Shape s)
+    {
+        shp = s;
+        buf.resize(s.numel());
+    }
+
+    /** Reshape to @p s and zero-fill, reusing the buffer when possible. */
+    void
+    resizeZero(Shape s)
+    {
+        shp = s;
+        buf.assign(s.numel(), 0.0f);
+    }
+
     /** Fill with a constant. */
     void fill(float v);
 

@@ -24,6 +24,7 @@ Trainer::train(Network &net, const Dataset &data)
 
     std::vector<EpochStats> history;
     double lr = config.learningRate;
+    Network::Record rec; // reused across samples: no per-sample allocation
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
         // Fisher-Yates with our deterministic RNG.
@@ -56,7 +57,7 @@ Trainer::train(Network &net, const Dataset &data)
 
         for (std::size_t k = 0; k < order.size(); ++k) {
             const Sample &s = data[order[k]];
-            auto rec = net.forward(s.input, /*train=*/true);
+            net.forwardInto(s.input, rec, /*train=*/true);
             if (rec.predictedClass() == s.label)
                 ++correct;
             auto lg = softmaxCrossEntropy(rec.logits(), s.label);
@@ -89,9 +90,12 @@ Trainer::evaluate(Network &net, const Dataset &data)
     if (data.empty())
         return 0.0;
     std::size_t correct = 0;
-    for (const auto &s : data)
-        if (net.predict(s.input) == s.label)
+    Network::Record rec;
+    for (const auto &s : data) {
+        net.forwardInto(s.input, rec, /*train=*/false, /*stash=*/false);
+        if (rec.predictedClass() == s.label)
             ++correct;
+    }
     return static_cast<double>(correct) / data.size();
 }
 

@@ -15,10 +15,8 @@ ClassPathStore::ClassPathStore(std::size_t num_classes, std::size_t num_bits)
 std::size_t
 ClassPathStore::aggregate(std::size_t cls, const BitVector &path)
 {
-    const std::size_t before = paths[cls].popcount();
-    paths[cls] |= path;
     ++counts[cls];
-    return paths[cls].popcount() - before;
+    return paths[cls].orAssignCountNew(path);
 }
 
 double

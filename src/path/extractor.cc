@@ -8,6 +8,30 @@
 namespace ptolemy::path
 {
 
+namespace
+{
+
+/** Total order for partial-sum ranking: value descending, input index
+ *  ascending on ties. A total order (rather than value-only) makes the
+ *  heap-prefix and full-sort selection strategies pick identical sets
+ *  even when equal values straddle the theta cut. */
+inline bool
+rankedBefore(const nn::PartialSum &a, const nn::PartialSum &b)
+{
+    if (a.value != b.value)
+        return a.value > b.value;
+    return a.inputIndex < b.inputIndex;
+}
+
+/** make_heap/pop_heap comparator: "less" = ranked after. */
+inline bool
+heapLess(const nn::PartialSum &a, const nn::PartialSum &b)
+{
+    return rankedBefore(b, a);
+}
+
+} // namespace
+
 PathExtractor::PathExtractor(const nn::Network &net_ref,
                              ExtractionConfig config)
     : net(&net_ref), cfg(std::move(config)), lay(net_ref, cfg),
@@ -23,19 +47,39 @@ BitVector
 PathExtractor::extract(const nn::Network::Record &rec,
                        ExtractionTrace *trace) const
 {
-    BitVector bits(lay.totalBits());
+    ExtractionWorkspace ws;
+    return extract(rec, ws, trace);
+}
+
+BitVector
+PathExtractor::extract(const nn::Network::Record &rec,
+                       ExtractionWorkspace &ws, ExtractionTrace *trace) const
+{
+    BitVector bits;
+    extractInto(rec, ws, bits, trace);
+    return bits;
+}
+
+void
+PathExtractor::extractInto(const nn::Network::Record &rec,
+                           ExtractionWorkspace &ws, BitVector &bits,
+                           ExtractionTrace *trace) const
+{
+    if (bits.size() != lay.totalBits())
+        bits = BitVector(lay.totalBits());
+    else
+        bits.reset();
     if (trace) {
         trace->direction = cfg.direction;
         trace->layers.clear();
         trace->totalMacs = networkMacs(*net);
     }
     if (cfg.direction == Direction::Backward)
-        extractBackward(rec, bits, trace);
+        extractBackward(rec, ws, bits, trace);
     else
-        extractForward(rec, bits, trace);
+        extractForward(rec, ws, bits, trace);
     if (trace)
         trace->pathBits = bits.popcount();
-    return bits;
 }
 
 void
@@ -43,9 +87,10 @@ PathExtractor::selectImportantInputs(const nn::Layer &layer,
                                      const nn::Tensor &input,
                                      std::size_t out_idx, float out_val,
                                      const LayerPolicy &policy,
-                                     std::vector<nn::PartialSum> &scratch,
-                                     std::vector<std::size_t> &selected) const
+                                     ExtractionWorkspace &ws) const
 {
+    auto &scratch = ws.scratch;
+    auto &selected = ws.selected;
     selected.clear();
     layer.partialSums(input, out_idx, scratch);
     if (scratch.empty())
@@ -61,19 +106,35 @@ PathExtractor::selectImportantInputs(const nn::Layer &layer,
     // Cumulative: rank partial sums, take the minimal prefix whose sum
     // reaches theta * output. A non-positive output has no meaningful
     // coverage target; keep the single largest contributor (minimal set).
-    std::sort(scratch.begin(), scratch.end(),
-              [](const nn::PartialSum &a, const nn::PartialSum &b) {
-                  return a.value > b.value;
-              });
-    const double target = policy.theta * out_val;
     if (out_val <= 0.0f) {
-        selected.push_back(scratch.front().inputIndex);
+        const auto top =
+            std::max_element(scratch.begin(), scratch.end(), heapLess);
+        selected.push_back(top->inputIndex);
         return;
     }
+    const double target = policy.theta * out_val;
+    if (ws.referenceSort) {
+        std::sort(scratch.begin(), scratch.end(), rankedBefore);
+        double cum = 0.0;
+        for (const auto &ps : scratch) {
+            selected.push_back(ps.inputIndex);
+            cum += ps.value;
+            if (cum >= target)
+                break;
+        }
+        return;
+    }
+    // Heap prefix: O(n) heapify, then pop only until coverage. Typical
+    // prefixes are a small fraction of the receptive field, so this
+    // replaces the former full sort's n*log(n) with n + k*log(n).
+    std::make_heap(scratch.begin(), scratch.end(), heapLess);
+    auto end = scratch.end();
     double cum = 0.0;
-    for (const auto &ps : scratch) {
-        selected.push_back(ps.inputIndex);
-        cum += ps.value;
+    while (end != scratch.begin()) {
+        std::pop_heap(scratch.begin(), end, heapLess);
+        --end;
+        selected.push_back(end->inputIndex);
+        cum += end->value;
         if (cum >= target)
             break;
     }
@@ -81,34 +142,46 @@ PathExtractor::selectImportantInputs(const nn::Layer &layer,
 
 void
 PathExtractor::extractBackward(const nn::Network::Record &rec,
-                               BitVector &bits,
+                               ExtractionWorkspace &ws, BitVector &bits,
                                ExtractionTrace *trace) const
 {
     const int n_nodes = net->numNodes();
     // Important output-element sets per node, deduplicated via flags.
-    std::vector<std::vector<std::size_t>> important(n_nodes);
-    std::vector<std::vector<std::uint8_t>> seen(n_nodes);
+    // The flag arrays persist in the workspace; only the bits dirtied by
+    // the previous extraction are cleared, keeping reuse O(path size).
+    if (ws.important.size() != static_cast<std::size_t>(n_nodes)) {
+        // Workspace last served a different network: start clean so the
+        // sparse-clear loop below never indexes stale node ids.
+        ws.important.assign(n_nodes, {});
+        ws.seen.assign(n_nodes, {});
+        ws.touched.clear();
+    }
+    for (int id : ws.touched) {
+        for (std::size_t idx : ws.important[id])
+            ws.seen[id][idx] = 0;
+        ws.important[id].clear();
+    }
+    ws.touched.clear();
 
     auto mark = [&](int node_id, std::size_t idx) {
         if (node_id < 0)
             return; // reached the network input
-        auto &flags = seen[node_id];
-        if (flags.empty())
+        auto &flags = ws.seen[node_id];
+        if (flags.size() != rec.outputs[node_id].size())
             flags.assign(rec.outputs[node_id].size(), 0);
         if (!flags[idx]) {
+            if (ws.important[node_id].empty())
+                ws.touched.push_back(node_id);
             flags[idx] = 1;
-            important[node_id].push_back(idx);
+            ws.important[node_id].push_back(idx);
         }
     };
 
     // Seed: the predicted class neuron of the last layer (paper Sec. III-A).
     mark(n_nodes - 1, rec.predictedClass());
 
-    std::vector<nn::PartialSum> scratch;
-    std::vector<std::size_t> selected;
-
     for (int id = n_nodes - 1; id >= 0; --id) {
-        if (important[id].empty())
+        if (ws.important[id].empty())
             continue;
         const auto &node = net->node(id);
         const int w = weightedIndexOfNode[id];
@@ -130,18 +203,17 @@ PathExtractor::extractBackward(const nn::Network::Record &rec,
             lt.outputFmapSize = rec.outputs[id].size();
             lt.rfSize = node.layer->receptiveFieldSize();
             lt.macs = weightedLayerMacs(*net, id);
-            lt.importantOut = important[id].size();
+            lt.importantOut = ws.important[id].size();
 
-            for (std::size_t o : important[id]) {
+            for (std::size_t o : ws.important[id]) {
                 selectImportantInputs(*node.layer, input, o,
-                                      rec.outputs[id][o], policy, scratch,
-                                      selected);
-                lt.psumsConsidered += scratch.size();
+                                      rec.outputs[id][o], policy, ws);
+                lt.psumsConsidered += ws.scratch.size();
                 if (policy.kind == ThresholdKind::Cumulative)
-                    lt.sortedElems += scratch.size();
+                    lt.sortedElems += ws.scratch.size();
                 else
-                    lt.thresholdCmps += scratch.size();
-                for (std::size_t in_idx : selected) {
+                    lt.thresholdCmps += ws.scratch.size();
+                for (std::size_t in_idx : ws.selected) {
                     if (!bits.test(seg->bitOffset + in_idx)) {
                         bits.set(seg->bitOffset + in_idx);
                         ++lt.importantIn;
@@ -158,15 +230,15 @@ PathExtractor::extractBackward(const nn::Network::Record &rec,
                 trace->layers.push_back(lt);
         } else {
             // Route importance through the non-weighted layer.
-            std::vector<const nn::Tensor *> ins;
+            auto &ins = ws.insScratch;
+            ins.clear();
             for (int in_id : node.inputs)
                 ins.push_back(in_id < 0 ? &rec.input
                                         : &rec.outputs[in_id]);
-            std::vector<std::vector<std::size_t>> per_input;
             node.layer->backmapImportant(ins, rec.outputs[id],
-                                         important[id], per_input);
-            for (std::size_t slot = 0; slot < per_input.size(); ++slot)
-                for (std::size_t idx : per_input[slot])
+                                         ws.important[id], ws.perInput);
+            for (std::size_t slot = 0; slot < ws.perInput.size(); ++slot)
+                for (std::size_t idx : ws.perInput[slot])
                     mark(node.inputs[slot], idx);
         }
     }
@@ -176,10 +248,11 @@ PathExtractor::extractBackward(const nn::Network::Record &rec,
 
 void
 PathExtractor::extractForward(const nn::Network::Record &rec,
-                              BitVector &bits, ExtractionTrace *trace) const
+                              ExtractionWorkspace &ws, BitVector &bits,
+                              ExtractionTrace *trace) const
 {
     const auto &weighted = net->weightedNodes();
-    std::vector<std::size_t> order; // indices of extracted elements
+    auto &order = ws.order; // ranked indices of extracted elements
 
     for (int w = 0; w < cfg.numLayers(); ++w) {
         const LayerPolicy &policy = cfg.layers[w];
@@ -217,25 +290,45 @@ PathExtractor::extractForward(const nn::Network::Record &rec,
             // Forward cumulative (paper Fig. 6, last layer): rank the
             // feature-map elements and keep the minimal prefix covering
             // theta of the total activation mass.
+            const auto idx_ranked_before = [&](std::size_t a,
+                                               std::size_t b) {
+                if (input[a] != input[b])
+                    return input[a] > input[b];
+                return a < b;
+            };
+            const auto idx_heap_less = [&](std::size_t a, std::size_t b) {
+                return idx_ranked_before(b, a);
+            };
             order.resize(input.size());
             for (std::size_t i = 0; i < input.size(); ++i)
                 order[i] = i;
-            std::sort(order.begin(), order.end(),
-                      [&](std::size_t a, std::size_t b) {
-                          return input[a] > input[b];
-                      });
             double total = 0.0;
             for (std::size_t i = 0; i < input.size(); ++i)
                 total += std::max(0.0f, input[i]);
             const double target = policy.theta * total;
             lt.sortedElems = input.size();
             double cum = 0.0;
-            for (std::size_t i : order) {
-                bits.set(seg->bitOffset + i);
-                ++lt.importantIn;
-                cum += std::max(0.0f, input[i]);
-                if (cum >= target)
-                    break;
+            if (ws.referenceSort) {
+                std::sort(order.begin(), order.end(), idx_ranked_before);
+                for (std::size_t i : order) {
+                    bits.set(seg->bitOffset + i);
+                    ++lt.importantIn;
+                    cum += std::max(0.0f, input[i]);
+                    if (cum >= target)
+                        break;
+                }
+            } else {
+                std::make_heap(order.begin(), order.end(), idx_heap_less);
+                auto end = order.end();
+                while (end != order.begin()) {
+                    std::pop_heap(order.begin(), end, idx_heap_less);
+                    --end;
+                    bits.set(seg->bitOffset + *end);
+                    ++lt.importantIn;
+                    cum += std::max(0.0f, input[*end]);
+                    if (cum >= target)
+                        break;
+                }
             }
         }
         if (trace)
@@ -252,9 +345,10 @@ calibrateAbsoluteThresholds(nn::Network &net, ExtractionConfig &cfg,
     std::vector<std::vector<float>> pools(cfg.numLayers());
     Rng rng(0xCA11B8A7Eull);
     std::vector<nn::PartialSum> scratch;
+    nn::Network::Record rec;
 
     for (const auto &x : samples) {
-        auto rec = net.forward(x);
+        net.forwardInto(x, rec);
         for (int w = 0; w < cfg.numLayers(); ++w) {
             if (!cfg.layers[w].extract ||
                 cfg.layers[w].kind != ThresholdKind::Absolute)

@@ -30,6 +30,33 @@ namespace ptolemy::path
 {
 
 /**
+ * Reusable scratch for PathExtractor. One workspace per extraction
+ * loop makes the steady state allocation-free: the per-node importance
+ * lists, dedup flags, partial-sum scratch and selection buffers are all
+ * grown once and reused, and the dedup flags are cleared sparsely (only
+ * the bits set by the previous call) instead of reallocated.
+ */
+struct ExtractionWorkspace
+{
+    /** Selection strategy for cumulative-threshold layers. When true,
+     *  fully sort every partial-sum list (the pre-workspace reference
+     *  behavior); when false (default), pop a max-heap only until theta
+     *  coverage is reached, which is O(n + k log n) for a k-element
+     *  prefix instead of O(n log n). Both orders rank by value with
+     *  input-index tie-breaks, so the selected sets are identical. */
+    bool referenceSort = false;
+
+    std::vector<std::vector<std::size_t>> important; ///< per node
+    std::vector<std::vector<std::uint8_t>> seen;     ///< per-node flags
+    std::vector<int> touched;              ///< nodes dirtied last call
+    std::vector<nn::PartialSum> scratch;   ///< partial sums of one neuron
+    std::vector<std::size_t> selected;     ///< selected input indices
+    std::vector<std::size_t> order;        ///< forward-cumulative ranking
+    std::vector<std::vector<std::size_t>> perInput; ///< backmap results
+    std::vector<const nn::Tensor *> insScratch;     ///< backmap input views
+};
+
+/**
  * Extracts activation paths from recorded forward passes.
  */
 class PathExtractor
@@ -49,24 +76,41 @@ class PathExtractor
 
     /**
      * Extract the activation path for one recorded inference.
+     * Convenience form that allocates a fresh workspace per call; loops
+     * should prefer the workspace overloads below.
      * @param rec recorded forward pass.
      * @param trace optional op-count trace for the compiler/hardware model.
      */
     BitVector extract(const nn::Network::Record &rec,
                       ExtractionTrace *trace = nullptr) const;
 
+    /** Extract reusing @p ws across calls (no steady-state allocation
+     *  besides the returned BitVector). */
+    BitVector extract(const nn::Network::Record &rec,
+                      ExtractionWorkspace &ws,
+                      ExtractionTrace *trace = nullptr) const;
+
+    /**
+     * Fully allocation-free steady state: reuse both the workspace and
+     * the output BitVector (@p bits is reset and resized on first use).
+     */
+    void extractInto(const nn::Network::Record &rec, ExtractionWorkspace &ws,
+                     BitVector &bits, ExtractionTrace *trace = nullptr) const;
+
   private:
-    void extractBackward(const nn::Network::Record &rec, BitVector &bits,
+    void extractBackward(const nn::Network::Record &rec,
+                         ExtractionWorkspace &ws, BitVector &bits,
                          ExtractionTrace *trace) const;
-    void extractForward(const nn::Network::Record &rec, BitVector &bits,
+    void extractForward(const nn::Network::Record &rec,
+                        ExtractionWorkspace &ws, BitVector &bits,
                         ExtractionTrace *trace) const;
 
-    /** Pick important inputs of one weighted output neuron. */
+    /** Pick important inputs of one weighted output neuron into
+     *  ws.selected. */
     void selectImportantInputs(const nn::Layer &layer,
                                const nn::Tensor &input, std::size_t out_idx,
                                float out_val, const LayerPolicy &policy,
-                               std::vector<nn::PartialSum> &scratch,
-                               std::vector<std::size_t> &selected) const;
+                               ExtractionWorkspace &ws) const;
 
     const nn::Network *net;
     ExtractionConfig cfg;

@@ -66,6 +66,20 @@ BitVector::operator|=(const BitVector &other)
     return *this;
 }
 
+std::size_t
+BitVector::orAssignCountNew(const BitVector &other)
+{
+    assert(numBits == other.numBits);
+    std::size_t added = 0;
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        const std::uint64_t before = words[i];
+        const std::uint64_t after = before | other.words[i];
+        added += std::popcount(after ^ before);
+        words[i] = after;
+    }
+    return added;
+}
+
 BitVector &
 BitVector::operator&=(const BitVector &other)
 {

@@ -73,6 +73,15 @@ class BitVector
     /** In-place bitwise OR (class-path aggregation). Sizes must match. */
     BitVector &operator|=(const BitVector &other);
 
+    /**
+     * In-place bitwise OR that also counts the newly set bits, in a
+     * single fused pass over the words (class-path aggregation tracks
+     * saturation via this delta; doing it with two full popcounts costs
+     * three word sweeps instead of one).
+     * @return number of bits that were 0 before and are 1 after.
+     */
+    std::size_t orAssignCountNew(const BitVector &other);
+
     /** In-place bitwise AND. Sizes must match. */
     BitVector &operator&=(const BitVector &other);
 

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for benchmark artifacts.
+ *
+ * The perf harnesses emit machine-readable results (BENCH_micro.json)
+ * so every PR leaves a comparable perf trajectory; this writer is just
+ * enough JSON for that: nested objects/arrays, numbers, strings and
+ * booleans, with correct comma placement and string escaping. No
+ * parsing, no external dependencies.
+ */
+
+#ifndef PTOLEMY_UTIL_JSON_HH
+#define PTOLEMY_UTIL_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptolemy
+{
+
+/**
+ * Streaming writer; emit begin/end and key/value calls in document
+ * order. The writer tracks nesting to insert commas; it does not
+ * validate that keys are only used inside objects.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : out(os) {}
+
+    JsonWriter &
+    beginObject()
+    {
+        prefix();
+        out << "{";
+        stack.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        stack.pop_back();
+        newlineIndent();
+        out << "}";
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        prefix();
+        out << "[";
+        stack.push_back(true);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        stack.pop_back();
+        newlineIndent();
+        out << "]";
+        return *this;
+    }
+
+    /** Emit "key": ...; follow with a value or begin call. */
+    JsonWriter &
+    key(const std::string &name)
+    {
+        prefix();
+        quote(name);
+        out << ": ";
+        pendingKey = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        prefix();
+        if (std::isfinite(v)) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6g", v);
+            out << buf;
+        } else {
+            out << "null";
+        }
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::size_t v)
+    {
+        prefix();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int v)
+    {
+        prefix();
+        out << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        prefix();
+        out << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        prefix();
+        quote(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *v)
+    {
+        return value(std::string(v));
+    }
+
+    /** key(name) + value(v) in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    void
+    prefix()
+    {
+        if (pendingKey) {
+            pendingKey = false;
+            return; // value follows its key on the same line
+        }
+        if (stack.empty())
+            return;
+        if (!stack.back())
+            out << ",";
+        stack.back() = false;
+        newline();
+    }
+
+    void
+    newline()
+    {
+        out << "\n";
+        for (std::size_t i = 0; i < stack.size(); ++i)
+            out << "  ";
+    }
+
+    void
+    newlineIndent()
+    {
+        out << "\n";
+        for (std::size_t i = 0; i < stack.size(); ++i)
+            out << "  ";
+    }
+
+    void
+    quote(const std::string &s)
+    {
+        out << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out << "\\\""; break;
+              case '\\': out << "\\\\"; break;
+              case '\n': out << "\\n"; break;
+              case '\t': out << "\\t"; break;
+              default: out << c;
+            }
+        }
+        out << '"';
+    }
+
+    std::ostream &out;
+    std::vector<bool> stack; ///< per level: "no element emitted yet"
+    bool pendingKey = false;
+};
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_JSON_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Minimal persistent thread pool for data-parallel loops.
+ *
+ * Network::forwardBatch uses it to spread independent samples across
+ * cores: the pool owns hardware_concurrency - 1 workers (the calling
+ * thread participates), and parallelFor hands out indices through an
+ * atomic counter so uneven per-sample costs self-balance. On a single
+ * core the pool degenerates to a plain serial loop with no threads.
+ */
+
+#ifndef PTOLEMY_UTIL_THREAD_POOL_HH
+#define PTOLEMY_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptolemy
+{
+
+/**
+ * Fixed-size pool executing index-parallel loops.
+ */
+class ThreadPool
+{
+  public:
+    /** @param n_threads total worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned n_threads = 0)
+    {
+        unsigned n =
+            n_threads ? n_threads : std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+        for (unsigned i = 0; i + 1 < n; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            stopping = true;
+            ++generation;
+        }
+        cv.notify_all();
+        for (auto &t : workers)
+            t.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads participating in a loop (workers + caller). */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers.size()) + 1;
+    }
+
+    /**
+     * Run fn(0..n) across the pool; returns when every index finished.
+     * @p fn must be safe to call concurrently for distinct indices.
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        if (workers.empty() || n == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            job = &fn;
+            jobSize = n;
+            nextIndex.store(0, std::memory_order_relaxed);
+            active = static_cast<unsigned>(workers.size());
+            ++generation;
+        }
+        cv.notify_all();
+        runIndices(fn, n);
+        std::unique_lock<std::mutex> lk(mu);
+        doneCv.wait(lk, [this] { return active == 0; });
+        job = nullptr;
+    }
+
+  private:
+    void
+    runIndices(const std::function<void(std::size_t)> &fn, std::size_t n)
+    {
+        for (;;) {
+            const std::size_t i =
+                nextIndex.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            fn(i);
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::size_t)> *fn;
+            std::size_t n;
+            {
+                std::unique_lock<std::mutex> lk(mu);
+                cv.wait(lk,
+                        [&] { return stopping || generation != seen; });
+                seen = generation;
+                if (stopping)
+                    return;
+                fn = job;
+                n = jobSize;
+            }
+            if (fn)
+                runIndices(*fn, n);
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                if (--active == 0)
+                    doneCv.notify_one();
+            }
+        }
+    }
+
+    std::vector<std::thread> workers;
+    std::mutex mu;
+    std::condition_variable cv, doneCv;
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobSize = 0;
+    std::atomic<std::size_t> nextIndex{0};
+    unsigned active = 0;
+    std::uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace ptolemy
+
+#endif // PTOLEMY_UTIL_THREAD_POOL_HH

@@ -174,6 +174,27 @@ TEST_P(BitVectorSizeSweep, AndPopcountSymmetric)
     EXPECT_LE(a.andPopcount(b), std::min(a.popcount(), b.popcount()));
 }
 
+TEST_P(BitVectorSizeSweep, OrAssignCountNewMatchesTwoPassDelta)
+{
+    const std::size_t n = GetParam();
+    Rng rng(n * 5 + 7);
+    BitVector acc(n), path(n);
+    for (std::size_t i = 0; i < n / 3 + 1; ++i) {
+        acc.set(rng.below(n));
+        path.set(rng.below(n));
+    }
+    BitVector two_pass = acc;
+    const std::size_t before = two_pass.popcount();
+    two_pass |= path;
+    const std::size_t expected_delta = two_pass.popcount() - before;
+
+    const std::size_t delta = acc.orAssignCountNew(path);
+    EXPECT_EQ(delta, expected_delta);
+    EXPECT_EQ(acc, two_pass);
+    // Saturation: OR-ing the same path again adds nothing.
+    EXPECT_EQ(acc.orAssignCountNew(path), 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeSweep,
                          ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
                                            4096));

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * GEMM kernel correctness and GEMM-conv vs naive-conv equivalence
+ * (forward and backward, padded/strided cases swept).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/conv.hh"
+#include "nn/gemm.hh"
+#include "nn/linear.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::nn
+{
+namespace
+{
+
+void
+fillRandom(std::vector<float> &v, Rng &rng, float scale = 1.0f)
+{
+    for (auto &x : v)
+        x = (static_cast<float>(rng.uniform()) - 0.5f) * scale;
+}
+
+Tensor
+randomTensor(Shape s, Rng &rng, float scale = 1.0f)
+{
+    Tensor t(s);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t[i] = (static_cast<float>(rng.uniform()) - 0.5f) * scale;
+    return t;
+}
+
+/** RAII guard restoring the process-wide conv-mode flag. */
+struct ConvModeGuard
+{
+    bool saved = naiveConvFlag();
+    ~ConvModeGuard() { naiveConvFlag() = saved; }
+};
+
+void
+naiveGemmRef(int M, int N, int K, const std::vector<float> &A,
+             const std::vector<float> &B, std::vector<float> &C)
+{
+    C.assign(static_cast<std::size_t>(M) * N, 0.0f);
+    for (int i = 0; i < M; ++i)
+        for (int k = 0; k < K; ++k)
+            for (int j = 0; j < N; ++j)
+                C[static_cast<std::size_t>(i) * N + j] +=
+                    A[static_cast<std::size_t>(i) * K + k] *
+                    B[static_cast<std::size_t>(k) * N + j];
+}
+
+TEST(Sgemm, MatchesNaiveTripleLoopAcrossBlockBoundaries)
+{
+    Rng rng(1);
+    // Sizes straddling the kernel's 32/128/256 block boundaries.
+    const int sizes[][3] = {
+        {1, 1, 1}, {3, 5, 7}, {33, 17, 129}, {64, 300, 140}, {40, 257, 4}};
+    for (const auto &s : sizes) {
+        const int M = s[0], N = s[1], K = s[2];
+        std::vector<float> A(static_cast<std::size_t>(M) * K);
+        std::vector<float> B(static_cast<std::size_t>(K) * N);
+        fillRandom(A, rng);
+        fillRandom(B, rng);
+        std::vector<float> C(static_cast<std::size_t>(M) * N, -1.0f);
+        std::vector<float> ref;
+        sgemm(M, N, K, A.data(), B.data(), C.data());
+        naiveGemmRef(M, N, K, A, B, ref);
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            ASSERT_NEAR(C[i], ref[i], 1e-3f)
+                << "M=" << M << " N=" << N << " K=" << K << " i=" << i;
+    }
+}
+
+TEST(Sgemm, TransposedVariantsMatchPlainGemm)
+{
+    Rng rng(2);
+    const int M = 37, N = 65, K = 50;
+    std::vector<float> A(static_cast<std::size_t>(M) * K);
+    std::vector<float> B(static_cast<std::size_t>(K) * N);
+    fillRandom(A, rng);
+    fillRandom(B, rng);
+    std::vector<float> ref;
+    naiveGemmRef(M, N, K, A, B, ref);
+
+    // sgemmTN consumes A stored transposed ([K x M]).
+    std::vector<float> At(static_cast<std::size_t>(K) * M);
+    for (int i = 0; i < M; ++i)
+        for (int k = 0; k < K; ++k)
+            At[static_cast<std::size_t>(k) * M + i] =
+                A[static_cast<std::size_t>(i) * K + k];
+    std::vector<float> C(static_cast<std::size_t>(M) * N);
+    sgemmTN(M, N, K, At.data(), B.data(), C.data());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(C[i], ref[i], 1e-3f);
+
+    // sgemmNT consumes B stored transposed ([N x K]).
+    std::vector<float> Bt(static_cast<std::size_t>(N) * K);
+    for (int k = 0; k < K; ++k)
+        for (int j = 0; j < N; ++j)
+            Bt[static_cast<std::size_t>(j) * K + k] =
+                B[static_cast<std::size_t>(k) * N + j];
+    std::vector<float> C2(static_cast<std::size_t>(M) * N);
+    sgemmNT(M, N, K, A.data(), Bt.data(), C2.data());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(C2[i], ref[i], 1e-3f);
+}
+
+TEST(Sgemm, AccumulateAddsOntoExistingC)
+{
+    Rng rng(3);
+    const int M = 8, N = 9, K = 10;
+    std::vector<float> A(static_cast<std::size_t>(M) * K);
+    std::vector<float> B(static_cast<std::size_t>(K) * N);
+    fillRandom(A, rng);
+    fillRandom(B, rng);
+    std::vector<float> ref;
+    naiveGemmRef(M, N, K, A, B, ref);
+    std::vector<float> C(ref.size(), 2.5f);
+    sgemm(M, N, K, A.data(), B.data(), C.data(), /*accumulate=*/true);
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(C[i], ref[i] + 2.5f, 1e-3f);
+}
+
+/** Shapes swept by the conv equivalence tests: {k, stride, pad, h, w}.
+ *  The 1-wide/1-tall cases cover kernel footprints wider than the
+ *  padded image, which the im2col border fast path must clamp. */
+const int kConvCases[][5] = {
+    {3, 1, 1, 8, 8},  {3, 1, 0, 8, 10}, {3, 2, 1, 9, 9}, {1, 1, 0, 6, 6},
+    {5, 1, 2, 11, 9}, {5, 2, 2, 12, 12}, {3, 2, 0, 7, 11}, {5, 1, 2, 4, 1},
+    {5, 1, 2, 1, 6}};
+
+TEST(ConvGemm, ForwardMatchesNaiveAcrossStridesAndPadding)
+{
+    ConvModeGuard guard;
+    Rng rng(4);
+    for (const auto &cs : kConvCases) {
+        const int k = cs[0], stride = cs[1], pad = cs[2];
+        const int h = cs[3], w = cs[4];
+        Conv2d conv("c", 3, 5, k, stride, pad);
+        fillRandom(conv.weights(), rng);
+        fillRandom(conv.biases(), rng);
+        const Tensor x = randomTensor(mapShape(3, h, w), rng);
+
+        Tensor out_gemm, out_naive;
+        naiveConvFlag() = false;
+        conv.forwardInto({&x}, out_gemm, false, false);
+        naiveConvFlag() = true;
+        conv.forwardInto({&x}, out_naive, false, false);
+
+        ASSERT_EQ(out_gemm.shape(), out_naive.shape());
+        for (std::size_t i = 0; i < out_gemm.size(); ++i)
+            ASSERT_NEAR(out_gemm[i], out_naive[i], 1e-4f)
+                << "k=" << k << " s=" << stride << " p=" << pad
+                << " i=" << i;
+    }
+}
+
+TEST(ConvGemm, BackwardMatchesNaiveAcrossStridesAndPadding)
+{
+    ConvModeGuard guard;
+    Rng rng(5);
+    for (const auto &cs : kConvCases) {
+        const int k = cs[0], stride = cs[1], pad = cs[2];
+        const int h = cs[3], w = cs[4];
+        // Two identical layers, one per mode, so gradient accumulation
+        // stays separate.
+        Conv2d cg("g", 3, 4, k, stride, pad), cn("n", 3, 4, k, stride, pad);
+        fillRandom(cg.weights(), rng);
+        fillRandom(cg.biases(), rng);
+        cn.weights() = cg.weights();
+        cn.biases() = cg.biases();
+        const Tensor x = randomTensor(mapShape(3, h, w), rng);
+
+        naiveConvFlag() = false;
+        auto out = cg.forward({&x}, false);
+        const Tensor gout = randomTensor(out.shape(), rng);
+        auto gin_gemm = cg.backward(gout);
+
+        naiveConvFlag() = true;
+        cn.forward({&x}, false);
+        auto gin_naive = cn.backward(gout);
+
+        for (std::size_t i = 0; i < gin_gemm[0].size(); ++i)
+            ASSERT_NEAR(gin_gemm[0][i], gin_naive[0][i], 1e-4f)
+                << "grad_in k=" << k << " s=" << stride << " p=" << pad;
+        auto pg = cg.params(), pn = cn.params();
+        for (std::size_t b = 0; b < pg.size(); ++b)
+            for (std::size_t i = 0; i < pg[b].grad->size(); ++i)
+                ASSERT_NEAR((*pg[b].grad)[i], (*pn[b].grad)[i], 1e-3f)
+                    << "param buf " << b << " k=" << k << " s=" << stride
+                    << " p=" << pad;
+    }
+}
+
+TEST(ConvGemm, PartialSumsStillMatchForwardOutput)
+{
+    // The extraction path decomposes each output neuron into partial
+    // sums; they must sum to the GEMM output minus bias within float
+    // noise regardless of the forward implementation.
+    ConvModeGuard guard;
+    naiveConvFlag() = false;
+    Rng rng(6);
+    Conv2d conv("c", 2, 3, 3, 1, 1);
+    fillRandom(conv.weights(), rng);
+    fillRandom(conv.biases(), rng);
+    const Tensor x = randomTensor(mapShape(2, 6, 6), rng);
+    Tensor out;
+    conv.forwardInto({&x}, out, false, false);
+
+    std::vector<PartialSum> psums;
+    for (std::size_t o = 0; o < out.size(); ++o) {
+        conv.partialSums(x, o, psums);
+        double s = conv.biases()[o / (out.shape().numel() / 3)];
+        for (const auto &ps : psums)
+            s += ps.value;
+        ASSERT_NEAR(s, out[o], 1e-4);
+    }
+}
+
+TEST(LinearGemv, ForwardMatchesManualDotProducts)
+{
+    Rng rng(7);
+    Linear lin("fc", 13, 6);
+    fillRandom(lin.weights(), rng);
+    fillRandom(lin.biases(), rng);
+    const Tensor x = randomTensor(flatShape(13), rng);
+    auto out = lin.forward({&x}, false);
+    for (int o = 0; o < 6; ++o) {
+        float acc = lin.biases()[o];
+        for (int i = 0; i < 13; ++i)
+            acc += lin.weights()[static_cast<std::size_t>(o) * 13 + i] * x[i];
+        ASSERT_NEAR(out[o], acc, 1e-5f);
+    }
+}
+
+} // namespace
+} // namespace ptolemy::nn
