@@ -1,11 +1,13 @@
 /**
  * @file
  * Hot-path perf smoke: conv GFLOP/s (GEMM vs naive reference), path
- * extractions/sec (workspace+heap vs the legacy allocate-and-sort
- * strategy), and bit-vector similarity ops/sec. Emits BENCH_micro.json
- * so every PR records a comparable perf trajectory, and counts heap
- * allocations inside the steady-state extract loop to prove it is
- * allocation-free.
+ * extractions/sec (single-stream and pool-parallel extractBatch vs the
+ * legacy allocate-and-sort strategy), forward+backward passes/sec, and
+ * bit-vector similarity ops/sec. Emits BENCH_micro.json — including
+ * the thread count, SIMD mode and core count the numbers were taken
+ * under — so every PR records a comparable perf trajectory, and counts
+ * heap allocations inside the steady-state extract and backward loops
+ * to prove both are allocation-free.
  *
  * Runtime is bounded by PTOLEMY_BENCH_MIN_TIME seconds per measurement
  * (default 0.3), so the harness stays CI-friendly.
@@ -25,12 +27,14 @@
 #include "nn/gemm.hh"
 #include "nn/init.hh"
 #include "nn/linear.hh"
+#include "nn/loss.hh"
 #include "nn/network.hh"
 #include "path/class_path.hh"
 #include "path/extraction_config.hh"
 #include "path/extractor.hh"
 #include "util/json.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace
 {
@@ -162,6 +166,7 @@ extractionNet()
 struct ExtractBenchResult
 {
     double newPerSec = 0.0;
+    double batchPerSec = 0.0;
     double legacyPerSec = 0.0;
     std::size_t allocsPerExtract = 0;
     std::size_t pathBits = 0;
@@ -216,6 +221,18 @@ benchExtraction(double min_time)
     r.newPerSec = 1.0 / new_spc;
     r.allocsPerExtract = calls ? (allocs_after - allocs_before) / calls : 0;
 
+    // Pool-parallel batched extraction (the detector-evaluation path):
+    // whole batches per call, one workspace per pool slot.
+    {
+        ptolemy::ThreadPool &pool = ptolemy::globalPool();
+        path::BatchExtractionWorkspace bws;
+        std::vector<BitVector> out;
+        ex.extractBatch(recs, out, bws, &pool); // warm per-slot buffers
+        const double batch_spc = secsPerCall(
+            [&] { ex.extractBatch(recs, out, bws, &pool); }, min_time);
+        r.batchPerSec = static_cast<double>(kSamples) / batch_spc;
+    }
+
     // Legacy strategy (pre-refactor behavior): fresh workspace per call
     // (per-node importance lists and dedup flags reallocated every time)
     // and a full std::sort of every partial-sum list.
@@ -229,6 +246,59 @@ benchExtraction(double min_time)
         },
         min_time);
     r.legacyPerSec = 1.0 / legacy_spc;
+    return r;
+}
+
+struct BackwardBenchResult
+{
+    double passesPerSec = 0.0;
+    std::size_t allocsPerPass = 0;
+};
+
+BackwardBenchResult
+benchBackward(double min_time)
+{
+    nn::Network net = extractionNet();
+    Rng rng(0xD00D);
+    nn::Tensor x(nn::mapShape(3, 32, 32));
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<float>(rng.uniform());
+
+    nn::Network::Record rec;
+    nn::LossGrad lg;
+    auto pass = [&] {
+        net.forwardInto(x, rec, /*train=*/false, /*stash=*/true);
+        nn::softmaxCrossEntropyInto(rec.logits(), 0, lg);
+        net.backward(lg.grad); // arena-backed; result stays borrowed
+    };
+
+    // Warm until quiescent: the record, loss grad, gradient arena and
+    // every pool worker's thread-local gemm scratch must all reach
+    // steady state. Worker warm-up is scheduling-dependent (a worker
+    // only grows its pack buffer when it first draws a large tile), so
+    // require several consecutive allocation-free passes.
+    int quiet = 0;
+    for (int i = 0; i < 200 && quiet < 3; ++i) {
+        const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+        pass();
+        quiet = g_allocs.load(std::memory_order_relaxed) == before
+                    ? quiet + 1
+                    : 0;
+    }
+
+    BackwardBenchResult r;
+    const std::size_t allocs_before =
+        g_allocs.load(std::memory_order_relaxed);
+    std::size_t calls = 0;
+    const double spc = secsPerCall(
+        [&] {
+            pass();
+            ++calls;
+        },
+        min_time);
+    const std::size_t allocs_after = g_allocs.load(std::memory_order_relaxed);
+    r.passesPerSec = 1.0 / spc;
+    r.allocsPerPass = calls ? (allocs_after - allocs_before) / calls : 0;
     return r;
 }
 
@@ -270,7 +340,11 @@ main(int argc, char **argv)
 
     const auto conv = benchConv(min_time);
     const auto ext = benchExtraction(min_time);
+    const auto bwd = benchBackward(min_time);
     const auto sim = benchSimilarity(min_time);
+
+    const unsigned threads = ptolemy::globalPool().size();
+    const unsigned cores = std::thread::hardware_concurrency();
 
     std::ofstream os(out_path);
     if (!os) {
@@ -280,6 +354,12 @@ main(int argc, char **argv)
     ptolemy::JsonWriter j(os);
     j.beginObject();
     j.kv("bench", "perf_smoke");
+    j.key("env").beginObject();
+    j.kv("threads", static_cast<std::size_t>(threads));
+    j.kv("cores", static_cast<std::size_t>(cores));
+    j.kv("simd", nn::simdModeName());
+    j.kv("naive_conv_env", nn::naiveConvFlag() ? 1 : 0);
+    j.endObject();
     j.key("conv_fwd").beginObject();
     j.kv("shape", "64->64ch 32x32 k3 s1 p1");
     j.kv("gemm_gflops", conv.gemmGflops);
@@ -290,10 +370,16 @@ main(int argc, char **argv)
     j.kv("model", "3conv+2fc on 3x32x32, theta=0.5");
     j.kv("samples", ext.numSamples);
     j.kv("extractions_per_sec", ext.newPerSec);
+    j.kv("batch_extractions_per_sec", ext.batchPerSec);
     j.kv("legacy_extractions_per_sec", ext.legacyPerSec);
     j.kv("speedup", ext.newPerSec / ext.legacyPerSec);
     j.kv("allocs_per_extract", ext.allocsPerExtract);
     j.kv("path_bits_last", ext.pathBits);
+    j.endObject();
+    j.key("backward").beginObject();
+    j.kv("model", "3conv+2fc on 3x32x32, fwd+softmaxCE+bwd");
+    j.kv("passes_per_sec", bwd.passesPerSec);
+    j.kv("allocs_per_pass", bwd.allocsPerPass);
     j.endObject();
     j.key("similarity").beginObject();
     j.kv("bits", sim.bits);
@@ -307,19 +393,31 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::cout << "conv fwd (64->64ch 32x32 k3): gemm " << conv.gemmGflops
+    std::cout << "env: " << threads << " threads on " << cores
+              << " cores, simd " << nn::simdModeName() << "\n"
+              << "conv fwd (64->64ch 32x32 k3): gemm " << conv.gemmGflops
               << " GFLOP/s, naive " << conv.naiveGflops << " GFLOP/s ("
               << conv.gemmGflops / conv.naiveGflops << "x)\n"
               << "extraction BwCu: " << ext.newPerSec
-              << " extractions/s (legacy " << ext.legacyPerSec << "/s, "
+              << " extractions/s single-stream, " << ext.batchPerSec
+              << "/s batched (legacy " << ext.legacyPerSec << "/s, "
               << ext.newPerSec / ext.legacyPerSec << "x), "
               << ext.allocsPerExtract << " allocs per extract\n"
+              << "backward: " << bwd.passesPerSec
+              << " fwd+bwd passes/s, " << bwd.allocsPerPass
+              << " allocs per pass\n"
               << "similarity and+popcount (" << sim.bits
               << " bits): " << sim.opsPerSec << " ops/s\n"
               << "wrote " << out_path << "\n";
     if (ext.allocsPerExtract != 0) {
         std::cerr << "FAIL: steady-state extract loop performed "
                   << ext.allocsPerExtract << " heap allocations per call "
+                  << "(expected 0)\n";
+        return 1;
+    }
+    if (bwd.allocsPerPass != 0) {
+        std::cerr << "FAIL: steady-state backward loop performed "
+                  << bwd.allocsPerPass << " heap allocations per pass "
                   << "(expected 0)\n";
         return 1;
     }

@@ -53,12 +53,22 @@ nn::Tensor
 lossInputGradient(nn::Network &net, const nn::Tensor &x, std::size_t label,
                   double *loss_out)
 {
+    nn::Tensor grad;
+    lossInputGradientInto(net, x, label, grad, loss_out);
+    return grad;
+}
+
+void
+lossInputGradientInto(nn::Network &net, const nn::Tensor &x,
+                      std::size_t label, nn::Tensor &grad, double *loss_out)
+{
     thread_local nn::Network::Record rec; // reused across gradient queries
+    thread_local nn::LossGrad lg;
     net.forwardInto(x, rec);
-    auto lg = nn::softmaxCrossEntropy(rec.logits(), label);
+    nn::softmaxCrossEntropyInto(rec.logits(), label, lg);
     if (loss_out)
         *loss_out = lg.loss;
-    return net.backward(lg.grad);
+    grad = net.backward(lg.grad); // copy-assign reuses the caller's buffer
 }
 
 void

@@ -76,6 +76,14 @@ double l2Distortion(const nn::Tensor &a, const nn::Tensor &b);
 nn::Tensor lossInputGradient(nn::Network &net, const nn::Tensor &x,
                              std::size_t label, double *loss_out = nullptr);
 
+/**
+ * As lossInputGradient, but writing into a caller-owned tensor so
+ * iterative attacks (BIM/PGD) stay allocation-free across iterations.
+ */
+void lossInputGradientInto(nn::Network &net, const nn::Tensor &x,
+                           std::size_t label, nn::Tensor &grad,
+                           double *loss_out = nullptr);
+
 /** Clip every element to [0, 1] (valid image range). */
 void clipToImageRange(nn::Tensor &t);
 

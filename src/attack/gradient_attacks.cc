@@ -37,10 +37,11 @@ iterativeLinf(nn::Network &net, const nn::Tensor &x, nn::Tensor adv,
               std::size_t label, const AttackBudget &budget)
 {
     int it = 0;
+    nn::Tensor grad; // reused across iterations
     for (; it < budget.maxIters; ++it) {
         if (net.predict(adv) != label)
             break; // already adversarial
-        auto grad = lossInputGradient(net, adv, label);
+        lossInputGradientInto(net, adv, label, grad);
         signStep(adv, grad, budget.stepSize);
         clipToEpsBall(adv, x, budget.epsilon);
     }

@@ -1,5 +1,7 @@
 #include "detector.hh"
 
+#include "util/thread_pool.hh"
+
 namespace ptolemy::core
 {
 
@@ -14,19 +16,46 @@ Detector::Detector(nn::Network &net_ref, path::ExtractionConfig cfg,
 std::size_t
 Detector::buildClassPaths(const nn::Dataset &train, int max_per_class)
 {
+    // Chunked batch pipeline: inference + extraction of each chunk fan
+    // out on the pool, then aggregation replays the chunk in dataset
+    // order with the same cap/correctness checks the sequential loop
+    // applied, so the resulting class paths are identical to it. (A
+    // sample whose class fills up mid-chunk is forwarded wastefully but
+    // never aggregated.)
     std::size_t aggregated = 0;
+    ThreadPool *pool = &globalPool();
+    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
+    const auto cap = static_cast<std::size_t>(max_per_class);
+    xsScratch.clear();
+    labelScratch.clear();
+
+    auto flush = [&] {
+        if (xsScratch.empty())
+            return;
+        net->forwardBatch(xsScratch, recBatch, pool);
+        pathExtractor.extractBatch(recBatch, pathBatch, bws, pool);
+        for (std::size_t i = 0; i < xsScratch.size(); ++i) {
+            const std::size_t label = labelScratch[i];
+            if (store.samplesSeen(label) >= cap)
+                continue;
+            if (recBatch[i].predictedClass() != label)
+                continue; // only correct predictions define the canary
+            store.aggregate(label, pathBatch[i]);
+            ++aggregated;
+        }
+        xsScratch.clear();
+        labelScratch.clear();
+    };
+
     for (const auto &s : train) {
-        if (store.samplesSeen(s.label) >=
-            static_cast<std::size_t>(max_per_class))
+        if (store.samplesSeen(s.label) >= cap)
             continue;
-        net->forwardInto(s.input, recScratch, /*train=*/false,
-                         /*stash=*/false);
-        if (recScratch.predictedClass() != s.label)
-            continue; // only correctly-predicted samples define the canary
-        pathExtractor.extractInto(recScratch, ws, pathScratch);
-        store.aggregate(s.label, pathScratch);
-        ++aggregated;
+        xsScratch.push_back(s.input);
+        labelScratch.push_back(s.label);
+        if (xsScratch.size() >= chunk)
+            flush();
     }
+    flush();
     return aggregated;
 }
 
@@ -38,6 +67,38 @@ Detector::featuresFor(const nn::Network::Record &rec,
     const auto &pc = store.classPath(rec.predictedClass());
     return path::computeSimilarity(pathScratch, pc, pathExtractor.layout())
         .toVector();
+}
+
+void
+Detector::featuresBatch(const std::vector<nn::Tensor> &xs,
+                        classify::FeatureMatrix &rows,
+                        std::vector<std::size_t> *predicted)
+{
+    // Chunked so resident memory stays bounded by a few pool-widths of
+    // Records (a Record holds every intermediate feature map) instead
+    // of one Record per input for the whole batch.
+    ThreadPool *pool = &globalPool();
+    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
+    rows.resize(xs.size());
+    if (predicted)
+        predicted->resize(xs.size());
+    for (std::size_t base = 0; base < xs.size(); base += chunk) {
+        const std::size_t n = std::min(chunk, xs.size() - base);
+        xsScratch.assign(xs.begin() + static_cast<std::ptrdiff_t>(base),
+                         xs.begin() + static_cast<std::ptrdiff_t>(base + n));
+        net->forwardBatch(xsScratch, recBatch, pool);
+        pathExtractor.extractBatch(recBatch, pathBatch, bws, pool);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t pred = recBatch[i].predictedClass();
+            if (predicted)
+                (*predicted)[base + i] = pred;
+            rows[base + i] =
+                path::computeSimilarity(pathBatch[i],
+                                        store.classPath(pred),
+                                        pathExtractor.layout())
+                    .toVector();
+        }
+    }
 }
 
 void

@@ -69,6 +69,17 @@ class Detector
     std::vector<double> featuresFor(const nn::Network::Record &rec,
                                     path::ExtractionTrace *trace = nullptr);
 
+    /**
+     * Batched featuresFor over raw inputs: inference and path
+     * extraction fan out on the process-wide pool, one workspace per
+     * pool slot. rows[i] (and predicted[i] when requested) always
+     * correspond to xs[i] and are bit-identical to the sequential
+     * pipeline, independent of thread count.
+     */
+    void featuresBatch(const std::vector<nn::Tensor> &xs,
+                       classify::FeatureMatrix &rows,
+                       std::vector<std::size_t> *predicted = nullptr);
+
     /** Fit the forest on benign (label 0) and adversarial (label 1)
      *  feature rows. */
     void fitClassifier(const classify::FeatureMatrix &benign,
@@ -103,6 +114,12 @@ class Detector
     nn::Network::Record recScratch;
     path::ExtractionWorkspace ws;
     BitVector pathScratch;
+    // Batched-pipeline scratch (buildClassPaths / featuresBatch).
+    std::vector<nn::Tensor> xsScratch;
+    std::vector<std::size_t> labelScratch;
+    std::vector<nn::Network::Record> recBatch;
+    std::vector<BitVector> pathBatch;
+    path::BatchExtractionWorkspace bws;
 };
 
 } // namespace ptolemy::core

@@ -61,34 +61,42 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
         std::max<std::size_t>(2, static_cast<std::size_t>(
             train_fraction * pairs.size()));
 
-    nn::Network::Record rec; // reused for every scored sample
-    auto features_of = [&](const nn::Tensor &x, std::size_t *pred = nullptr) {
-        det.network().forwardInto(x, rec, /*train=*/false, /*stash=*/false);
-        if (pred)
-            *pred = rec.predictedClass();
-        return det.featuresFor(rec);
-    };
-
+    // Batched feature pipeline: inference + extraction of each split
+    // fan out on the process-wide pool inside featuresBatch; row order
+    // matches the historical sequential loop exactly.
+    std::vector<nn::Tensor> xs;
     classify::FeatureMatrix benign, adversarial;
-    for (std::size_t i = 0; i < n_train; ++i) {
-        const auto &p = pairs[order[i]];
-        benign.push_back(features_of(p.clean));
-        adversarial.push_back(features_of(p.adversarial));
-    }
+    xs.reserve(n_train);
+    for (std::size_t i = 0; i < n_train; ++i)
+        xs.push_back(pairs[order[i]].clean);
+    det.featuresBatch(xs, benign);
+    xs.clear();
+    for (std::size_t i = 0; i < n_train; ++i)
+        xs.push_back(pairs[order[i]].adversarial);
+    det.featuresBatch(xs, adversarial);
     det.fitClassifier(benign, adversarial);
+
+    xs.clear();
+    for (std::size_t i = n_train; i < pairs.size(); ++i) {
+        xs.push_back(pairs[order[i]].clean);
+        xs.push_back(pairs[order[i]].adversarial);
+    }
+    classify::FeatureMatrix held;
+    std::vector<std::size_t> preds;
+    det.featuresBatch(xs, held, &preds);
 
     std::vector<double> scores;
     std::vector<int> labels;
     for (std::size_t i = n_train; i < pairs.size(); ++i) {
         const auto &p = pairs[order[i]];
         for (int adv = 0; adv < 2; ++adv) {
+            const std::size_t q = 2 * (i - n_train) + adv;
             ScoredSample ss;
             ss.label = adv;
             ss.trueClass = p.label;
             ss.mse = adv ? p.mse : 0.0;
-            const auto feats = features_of(adv ? p.adversarial : p.clean,
-                                           &ss.predictedClass);
-            ss.score = det.forest().predictProb(feats);
+            ss.predictedClass = preds[q];
+            ss.score = det.forest().predictProb(held[q]);
             scores.push_back(ss.score);
             labels.push_back(ss.label);
             out.heldOut.push_back(std::move(ss));

@@ -33,15 +33,19 @@ ReLU::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     }
 }
 
-std::vector<Tensor>
-ReLU::backward(const Tensor &grad_out)
+void
+ReLU::backwardInto(const Tensor &grad_out, const std::vector<GradSink> &sinks)
 {
-    Tensor grad_in(lastShape);
+    Tensor &d = *sinks[0].grad;
+    if (sinks[0].accumulate) {
+        for (std::size_t i = 0; i < grad_out.size(); ++i)
+            if (mask[i])
+                d[i] += grad_out[i];
+        return;
+    }
+    d.resize(lastShape);
     for (std::size_t i = 0; i < grad_out.size(); ++i)
-        grad_in[i] = mask[i] ? grad_out[i] : 0.0f;
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
+        d[i] = mask[i] ? grad_out[i] : 0.0f;
 }
 
 // ----------------------------------------------------------- MaxPool2d ----
@@ -59,7 +63,8 @@ MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
 {
     (void)train;
     const Tensor &in = *ins[0];
-    out.resize(outputShape({in.shape()}));
+    out.resize(mapShape(in.shape().c, in.shape().h / kSize,
+                        in.shape().w / kSize));
     if (stash) {
         lastInShape = in.shape();
         argmaxIdx.assign(out.size(), 0);
@@ -89,15 +94,15 @@ MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     }
 }
 
-std::vector<Tensor>
-MaxPool2d::backward(const Tensor &grad_out)
+void
+MaxPool2d::backwardInto(const Tensor &grad_out,
+                        const std::vector<GradSink> &sinks)
 {
-    Tensor grad_in(lastInShape);
+    Tensor &d = *sinks[0].grad;
+    if (!sinks[0].accumulate)
+        d.resizeZero(lastInShape); // scatter-add target must start clean
     for (std::size_t o = 0; o < grad_out.size(); ++o)
-        grad_in[argmaxIdx[o]] += grad_out[o];
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
+        d[argmaxIdx[o]] += grad_out[o];
 }
 
 void
@@ -161,20 +166,25 @@ GlobalAvgPool::forwardInto(const std::vector<const Tensor *> &ins,
     }
 }
 
-std::vector<Tensor>
-GlobalAvgPool::backward(const Tensor &grad_out)
+void
+GlobalAvgPool::backwardInto(const Tensor &grad_out,
+                            const std::vector<GradSink> &sinks)
 {
-    Tensor grad_in(lastInShape);
+    Tensor &d = *sinks[0].grad;
+    const bool acc = sinks[0].accumulate;
+    if (!acc)
+        d.resize(lastInShape);
     const int hw = lastInShape.h * lastInShape.w;
     for (int c = 0; c < lastInShape.c; ++c) {
         const float g = grad_out[c] / hw;
         for (int y = 0; y < lastInShape.h; ++y)
-            for (int x = 0; x < lastInShape.w; ++x)
-                grad_in.at(c, y, x) = g;
+            for (int x = 0; x < lastInShape.w; ++x) {
+                if (acc)
+                    d.at(c, y, x) += g;
+                else
+                    d.at(c, y, x) = g;
+            }
     }
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
 }
 
 void
@@ -215,12 +225,19 @@ Flatten::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     std::copy(ins[0]->vec().begin(), ins[0]->vec().end(), out.vec().begin());
 }
 
-std::vector<Tensor>
-Flatten::backward(const Tensor &grad_out)
+void
+Flatten::backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks)
 {
-    std::vector<Tensor> grads;
-    grads.emplace_back(lastInShape, grad_out.vec());
-    return grads;
+    Tensor &d = *sinks[0].grad;
+    if (sinks[0].accumulate) {
+        for (std::size_t i = 0; i < grad_out.size(); ++i)
+            d[i] += grad_out[i];
+        return;
+    }
+    d.resize(lastInShape);
+    std::copy(grad_out.vec().begin(), grad_out.vec().end(),
+              d.vec().begin());
 }
 
 // ----------------------------------------------------------------- Add ----
@@ -245,13 +262,19 @@ Add::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
         out[i] = a[i] + b[i];
 }
 
-std::vector<Tensor>
-Add::backward(const Tensor &grad_out)
+void
+Add::backwardInto(const Tensor &grad_out, const std::vector<GradSink> &sinks)
 {
-    std::vector<Tensor> grads;
-    grads.push_back(grad_out);
-    grads.push_back(grad_out);
-    return grads;
+    for (const auto &s : sinks) {
+        Tensor &d = *s.grad;
+        if (s.accumulate) {
+            d += grad_out;
+        } else {
+            d.resize(lastShape);
+            std::copy(grad_out.vec().begin(), grad_out.vec().end(),
+                      d.vec().begin());
+        }
+    }
 }
 
 void
@@ -284,26 +307,36 @@ Concat::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
         inShapeA = ins[0]->shape();
         inShapeB = ins[1]->shape();
     }
-    out.resize(outputShape({ins[0]->shape(), ins[1]->shape()}));
+    out.resize(mapShape(ins[0]->shape().c + ins[1]->shape().c,
+                        ins[0]->shape().h, ins[0]->shape().w));
     std::copy(ins[0]->vec().begin(), ins[0]->vec().end(),
               out.vec().begin());
     std::copy(ins[1]->vec().begin(), ins[1]->vec().end(),
               out.vec().begin() + static_cast<std::ptrdiff_t>(ins[0]->size()));
 }
 
-std::vector<Tensor>
-Concat::backward(const Tensor &grad_out)
+void
+Concat::backwardInto(const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks)
 {
-    Tensor ga(inShapeA), gb(inShapeB);
-    std::copy(grad_out.vec().begin(),
-              grad_out.vec().begin() + static_cast<std::ptrdiff_t>(ga.size()),
-              ga.vec().begin());
-    std::copy(grad_out.vec().begin() + static_cast<std::ptrdiff_t>(ga.size()),
-              grad_out.vec().end(), gb.vec().begin());
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(ga));
-    grads.push_back(std::move(gb));
-    return grads;
+    const Shape shapes[2] = {inShapeA, inShapeB};
+    std::size_t off = 0;
+    for (int slot = 0; slot < 2; ++slot) {
+        Tensor &d = *sinks[slot].grad;
+        const std::size_t n = shapes[slot].numel();
+        if (sinks[slot].accumulate) {
+            for (std::size_t i = 0; i < n; ++i)
+                d[i] += grad_out[off + i];
+        } else {
+            d.resize(shapes[slot]);
+            std::copy(grad_out.vec().begin() +
+                          static_cast<std::ptrdiff_t>(off),
+                      grad_out.vec().begin() +
+                          static_cast<std::ptrdiff_t>(off + n),
+                      d.vec().begin());
+        }
+        off += n;
+    }
 }
 
 void
@@ -340,24 +373,31 @@ DownsamplePad::forwardInto(const std::vector<const Tensor *> &ins,
     const Tensor &in = *ins[0];
     if (stash)
         lastInShape = in.shape();
-    out.resizeZero(outputShape({in.shape()})); // padded channels stay zero
+    // Padded channels stay zero.
+    out.resizeZero(mapShape(in.shape().c * 2, in.shape().h / 2,
+                            in.shape().w / 2));
     for (int c = 0; c < in.shape().c; ++c)
         for (int y = 0; y < out.shape().h; ++y)
             for (int x = 0; x < out.shape().w; ++x)
                 out.at(c, y, x) = in.at(c, 2 * y, 2 * x);
 }
 
-std::vector<Tensor>
-DownsamplePad::backward(const Tensor &grad_out)
+void
+DownsamplePad::backwardInto(const Tensor &grad_out,
+                            const std::vector<GradSink> &sinks)
 {
-    Tensor grad_in(lastInShape);
+    Tensor &d = *sinks[0].grad;
+    const bool acc = sinks[0].accumulate;
+    if (!acc)
+        d.resizeZero(lastInShape); // untouched elements carry no gradient
     for (int c = 0; c < lastInShape.c; ++c)
         for (int y = 0; y < grad_out.shape().h; ++y)
-            for (int x = 0; x < grad_out.shape().w; ++x)
-                grad_in.at(c, 2 * y, 2 * x) = grad_out.at(c, y, x);
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
+            for (int x = 0; x < grad_out.shape().w; ++x) {
+                if (acc)
+                    d.at(c, 2 * y, 2 * x) += grad_out.at(c, y, x);
+                else
+                    d.at(c, 2 * y, 2 * x) = grad_out.at(c, y, x);
+            }
 }
 
 void
@@ -440,10 +480,14 @@ Norm2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     }
 }
 
-std::vector<Tensor>
-Norm2d::backward(const Tensor &grad_out)
+void
+Norm2d::backwardInto(const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks)
 {
-    Tensor grad_in(lastShape);
+    Tensor &d = *sinks[0].grad;
+    const bool acc = sinks[0].accumulate;
+    if (!acc)
+        d.resize(lastShape);
     const int hw = std::max(1, lastShape.h * lastShape.w);
     for (int c = 0; c < chans; ++c) {
         const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
@@ -452,12 +496,12 @@ Norm2d::backward(const Tensor &grad_out)
             const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
             gradGamma[c] += grad_out[idx] * lastXhat[idx];
             gradBeta[c] += grad_out[idx];
-            grad_in[idx] = grad_out[idx] * scale;
+            if (acc)
+                d[idx] += grad_out[idx] * scale;
+            else
+                d[idx] = grad_out[idx] * scale;
         }
     }
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
 }
 
 std::vector<Param>

@@ -24,7 +24,8 @@ class ReLU : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
 
   private:
     std::vector<bool> mask;
@@ -41,7 +42,8 @@ class MaxPool2d : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -65,7 +67,8 @@ class GlobalAvgPool : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -85,7 +88,8 @@ class Flatten : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
 
   private:
     Shape lastInShape;
@@ -102,7 +106,8 @@ class Add : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -123,7 +128,8 @@ class Concat : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -147,7 +153,8 @@ class DownsamplePad : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -178,7 +185,8 @@ class Norm2d : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     std::vector<Param> params() override;
     std::vector<Param> state() override;
 

@@ -18,12 +18,18 @@ Conv2d::Conv2d(std::string name, int in_c, int out_c, int k, int stride,
 }
 
 Shape
+Conv2d::outShapeFor(const Shape &in) const
+{
+    const int oh = (in.h + 2 * padding - kSize) / strd + 1;
+    const int ow = (in.w + 2 * padding - kSize) / strd + 1;
+    return mapShape(outC, oh, ow);
+}
+
+Shape
 Conv2d::outputShape(const std::vector<Shape> &ins) const
 {
     assert(ins.size() == 1 && ins[0].c == inC);
-    const int oh = (ins[0].h + 2 * padding - kSize) / strd + 1;
-    const int ow = (ins[0].w + 2 * padding - kSize) / strd + 1;
-    return mapShape(outC, oh, ow);
+    return outShapeFor(ins[0]);
 }
 
 void
@@ -34,7 +40,9 @@ Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     const Tensor &in = *ins[0];
     if (stash)
         lastInput = in;
-    out.resize(outputShape({in.shape()}));
+    // outShapeFor instead of outputShape({...}): the braced vector
+    // temporary was the hot path's only steady-state heap allocation.
+    out.resize(outShapeFor(in.shape()));
     if (naiveConvFlag())
         forwardNaive(in, out);
     else
@@ -90,17 +98,25 @@ Conv2d::forwardNaive(const Tensor &in, Tensor &out) const
     }
 }
 
-std::vector<Tensor>
-Conv2d::backward(const Tensor &grad_out)
+void
+Conv2d::backwardInto(const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks)
 {
-    return naiveConvFlag() ? backwardNaive(grad_out) : backwardGemm(grad_out);
+    // Both paths scatter-add into the input gradient, so an overwrite
+    // sink starts from zero and an accumulate sink keeps its contents.
+    if (!sinks[0].accumulate)
+        sinks[0].grad->resizeZero(lastInput.shape());
+    if (naiveConvFlag())
+        backwardNaive(grad_out, sinks[0]);
+    else
+        backwardGemm(grad_out, sinks[0]);
 }
 
-std::vector<Tensor>
-Conv2d::backwardGemm(const Tensor &grad_out)
+void
+Conv2d::backwardGemm(const Tensor &grad_out, const GradSink &sink)
 {
     const Tensor &in = lastInput;
-    Tensor grad_in(in.shape());
+    Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = grad_out.shape().h, ow = grad_out.shape().w;
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
@@ -126,17 +142,13 @@ Conv2d::backwardGemm(const Tensor &grad_out)
             grad_out.data(), scratch.colGrad.data());
     col2im(scratch.colGrad, inC, ih, iw, kSize, strd, padding, oh, ow,
            grad_in.data());
-
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
 }
 
-std::vector<Tensor>
-Conv2d::backwardNaive(const Tensor &grad_out)
+void
+Conv2d::backwardNaive(const Tensor &grad_out, const GradSink &sink)
 {
     const Tensor &in = lastInput;
-    Tensor grad_in(in.shape());
+    Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = grad_out.shape().h, ow = grad_out.shape().w;
 
@@ -169,9 +181,6 @@ Conv2d::backwardNaive(const Tensor &grad_out)
             }
         }
     }
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
 }
 
 std::vector<Param>

@@ -36,7 +36,8 @@ class Conv2d : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }
     void partialSums(const Tensor &input, std::size_t out_index,
@@ -54,14 +55,16 @@ class Conv2d : public Layer
     std::vector<float> &biases() { return bias; }
 
   private:
+    /** Output shape for one input shape, allocation-free. */
+    Shape outShapeFor(const Shape &in) const;
     /** Scalar reference forward (PTOLEMY_NAIVE_CONV / equivalence tests). */
     void forwardNaive(const Tensor &in, Tensor &out) const;
     /** GEMM forward: im2col + cache-blocked sgemm (the hot path). */
     void forwardGemm(const Tensor &in, Tensor &out) const;
     /** Scalar reference backward. */
-    std::vector<Tensor> backwardNaive(const Tensor &grad_out);
+    void backwardNaive(const Tensor &grad_out, const GradSink &sink);
     /** GEMM backward: grad_W via NT, grad_in via TN + col2im. */
-    std::vector<Tensor> backwardGemm(const Tensor &grad_out);
+    void backwardGemm(const Tensor &grad_out, const GradSink &sink);
 
     float &
     wAt(int oc, int ic, int ky, int kx)

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "nn/gemm_kernels.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::nn
 {
@@ -10,17 +14,27 @@ namespace ptolemy::nn
 namespace
 {
 
-// Block sizes sized for typical L1/L2: a BM x BK panel of A (32*128
-// floats = 16 KiB) and a BK x BN panel of B (128*256 floats = 128 KiB)
-// stay resident while a BM x BN tile of C is streamed.
-constexpr int BM = 32;
+// Tile sizes for both cache blocking and the parallel work split: a
+// TM x BK panel of A (32*128 floats = 16 KiB) and a BK x TN panel of B
+// (128*256 floats = 128 KiB) stay resident while a TM x TN tile of C is
+// streamed. TN is a multiple of 16 so the AVX2 column blocking is
+// anchored identically no matter how the matrix is tiled, which keeps
+// results bit-identical across thread counts.
+constexpr int TM = 32;
 constexpr int BK = 128;
-constexpr int BN = 256;
+constexpr int TN = 256;
+
+// Products below this many FLOPs (2*M*N*K) are not worth waking the
+// pool for; they run serially on the calling thread.
+constexpr double kParallelFlopCutoff = 2.0 * 1024 * 1024;
 
 /**
- * Inner kernel: C[i0..imax) x [j0..jmax) += A-panel * B-panel.
+ * Inner scalar kernel: C[i0..imax) x [j0..jmax) += A-panel * B-panel.
  * @p a_at maps (i, k) to the A element so the same kernel serves the
- * NN and TN variants without a transposed copy.
+ * NN and TN variants without a transposed copy. Unchanged from the
+ * pre-parallel implementation: per-element accumulation order depends
+ * only on the absolute BK blocking, so tiling and threading do not
+ * change the numerics.
  */
 template <typename AAt>
 inline void
@@ -52,23 +66,130 @@ panelKernel(int i0, int imax, int j0, int jmax, int k0, int kmax, int N,
     }
 }
 
+/** One scalar C tile: zero (unless accumulating), then k-blocked panels. */
 template <typename AAt>
-void
-blockedGemm(int M, int N, int K, AAt a_at, const float *B, float *C,
-            bool accumulate)
+inline void
+scalarTile(int i0, int imax, int j0, int jmax, int K, int N, AAt a_at,
+           const float *B, float *C, bool accumulate)
 {
     if (!accumulate)
-        std::fill(C, C + static_cast<std::size_t>(M) * N, 0.0f);
-    for (int k0 = 0; k0 < K; k0 += BK) {
-        const int kmax = std::min(K, k0 + BK);
-        for (int i0 = 0; i0 < M; i0 += BM) {
-            const int imax = std::min(M, i0 + BM);
-            for (int j0 = 0; j0 < N; j0 += BN) {
-                const int jmax = std::min(N, j0 + BN);
-                panelKernel(i0, imax, j0, jmax, k0, kmax, N, a_at, B, C);
-            }
-        }
+        for (int i = i0; i < imax; ++i)
+            std::fill(C + static_cast<std::size_t>(i) * N + j0,
+                      C + static_cast<std::size_t>(i) * N + jmax, 0.0f);
+    for (int k0 = 0; k0 < K; k0 += BK)
+        panelKernel(i0, imax, j0, jmax, k0, std::min(K, k0 + BK), N, a_at,
+                    B, C);
+}
+
+/**
+ * Run @p tile over the TM x TN grid covering [0,M) x [0,N), on the
+ * gemm pool when the product is large enough, serially otherwise.
+ * Tiles write disjoint C regions and each element's value is
+ * independent of the partition, so any interleaving is equivalent.
+ */
+template <typename TileFn>
+void
+forEachTile(int M, int N, double flops, TileFn tile)
+{
+    const int mt = (M + TM - 1) / TM;
+    const int nt = (N + TN - 1) / TN;
+    const std::size_t n_tasks =
+        static_cast<std::size_t>(mt) * static_cast<std::size_t>(nt);
+    ThreadPool *pool = gemmPool();
+    auto run = [&](std::size_t t) {
+        const int i0 = static_cast<int>(t / nt) * TM;
+        const int j0 = static_cast<int>(t % nt) * TN;
+        tile(i0, std::min(M, i0 + TM), j0, std::min(N, j0 + TN));
+    };
+    if (pool && pool->size() > 1 && n_tasks > 1 &&
+        flops >= kParallelFlopCutoff) {
+        pool->parallelFor(n_tasks, run);
+        return;
     }
+    for (std::size_t t = 0; t < n_tasks; ++t)
+        run(t);
+}
+
+bool
+useAvx2()
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    return simdMode() == SimdMode::Avx2;
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+SimdMode &
+simdMode()
+{
+    static SimdMode mode = [] {
+        if (const char *s = std::getenv("PTOLEMY_SIMD")) {
+            if (std::string(s) == "scalar")
+                return SimdMode::Scalar;
+        }
+        return avx2Available() ? SimdMode::Avx2 : SimdMode::Scalar;
+    }();
+    return mode;
+}
+
+const char *
+simdModeName()
+{
+    return simdMode() == SimdMode::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+avx2Available()
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    static const bool ok = detail::avx2CpuSupported();
+    return ok;
+#else
+    return false;
+#endif
+}
+
+ThreadPool *&
+gemmPool()
+{
+    static ThreadPool *pool = &globalPool();
+    return pool;
+}
+
+namespace
+{
+
+/**
+ * Shared NN/TN driver: the A element for output row i, depth k is
+ * a_base[i * a_row_stride + k * a_elem_stride], so the NN layout is
+ * (K, 1) and the TN layout is (1, M). Both kernel families take the
+ * strides directly; the dispatch and pool gating live here once.
+ */
+void
+gemmDriver(int M, int N, int K, const float *a_base,
+           std::ptrdiff_t a_row_stride, std::ptrdiff_t a_elem_stride,
+           const float *B, float *C, bool accumulate)
+{
+    const double flops = 2.0 * M * N * K;
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2()) {
+        forEachTile(M, N, flops, [&](int i0, int imax, int j0, int jmax) {
+            detail::avx2GemmTile(i0, imax, j0, jmax, K, a_base,
+                                 a_row_stride, a_elem_stride, B, N, C, N,
+                                 accumulate);
+        });
+        return;
+    }
+#endif
+    const auto a_at = [a_base, a_row_stride, a_elem_stride](int i, int k) {
+        return a_base[i * a_row_stride + k * a_elem_stride];
+    };
+    forEachTile(M, N, flops, [&](int i0, int imax, int j0, int jmax) {
+        scalarTile(i0, imax, j0, jmax, K, N, a_at, B, C, accumulate);
+    });
 }
 
 } // namespace
@@ -77,27 +198,26 @@ void
 sgemm(int M, int N, int K, const float *A, const float *B, float *C,
       bool accumulate)
 {
-    blockedGemm(
-        M, N, K,
-        [A, K](int i, int k) { return A[static_cast<std::size_t>(i) * K + k]; },
-        B, C, accumulate);
+    gemmDriver(M, N, K, A, /*a_row_stride=*/K, /*a_elem_stride=*/1, B, C,
+               accumulate);
 }
 
 void
 sgemmTN(int M, int N, int K, const float *A, const float *B, float *C,
         bool accumulate)
 {
-    blockedGemm(
-        M, N, K,
-        [A, M](int i, int k) { return A[static_cast<std::size_t>(k) * M + i]; },
-        B, C, accumulate);
+    gemmDriver(M, N, K, A, /*a_row_stride=*/1, /*a_elem_stride=*/M, B, C,
+               accumulate);
 }
 
-void
-sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
-        bool accumulate)
+namespace
 {
-    for (int i = 0; i < M; ++i) {
+
+void
+scalarNTRows(int i0, int i1, int N, int K, const float *A, const float *B,
+             float *C, bool accumulate)
+{
+    for (int i = i0; i < i1; ++i) {
         const float *a = A + static_cast<std::size_t>(i) * K;
         float *c = C + static_cast<std::size_t>(i) * N;
         for (int j = 0; j < N; ++j) {
@@ -113,10 +233,46 @@ sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
     }
 }
 
+} // namespace
+
+void
+sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
+        bool accumulate)
+{
+    // Each output is an independent contiguous dot product; parallelism
+    // splits rows, which cannot change any element's accumulation order.
+    const double flops = 2.0 * M * N * K;
+    const int rows_per_task = std::max(1, TM / 4);
+    const std::size_t n_tasks =
+        static_cast<std::size_t>((M + rows_per_task - 1) / rows_per_task);
+    ThreadPool *pool = gemmPool();
+    auto run = [&](std::size_t t) {
+        const int i0 = static_cast<int>(t) * rows_per_task;
+        const int i1 = std::min(M, i0 + rows_per_task);
+#ifdef PTOLEMY_HAVE_AVX2
+        if (useAvx2()) {
+            detail::avx2GemmNTRows(i0, i1, N, K, A, B, C, accumulate);
+            return;
+        }
+#endif
+        scalarNTRows(i0, i1, N, K, A, B, C, accumulate);
+    };
+    if (pool && pool->size() > 1 && n_tasks > 1 &&
+        flops >= kParallelFlopCutoff) {
+        pool->parallelFor(n_tasks, run);
+        return;
+    }
+    for (std::size_t t = 0; t < n_tasks; ++t)
+        run(t);
+}
+
 void
 sgemvBias(int M, int K, const float *A, const float *x, const float *bias,
           float *y)
 {
+    // Deliberately scalar: several statistical tests are calibrated on
+    // the historical Linear-layer numerics, and M*K is small in every
+    // model we run.
     for (int i = 0; i < M; ++i) {
         const float *a = A + static_cast<std::size_t>(i) * K;
         float s = bias[i];

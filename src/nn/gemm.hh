@@ -9,10 +9,15 @@
  * The same kernels back the backward pass (weight gradient via NT,
  * input gradient via TN + col2im) and the Linear layer (gemv).
  *
- * All matrices are dense row-major. The kernels are deliberately plain
- * C++ (no intrinsics): the inner loops are written so the compiler can
- * auto-vectorize them, which keeps the code portable across the
- * container toolchains we target.
+ * All matrices are dense row-major. Two kernel families back the entry
+ * points: a portable scalar reference (bit-identical to the historical
+ * cache-blocked kernel) and AVX2/FMA microkernels compiled into their
+ * own TU when the build enables them (CMake option PTOLEMY_SIMD).
+ * simdMode() picks between them at runtime; both are deterministic
+ * across thread counts. Large products are additionally split over
+ * M x N tiles and fanned out on the process-wide thread pool (or
+ * whatever pool gemmPool() points at), so single-sample conv latency
+ * scales with cores.
  */
 
 #ifndef PTOLEMY_NN_GEMM_HH
@@ -20,8 +25,42 @@
 
 #include <vector>
 
+namespace ptolemy
+{
+class ThreadPool;
+}
+
 namespace ptolemy::nn
 {
+
+/** Kernel family used by the sgemm* entry points. */
+enum class SimdMode
+{
+    Scalar, ///< portable reference kernels (exact historical numerics)
+    Avx2,   ///< AVX2/FMA microkernels (tolerance-equal to Scalar)
+};
+
+/**
+ * Process-wide kernel selector. Initialized to Avx2 when the build
+ * compiled the AVX2 TU and the CPU supports it (override with the
+ * PTOLEMY_SIMD=scalar environment variable); tests and benches may
+ * flip it at runtime.
+ */
+SimdMode &simdMode();
+
+/** Human-readable name of the *active* mode ("avx2" / "scalar"). */
+const char *simdModeName();
+
+/** True when the AVX2 kernels are compiled in and the CPU supports
+ *  them (i.e. SimdMode::Avx2 is usable). */
+bool avx2Available();
+
+/**
+ * Pool the tiled kernels fan work out on. Defaults to the process-wide
+ * globalPool(); point it elsewhere (or at nullptr for strictly serial
+ * kernels) in tests. Small products always run serially regardless.
+ */
+ThreadPool *&gemmPool();
 
 /**
  * C[MxN] = A[MxK] * B[KxN], or += when @p accumulate.

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * AVX2/FMA SGEMM microkernels. This is the only TU compiled with
+ * -mavx2 -mfma (see CMakeLists); everything here is reached through
+ * runtime dispatch in gemm.cc, guarded by avx2CpuSupported().
+ *
+ * The core is a 6x16 register tile: 12 ymm accumulators, two B vectors
+ * and one broadcast A value stay in registers across the whole K loop,
+ * so each C element is read/written exactly once per call. Column
+ * blocks are anchored at absolute multiples of 16 from column 0 and
+ * rows are independent, which makes results bit-identical no matter
+ * how the surrounding driver tiles or threads the matrix.
+ */
+
+#include "gemm_kernels.hh"
+
+#ifdef PTOLEMY_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <vector>
+
+namespace ptolemy::nn::detail
+{
+
+bool
+avx2CpuSupported()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+namespace
+{
+
+/** A-element accessor: row r (relative to the block base), depth k. */
+struct APanel
+{
+    const float *base;
+    std::ptrdiff_t rowStride;
+    std::ptrdiff_t elemStride;
+
+    const float *
+    row(int r) const
+    {
+        return base + static_cast<std::ptrdiff_t>(r) * rowStride;
+    }
+};
+
+/**
+ * R x 16 register-tile kernel over the full K extent. STRIDE1 selects
+ * the unit-stride A specialization (the NN layout, i.e. the conv
+ * forward hot path) so the per-k A addressing is a pointer increment.
+ */
+template <int R, bool STRIDE1>
+inline void
+kernelRx16(int K, const APanel &a, const float *B, int ldb, float *c,
+           int ldc, bool accumulate)
+{
+    __m256 acc0[R], acc1[R];
+    for (int r = 0; r < R; ++r) {
+        acc0[r] = _mm256_setzero_ps();
+        acc1[r] = _mm256_setzero_ps();
+    }
+    const float *arow[R];
+    for (int r = 0; r < R; ++r)
+        arow[r] = a.row(r);
+    const std::ptrdiff_t astep = STRIDE1 ? 1 : a.elemStride;
+    for (int k = 0; k < K; ++k) {
+        const float *brow = B + static_cast<std::ptrdiff_t>(k) * ldb;
+        const __m256 b0 = _mm256_loadu_ps(brow);
+        const __m256 b1 = _mm256_loadu_ps(brow + 8);
+        for (int r = 0; r < R; ++r) {
+            const __m256 av = _mm256_set1_ps(arow[r][k * astep]);
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+    }
+    for (int r = 0; r < R; ++r) {
+        float *crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
+        if (accumulate) {
+            acc0[r] = _mm256_add_ps(acc0[r], _mm256_loadu_ps(crow));
+            acc1[r] = _mm256_add_ps(acc1[r], _mm256_loadu_ps(crow + 8));
+        }
+        _mm256_storeu_ps(crow, acc0[r]);
+        _mm256_storeu_ps(crow + 8, acc1[r]);
+    }
+}
+
+/** R x 8 kernel for the 8-wide column tail. */
+template <int R, bool STRIDE1>
+inline void
+kernelRx8(int K, const APanel &a, const float *B, int ldb, float *c,
+          int ldc, bool accumulate)
+{
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r)
+        acc[r] = _mm256_setzero_ps();
+    const float *arow[R];
+    for (int r = 0; r < R; ++r)
+        arow[r] = a.row(r);
+    const std::ptrdiff_t astep = STRIDE1 ? 1 : a.elemStride;
+    for (int k = 0; k < K; ++k) {
+        const __m256 b0 =
+            _mm256_loadu_ps(B + static_cast<std::ptrdiff_t>(k) * ldb);
+        for (int r = 0; r < R; ++r)
+            acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(arow[r][k * astep]),
+                                     b0, acc[r]);
+    }
+    for (int r = 0; r < R; ++r) {
+        float *crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
+        if (accumulate)
+            acc[r] = _mm256_add_ps(acc[r], _mm256_loadu_ps(crow));
+        _mm256_storeu_ps(crow, acc[r]);
+    }
+}
+
+/** Scalar column tail (fewer than 8 columns left). */
+inline void
+kernelScalarCols(int rows, int j0, int jmax, int K, const APanel &a,
+                 const float *B, int ldb, float *c, int ldc,
+                 bool accumulate)
+{
+    for (int r = 0; r < rows; ++r) {
+        const float *arow = a.row(r);
+        float *crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
+        for (int j = j0; j < jmax; ++j) {
+            float s = 0.0f;
+            for (int k = 0; k < K; ++k)
+                s += arow[k * a.elemStride] *
+                     B[static_cast<std::ptrdiff_t>(k) * ldb + j];
+            crow[j] = accumulate ? crow[j] + s : s;
+        }
+    }
+}
+
+/**
+ * Pack @p width (8 or 16) columns of B starting at @p j into @p dst as
+ * [k][width] contiguous rows. B's row stride is a feature-map width
+ * (kilobytes), so the unpacked walk touches one page per k step; the
+ * packed panel streams. The pack pays that cost once per tile instead
+ * of once per 6-row microkernel pass.
+ */
+inline void
+packBPanel(const float *B, int ldb, int j, int K, int width, float *dst)
+{
+    for (int k = 0; k < K; ++k) {
+        const float *src = B + static_cast<std::ptrdiff_t>(k) * ldb + j;
+        _mm256_storeu_ps(dst, _mm256_loadu_ps(src));
+        if (width == 16)
+            _mm256_storeu_ps(dst + 8, _mm256_loadu_ps(src + 8));
+        dst += width;
+    }
+}
+
+/** Per-thread B-panel scratch; grown once, reused by every tile. */
+inline std::vector<float> &
+packScratch()
+{
+    thread_local std::vector<float> buf;
+    return buf;
+}
+
+template <bool STRIDE1>
+void
+gemmTileImpl(int i0, int i1, int j0, int j1, int K, const float *a_base,
+             std::ptrdiff_t a_row_stride, std::ptrdiff_t a_elem_stride,
+             const float *B, int ldb, float *C, int ldc, bool accumulate)
+{
+    auto &pack = packScratch();
+
+    // Column blocks are anchored at the tile origin, which the driver
+    // places at absolute multiples of 16, so per-element grouping (and
+    // therefore the result) is independent of the tile partition.
+    int j = j0;
+    for (; j + 8 <= j1; j += (j + 16 <= j1) ? 16 : 8) {
+        const int width = (j + 16 <= j1) ? 16 : 8;
+        pack.resize(static_cast<std::size_t>(K) * width);
+        packBPanel(B, ldb, j, K, width, pack.data());
+        const float *bp = pack.data();
+
+        int i = i0;
+        for (; i + 6 <= i1; i += 6) {
+            const APanel a{a_base + i * a_row_stride, a_row_stride,
+                           a_elem_stride};
+            float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
+            if (width == 16)
+                kernelRx16<6, STRIDE1>(K, a, bp, 16, c, ldc, accumulate);
+            else
+                kernelRx8<6, STRIDE1>(K, a, bp, 8, c, ldc, accumulate);
+        }
+        const int rem = i1 - i;
+        if (rem > 0) {
+            const APanel a{a_base + i * a_row_stride, a_row_stride,
+                           a_elem_stride};
+            float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
+            if (width == 16) {
+                switch (rem) {
+                  case 1: kernelRx16<1, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+                  case 2: kernelRx16<2, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+                  case 3: kernelRx16<3, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+                  case 4: kernelRx16<4, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+                  default: kernelRx16<5, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+                }
+            } else {
+                switch (rem) {
+                  case 1: kernelRx8<1, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+                  case 2: kernelRx8<2, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+                  case 3: kernelRx8<3, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+                  case 4: kernelRx8<4, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+                  default: kernelRx8<5, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+                }
+            }
+        }
+    }
+    if (j < j1) {
+        // Scalar column tail (fewer than 8 columns at the matrix edge).
+        for (int i = i0; i < i1; ++i) {
+            const APanel a{a_base + i * a_row_stride, a_row_stride,
+                           a_elem_stride};
+            kernelScalarCols(1, j, j1, K, a, B, ldb,
+                             C + static_cast<std::ptrdiff_t>(i) * ldc, ldc,
+                             accumulate);
+        }
+    }
+}
+
+} // namespace
+
+void
+avx2GemmTile(int i0, int i1, int j0, int j1, int K, const float *a_base,
+             std::ptrdiff_t a_row_stride, std::ptrdiff_t a_elem_stride,
+             const float *B, int ldb, float *C, int ldc, bool accumulate)
+{
+    if (a_elem_stride == 1)
+        gemmTileImpl<true>(i0, i1, j0, j1, K, a_base, a_row_stride, 1, B,
+                           ldb, C, ldc, accumulate);
+    else
+        gemmTileImpl<false>(i0, i1, j0, j1, K, a_base, a_row_stride,
+                            a_elem_stride, B, ldb, C, ldc, accumulate);
+}
+
+void
+avx2GemmNTRows(int i0, int i1, int N, int K, const float *A, const float *B,
+               float *C, bool accumulate)
+{
+    for (int i = i0; i < i1; ++i) {
+        const float *a = A + static_cast<std::ptrdiff_t>(i) * K;
+        float *c = C + static_cast<std::ptrdiff_t>(i) * N;
+        for (int j = 0; j < N; ++j) {
+            const float *b = B + static_cast<std::ptrdiff_t>(j) * K;
+            __m256 acc = _mm256_setzero_ps();
+            int k = 0;
+            for (; k + 8 <= K; k += 8)
+                acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + k),
+                                      _mm256_loadu_ps(b + k), acc);
+            // Horizontal sum, then the scalar remainder.
+            __m128 lo = _mm256_castps256_ps128(acc);
+            __m128 hi = _mm256_extractf128_ps(acc, 1);
+            lo = _mm_add_ps(lo, hi);
+            lo = _mm_hadd_ps(lo, lo);
+            lo = _mm_hadd_ps(lo, lo);
+            float s = _mm_cvtss_f32(lo);
+            for (; k < K; ++k)
+                s += a[k] * b[k];
+            c[j] = accumulate ? c[j] + s : s;
+        }
+    }
+}
+
+} // namespace ptolemy::nn::detail
+
+#endif // PTOLEMY_HAVE_AVX2

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal SGEMM tile-kernel interface shared between the portable
+ * driver (gemm.cc) and the AVX2/FMA translation unit (gemm_avx2.cc).
+ *
+ * The AVX2 kernels live in their own TU so only that file is compiled
+ * with -mavx2 -mfma: the rest of the library keeps the default ISA and
+ * the scalar reference kernels keep their exact historical numerics.
+ * When the build does not define PTOLEMY_HAVE_AVX2 the TU is empty and
+ * the driver never references these symbols.
+ */
+
+#ifndef PTOLEMY_NN_GEMM_KERNELS_HH
+#define PTOLEMY_NN_GEMM_KERNELS_HH
+
+#include <cstddef>
+
+namespace ptolemy::nn::detail
+{
+
+#ifdef PTOLEMY_HAVE_AVX2
+
+/** True when the running CPU supports AVX2 + FMA. */
+bool avx2CpuSupported();
+
+/**
+ * C tile [i0,i1) x [j0,j1) = A * B over the full K extent (or += when
+ * @p accumulate), with register-resident accumulators (6x16 FMA
+ * microkernel plus 8-wide and scalar column tails).
+ *
+ * The A element for output row i, depth k is
+ *   a_base[i * a_row_stride + k * a_elem_stride]
+ * which serves both the NN layout (row_stride = K, elem_stride = 1)
+ * and the TN layout (row_stride = 1, elem_stride = M) without a
+ * transposed copy. B and C are row-major with leading dimensions
+ * @p ldb / @p ldc.
+ *
+ * Per-element results depend only on (i, j, K) and the absolute
+ * 16-column blocking from column 0 — never on the tile partition — so
+ * outputs are bit-identical across thread counts.
+ */
+void avx2GemmTile(int i0, int i1, int j0, int j1, int K,
+                  const float *a_base, std::ptrdiff_t a_row_stride,
+                  std::ptrdiff_t a_elem_stride, const float *B, int ldb,
+                  float *C, int ldc, bool accumulate);
+
+/**
+ * NT row block: C[i][j] = dot(A row i, B row j) for i in [i0,i1),
+ * j in [0,N), rows of length K (or += when @p accumulate). 8-wide FMA
+ * accumulation with a scalar remainder; per-element deterministic.
+ */
+void avx2GemmNTRows(int i0, int i1, int N, int K, const float *A,
+                    const float *B, float *C, bool accumulate);
+
+#endif // PTOLEMY_HAVE_AVX2
+
+} // namespace ptolemy::nn::detail
+
+#endif // PTOLEMY_NN_GEMM_KERNELS_HH

@@ -21,6 +21,18 @@ layerKindName(LayerKind k)
     return "?";
 }
 
+std::vector<Tensor>
+Layer::backward(const Tensor &grad_out)
+{
+    std::vector<Tensor> grads(static_cast<std::size_t>(numInputs()));
+    std::vector<GradSink> sinks;
+    sinks.reserve(grads.size());
+    for (auto &g : grads)
+        sinks.push_back({&g, /*accumulate=*/false});
+    backwardInto(grad_out, sinks);
+    return grads;
+}
+
 void
 Layer::backmapImportant(const std::vector<const Tensor *> &ins,
                         const Tensor &out,

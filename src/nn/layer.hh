@@ -58,6 +58,20 @@ struct PartialSum
 };
 
 /**
+ * Destination for one input-slot gradient during backwardInto. The
+ * tensor is caller-owned (Network keeps them in a reusable arena), so
+ * a warmed-up backward pass performs no heap allocation. When
+ * @p accumulate is false the layer resizes the tensor and overwrites
+ * it; when true the tensor already holds another consumer's gradient
+ * of the same shape and the layer adds element-wise.
+ */
+struct GradSink
+{
+    Tensor *grad = nullptr;
+    bool accumulate = false;
+};
+
+/**
  * Abstract NN layer.
  */
 class Layer
@@ -111,12 +125,21 @@ class Layer
     }
 
     /**
-     * Back-propagate.
+     * Back-propagate into caller-owned gradient tensors.
      * @param grad_out gradient of the loss w.r.t. this layer's output.
-     * @return gradient w.r.t. each input, in input order. Weight gradients
-     *         are accumulated into the layer's grad buffers.
+     * @param sinks one destination per declared input, in input order;
+     *        see GradSink for the overwrite/accumulate contract. Weight
+     *        gradients are accumulated into the layer's grad buffers.
      */
-    virtual std::vector<Tensor> backward(const Tensor &grad_out) = 0;
+    virtual void backwardInto(const Tensor &grad_out,
+                              const std::vector<GradSink> &sinks) = 0;
+
+    /**
+     * Allocating convenience wrapper around backwardInto() (tests and
+     * one-off callers; hot loops go through Network's gradient arena).
+     * @return gradient w.r.t. each input, in input order.
+     */
+    std::vector<Tensor> backward(const Tensor &grad_out);
 
     /** Trainable parameters (empty by default). */
     virtual std::vector<Param> params() { return {}; }

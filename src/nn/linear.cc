@@ -35,14 +35,19 @@ Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     sgemvBias(outN, inN, weight.data(), in.data(), bias.data(), out.data());
 }
 
-std::vector<Tensor>
-Linear::backward(const Tensor &grad_out)
+void
+Linear::backwardInto(const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks)
 {
     const Tensor &in = lastInput;
-    Tensor grad_in(in.shape());
+    Tensor &grad_in = *sinks[0].grad;
+    if (!sinks[0].accumulate)
+        grad_in.resize(in.shape());
     // grad_in = W^T * grad_out; the kernel skips zero gradient rows just
-    // like the fused scalar loop did.
-    sgemvT(outN, inN, weight.data(), grad_out.data(), grad_in.data());
+    // like the fused scalar loop did, and its accumulate flag directly
+    // implements the sink's overwrite/accumulate contract.
+    sgemvT(outN, inN, weight.data(), grad_out.data(), grad_in.data(),
+           sinks[0].accumulate);
     for (int o = 0; o < outN; ++o) {
         const float g = grad_out[o];
         if (g == 0.0f)
@@ -52,9 +57,6 @@ Linear::backward(const Tensor &grad_out)
         for (int i = 0; i < inN; ++i)
             gwrow[i] += g * in[i];
     }
-    std::vector<Tensor> grads;
-    grads.push_back(std::move(grad_in));
-    return grads;
 }
 
 std::vector<Param>

@@ -25,7 +25,8 @@ class Linear : public Layer
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                      bool train, bool stash) override;
-    std::vector<Tensor> backward(const Tensor &grad_out) override;
+    void backwardInto(const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }
     void partialSums(const Tensor &input, std::size_t out_index,

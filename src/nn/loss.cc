@@ -25,11 +25,32 @@ softmax(const Tensor &logits)
 LossGrad
 softmaxCrossEntropy(const Tensor &logits, std::size_t label)
 {
-    const auto p = softmax(logits);
-    LossGrad lg{-std::log(std::max(p[label], 1e-12)), Tensor(logits.shape())};
-    for (std::size_t i = 0; i < logits.size(); ++i)
-        lg.grad[i] = static_cast<float>(p[i] - (i == label ? 1.0 : 0.0));
+    LossGrad lg;
+    softmaxCrossEntropyInto(logits, label, lg);
     return lg;
+}
+
+void
+softmaxCrossEntropyInto(const Tensor &logits, std::size_t label,
+                        LossGrad &out)
+{
+    // Same numerics as softmax(), with the probability scratch kept
+    // thread-local so a warmed-up loop allocates nothing.
+    thread_local std::vector<double> p;
+    const float mx = *std::max_element(logits.vec().begin(),
+                                       logits.vec().end());
+    p.resize(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(static_cast<double>(logits[i]) - mx);
+        denom += p[i];
+    }
+    for (double &v : p)
+        v /= denom;
+    out.loss = -std::log(std::max(p[label], 1e-12));
+    out.grad.resize(logits.shape());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        out.grad[i] = static_cast<float>(p[i] - (i == label ? 1.0 : 0.0));
 }
 
 } // namespace ptolemy::nn

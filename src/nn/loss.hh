@@ -30,6 +30,14 @@ struct LossGrad
  */
 LossGrad softmaxCrossEntropy(const Tensor &logits, std::size_t label);
 
+/**
+ * As softmaxCrossEntropy, but writing into a caller-owned LossGrad
+ * (grad buffer reused across calls) so per-sample training and attack
+ * loops stay allocation-free in the steady state.
+ */
+void softmaxCrossEntropyInto(const Tensor &logits, std::size_t label,
+                             LossGrad &out);
+
 } // namespace ptolemy::nn
 
 #endif // PTOLEMY_NN_LOSS_HH

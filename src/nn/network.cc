@@ -3,6 +3,7 @@
 #include <cassert>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/serialize.hh"
 #include "util/thread_pool.hh"
@@ -68,6 +69,8 @@ Network::forwardInto(const Tensor &x, Record &rec, bool train, bool stash)
     // inference passes.
     assert(stash || !train);
     rec.input = x; // copy-assign reuses the record's buffer
+    rec.stashed = stash;
+    lastStash = stash;
     rec.outputs.resize(nodes.size());
     for (std::size_t id = 0; id < nodes.size(); ++id) {
         auto &n = nodes[id];
@@ -84,6 +87,7 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
                       ThreadPool *pool)
 {
     recs.resize(xs.size());
+    lastStash = false; // batch records carry no backward state
     if (pool && pool->size() > 1 && xs.size() > 1) {
         pool->parallelFor(xs.size(), [&](std::size_t i) {
             // stash=false: no layer-state writes, so concurrent samples
@@ -91,6 +95,7 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
             std::vector<const Tensor *> ins;
             Record &rec = recs[i];
             rec.input = xs[i];
+            rec.stashed = false;
             rec.outputs.resize(nodes.size());
             for (std::size_t id = 0; id < nodes.size(); ++id) {
                 auto &n = nodes[id];
@@ -107,41 +112,65 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
         forwardInto(xs[i], recs[i], /*train=*/false, /*stash=*/false);
 }
 
-Tensor
+const Tensor &
 Network::backward(const Tensor &grad_logits)
 {
-    std::vector<std::pair<int, Tensor>> seeds;
-    seeds.emplace_back(numNodes() - 1, grad_logits);
+    // Static to keep the steady state allocation-free; backward passes
+    // on one network are not concurrent (layer state is shared anyway).
+    thread_local std::vector<std::pair<int, Tensor>> seeds;
+    seeds.resize(1);
+    seeds[0].first = numNodes() - 1;
+    seeds[0].second = grad_logits; // copy-assign reuses the buffer
     return backwardMulti(seeds);
 }
 
-Tensor
+const Tensor &
 Network::backwardMulti(const std::vector<std::pair<int, Tensor>> &seeds)
 {
-    // Gradients accumulated at each node's *output*, plus the net input.
-    std::vector<Tensor> grad_at(nodes.size());
-    Tensor grad_input(inShape);
+    if (!lastStash)
+        throw std::logic_error(
+            "Network::backward after a stash=false forward pass: records "
+            "from forwardBatch / inference-only forwardInto carry no "
+            "layer backward state");
+
+    // Gradients accumulate at each node's *output* (plus the net input)
+    // inside the persistent arena; seeded flags gate every read so
+    // stale tensors from the previous pass are never observed.
+    arena.gradAt.resize(nodes.size());
+    arena.seeded.assign(nodes.size(), 0);
+    arena.gradInputSeeded = false;
     for (const auto &[node_id, grad] : seeds) {
-        if (grad_at[node_id].empty())
-            grad_at[node_id] = grad;
-        else
-            grad_at[node_id] += grad;
+        if (!arena.seeded[node_id]) {
+            arena.gradAt[node_id] = grad; // copy-assign reuses the buffer
+            arena.seeded[node_id] = 1;
+        } else {
+            arena.gradAt[node_id] += grad;
+        }
     }
 
     for (int id = numNodes() - 1; id >= 0; --id) {
-        if (grad_at[id].empty())
+        if (!arena.seeded[id])
             continue; // node does not reach the loss
-        auto grads = nodes[id].layer->backward(grad_at[id]);
-        for (std::size_t slot = 0; slot < grads.size(); ++slot) {
-            const int in_id = nodes[id].inputs[slot];
-            Tensor &dst = in_id < 0 ? grad_input : grad_at[in_id];
-            if (dst.empty())
-                dst = std::move(grads[slot]);
-            else
-                dst += grads[slot];
+        auto &n = nodes[id];
+        arena.sinks.clear();
+        for (int in_id : n.inputs) {
+            GradSink s;
+            if (in_id < 0) {
+                s.grad = &arena.gradInput;
+                s.accumulate = arena.gradInputSeeded;
+                arena.gradInputSeeded = true;
+            } else {
+                s.grad = &arena.gradAt[in_id];
+                s.accumulate = arena.seeded[in_id] != 0;
+                arena.seeded[in_id] = 1;
+            }
+            arena.sinks.push_back(s);
         }
+        n.layer->backwardInto(arena.gradAt[id], arena.sinks);
     }
-    return grad_input;
+    if (!arena.gradInputSeeded)
+        arena.gradInput.resizeZero(inShape); // loss unreachable from input
+    return arena.gradInput;
 }
 
 std::size_t

@@ -12,6 +12,7 @@
 #ifndef PTOLEMY_NN_NETWORK_HH
 #define PTOLEMY_NN_NETWORK_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ class Network
     {
         Tensor input;
         std::vector<Tensor> outputs; ///< per node, in node order
+        /** True when the pass that produced this record stashed layer
+         *  backward state (forwardInto stash=true). Records from
+         *  forwardBatch are inference-only and carry false; a
+         *  backward() after such a pass throws (debug tripwire). */
+        bool stashed = false;
 
         /** Network output (logits) — last node's output. */
         const Tensor &logits() const { return outputs.back(); }
@@ -122,20 +128,24 @@ class Network
 
     /**
      * Back-propagate from the logits. Must directly follow the matching
-     * forward() on this network.
+     * forward() on this network; throws std::logic_error if that pass
+     * ran with stash=false (its records carry no backward state).
      * @param grad_logits dLoss/dLogits.
-     * @return dLoss/dInput.
+     * @return dLoss/dInput, borrowed from the network's gradient arena;
+     *         valid until the next backward on this network. A warmed-up
+     *         forward/backward loop performs no heap allocation.
      */
-    Tensor backward(const Tensor &grad_logits);
+    const Tensor &backward(const Tensor &grad_logits);
 
     /**
      * Back-propagate from gradients seeded at arbitrary nodes (used by the
      * adaptive attack, whose loss is defined on intermediate activations).
-     * Must directly follow the matching forward().
+     * Must directly follow the matching forward(); same stash tripwire
+     * and arena-borrowed return as backward().
      * @param seeds (node id, dLoss/dNodeOutput) pairs.
      * @return dLoss/dInput.
      */
-    Tensor backwardMulti(
+    const Tensor &backwardMulti(
         const std::vector<std::pair<int, Tensor>> &seeds);
 
     /** Argmax class of a plain forward pass. */
@@ -163,11 +173,28 @@ class Network
     bool load(const std::string &path);
 
   private:
+    /**
+     * Reusable backward scratch mirroring Record: per-node output
+     * gradients plus the input gradient, with seeded flags so stale
+     * tensors from the previous call are never read. Keeping the
+     * tensors across calls makes steady-state backward allocation-free.
+     */
+    struct GradArena
+    {
+        std::vector<Tensor> gradAt;       ///< per node output gradient
+        std::vector<std::uint8_t> seeded; ///< gradAt[i] valid this pass
+        Tensor gradInput;
+        bool gradInputSeeded = false;
+        std::vector<GradSink> sinks; ///< per-call sink scratch
+    };
+
     std::string netName;
     Shape inShape;
     std::vector<Node> nodes;
     std::vector<int> weightedIds;
     std::vector<const Tensor *> insScratch; ///< forwardInto input views
+    GradArena arena;
+    bool lastStash = false; ///< did the last forward pass stash state?
 };
 
 } // namespace ptolemy::nn

@@ -25,6 +25,7 @@ Trainer::train(Network &net, const Dataset &data)
     std::vector<EpochStats> history;
     double lr = config.learningRate;
     Network::Record rec; // reused across samples: no per-sample allocation
+    LossGrad lg;         // ditto for the loss gradient
 
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
         // Fisher-Yates with our deterministic RNG.
@@ -60,7 +61,7 @@ Trainer::train(Network &net, const Dataset &data)
             net.forwardInto(s.input, rec, /*train=*/true);
             if (rec.predictedClass() == s.label)
                 ++correct;
-            auto lg = softmaxCrossEntropy(rec.logits(), s.label);
+            softmaxCrossEntropyInto(rec.logits(), s.label, lg);
             loss_sum += lg.loss;
             net.backward(lg.grad);
             if (++in_batch == static_cast<std::size_t>(config.batchSize)) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::path
 {
@@ -80,6 +81,40 @@ PathExtractor::extractInto(const nn::Network::Record &rec,
         extractForward(rec, ws, bits, trace);
     if (trace)
         trace->pathBits = bits.popcount();
+}
+
+void
+PathExtractor::extractBatch(const std::vector<nn::Network::Record> &recs,
+                            std::vector<BitVector> &out,
+                            BatchExtractionWorkspace &bws,
+                            ThreadPool *pool) const
+{
+    out.resize(recs.size());
+    const unsigned slots = pool ? pool->size() : 1;
+    if (bws.perThread.size() < slots)
+        bws.perThread.resize(slots);
+    if (pool && pool->size() > 1 && recs.size() > 1) {
+        // extractInto only mutates its workspace and output BitVector;
+        // the extractor, layout and records are read-only, so distinct
+        // (slot workspace, out[i]) pairs make concurrent samples safe.
+        pool->parallelForWithTid(
+            recs.size(), [&](std::size_t i, unsigned tid) {
+                extractInto(recs[i], bws.perThread[tid], out[i]);
+            });
+        return;
+    }
+    for (std::size_t i = 0; i < recs.size(); ++i)
+        extractInto(recs[i], bws.perThread[0], out[i]);
+}
+
+std::vector<BitVector>
+PathExtractor::extractBatch(const std::vector<nn::Network::Record> &recs,
+                            ThreadPool *pool) const
+{
+    BatchExtractionWorkspace bws;
+    std::vector<BitVector> out;
+    extractBatch(recs, out, bws, pool);
+    return out;
 }
 
 void
@@ -345,31 +380,47 @@ calibrateAbsoluteThresholds(nn::Network &net, ExtractionConfig &cfg,
     std::vector<std::vector<float>> pools(cfg.numLayers());
     Rng rng(0xCA11B8A7Eull);
     std::vector<nn::PartialSum> scratch;
-    nn::Network::Record rec;
 
-    for (const auto &x : samples) {
-        net.forwardInto(x, rec);
-        for (int w = 0; w < cfg.numLayers(); ++w) {
-            if (!cfg.layers[w].extract ||
-                cfg.layers[w].kind != ThresholdKind::Absolute)
-                continue;
-            const int id = weighted[w];
-            const auto &node = net.node(id);
-            const int in_id = node.inputs[0];
-            const nn::Tensor &input = in_id < 0 ? rec.input
-                                                : rec.outputs[in_id];
-            if (cfg.direction == Direction::Forward) {
-                for (std::size_t i = 0; i < input.size(); ++i)
-                    pools[w].push_back(input[i]);
-            } else {
-                // Sample a few output neurons' partial sums.
-                const std::size_t n_out = rec.outputs[id].size();
-                const std::size_t n_probe = std::min<std::size_t>(32, n_out);
-                for (std::size_t p = 0; p < n_probe; ++p) {
-                    const std::size_t o = rng.below(n_out);
-                    net.layerAt(id).partialSums(input, o, scratch);
-                    for (const auto &ps : scratch)
-                        pools[w].push_back(ps.value);
+    // Record the calibration samples in pool-parallel chunks (bounded
+    // memory: a Record holds every intermediate feature map); the
+    // pooling below keeps the original serial order, so thresholds are
+    // identical to the one-at-a-time loop.
+    ThreadPool &tp = globalPool();
+    const std::size_t chunk = std::max<std::size_t>(8, 4 * tp.size());
+    std::vector<nn::Tensor> xsChunk;
+    std::vector<nn::Network::Record> recs;
+    for (std::size_t base = 0; base < samples.size(); base += chunk) {
+        const std::size_t n = std::min(chunk, samples.size() - base);
+        xsChunk.assign(
+            samples.begin() + static_cast<std::ptrdiff_t>(base),
+            samples.begin() + static_cast<std::ptrdiff_t>(base + n));
+        net.forwardBatch(xsChunk, recs, &tp);
+
+        for (std::size_t r = 0; r < n; ++r) {
+            const auto &rec = recs[r];
+            for (int w = 0; w < cfg.numLayers(); ++w) {
+                if (!cfg.layers[w].extract ||
+                    cfg.layers[w].kind != ThresholdKind::Absolute)
+                    continue;
+                const int id = weighted[w];
+                const auto &node = net.node(id);
+                const int in_id = node.inputs[0];
+                const nn::Tensor &input = in_id < 0 ? rec.input
+                                                    : rec.outputs[in_id];
+                if (cfg.direction == Direction::Forward) {
+                    for (std::size_t i = 0; i < input.size(); ++i)
+                        pools[w].push_back(input[i]);
+                } else {
+                    // Sample a few output neurons' partial sums.
+                    const std::size_t n_out = rec.outputs[id].size();
+                    const std::size_t n_probe =
+                        std::min<std::size_t>(32, n_out);
+                    for (std::size_t p = 0; p < n_probe; ++p) {
+                        const std::size_t o = rng.below(n_out);
+                        net.layerAt(id).partialSums(input, o, scratch);
+                        for (const auto &ps : scratch)
+                            pools[w].push_back(ps.value);
+                    }
                 }
             }
         }

@@ -26,6 +26,11 @@
 #include "path/trace.hh"
 #include "util/bitvector.hh"
 
+namespace ptolemy
+{
+class ThreadPool;
+}
+
 namespace ptolemy::path
 {
 
@@ -54,6 +59,16 @@ struct ExtractionWorkspace
     std::vector<std::size_t> order;        ///< forward-cumulative ranking
     std::vector<std::vector<std::size_t>> perInput; ///< backmap results
     std::vector<const nn::Tensor *> insScratch;     ///< backmap input views
+};
+
+/**
+ * Scratch for extractBatch: one ExtractionWorkspace per pool slot so
+ * concurrent extractions never share mutable state. Reuse one instance
+ * across batches for an allocation-free steady state.
+ */
+struct BatchExtractionWorkspace
+{
+    std::vector<ExtractionWorkspace> perThread;
 };
 
 /**
@@ -96,6 +111,23 @@ class PathExtractor
      */
     void extractInto(const nn::Network::Record &rec, ExtractionWorkspace &ws,
                      BitVector &bits, ExtractionTrace *trace = nullptr) const;
+
+    /**
+     * Extract a batch of recorded inferences, optionally fanned out on
+     * @p pool (each pool slot works out of its own workspace in
+     * @p bws). Output ordering is deterministic — out[i] is always the
+     * path of recs[i], bit-identical to a sequential extract() —
+     * regardless of pool size or scheduling.
+     */
+    void extractBatch(const std::vector<nn::Network::Record> &recs,
+                      std::vector<BitVector> &out,
+                      BatchExtractionWorkspace &bws,
+                      ThreadPool *pool = nullptr) const;
+
+    /** Allocating convenience overload of extractBatch. */
+    std::vector<BitVector>
+    extractBatch(const std::vector<nn::Network::Record> &recs,
+                 ThreadPool *pool = nullptr) const;
 
   private:
     void extractBackward(const nn::Network::Record &rec,

@@ -2,11 +2,20 @@
  * @file
  * Minimal persistent thread pool for data-parallel loops.
  *
- * Network::forwardBatch uses it to spread independent samples across
- * cores: the pool owns hardware_concurrency - 1 workers (the calling
- * thread participates), and parallelFor hands out indices through an
- * atomic counter so uneven per-sample costs self-balance. On a single
- * core the pool degenerates to a plain serial loop with no threads.
+ * One process-wide pool (globalPool()) is shared by every parallel
+ * section in the library: batched forward passes, tile-parallel SGEMM
+ * and batched path extraction all fan work out on the same workers, so
+ * the process never oversubscribes the machine. parallelFor hands out
+ * indices through an atomic counter so uneven per-item costs
+ * self-balance, and the calling thread participates. On a single core
+ * the pool degenerates to a plain serial loop with no threads.
+ *
+ * Nested parallel sections are safe by construction: a parallelFor
+ * issued from inside a pool worker, or while another parallelFor is
+ * already in flight on the same pool, runs inline on the calling
+ * thread. This is what lets the tile-parallel SGEMM live inside
+ * Network::forwardBatch's sample-parallel loop without deadlocking on
+ * the pool's single job slot.
  */
 
 #ifndef PTOLEMY_UTIL_THREAD_POOL_HH
@@ -15,13 +24,32 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace ptolemy
 {
+
+namespace detail
+{
+/** True on threads that are pool workers (any pool). */
+inline bool &
+onPoolWorkerFlag()
+{
+    thread_local bool flag = false;
+    return flag;
+}
+
+/** Slot id the current thread runs loop bodies under (0 on non-workers). */
+inline unsigned &
+currentTidRef()
+{
+    thread_local unsigned tid = 0;
+    return tid;
+}
+} // namespace detail
 
 /**
  * Fixed-size pool executing index-parallel loops.
@@ -64,51 +92,99 @@ class ThreadPool
     /**
      * Run fn(0..n) across the pool; returns when every index finished.
      * @p fn must be safe to call concurrently for distinct indices.
+     * Runs inline when issued from a pool worker or while the pool is
+     * already mid-loop (nested parallel sections never deadlock or
+     * stack threads). Type erasure is a function-pointer trampoline
+     * over the caller's stack frame — never a std::function — so even
+     * capture-heavy loop bodies dispatch without heap allocation.
      */
+    template <typename Fn>
     void
-    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    parallelFor(std::size_t n, const Fn &fn)
+    {
+        parallelForWithTid(n,
+                           [&fn](std::size_t i, unsigned) { fn(i); });
+    }
+
+    /**
+     * Like parallelFor, but @p fn additionally receives the slot id of
+     * the executing thread, a value in [0, size()). Within one call,
+     * concurrently-executing invocations of @p fn always carry
+     * distinct slot ids (slot 0 is the calling thread), so scratch
+     * indexed by slot and owned by that call — one workspace per slot
+     * — is race-free. Slot ids are NOT distinct across simultaneous
+     * calls from different external threads (the loser of the busy
+     * check runs inline under its own slot, typically 0): scratch
+     * shared between concurrent calls must be synchronized by the
+     * caller like any other shared state.
+     */
+    template <typename Fn>
+    void
+    parallelForWithTid(std::size_t n, const Fn &fn)
     {
         if (n == 0)
             return;
-        if (workers.empty() || n == 1) {
+        const bool nested = detail::onPoolWorkerFlag();
+        if (workers.empty() || n == 1 || nested ||
+            inFlight.exchange(true, std::memory_order_acquire)) {
+            // Serial / nested / pool-busy: run inline on this thread,
+            // under the slot id this thread already owns (its worker
+            // slot inside a nested section, 0 otherwise), so nested
+            // sections never alias another thread's slot scratch.
+            const unsigned tid = detail::currentTidRef();
             for (std::size_t i = 0; i < n; ++i)
-                fn(i);
+                fn(i, tid);
             return;
         }
         {
             std::lock_guard<std::mutex> lk(mu);
-            job = &fn;
+            jobFn = &trampoline<Fn>;
+            jobCtx = const_cast<void *>(static_cast<const void *>(&fn));
             jobSize = n;
             nextIndex.store(0, std::memory_order_relaxed);
             active = static_cast<unsigned>(workers.size());
             ++generation;
         }
         cv.notify_all();
-        runIndices(fn, n);
+        runIndices(jobFn, jobCtx, n, 0);
         std::unique_lock<std::mutex> lk(mu);
         doneCv.wait(lk, [this] { return active == 0; });
-        job = nullptr;
+        jobFn = nullptr;
+        inFlight.store(false, std::memory_order_release);
     }
 
   private:
+    using JobFn = void (*)(void *ctx, std::size_t i, unsigned tid);
+
+    template <typename Fn>
+    static void
+    trampoline(void *ctx, std::size_t i, unsigned tid)
+    {
+        (*static_cast<const Fn *>(ctx))(i, tid);
+    }
+
     void
-    runIndices(const std::function<void(std::size_t)> &fn, std::size_t n)
+    runIndices(JobFn fn, void *ctx, std::size_t n, unsigned tid)
     {
         for (;;) {
             const std::size_t i =
                 nextIndex.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 break;
-            fn(i);
+            fn(ctx, i, tid);
         }
     }
 
     void
     workerLoop()
     {
+        detail::onPoolWorkerFlag() = true;
+        const unsigned tid = workerTid.fetch_add(1) + 1; // slot 0 = caller
+        detail::currentTidRef() = tid;
         std::uint64_t seen = 0;
         for (;;) {
-            const std::function<void(std::size_t)> *fn;
+            JobFn fn;
+            void *ctx;
             std::size_t n;
             {
                 std::unique_lock<std::mutex> lk(mu);
@@ -117,11 +193,12 @@ class ThreadPool
                 seen = generation;
                 if (stopping)
                     return;
-                fn = job;
+                fn = jobFn;
+                ctx = jobCtx;
                 n = jobSize;
             }
             if (fn)
-                runIndices(*fn, n);
+                runIndices(fn, ctx, n, tid);
             {
                 std::lock_guard<std::mutex> lk(mu);
                 if (--active == 0)
@@ -133,13 +210,36 @@ class ThreadPool
     std::vector<std::thread> workers;
     std::mutex mu;
     std::condition_variable cv, doneCv;
-    const std::function<void(std::size_t)> *job = nullptr;
+    JobFn jobFn = nullptr;
+    void *jobCtx = nullptr;
     std::size_t jobSize = 0;
     std::atomic<std::size_t> nextIndex{0};
+    std::atomic<unsigned> workerTid{0};
+    std::atomic<bool> inFlight{false};
     unsigned active = 0;
     std::uint64_t generation = 0;
     bool stopping = false;
 };
+
+/**
+ * The process-wide pool every library-internal parallel section uses.
+ * Sized from PTOLEMY_NUM_THREADS when set (1 forces fully serial
+ * execution), hardware concurrency otherwise. Constructed on first use;
+ * workers idle on a condition variable between loops.
+ */
+inline ThreadPool &
+globalPool()
+{
+    static ThreadPool pool([] {
+        if (const char *s = std::getenv("PTOLEMY_NUM_THREADS")) {
+            const long n = std::strtol(s, nullptr, 10);
+            if (n > 0)
+                return static_cast<unsigned>(n);
+        }
+        return 0u; // hardware concurrency
+    }());
+    return pool;
+}
 
 } // namespace ptolemy
 

@@ -49,16 +49,25 @@ struct TrainedWorld
 
     TrainedWorld() : net(makeTinyNet(10))
     {
+        // Sized so the statistical suites (baselines, detector AUC)
+        // test real discrimination rather than chance-level noise: the
+        // seed's 60/15-per-class split left DeepFense at AUC ~0.5 with
+        // assertions that only held by luck. The longer, lower-LR
+        // schedule converges to the same fully-trained model under the
+        // AVX2, scalar and naive-conv kernel numerics (the old 4x0.05
+        // recipe diverged outright in some regimes), and the parallel +
+        // SIMD compute core keeps the bigger world's one-time training
+        // cost in the old fixture's ballpark.
         data::DatasetSpec spec;
         spec.numClasses = 10;
-        spec.trainPerClass = 60;
-        spec.testPerClass = 15;
+        spec.trainPerClass = 110;
+        spec.testPerClass = 30;
         spec.seed = 42;
         dataset = data::makeSyntheticDataset(spec);
         nn::heInit(net, 7);
         nn::TrainConfig tc;
-        tc.epochs = 4;
-        tc.learningRate = 0.05;
+        tc.epochs = 8;
+        tc.learningRate = 0.02;
         nn::Trainer trainer(tc);
         trainer.train(net, dataset.train);
         testAccuracy = nn::Trainer::evaluate(net, dataset.test);

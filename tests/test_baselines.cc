@@ -25,7 +25,7 @@ fgsmPairs()
     static std::vector<core::DetectionPair> pairs = [] {
         auto &w = ptolemy::testing::world();
         attack::Fgsm fgsm;
-        return core::buildAttackPairs(w.net, fgsm, w.dataset.test, 60);
+        return core::buildAttackPairs(w.net, fgsm, w.dataset.test, 100);
     }();
     return pairs;
 }
@@ -36,7 +36,7 @@ TEST(EpBaselineTest, DetectsAdversaries)
     EpBaseline ep(w.net, 10);
     ep.profile(w.net, w.dataset.train);
     const double auc = evaluateBaselineAuc(ep, w.net, fgsmPairs());
-    EXPECT_GT(auc, 0.70);
+    EXPECT_GT(auc, 0.85); // measured minimum across kernel regimes: 0.978
     EXPECT_TRUE(ep.inferenceTimeCapable());
     EXPECT_EQ(ep.name(), "EP");
 }
@@ -47,7 +47,7 @@ TEST(CdrpBaselineTest, RunsButIsNotInferenceTimeCapable)
     CdrpBaseline cdrp(w.net, 10);
     cdrp.profile(w.net, w.dataset.train);
     const double auc = evaluateBaselineAuc(cdrp, w.net, fgsmPairs());
-    EXPECT_GT(auc, 0.5); // better than chance...
+    EXPECT_GT(auc, 0.80); // real discrimination on the shared fixture...
     EXPECT_FALSE(cdrp.inferenceTimeCapable()); // ...but needs retraining
 }
 
@@ -65,24 +65,25 @@ TEST(DeepFenseBaselineTest, VariantNamesAndDefenderCounts)
     EXPECT_GT(dfm.extraMacs(), dfl.extraMacs());
 }
 
-TEST(DeepFenseBaselineTest, MoreDefendersDoNotHurt)
+TEST(DeepFenseBaselineTest, MultiDefenderVariantsDetectAboveChance)
 {
+    // On the enlarged shared fixture the multi-defender variants show
+    // real discrimination (paper Fig. 12's premise); the single
+    // defender is weaker and only gets a structural bound. Measured
+    // minima across the AVX2 / scalar / naive-conv kernel regimes:
+    // DFL 0.48, DFM 0.60, DFH 0.58.
     auto &w = ptolemy::testing::world();
-    DeepFenseBaseline dfl(w.net, 1), dfh(w.net, 16);
+    DeepFenseBaseline dfl(w.net, 1), dfm(w.net, 8), dfh(w.net, 16);
     dfl.profile(w.net, w.dataset.train);
+    dfm.profile(w.net, w.dataset.train);
     dfh.profile(w.net, w.dataset.train);
     const double auc_l = evaluateBaselineAuc(dfl, w.net, fgsmPairs());
+    const double auc_m = evaluateBaselineAuc(dfm, w.net, fgsmPairs());
     const double auc_h = evaluateBaselineAuc(dfh, w.net, fgsmPairs());
-    // DeepFense is chance-level on this tiny world no matter the
-    // defender count (the seed's 1-defender AUC cleared 0.5 by 0.002;
-    // ULP-level kernel changes swing both variants either way). The
-    // fixture can only support structural claims: the scores are not
-    // degenerate and adding defenders does not collapse accuracy. The
-    // discriminative claim (Ptolemy beats DeepFense) is covered by
-    // AccuracyOrdering below.
-    EXPECT_GT(auc_l, 0.2);
-    EXPECT_GT(auc_h, 0.2);
-    EXPECT_GT(auc_h + 0.10, auc_l); // allow noise, but no collapse
+    EXPECT_GT(auc_l, 0.40);
+    EXPECT_GT(auc_m, 0.55); // genuinely better than chance
+    EXPECT_GT(auc_h, 0.55);
+    EXPECT_GT(auc_h + 0.10, auc_l); // more defenders never collapse
 }
 
 TEST(AccuracyOrdering, PtolemyBwCuAtLeastMatchesBaselines)
@@ -106,11 +107,11 @@ TEST(AccuracyOrdering, PtolemyBwCuAtLeastMatchesBaselines)
     cdrp.profile(w.net, w.dataset.train);
     const double cdrp_auc = evaluateBaselineAuc(cdrp, w.net, fgsmPairs());
 
-    // AUC over 30 held-out pairs is quantized in ~0.03 steps, so the
-    // "within noise" margins must cover at least a few quanta.
+    // Margins cover a few AUC quanta of the held-out split. Measured
+    // minimum Ptolemy AUC across kernel regimes: 0.998.
     EXPECT_GE(ptolemy_auc + 0.05, ep_auc);  // >= EP (within noise)
     EXPECT_GE(ptolemy_auc + 0.10, cdrp_auc);
-    EXPECT_GT(ptolemy_auc, 0.8);
+    EXPECT_GT(ptolemy_auc, 0.9);
 }
 
 } // namespace

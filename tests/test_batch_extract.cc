@@ -240,6 +240,108 @@ TEST(ExtractionWorkspace, SurvivesReuseAcrossDifferentNetworks)
     EXPECT_EQ(ex_big.extract(rec_big, ws), ex_big.extract(rec_big));
 }
 
+TEST(ExtractBatch, MatchesSequentialExtractAcrossThreadCounts)
+{
+    auto net = ptolemy::testing::makeTinyNet(10);
+    nn::heInit(net, 31);
+    const int n_w = static_cast<int>(net.weightedNodes().size());
+    const auto xs = randomBatch(13, net.inputShape(), 32);
+    std::vector<nn::Network::Record> recs;
+    net.forwardBatch(xs, recs);
+
+    for (auto cfg : {ExtractionConfig::bwCu(n_w, 0.5),
+                     ExtractionConfig::bwAb(n_w, 0.01),
+                     ExtractionConfig::fwAb(n_w, 0.1)}) {
+        PathExtractor ex(net, cfg);
+        std::vector<BitVector> ref;
+        for (const auto &rec : recs)
+            ref.push_back(ex.extract(rec));
+
+        // No pool at all (serial overload).
+        const auto serial = ex.extractBatch(recs);
+        ASSERT_EQ(serial.size(), ref.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            EXPECT_EQ(serial[i], ref[i])
+                << "serial sample " << i << " " << cfg.variantName();
+
+        for (unsigned threads : {1u, 2u, 8u}) {
+            ThreadPool pool(threads);
+            BatchExtractionWorkspace bws;
+            std::vector<BitVector> out;
+            // Repeat with a reused workspace: the second round must be
+            // as clean as the first.
+            for (int round = 0; round < 2; ++round) {
+                ex.extractBatch(recs, out, bws, &pool);
+                ASSERT_EQ(out.size(), ref.size());
+                for (std::size_t i = 0; i < ref.size(); ++i)
+                    EXPECT_EQ(out[i], ref[i])
+                        << "threads=" << threads << " round=" << round
+                        << " sample " << i << " " << cfg.variantName();
+            }
+        }
+    }
+}
+
+TEST(StashTripwire, BackwardAfterBatchForwardThrows)
+{
+    auto net = ptolemy::testing::makeTinyNet(4);
+    nn::heInit(net, 33);
+    const auto xs = randomBatch(2, net.inputShape(), 34);
+
+    std::vector<nn::Network::Record> recs;
+    net.forwardBatch(xs, recs);
+    EXPECT_FALSE(recs[0].stashed);
+    nn::Tensor seed(nn::flatShape(4));
+    seed[0] = 1.0f;
+    EXPECT_THROW(net.backward(seed), std::logic_error);
+
+    // A stashing forward pass re-arms backward.
+    auto rec = net.forward(xs[0]);
+    EXPECT_TRUE(rec.stashed);
+    EXPECT_NO_THROW(net.backward(seed));
+
+    // An explicit inference-only forwardInto trips it again.
+    net.forwardInto(xs[0], rec, /*train=*/false, /*stash=*/false);
+    EXPECT_FALSE(rec.stashed);
+    EXPECT_THROW(net.backward(seed), std::logic_error);
+}
+
+TEST(GradArena, RepeatedBackwardReturnsIdenticalGradients)
+{
+    auto net = ptolemy::testing::makeTinyNet(4);
+    nn::heInit(net, 35);
+    const auto xs = randomBatch(2, net.inputShape(), 36);
+    nn::Tensor seed(nn::flatShape(4));
+    seed[1] = 1.0f;
+    seed[3] = -0.5f;
+
+    net.forward(xs[0]);
+    const nn::Tensor first = net.backward(seed); // copy out of the arena
+    // Interleave another sample, then repeat the first: the arena must
+    // not leak state between passes.
+    net.forward(xs[1]);
+    net.backward(seed);
+    net.forward(xs[0]);
+    const nn::Tensor &second = net.backward(seed);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        ASSERT_EQ(first[i], second[i]) << "i=" << i;
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> inner_total{0};
+    // Outer loop on the pool; each body issues another parallelFor on
+    // the same pool. Nested sections must run inline (no deadlock on
+    // the single job slot, no thread explosion) and still cover every
+    // index exactly once.
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(16, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
 {
     ThreadPool pool(4);

@@ -13,6 +13,7 @@
 #include "nn/gemm.hh"
 #include "nn/linear.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::nn
 {
@@ -220,6 +221,141 @@ TEST(ConvGemm, PartialSumsStillMatchForwardOutput)
         for (const auto &ps : psums)
             s += ps.value;
         ASSERT_NEAR(s, out[o], 1e-4);
+    }
+}
+
+/** RAII guard restoring the process-wide SIMD mode. */
+struct SimdModeGuard
+{
+    SimdMode saved = simdMode();
+    ~SimdModeGuard() { simdMode() = saved; }
+};
+
+/** RAII guard restoring the gemm pool pointer. */
+struct GemmPoolGuard
+{
+    ThreadPool *saved = gemmPool();
+    ~GemmPoolGuard() { gemmPool() = saved; }
+};
+
+TEST(SgemmSimd, Avx2MatchesScalarAcrossOddRemainders)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "AVX2 kernels not compiled in or not supported";
+    SimdModeGuard guard;
+    GemmPoolGuard pool_guard;
+    gemmPool() = nullptr; // isolate the kernels from threading
+    Rng rng(11);
+
+    // Remainders around the microkernel's 6-row / 16-column / 8-column
+    // blocking and a few deeper K values for the FMA accumulators.
+    const int ms[] = {1, 2, 5, 6, 7, 12, 17, 33};
+    const int ns[] = {1, 7, 8, 15, 16, 17, 24, 40, 257};
+    const int ks[] = {1, 3, 9, 64};
+    for (int M : ms) {
+        for (int N : ns) {
+            for (int K : ks) {
+                std::vector<float> A(static_cast<std::size_t>(M) * K);
+                std::vector<float> B(static_cast<std::size_t>(K) * N);
+                std::vector<float> Bt(static_cast<std::size_t>(N) * K);
+                std::vector<float> At(static_cast<std::size_t>(K) * M);
+                fillRandom(A, rng);
+                fillRandom(B, rng);
+                for (int i = 0; i < M; ++i)
+                    for (int k = 0; k < K; ++k)
+                        At[static_cast<std::size_t>(k) * M + i] =
+                            A[static_cast<std::size_t>(i) * K + k];
+                for (int k = 0; k < K; ++k)
+                    for (int j = 0; j < N; ++j)
+                        Bt[static_cast<std::size_t>(j) * K + k] =
+                            B[static_cast<std::size_t>(k) * N + j];
+
+                const std::size_t cn = static_cast<std::size_t>(M) * N;
+                std::vector<float> cs(cn, 0.5f), cv(cn, 0.5f);
+                const float tol =
+                    1e-4f * (1.0f + static_cast<float>(K) * 0.05f);
+                const bool acc = (M + N + K) % 2 == 0; // sweep both modes
+
+                simdMode() = SimdMode::Scalar;
+                sgemm(M, N, K, A.data(), B.data(), cs.data(), acc);
+                simdMode() = SimdMode::Avx2;
+                sgemm(M, N, K, A.data(), B.data(), cv.data(), acc);
+                for (std::size_t i = 0; i < cn; ++i)
+                    ASSERT_NEAR(cs[i], cv[i], tol)
+                        << "sgemm M=" << M << " N=" << N << " K=" << K
+                        << " acc=" << acc << " i=" << i;
+
+                std::fill(cs.begin(), cs.end(), 0.5f);
+                std::fill(cv.begin(), cv.end(), 0.5f);
+                simdMode() = SimdMode::Scalar;
+                sgemmTN(M, N, K, At.data(), B.data(), cs.data(), acc);
+                simdMode() = SimdMode::Avx2;
+                sgemmTN(M, N, K, At.data(), B.data(), cv.data(), acc);
+                for (std::size_t i = 0; i < cn; ++i)
+                    ASSERT_NEAR(cs[i], cv[i], tol)
+                        << "sgemmTN M=" << M << " N=" << N << " K=" << K;
+
+                std::fill(cs.begin(), cs.end(), 0.5f);
+                std::fill(cv.begin(), cv.end(), 0.5f);
+                simdMode() = SimdMode::Scalar;
+                sgemmNT(M, N, K, A.data(), Bt.data(), cs.data(), acc);
+                simdMode() = SimdMode::Avx2;
+                sgemmNT(M, N, K, A.data(), Bt.data(), cv.data(), acc);
+                for (std::size_t i = 0; i < cn; ++i)
+                    ASSERT_NEAR(cs[i], cv[i], tol)
+                        << "sgemmNT M=" << M << " N=" << N << " K=" << K;
+            }
+        }
+    }
+}
+
+TEST(SgemmThreads, BitIdenticalAcrossThreadCounts)
+{
+    // Each C element's accumulation order is independent of the tile
+    // partition, so every pool size must give bit-identical results in
+    // both kernel families. The product is sized above the parallel
+    // cutoff so the pooled path actually engages.
+    SimdModeGuard guard;
+    GemmPoolGuard pool_guard;
+    const int M = 64, N = 300, K = 80;
+    Rng rng(12);
+    std::vector<float> A(static_cast<std::size_t>(M) * K);
+    std::vector<float> B(static_cast<std::size_t>(K) * N);
+    std::vector<float> Bt(static_cast<std::size_t>(N) * K);
+    fillRandom(A, rng);
+    fillRandom(B, rng);
+    for (int k = 0; k < K; ++k)
+        for (int j = 0; j < N; ++j)
+            Bt[static_cast<std::size_t>(j) * K + k] =
+                B[static_cast<std::size_t>(k) * N + j];
+
+    std::vector<SimdMode> modes = {SimdMode::Scalar};
+    if (avx2Available())
+        modes.push_back(SimdMode::Avx2);
+    for (SimdMode mode : modes) {
+        simdMode() = mode;
+        gemmPool() = nullptr;
+        std::vector<float> ref(static_cast<std::size_t>(M) * N);
+        std::vector<float> ref_nt(ref.size());
+        sgemm(M, N, K, A.data(), B.data(), ref.data());
+        sgemmNT(M, N, K, A.data(), Bt.data(), ref_nt.data());
+
+        for (unsigned threads : {1u, 2u, 8u}) {
+            ThreadPool pool(threads);
+            gemmPool() = &pool;
+            std::vector<float> c(ref.size(), -1.0f), c_nt(ref.size(), -1.0f);
+            sgemm(M, N, K, A.data(), B.data(), c.data());
+            sgemmNT(M, N, K, A.data(), Bt.data(), c_nt.data());
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                ASSERT_EQ(c[i], ref[i])
+                    << "sgemm mode=" << static_cast<int>(mode)
+                    << " threads=" << threads << " i=" << i;
+                ASSERT_EQ(c_nt[i], ref_nt[i])
+                    << "sgemmNT mode=" << static_cast<int>(mode)
+                    << " threads=" << threads << " i=" << i;
+            }
+            gemmPool() = nullptr;
+        }
     }
 }
 
