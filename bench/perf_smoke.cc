@@ -2,12 +2,13 @@
  * @file
  * Hot-path perf smoke: conv GFLOP/s (GEMM vs naive reference), path
  * extractions/sec (single-stream and pool-parallel extractBatch vs the
- * legacy allocate-and-sort strategy), forward+backward passes/sec, and
- * bit-vector similarity ops/sec. Emits BENCH_micro.json — including
- * the thread count, SIMD mode and core count the numbers were taken
- * under — so every PR records a comparable perf trajectory, and counts
- * heap allocations inside the steady-state extract and backward loops
- * to prove both are allocation-free.
+ * legacy allocate-and-sort strategy), forward+backward passes/sec,
+ * data-parallel SGD samples/sec (pooled and 1-thread), and bit-vector
+ * similarity ops/sec. Emits BENCH_micro.json — including the thread
+ * count, SIMD mode and core count the numbers were taken under — so
+ * every PR records a comparable perf trajectory, and counts heap
+ * allocations inside the steady-state extract, backward and training
+ * loops to prove all three are allocation-free.
  *
  * Runtime is bounded by PTOLEMY_BENCH_MIN_TIME seconds per measurement
  * (default 0.3), so the harness stays CI-friendly.
@@ -22,6 +23,7 @@
 #include <new>
 #include <vector>
 
+#include "data/synthetic.hh"
 #include "nn/common_layers.hh"
 #include "nn/conv.hh"
 #include "nn/gemm.hh"
@@ -29,6 +31,7 @@
 #include "nn/linear.hh"
 #include "nn/loss.hh"
 #include "nn/network.hh"
+#include "nn/trainer.hh"
 #include "path/class_path.hh"
 #include "path/extraction_config.hh"
 #include "path/extractor.hh"
@@ -128,14 +131,14 @@ benchConv(double min_time)
 
     const bool saved = nn::naiveConvFlag();
     nn::naiveConvFlag() = false;
-    conv.forwardInto({&in}, out, false, false); // warm scratch
+    conv.forwardInto({&in}, out, false); // warm scratch
     r.gemmGflops =
-        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false, false); },
+        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false); },
                             min_time) /
         1e9;
     nn::naiveConvFlag() = true;
     r.naiveGflops =
-        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false, false); },
+        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false); },
                             min_time) /
         1e9;
     nn::naiveConvFlag() = saved;
@@ -267,9 +270,9 @@ benchBackward(double min_time)
     nn::Network::Record rec;
     nn::LossGrad lg;
     auto pass = [&] {
-        net.forwardInto(x, rec, /*train=*/false, /*stash=*/true);
+        net.forwardInto(x, rec, /*train=*/false);
         nn::softmaxCrossEntropyInto(rec.logits(), 0, lg);
-        net.backward(lg.grad); // arena-backed; result stays borrowed
+        net.backward(rec, lg.grad); // arena-backed; result stays borrowed
     };
 
     // Warm until quiescent: the record, loss grad, gradient arena and
@@ -299,6 +302,96 @@ benchBackward(double min_time)
     const std::size_t allocs_after = g_allocs.load(std::memory_order_relaxed);
     r.passesPerSec = 1.0 / spc;
     r.allocsPerPass = calls ? (allocs_after - allocs_before) / calls : 0;
+    return r;
+}
+
+struct TrainBenchResult
+{
+    double samplesPerSecPooled = 0.0;
+    double samplesPerSecSerial = 0.0;
+    std::size_t allocsPerEpoch = 0;
+    std::size_t numSamples = 0;
+    std::size_t gradLanes = 0;
+};
+
+/**
+ * Data-parallel SGD throughput on the 3conv+2fc net: whole epochs per
+ * call through Trainer::trainInto, measured once on the process-wide
+ * pool and once pinned to a 1-thread pool (the per-thread baseline the
+ * scaling multiplier is read against). The pooled steady state must be
+ * allocation-free: all per-slot records, arenas and per-lane gradient
+ * clones are warmed by the first call and reused.
+ */
+TrainBenchResult
+benchTrain(double min_time)
+{
+    nn::Network net = extractionNet();
+    data::DatasetSpec spec;
+    spec.numClasses = 10;
+    spec.imageSize = 32;
+    spec.trainPerClass = 8;
+    spec.testPerClass = 1;
+    spec.seed = 77;
+    const auto ds = data::makeSyntheticDataset(spec);
+
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.learningRate = 1e-3; // keep weights sane over many timed epochs
+    tc.verbose = false;
+
+    TrainBenchResult r;
+    r.numSamples = ds.train.size();
+    r.gradLanes = std::min<std::size_t>(
+        static_cast<std::size_t>(tc.batchSize),
+        nn::Trainer::kMaxGradLanes);
+
+    {
+        nn::Trainer trainer(tc); // pool = nullptr -> globalPool()
+        std::vector<nn::EpochStats> hist;
+        // Warm until quiescent (worker thread-locals settle on their
+        // own schedule, like the backward bench).
+        int quiet = 0;
+        for (int i = 0; i < 50 && quiet < 3; ++i) {
+            const std::size_t before =
+                g_allocs.load(std::memory_order_relaxed);
+            trainer.trainInto(net, ds.train, hist);
+            quiet = g_allocs.load(std::memory_order_relaxed) == before
+                        ? quiet + 1
+                        : 0;
+        }
+        const std::size_t allocs_before =
+            g_allocs.load(std::memory_order_relaxed);
+        std::size_t calls = 0;
+        const double spc = secsPerCall(
+            [&] {
+                trainer.trainInto(net, ds.train, hist);
+                ++calls;
+            },
+            min_time);
+        const std::size_t allocs_after =
+            g_allocs.load(std::memory_order_relaxed);
+        r.samplesPerSecPooled = static_cast<double>(ds.train.size()) / spc;
+        r.allocsPerEpoch =
+            calls ? (allocs_after - allocs_before) / calls : 0;
+    }
+
+    {
+        // Per-thread baseline: a 1-thread trainer pool, with the SGEMM
+        // tile fan-out pinned to it as well so nothing rides the global
+        // workers.
+        ptolemy::ThreadPool serial(1);
+        ptolemy::ThreadPool *saved = nn::gemmPool();
+        nn::gemmPool() = &serial;
+        nn::TrainConfig tc1 = tc;
+        tc1.pool = &serial;
+        nn::Trainer trainer(tc1);
+        std::vector<nn::EpochStats> hist;
+        trainer.trainInto(net, ds.train, hist); // warm
+        const double spc = secsPerCall(
+            [&] { trainer.trainInto(net, ds.train, hist); }, min_time);
+        nn::gemmPool() = saved;
+        r.samplesPerSecSerial = static_cast<double>(ds.train.size()) / spc;
+    }
     return r;
 }
 
@@ -341,6 +434,7 @@ main(int argc, char **argv)
     const auto conv = benchConv(min_time);
     const auto ext = benchExtraction(min_time);
     const auto bwd = benchBackward(min_time);
+    const auto trn = benchTrain(min_time);
     const auto sim = benchSimilarity(min_time);
 
     const unsigned threads = ptolemy::globalPool().size();
@@ -381,6 +475,16 @@ main(int argc, char **argv)
     j.kv("passes_per_sec", bwd.passesPerSec);
     j.kv("allocs_per_pass", bwd.allocsPerPass);
     j.endObject();
+    j.key("train").beginObject();
+    j.kv("model", "3conv+2fc on 3x32x32, SGD batch 16");
+    j.kv("samples", trn.numSamples);
+    j.kv("samples_per_sec", trn.samplesPerSecPooled);
+    j.kv("samples_per_sec_1thread", trn.samplesPerSecSerial);
+    j.kv("speedup_vs_1thread",
+         trn.samplesPerSecPooled / trn.samplesPerSecSerial);
+    j.kv("grad_lanes", trn.gradLanes);
+    j.kv("allocs_per_epoch", trn.allocsPerEpoch);
+    j.endObject();
     j.key("similarity").beginObject();
     j.kv("bits", sim.bits);
     j.kv("and_popcount_ops_per_sec", sim.opsPerSec);
@@ -406,6 +510,12 @@ main(int argc, char **argv)
               << "backward: " << bwd.passesPerSec
               << " fwd+bwd passes/s, " << bwd.allocsPerPass
               << " allocs per pass\n"
+              << "train: " << trn.samplesPerSecPooled
+              << " samples/s pooled, " << trn.samplesPerSecSerial
+              << "/s on 1 thread ("
+              << trn.samplesPerSecPooled / trn.samplesPerSecSerial
+              << "x, " << trn.gradLanes << " grad lanes), "
+              << trn.allocsPerEpoch << " allocs per epoch\n"
               << "similarity and+popcount (" << sim.bits
               << " bits): " << sim.opsPerSec << " ops/s\n"
               << "wrote " << out_path << "\n";
@@ -418,6 +528,12 @@ main(int argc, char **argv)
     if (bwd.allocsPerPass != 0) {
         std::cerr << "FAIL: steady-state backward loop performed "
                   << bwd.allocsPerPass << " heap allocations per pass "
+                  << "(expected 0)\n";
+        return 1;
+    }
+    if (trn.allocsPerEpoch != 0) {
+        std::cerr << "FAIL: steady-state parallel training loop performed "
+                  << trn.allocsPerEpoch << " heap allocations per epoch "
                   << "(expected 0)\n";
         return 1;
     }

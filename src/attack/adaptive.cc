@@ -33,7 +33,7 @@ AdaptiveActivationAttack::run(nn::Network &net, const nn::Tensor &x,
     int total_iters = 0;
 
     std::vector<std::size_t> used_classes;
-    for (int t = 0; t < numTargets; ++t) {
+    for (int t = 0; t < numTargets && !targetPool->empty(); ++t) {
         // Draw a benign target of a fresh, different class.
         const nn::Sample *target = nullptr;
         for (int tries = 0; tries < 200 && !target; ++tries) {
@@ -78,7 +78,7 @@ AdaptiveActivationAttack::run(nn::Network &net, const nn::Tensor &x,
                 }
                 seeds.emplace_back(z_nodes[zi], std::move(g));
             }
-            nn::Tensor grad = net.backwardMulti(seeds);
+            nn::Tensor grad = net.backwardMulti(rec, seeds);
             // Normalize the step so the first iterations do not overshoot.
             const double gnorm = std::sqrt(grad.sumSq()) + 1e-12;
             for (std::size_t i = 0; i < adv.size(); ++i)

@@ -68,7 +68,7 @@ lossInputGradientInto(nn::Network &net, const nn::Tensor &x,
     nn::softmaxCrossEntropyInto(rec.logits(), label, lg);
     if (loss_out)
         *loss_out = lg.loss;
-    grad = net.backward(lg.grad); // copy-assign reuses the caller's buffer
+    grad = net.backward(rec, lg.grad); // copy-assign reuses the buffer
 }
 
 void

@@ -17,7 +17,7 @@ CarliniWagnerL2::run(nn::Network &net, const nn::Tensor &x,
     nn::Network::Record rec; // reused across iterations
 
     for (; it < maxIters; ++it) {
-        net.forwardInto(adv, rec); // stashes state for the backward below
+        net.forwardInto(adv, rec); // records the pass for the backward below
         const auto &logits = rec.logits();
 
         // Strongest rival class.
@@ -45,7 +45,7 @@ CarliniWagnerL2::run(nn::Network &net, const nn::Tensor &x,
             nn::Tensor seed(logits.shape());
             seed[label] = 1.0f;
             seed[rival] = -1.0f;
-            grad = net.backward(seed);
+            grad = net.backward(rec, seed);
             grad *= static_cast<float>(tradeoffC);
         }
         // Plus the distortion gradient 2*(adv - x).

@@ -38,7 +38,7 @@ DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
 {
     nn::Tensor adv = x;
     int it = 0;
-    nn::Network::Record rec, rec_refresh; // reused across iterations
+    nn::Network::Record rec; // reused across iterations
     for (; it < maxIters; ++it) {
         net.forwardInto(adv, rec);
         const auto &logits = rec.logits();
@@ -55,9 +55,9 @@ DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
             nn::Tensor seed(logits.shape());
             seed[k] = 1.0f;
             seed[label] = -1.0f;
-            // Refresh layer state for this backward.
-            net.forwardInto(adv, rec_refresh);
-            nn::Tensor grad = net.backward(seed);
+            // One record serves every rival's backward: layers keep no
+            // per-pass state, so no refresh forward is needed.
+            nn::Tensor grad = net.backward(rec, seed);
             const double gnorm2 = grad.sumSq();
             if (gnorm2 < 1e-20)
                 continue;

@@ -35,7 +35,7 @@ Jsma::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
         nn::Tensor seed(rec.logits().shape());
         seed[target] = 1.0f;
         seed[label] = -1.0f;
-        nn::Tensor grad = net.backward(seed);
+        nn::Tensor grad = net.backward(rec, seed);
 
         // Pick the untouched element with the largest |saliency| that can
         // still move in the helpful direction.

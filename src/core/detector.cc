@@ -122,7 +122,7 @@ Detector::fitClassifier(const classify::FeatureMatrix &benign,
 Detector::Decision
 Detector::detect(const nn::Tensor &x)
 {
-    net->forwardInto(x, recScratch, /*train=*/false, /*stash=*/false);
+    net->forwardInto(x, recScratch, /*train=*/false);
     Decision d;
     d.predictedClass = recScratch.predictedClass();
     pathExtractor.extractInto(recScratch, ws, pathScratch);

@@ -5,6 +5,7 @@
 
 #include "util/rng.hh"
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::core
 {
@@ -12,35 +13,52 @@ namespace ptolemy::core
 std::vector<DetectionPair>
 buildAttackPairs(nn::Network &net, attack::Attack &atk,
                  const nn::Dataset &test, int max_samples,
-                 std::uint64_t seed)
+                 std::uint64_t seed, int *attempted_out)
 {
     Rng rng(seed);
     std::vector<std::size_t> order(test.size());
     std::iota(order.begin(), order.end(), 0);
+    // i > 1 keeps every Rng::below argument positive (empty and
+    // single-sample test sets shuffle to themselves).
     for (std::size_t i = order.size(); i > 1; --i)
         std::swap(order[i - 1], order[rng.below(i)]);
 
     std::vector<DetectionPair> pairs;
     int attempted = 0;
-    nn::Network::Record rec;
-    for (std::size_t idx : order) {
-        if (attempted >= max_samples)
-            break;
-        const auto &s = test[idx];
-        net.forwardInto(s.input, rec, /*train=*/false, /*stash=*/false);
-        if (rec.predictedClass() != s.label)
-            continue; // attacks start from correctly-classified inputs
-        ++attempted;
-        auto res = atk.run(net, s.input, s.label);
-        if (!res.success)
-            continue;
-        DetectionPair p;
-        p.clean = s.input;
-        p.adversarial = std::move(res.adversarial);
-        p.label = s.label;
-        p.mse = res.mse;
-        pairs.push_back(std::move(p));
+    // Filter pass rides forwardBatch: candidates are classified one
+    // chunk at a time on the process-wide pool. Per-sample predictions
+    // are bit-identical to the sequential loop, so the selected attack
+    // targets (and thus every pair) are unchanged; a chunk may classify
+    // a few candidates beyond the cap, which is noise next to the
+    // attack cost that dominates this function.
+    constexpr std::size_t kChunk = 64;
+    std::vector<nn::Tensor> xs;
+    std::vector<nn::Network::Record> recs;
+    for (std::size_t c0 = 0;
+         c0 < order.size() && attempted < max_samples; c0 += kChunk) {
+        const std::size_t cn = std::min(kChunk, order.size() - c0);
+        xs.clear();
+        for (std::size_t i = 0; i < cn; ++i)
+            xs.push_back(test[order[c0 + i]].input);
+        net.forwardBatch(xs, recs, &globalPool());
+        for (std::size_t i = 0; i < cn && attempted < max_samples; ++i) {
+            const auto &s = test[order[c0 + i]];
+            if (recs[i].predictedClass() != s.label)
+                continue; // attacks start from correctly-classified inputs
+            ++attempted;
+            auto res = atk.run(net, s.input, s.label);
+            if (!res.success)
+                continue;
+            DetectionPair p;
+            p.clean = s.input;
+            p.adversarial = std::move(res.adversarial);
+            p.label = s.label;
+            p.mse = res.mse;
+            pairs.push_back(std::move(p));
+        }
     }
+    if (attempted_out)
+        *attempted_out = attempted;
     return pairs;
 }
 
@@ -57,9 +75,13 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
     std::iota(order.begin(), order.end(), 0);
     for (std::size_t i = order.size(); i > 1; --i)
         std::swap(order[i - 1], order[rng.below(i)]);
-    const std::size_t n_train =
-        std::max<std::size_t>(2, static_cast<std::size_t>(
-            train_fraction * pairs.size()));
+    // Clamp both ends: at least 2 training pairs, and at least 2
+    // held-out pairs no matter how close train_fraction is to 1 (the
+    // unclamped split scored an empty held-out set and reported its
+    // vacuous 0.5 AUC as if measured).
+    const std::size_t n_train = std::clamp<std::size_t>(
+        static_cast<std::size_t>(train_fraction * pairs.size()), 2,
+        pairs.size() - 2);
 
     // Batched feature pipeline: inference + extraction of each split
     // fan out on the process-wide pool inside featuresBatch; row order
@@ -112,12 +134,17 @@ evaluateAttack(Detector &det, attack::Attack &atk, const nn::Dataset &test,
 {
     AttackEvalResult r;
     r.attackName = atk.name();
+    int attempted = 0;
     auto pairs = buildAttackPairs(det.network(), atk, test, max_samples,
-                                  seed);
+                                  seed, &attempted);
     r.numPairs = pairs.size();
-    r.attackSuccessRate = max_samples == 0
+    r.numAttempted = static_cast<std::size_t>(attempted);
+    // Divide by the attacks actually launched: the test set can run out
+    // of correctly-classified inputs before max_samples, and dividing
+    // by the cap silently deflated every reported success rate.
+    r.attackSuccessRate = attempted == 0
         ? 0.0
-        : static_cast<double>(pairs.size()) / max_samples;
+        : static_cast<double>(pairs.size()) / attempted;
     double mse_sum = 0.0;
     for (const auto &p : pairs)
         mse_sum += p.mse;

@@ -54,7 +54,8 @@ struct AttackEvalResult
     std::string attackName;
     double auc = 0.5;
     std::size_t numPairs = 0;
-    double attackSuccessRate = 0.0;
+    std::size_t numAttempted = 0; ///< attacks actually launched
+    double attackSuccessRate = 0.0; ///< numPairs / numAttempted
     double avgMse = 0.0;
 };
 
@@ -67,17 +68,28 @@ struct SuiteEvalResult
 
 /**
  * Attack up to @p max_samples correctly-classified test inputs; keep the
- * successful ones as pairs.
+ * successful ones as pairs. Candidates are filtered through batched
+ * inference (Network::forwardBatch on the process-wide pool), which is
+ * bit-identical to the historical one-at-a-time filter.
+ *
+ * @param attempted_out when non-null, receives the number of attacks
+ *        actually launched. The test set can run out of
+ *        correctly-classified inputs, so this may be less than
+ *        @p max_samples — success rates must divide by the attempted
+ *        count, not the cap.
  */
 std::vector<DetectionPair> buildAttackPairs(nn::Network &net,
                                             attack::Attack &atk,
                                             const nn::Dataset &test,
                                             int max_samples,
-                                            std::uint64_t seed = 0xE7A1);
+                                            std::uint64_t seed = 0xE7A1,
+                                            int *attempted_out = nullptr);
 
 /**
  * Fit @p det's classifier on a @p train_fraction split of the pairs'
- * benign/adversarial features, then score the held-out split.
+ * benign/adversarial features, then score the held-out split. The
+ * train split is clamped to [2, pairs.size() - 2] so the held-out
+ * split is never empty, whatever @p train_fraction says.
  */
 PairScores fitAndScore(Detector &det,
                        const std::vector<DetectionPair> &pairs,

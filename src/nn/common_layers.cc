@@ -17,35 +17,33 @@ ReLU::outputShape(const std::vector<Shape> &ins) const
 
 void
 ReLU::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                  bool train, bool stash)
+                  bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
     out.resize(in.shape());
     for (std::size_t i = 0; i < in.size(); ++i)
         out[i] = in[i] > 0.0f ? in[i] : 0.0f;
-    if (stash) {
-        lastShape = in.shape();
-        mask.assign(in.size(), false);
-        for (std::size_t i = 0; i < in.size(); ++i)
-            if (in[i] > 0.0f)
-                mask[i] = true;
-    }
 }
 
 void
-ReLU::backwardInto(const Tensor &grad_out, const std::vector<GradSink> &sinks)
+ReLU::backwardInto(const std::vector<const Tensor *> &ins,
+                   const Tensor &grad_out, const std::vector<GradSink> &sinks,
+                   std::vector<float> *const *param_grads)
 {
+    (void)param_grads;
+    // The mask is the recorded input's sign — no stash needed.
+    const Tensor &in = *ins[0];
     Tensor &d = *sinks[0].grad;
     if (sinks[0].accumulate) {
         for (std::size_t i = 0; i < grad_out.size(); ++i)
-            if (mask[i])
+            if (in[i] > 0.0f)
                 d[i] += grad_out[i];
         return;
     }
-    d.resize(lastShape);
+    d.resize(in.shape());
     for (std::size_t i = 0; i < grad_out.size(); ++i)
-        d[i] = mask[i] ? grad_out[i] : 0.0f;
+        d[i] = in[i] > 0.0f ? grad_out[i] : 0.0f;
 }
 
 // ----------------------------------------------------------- MaxPool2d ----
@@ -59,18 +57,46 @@ MaxPool2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                       bool train, bool stash)
+                       bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
     out.resize(mapShape(in.shape().c, in.shape().h / kSize,
                         in.shape().w / kSize));
-    if (stash) {
-        lastInShape = in.shape();
-        argmaxIdx.assign(out.size(), 0);
-    }
     const int oh = out.shape().h, ow = out.shape().w;
     for (int c = 0; c < out.shape().c; ++c) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float best = -1e30f;
+                for (int ky = 0; ky < kSize; ++ky) {
+                    for (int kx = 0; kx < kSize; ++kx) {
+                        const float v =
+                            in.at(c, oy * kSize + ky, ox * kSize + kx);
+                        if (v > best)
+                            best = v;
+                    }
+                }
+                out.at(c, oy, ox) = best;
+            }
+        }
+    }
+}
+
+void
+MaxPool2d::backwardInto(const std::vector<const Tensor *> &ins,
+                        const Tensor &grad_out,
+                        const std::vector<GradSink> &sinks,
+                        std::vector<float> *const *param_grads)
+{
+    (void)param_grads;
+    // Re-derive each window's winner from the recorded input (first
+    // maximum in scan order — the same tie-break the forward pass used).
+    const Tensor &in = *ins[0];
+    Tensor &d = *sinks[0].grad;
+    if (!sinks[0].accumulate)
+        d.resizeZero(in.shape()); // scatter-add target must start clean
+    const int oh = grad_out.shape().h, ow = grad_out.shape().w;
+    for (int c = 0; c < grad_out.shape().c; ++c) {
         for (int oy = 0; oy < oh; ++oy) {
             for (int ox = 0; ox < ow; ++ox) {
                 float best = -1e30f;
@@ -86,23 +112,10 @@ MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
                         }
                     }
                 }
-                out.at(c, oy, ox) = best;
-                if (stash)
-                    argmaxIdx[out.index(c, oy, ox)] = best_idx;
+                d[best_idx] += grad_out.at(c, oy, ox);
             }
         }
     }
-}
-
-void
-MaxPool2d::backwardInto(const Tensor &grad_out,
-                        const std::vector<GradSink> &sinks)
-{
-    Tensor &d = *sinks[0].grad;
-    if (!sinks[0].accumulate)
-        d.resizeZero(lastInShape); // scatter-add target must start clean
-    for (std::size_t o = 0; o < grad_out.size(); ++o)
-        d[argmaxIdx[o]] += grad_out[o];
 }
 
 void
@@ -149,12 +162,10 @@ GlobalAvgPool::outputShape(const std::vector<Shape> &ins) const
 
 void
 GlobalAvgPool::forwardInto(const std::vector<const Tensor *> &ins,
-                           Tensor &out, bool train, bool stash)
+                           Tensor &out, bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    if (stash)
-        lastInShape = in.shape();
     out.resize(flatShape(in.shape().c));
     const int hw = in.shape().h * in.shape().w;
     for (int c = 0; c < in.shape().c; ++c) {
@@ -167,18 +178,22 @@ GlobalAvgPool::forwardInto(const std::vector<const Tensor *> &ins,
 }
 
 void
-GlobalAvgPool::backwardInto(const Tensor &grad_out,
-                            const std::vector<GradSink> &sinks)
+GlobalAvgPool::backwardInto(const std::vector<const Tensor *> &ins,
+                            const Tensor &grad_out,
+                            const std::vector<GradSink> &sinks,
+                            std::vector<float> *const *param_grads)
 {
+    (void)param_grads;
+    const Shape in_shape = ins[0]->shape();
     Tensor &d = *sinks[0].grad;
     const bool acc = sinks[0].accumulate;
     if (!acc)
-        d.resize(lastInShape);
-    const int hw = lastInShape.h * lastInShape.w;
-    for (int c = 0; c < lastInShape.c; ++c) {
+        d.resize(in_shape);
+    const int hw = in_shape.h * in_shape.w;
+    for (int c = 0; c < in_shape.c; ++c) {
         const float g = grad_out[c] / hw;
-        for (int y = 0; y < lastInShape.h; ++y)
-            for (int x = 0; x < lastInShape.w; ++x) {
+        for (int y = 0; y < in_shape.h; ++y)
+            for (int x = 0; x < in_shape.w; ++x) {
                 if (acc)
                     d.at(c, y, x) += g;
                 else
@@ -216,26 +231,27 @@ Flatten::outputShape(const std::vector<Shape> &ins) const
 
 void
 Flatten::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash)
+                     bool train)
 {
     (void)train;
-    if (stash)
-        lastInShape = ins[0]->shape();
     out.resize(flatShape(static_cast<int>(ins[0]->size())));
     std::copy(ins[0]->vec().begin(), ins[0]->vec().end(), out.vec().begin());
 }
 
 void
-Flatten::backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks)
+Flatten::backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads)
 {
+    (void)param_grads;
     Tensor &d = *sinks[0].grad;
     if (sinks[0].accumulate) {
         for (std::size_t i = 0; i < grad_out.size(); ++i)
             d[i] += grad_out[i];
         return;
     }
-    d.resize(lastInShape);
+    d.resize(ins[0]->shape());
     std::copy(grad_out.vec().begin(), grad_out.vec().end(),
               d.vec().begin());
 }
@@ -251,11 +267,9 @@ Add::outputShape(const std::vector<Shape> &ins) const
 
 void
 Add::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                 bool train, bool stash)
+                 bool train)
 {
     (void)train;
-    if (stash)
-        lastShape = ins[0]->shape();
     const Tensor &a = *ins[0], &b = *ins[1];
     out.resize(a.shape());
     for (std::size_t i = 0; i < a.size(); ++i)
@@ -263,14 +277,18 @@ Add::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
 }
 
 void
-Add::backwardInto(const Tensor &grad_out, const std::vector<GradSink> &sinks)
+Add::backwardInto(const std::vector<const Tensor *> &ins,
+                  const Tensor &grad_out, const std::vector<GradSink> &sinks,
+                  std::vector<float> *const *param_grads)
 {
+    (void)param_grads;
+    const Shape shape = ins[0]->shape();
     for (const auto &s : sinks) {
         Tensor &d = *s.grad;
         if (s.accumulate) {
             d += grad_out;
         } else {
-            d.resize(lastShape);
+            d.resize(shape);
             std::copy(grad_out.vec().begin(), grad_out.vec().end(),
                       d.vec().begin());
         }
@@ -300,13 +318,9 @@ Concat::outputShape(const std::vector<Shape> &ins) const
 
 void
 Concat::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train, bool stash)
+                    bool train)
 {
     (void)train;
-    if (stash) {
-        inShapeA = ins[0]->shape();
-        inShapeB = ins[1]->shape();
-    }
     out.resize(mapShape(ins[0]->shape().c + ins[1]->shape().c,
                         ins[0]->shape().h, ins[0]->shape().w));
     std::copy(ins[0]->vec().begin(), ins[0]->vec().end(),
@@ -316,19 +330,22 @@ Concat::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
 }
 
 void
-Concat::backwardInto(const Tensor &grad_out,
-                     const std::vector<GradSink> &sinks)
+Concat::backwardInto(const std::vector<const Tensor *> &ins,
+                     const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks,
+                     std::vector<float> *const *param_grads)
 {
-    const Shape shapes[2] = {inShapeA, inShapeB};
+    (void)param_grads;
     std::size_t off = 0;
     for (int slot = 0; slot < 2; ++slot) {
+        const Shape shape = ins[slot]->shape();
         Tensor &d = *sinks[slot].grad;
-        const std::size_t n = shapes[slot].numel();
+        const std::size_t n = shape.numel();
         if (sinks[slot].accumulate) {
             for (std::size_t i = 0; i < n; ++i)
                 d[i] += grad_out[off + i];
         } else {
-            d.resize(shapes[slot]);
+            d.resize(shape);
             std::copy(grad_out.vec().begin() +
                           static_cast<std::ptrdiff_t>(off),
                       grad_out.vec().begin() +
@@ -367,12 +384,10 @@ DownsamplePad::outputShape(const std::vector<Shape> &ins) const
 
 void
 DownsamplePad::forwardInto(const std::vector<const Tensor *> &ins,
-                           Tensor &out, bool train, bool stash)
+                           Tensor &out, bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    if (stash)
-        lastInShape = in.shape();
     // Padded channels stay zero.
     out.resizeZero(mapShape(in.shape().c * 2, in.shape().h / 2,
                             in.shape().w / 2));
@@ -383,14 +398,18 @@ DownsamplePad::forwardInto(const std::vector<const Tensor *> &ins,
 }
 
 void
-DownsamplePad::backwardInto(const Tensor &grad_out,
-                            const std::vector<GradSink> &sinks)
+DownsamplePad::backwardInto(const std::vector<const Tensor *> &ins,
+                            const Tensor &grad_out,
+                            const std::vector<GradSink> &sinks,
+                            std::vector<float> *const *param_grads)
 {
+    (void)param_grads;
+    const Shape in_shape = ins[0]->shape();
     Tensor &d = *sinks[0].grad;
     const bool acc = sinks[0].accumulate;
     if (!acc)
-        d.resizeZero(lastInShape); // untouched elements carry no gradient
-    for (int c = 0; c < lastInShape.c; ++c)
+        d.resizeZero(in_shape); // untouched elements carry no gradient
+    for (int c = 0; c < in_shape.c; ++c)
         for (int y = 0; y < grad_out.shape().h; ++y)
             for (int x = 0; x < grad_out.shape().w; ++x) {
                 if (acc)
@@ -440,62 +459,49 @@ Norm2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 Norm2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train, bool stash)
+                    bool train)
 {
+    // Train and inference passes normalize identically, with the stats
+    // as they stand; the training-time stat update is deferred (see the
+    // class comment), so this method never writes layer state.
+    (void)train;
     const Tensor &in = *ins[0];
-    if (stash)
-        lastShape = in.shape();
     const int hw = std::max(1, in.shape().h * in.shape().w);
-
-    if (train) {
-        // Update the running statistics from this sample, then normalize
-        // with the updated running stats (streaming batch-norm).
-        for (int c = 0; c < chans; ++c) {
-            double m = 0.0, v = 0.0;
-            for (int i = 0; i < hw; ++i) {
-                const float x = in[static_cast<std::size_t>(c) * hw + i];
-                m += x;
-                v += static_cast<double>(x) * x;
-            }
-            m /= hw;
-            v = v / hw - m * m;
-            runMean[c] = (1.0f - mom) * runMean[c] + mom * static_cast<float>(m);
-            runVar[c] = (1.0f - mom) * runVar[c] +
-                        mom * static_cast<float>(std::max(v, 0.0));
-        }
-    }
-
     out.resize(in.shape());
-    if (stash)
-        lastXhat.resize(in.shape());
     for (int c = 0; c < chans; ++c) {
         const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
         for (int i = 0; i < hw; ++i) {
             const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
-            const float xhat = (in[idx] - runMean[c]) * inv;
-            if (stash)
-                lastXhat[idx] = xhat;
-            out[idx] = gamma[c] * xhat + beta[c];
+            out[idx] = gamma[c] * (in[idx] - runMean[c]) * inv + beta[c];
         }
     }
 }
 
 void
-Norm2d::backwardInto(const Tensor &grad_out,
-                     const std::vector<GradSink> &sinks)
+Norm2d::backwardInto(const std::vector<const Tensor *> &ins,
+                     const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks,
+                     std::vector<float> *const *param_grads)
 {
+    auto &g_gamma = param_grads ? *param_grads[0] : gradGamma;
+    auto &g_beta = param_grads ? *param_grads[1] : gradBeta;
+    const Tensor &in = *ins[0];
     Tensor &d = *sinks[0].grad;
     const bool acc = sinks[0].accumulate;
     if (!acc)
-        d.resize(lastShape);
-    const int hw = std::max(1, lastShape.h * lastShape.w);
+        d.resize(in.shape());
+    const int hw = std::max(1, in.shape().h * in.shape().w);
     for (int c = 0; c < chans; ++c) {
+        // xhat is recomputed from the recorded input with the same
+        // frozen stats the forward pass used — bit-identical to what
+        // forward produced, with no stashed tensor.
         const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
         const float scale = gamma[c] * inv;
         for (int i = 0; i < hw; ++i) {
             const std::size_t idx = static_cast<std::size_t>(c) * hw + i;
-            gradGamma[c] += grad_out[idx] * lastXhat[idx];
-            gradBeta[c] += grad_out[idx];
+            const float xhat = (in[idx] - runMean[c]) * inv;
+            g_gamma[c] += grad_out[idx] * xhat;
+            g_beta[c] += grad_out[idx];
             if (acc)
                 d[idx] += grad_out[idx] * scale;
             else
@@ -514,6 +520,41 @@ std::vector<Param>
 Norm2d::state()
 {
     return {{&runMean, nullptr}, {&runVar, nullptr}};
+}
+
+std::size_t
+Norm2d::trainStateSize() const
+{
+    return static_cast<std::size_t>(chans) * 2; // per-channel mean, var
+}
+
+void
+Norm2d::collectTrainState(const std::vector<const Tensor *> &ins,
+                          float *dst) const
+{
+    const Tensor &in = *ins[0];
+    const int hw = std::max(1, in.shape().h * in.shape().w);
+    for (int c = 0; c < chans; ++c) {
+        double m = 0.0, v = 0.0;
+        for (int i = 0; i < hw; ++i) {
+            const float x = in[static_cast<std::size_t>(c) * hw + i];
+            m += x;
+            v += static_cast<double>(x) * x;
+        }
+        m /= hw;
+        v = v / hw - m * m;
+        dst[c] = static_cast<float>(m);
+        dst[chans + c] = static_cast<float>(std::max(v, 0.0));
+    }
+}
+
+void
+Norm2d::applyTrainState(const float *src)
+{
+    for (int c = 0; c < chans; ++c) {
+        runMean[c] = (1.0f - mom) * runMean[c] + mom * src[c];
+        runVar[c] = (1.0f - mom) * runVar[c] + mom * src[chans + c];
+    }
 }
 
 } // namespace ptolemy::nn

@@ -2,6 +2,11 @@
  * @file
  * Parameter-light layers: ReLU, MaxPool2d, GlobalAvgPool, Flatten,
  * residual Add, channel Concat, and the EMA-statistics Norm2d.
+ *
+ * None of these layers keeps per-pass state: backward re-derives
+ * masks/argmaxes/shapes from the recorded forward inputs, so any number
+ * of samples may be in flight through one layer object concurrently
+ * (see the Layer contract).
  */
 
 #ifndef PTOLEMY_NN_COMMON_LAYERS_HH
@@ -23,13 +28,11 @@ class ReLU : public Layer
     LayerKind kind() const override { return LayerKind::ReLU; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
-
-  private:
-    std::vector<bool> mask;
-    Shape lastShape;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
 };
 
 /** Non-overlapping max pooling with square window. */
@@ -41,9 +44,11 @@ class MaxPool2d : public Layer
     LayerKind kind() const override { return LayerKind::MaxPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
@@ -53,8 +58,6 @@ class MaxPool2d : public Layer
 
   private:
     int kSize;
-    Shape lastInShape;
-    std::vector<std::size_t> argmaxIdx; ///< winner input index per output
 };
 
 /** Global average pool: (C,H,W) -> flat (C). */
@@ -66,16 +69,15 @@ class GlobalAvgPool : public Layer
     LayerKind kind() const override { return LayerKind::GlobalAvgPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
         std::vector<std::vector<std::size_t>> &per_input) const override;
-
-  private:
-    Shape lastInShape;
 };
 
 /** Reshape (C,H,W) -> flat (C*H*W). Values are unchanged. */
@@ -87,12 +89,11 @@ class Flatten : public Layer
     LayerKind kind() const override { return LayerKind::Flatten; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
-
-  private:
-    Shape lastInShape;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
 };
 
 /** Element-wise sum of two same-shaped tensors (residual connection). */
@@ -105,16 +106,15 @@ class Add : public Layer
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
         std::vector<std::vector<std::size_t>> &per_input) const override;
-
-  private:
-    Shape lastShape;
 };
 
 /** Channel-dimension concatenation of two maps with equal H and W. */
@@ -127,16 +127,15 @@ class Concat : public Layer
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
         std::vector<std::vector<std::size_t>> &per_input) const override;
-
-  private:
-    Shape inShapeA, inShapeB;
 };
 
 /**
@@ -152,16 +151,15 @@ class DownsamplePad : public Layer
     LayerKind kind() const override { return LayerKind::Downsample; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     void backmapImportant(
         const std::vector<const Tensor *> &ins, const Tensor &out,
         const std::vector<std::size_t> &out_idx,
         std::vector<std::vector<std::size_t>> &per_input) const override;
-
-  private:
-    Shape lastInShape;
 };
 
 /**
@@ -169,11 +167,16 @@ class DownsamplePad : public Layer
  *
  * y = gamma * (x - mu_run) / sqrt(var_run + eps) + beta.
  *
- * During training the running statistics are updated from the current
- * sample and then treated as constants in backward (streaming/"frozen"
- * batch-norm), which is stable with our sample-at-a-time training loop
- * and keeps the backward pass simple. The running stats are serialized
- * as layer state.
+ * Training uses *deferred* statistics updates: forward normalizes with
+ * the running stats as of the start of the mini-batch, each sample's
+ * per-channel moments are collected via collectTrainState, and the
+ * trainer folds them into the EMA in a fixed sample order at the batch
+ * boundary (applyTrainState). The stats are then treated as constants
+ * in backward (streaming/"frozen" batch-norm), which is stable with
+ * our per-sample gradient computation, keeps the backward pass simple,
+ * and — unlike the old update-during-forward scheme — is bit-identical
+ * no matter how many threads execute the batch. The running stats are
+ * serialized as layer state.
  */
 class Norm2d : public Layer
 {
@@ -184,19 +187,23 @@ class Norm2d : public Layer
     LayerKind kind() const override { return LayerKind::Norm; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     std::vector<Param> params() override;
     std::vector<Param> state() override;
+    std::size_t trainStateSize() const override;
+    void collectTrainState(const std::vector<const Tensor *> &ins,
+                           float *dst) const override;
+    void applyTrainState(const float *src) override;
 
   private:
     int chans;
     float mom, epsilon;
     std::vector<float> gamma, beta, gradGamma, gradBeta;
     std::vector<float> runMean, runVar;
-    Tensor lastXhat; ///< normalized input, needed for gradGamma
-    Shape lastShape;
 };
 
 } // namespace ptolemy::nn

@@ -34,12 +34,10 @@ Conv2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train, bool stash)
+                    bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
-    if (stash)
-        lastInput = in;
     // outShapeFor instead of outputShape({...}): the braced vector
     // temporary was the hot path's only steady-state heap allocation.
     out.resize(outShapeFor(in.shape()));
@@ -99,23 +97,29 @@ Conv2d::forwardNaive(const Tensor &in, Tensor &out) const
 }
 
 void
-Conv2d::backwardInto(const Tensor &grad_out,
-                     const std::vector<GradSink> &sinks)
+Conv2d::backwardInto(const std::vector<const Tensor *> &ins,
+                     const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks,
+                     std::vector<float> *const *param_grads)
 {
+    const Tensor &in = *ins[0];
+    auto &grad_w = param_grads ? *param_grads[0] : gradWeight;
+    auto &grad_b = param_grads ? *param_grads[1] : gradBias;
     // Both paths scatter-add into the input gradient, so an overwrite
     // sink starts from zero and an accumulate sink keeps its contents.
     if (!sinks[0].accumulate)
-        sinks[0].grad->resizeZero(lastInput.shape());
+        sinks[0].grad->resizeZero(in.shape());
     if (naiveConvFlag())
-        backwardNaive(grad_out, sinks[0]);
+        backwardNaive(in, grad_out, sinks[0], grad_w, grad_b);
     else
-        backwardGemm(grad_out, sinks[0]);
+        backwardGemm(in, grad_out, sinks[0], grad_w, grad_b);
 }
 
 void
-Conv2d::backwardGemm(const Tensor &grad_out, const GradSink &sink)
+Conv2d::backwardGemm(const Tensor &in, const Tensor &grad_out,
+                     const GradSink &sink, std::vector<float> &grad_w,
+                     std::vector<float> &grad_b)
 {
-    const Tensor &in = lastInput;
     Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = grad_out.shape().h, ow = grad_out.shape().w;
@@ -128,14 +132,14 @@ Conv2d::backwardGemm(const Tensor &grad_out, const GradSink &sink)
         float acc = 0.0f;
         for (std::size_t i = 0; i < ohw; ++i)
             acc += row[i];
-        gradBias[oc] += acc;
+        grad_b[oc] += acc;
     }
 
     auto &scratch = gemmScratch();
     im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow, scratch.col);
     // grad_W[outC x kdim] += grad_out[outC x ohw] * col^T.
     sgemmNT(outC, kdim, static_cast<int>(ohw), grad_out.data(),
-            scratch.col.data(), gradWeight.data(), /*accumulate=*/true);
+            scratch.col.data(), grad_w.data(), /*accumulate=*/true);
     // col_grad[kdim x ohw] = W^T * grad_out, scattered back to the image.
     scratch.colGrad.resize(static_cast<std::size_t>(kdim) * ohw);
     sgemmTN(kdim, static_cast<int>(ohw), outC, weight.data(),
@@ -145,9 +149,10 @@ Conv2d::backwardGemm(const Tensor &grad_out, const GradSink &sink)
 }
 
 void
-Conv2d::backwardNaive(const Tensor &grad_out, const GradSink &sink)
+Conv2d::backwardNaive(const Tensor &in, const Tensor &grad_out,
+                      const GradSink &sink, std::vector<float> &grad_w,
+                      std::vector<float> &grad_b)
 {
-    const Tensor &in = lastInput;
     Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = grad_out.shape().h, ow = grad_out.shape().w;
@@ -158,7 +163,7 @@ Conv2d::backwardNaive(const Tensor &grad_out, const GradSink &sink)
                 const float g = grad_out.at(oc, oy, ox);
                 if (g == 0.0f)
                     continue;
-                gradBias[oc] += g;
+                grad_b[oc] += g;
                 const int iy0 = oy * strd - padding;
                 const int ix0 = ox * strd - padding;
                 for (int ic = 0; ic < inC; ++ic) {
@@ -173,7 +178,7 @@ Conv2d::backwardNaive(const Tensor &grad_out, const GradSink &sink)
                             const std::size_t wi =
                                 ((static_cast<std::size_t>(oc) * inC + ic) *
                                  kSize + ky) * kSize + kx;
-                            gradWeight[wi] += g * in.at(ic, iy, ix);
+                            grad_w[wi] += g * in.at(ic, iy, ix);
                             grad_in.at(ic, iy, ix) += g * weight[wi];
                         }
                     }

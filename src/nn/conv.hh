@@ -35,9 +35,11 @@ class Conv2d : public Layer
     LayerKind kind() const override { return LayerKind::Conv; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }
     void partialSums(const Tensor &input, std::size_t out_index,
@@ -62,9 +64,13 @@ class Conv2d : public Layer
     /** GEMM forward: im2col + cache-blocked sgemm (the hot path). */
     void forwardGemm(const Tensor &in, Tensor &out) const;
     /** Scalar reference backward. */
-    void backwardNaive(const Tensor &grad_out, const GradSink &sink);
+    void backwardNaive(const Tensor &in, const Tensor &grad_out,
+                       const GradSink &sink, std::vector<float> &grad_w,
+                       std::vector<float> &grad_b);
     /** GEMM backward: grad_W via NT, grad_in via TN + col2im. */
-    void backwardGemm(const Tensor &grad_out, const GradSink &sink);
+    void backwardGemm(const Tensor &in, const Tensor &grad_out,
+                      const GradSink &sink, std::vector<float> &grad_w,
+                      std::vector<float> &grad_b);
 
     float &
     wAt(int oc, int ic, int ky, int kx)
@@ -83,7 +89,6 @@ class Conv2d : public Layer
     int inC, outC, kSize, strd, padding;
     std::vector<float> weight, bias;
     std::vector<float> gradWeight, gradBias;
-    Tensor lastInput;
 };
 
 } // namespace ptolemy::nn

@@ -270,9 +270,15 @@ void
 sgemvBias(int M, int K, const float *A, const float *x, const float *bias,
           float *y)
 {
-    // Deliberately scalar: several statistical tests are calibrated on
-    // the historical Linear-layer numerics, and M*K is small in every
-    // model we run.
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2()) {
+        detail::avx2GemvBias(M, K, A, x, bias, y);
+        return;
+    }
+#endif
+    // Scalar reference: seeds each dot product's accumulator with the
+    // bias (the historical Linear-layer numerics; the statistical
+    // fixtures were recalibrated when the AVX2 path above landed).
     for (int i = 0; i < M; ++i) {
         const float *a = A + static_cast<std::size_t>(i) * K;
         float s = bias[i];

@@ -85,9 +85,11 @@ void sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
              bool accumulate = false);
 
 /**
- * y[M] = bias[M] + A[MxK] * x[K], seeding each dot product's
- * accumulator with the bias (bit-identical to the historical scalar
- * Linear layer, which several statistical tests are calibrated on).
+ * y[M] = bias[M] + A[MxK] * x[K]: the Linear-layer forward. Dispatched
+ * through simdMode() like the sgemm entry points — AVX2/FMA rows when
+ * available, otherwise the scalar reference that seeds each dot
+ * product's accumulator with the bias (the historical Linear numerics;
+ * statistical fixtures are calibrated to hold under both).
  */
 void sgemvBias(int M, int K, const float *A, const float *x,
                const float *bias, float *y);

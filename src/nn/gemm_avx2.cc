@@ -271,6 +271,29 @@ avx2GemmNTRows(int i0, int i1, int N, int K, const float *A, const float *B,
     }
 }
 
+void
+avx2GemvBias(int M, int K, const float *A, const float *x, const float *bias,
+             float *y)
+{
+    for (int i = 0; i < M; ++i) {
+        const float *a = A + static_cast<std::ptrdiff_t>(i) * K;
+        __m256 acc = _mm256_setzero_ps();
+        int k = 0;
+        for (; k + 8 <= K; k += 8)
+            acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + k),
+                                  _mm256_loadu_ps(x + k), acc);
+        __m128 lo = _mm256_castps256_ps128(acc);
+        __m128 hi = _mm256_extractf128_ps(acc, 1);
+        lo = _mm_add_ps(lo, hi);
+        lo = _mm_hadd_ps(lo, lo);
+        lo = _mm_hadd_ps(lo, lo);
+        float s = bias[i] + _mm_cvtss_f32(lo);
+        for (; k < K; ++k)
+            s += a[k] * x[k];
+        y[i] = s;
+    }
+}
+
 } // namespace ptolemy::nn::detail
 
 #endif // PTOLEMY_HAVE_AVX2

@@ -52,6 +52,16 @@ void avx2GemmTile(int i0, int i1, int j0, int j1, int K,
 void avx2GemmNTRows(int i0, int i1, int N, int K, const float *A,
                     const float *B, float *C, bool accumulate);
 
+/**
+ * y[M] = bias[M] + A[MxK] * x[K]: the Linear-layer forward. 8-wide FMA
+ * accumulation per row (horizontal sum, then bias and the scalar
+ * remainder); per-element deterministic, tolerance-equal — not
+ * bit-equal — to the scalar reference, whose statistical fixtures were
+ * recalibrated when this path landed.
+ */
+void avx2GemvBias(int M, int K, const float *A, const float *x,
+                  const float *bias, float *y);
+
 #endif // PTOLEMY_HAVE_AVX2
 
 } // namespace ptolemy::nn::detail

@@ -21,15 +21,35 @@ layerKindName(LayerKind k)
     return "?";
 }
 
+Tensor
+Layer::forward(const std::vector<const Tensor *> &ins, bool train)
+{
+    Tensor out;
+    forwardInto(ins, out, train);
+    if (train) {
+        // Single-sample streaming semantics: fold the deferred state
+        // update right away. Batched training defers this to the batch
+        // boundary instead (Network::applyTrainState).
+        const std::size_t n = trainStateSize();
+        if (n > 0) {
+            std::vector<float> st(n);
+            collectTrainState(ins, st.data());
+            applyTrainState(st.data());
+        }
+    }
+    return out;
+}
+
 std::vector<Tensor>
-Layer::backward(const Tensor &grad_out)
+Layer::backward(const std::vector<const Tensor *> &ins,
+                const Tensor &grad_out)
 {
     std::vector<Tensor> grads(static_cast<std::size_t>(numInputs()));
     std::vector<GradSink> sinks;
     sinks.reserve(grads.size());
     for (auto &g : grads)
         sinks.push_back({&g, /*accumulate=*/false});
-    backwardInto(grad_out, sinks);
+    backwardInto(ins, grad_out, sinks, /*param_grads=*/nullptr);
     return grads;
 }
 

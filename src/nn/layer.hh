@@ -8,8 +8,21 @@
  * expose their per-output partial sums so the Ptolemy path extractor can
  * rank/threshold them exactly as the hardware would (paper Fig. 3).
  *
- * Contract: backward() must be called right after the matching forward()
- * on the same layer object; layers stash the forward state they need.
+ * Contract: layers are **stateless across passes**. forwardInto writes
+ * no layer state, and backwardInto re-derives everything it needs from
+ * the recorded forward tensors the caller passes back in. That is what
+ * lets several samples be in flight through one layer object at once —
+ * batched inference and data-parallel training both fan out over the
+ * shared layer graph. The only mutable per-layer buffers are the
+ * parameter gradients, and backwardInto can redirect those to
+ * caller-owned clones (one set per training lane) so even gradient
+ * accumulation is race-free and deterministic.
+ *
+ * Train-time state updates (Norm2d's EMA running statistics) are
+ * likewise not applied inside forward: they are *deferred* — derived
+ * per sample via collectTrainState and folded in later, in a fixed
+ * sample order, via applyTrainState — so training results are
+ * bit-identical no matter how many threads ran the batch.
  */
 
 #ifndef PTOLEMY_NN_LAYER_HH
@@ -96,56 +109,92 @@ class Layer
     /**
      * Run the layer, writing the result into @p out (resized as needed;
      * a warmed-up @p out buffer makes the call allocation-free for the
-     * overriding layers).
+     * overriding layers). Performs no writes to layer state whatsoever
+     * — concurrent samples through one layer object never race.
      *
      * @param ins borrowed input tensors, one per declared input.
      * @param out output tensor, resized to the layer's output shape.
-     * @param train true during training (affects Norm running stats).
-     * @param stash when true, record the forward state backward() needs.
-     *        Passing false with train == false makes the call free of
-     *        writes to layer state, which is what lets
-     *        Network::forwardBatch run samples on several threads against
-     *        one layer object — but the matching backward() is then
-     *        undefined. stash == false with train == true is invalid
-     *        (train-mode layers update running statistics regardless).
+     * @param train true during training. Layers with running statistics
+     *        do NOT fold them in here (see collectTrainState); today no
+     *        layer's output depends on the flag, but it is kept so
+     *        future train-only behaviors (dropout) have a seam.
      */
     virtual void forwardInto(const std::vector<const Tensor *> &ins,
-                             Tensor &out, bool train, bool stash) = 0;
+                             Tensor &out, bool train) = 0;
 
     /**
-     * Convenience wrapper around forwardInto() that allocates the output
-     * and stashes backward state (the single-sample training path).
+     * Convenience wrapper around forwardInto() that allocates the output.
+     * When @p train is set, any deferred train-state update (Norm2d's
+     * running statistics) is folded in immediately — the single-sample
+     * streaming behavior tests and one-off callers expect.
      */
-    Tensor
-    forward(const std::vector<const Tensor *> &ins, bool train)
-    {
-        Tensor out;
-        forwardInto(ins, out, train, /*stash=*/true);
-        return out;
-    }
+    Tensor forward(const std::vector<const Tensor *> &ins, bool train);
 
     /**
      * Back-propagate into caller-owned gradient tensors.
+     *
+     * @param ins the recorded forward inputs of the pass being
+     *        differentiated (a Network passes the Record tensors back
+     *        in). Layers re-derive any forward state they need from
+     *        these — ReLU masks, pool argmaxes, normalized values —
+     *        instead of stashing it, so backward passes for different
+     *        samples can run concurrently against one layer object.
      * @param grad_out gradient of the loss w.r.t. this layer's output.
      * @param sinks one destination per declared input, in input order;
-     *        see GradSink for the overwrite/accumulate contract. Weight
-     *        gradients are accumulated into the layer's grad buffers.
+     *        see GradSink for the overwrite/accumulate contract.
+     * @param param_grads destinations for the parameter gradients, one
+     *        per params() entry in the same order, accumulated (+=).
+     *        Pass nullptr to accumulate into the layer's own grad
+     *        buffers (the serial default); a data-parallel trainer
+     *        passes per-lane clones instead.
      */
-    virtual void backwardInto(const Tensor &grad_out,
-                              const std::vector<GradSink> &sinks) = 0;
+    virtual void backwardInto(const std::vector<const Tensor *> &ins,
+                              const Tensor &grad_out,
+                              const std::vector<GradSink> &sinks,
+                              std::vector<float> *const *param_grads) = 0;
 
     /**
      * Allocating convenience wrapper around backwardInto() (tests and
      * one-off callers; hot loops go through Network's gradient arena).
+     * Parameter gradients accumulate into the layer's own buffers.
+     * @param ins the forward inputs of the pass being differentiated.
      * @return gradient w.r.t. each input, in input order.
      */
-    std::vector<Tensor> backward(const Tensor &grad_out);
+    std::vector<Tensor> backward(const std::vector<const Tensor *> &ins,
+                                 const Tensor &grad_out);
 
     /** Trainable parameters (empty by default). */
     virtual std::vector<Param> params() { return {}; }
 
     /** Non-trainable state saved with the model (e.g. Norm running stats). */
     virtual std::vector<Param> state() { return {}; }
+
+    /**
+     * Floats of deferred train-state this layer derives per training
+     * sample (0 for layers without running statistics). Norm2d reports
+     * 2*C: per-channel mean and variance of the sample.
+     */
+    virtual std::size_t trainStateSize() const { return 0; }
+
+    /**
+     * Derive one training sample's deferred state update from its
+     * recorded forward inputs into @p dst (trainStateSize() floats).
+     * Pure — writes no layer state — so it can run on any thread.
+     */
+    virtual void
+    collectTrainState(const std::vector<const Tensor *> &ins, float *dst) const
+    {
+        (void)ins;
+        (void)dst;
+    }
+
+    /**
+     * Fold one sample's deferred update (as produced by
+     * collectTrainState) into the layer's running state. Callers invoke
+     * this serially, in a fixed sample order, which is what makes
+     * data-parallel training bit-identical across thread counts.
+     */
+    virtual void applyTrainState(const float *src) { (void)src; }
 
     /** True for layers that own weights and define partial sums. */
     virtual bool weighted() const { return false; }

@@ -24,22 +24,24 @@ Linear::outputShape(const std::vector<Shape> &ins) const
 
 void
 Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train, bool stash)
+                    bool train)
 {
     (void)train;
     const Tensor &in = *ins[0];
     assert(static_cast<int>(in.size()) == inN);
-    if (stash)
-        lastInput = in;
     out.resize(flatShape(outN));
     sgemvBias(outN, inN, weight.data(), in.data(), bias.data(), out.data());
 }
 
 void
-Linear::backwardInto(const Tensor &grad_out,
-                     const std::vector<GradSink> &sinks)
+Linear::backwardInto(const std::vector<const Tensor *> &ins,
+                     const Tensor &grad_out,
+                     const std::vector<GradSink> &sinks,
+                     std::vector<float> *const *param_grads)
 {
-    const Tensor &in = lastInput;
+    const Tensor &in = *ins[0];
+    auto &grad_w = param_grads ? *param_grads[0] : gradWeight;
+    auto &grad_b = param_grads ? *param_grads[1] : gradBias;
     Tensor &grad_in = *sinks[0].grad;
     if (!sinks[0].accumulate)
         grad_in.resize(in.shape());
@@ -52,8 +54,8 @@ Linear::backwardInto(const Tensor &grad_out,
         const float g = grad_out[o];
         if (g == 0.0f)
             continue;
-        gradBias[o] += g;
-        float *gwrow = &gradWeight[static_cast<std::size_t>(o) * inN];
+        grad_b[o] += g;
+        float *gwrow = &grad_w[static_cast<std::size_t>(o) * inN];
         for (int i = 0; i < inN; ++i)
             gwrow[i] += g * in[i];
     }

@@ -24,9 +24,11 @@ class Linear : public Layer
     LayerKind kind() const override { return LayerKind::Linear; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train, bool stash) override;
-    void backwardInto(const Tensor &grad_out,
-                      const std::vector<GradSink> &sinks) override;
+                     bool train) override;
+    void backwardInto(const std::vector<const Tensor *> &ins,
+                      const Tensor &grad_out,
+                      const std::vector<GradSink> &sinks,
+                      std::vector<float> *const *param_grads) override;
     std::vector<Param> params() override;
     bool weighted() const override { return true; }
     void partialSums(const Tensor &input, std::size_t out_index,
@@ -42,7 +44,6 @@ class Linear : public Layer
     int inN, outN;
     std::vector<float> weight, bias;
     std::vector<float> gradWeight, gradBias;
-    Tensor lastInput;
 };
 
 } // namespace ptolemy::nn

@@ -34,9 +34,9 @@ void
 softmaxCrossEntropyInto(const Tensor &logits, std::size_t label,
                         LossGrad &out)
 {
-    // Same numerics as softmax(), with the probability scratch kept
-    // thread-local so a warmed-up loop allocates nothing.
-    thread_local std::vector<double> p;
+    // Same numerics as softmax(), with the probability scratch living
+    // in the caller's LossGrad so a warmed-up loop allocates nothing.
+    std::vector<double> &p = out.probs;
     const float mx = *std::max_element(logits.vec().begin(),
                                        logits.vec().end());
     p.resize(logits.size());

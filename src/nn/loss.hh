@@ -20,8 +20,13 @@ std::vector<double> softmax(const Tensor &logits);
 /** Loss value and dLoss/dLogits pair. */
 struct LossGrad
 {
-    double loss;
+    double loss = 0.0;
     Tensor grad;
+    /** Probability scratch reused across calls; keeping it here (rather
+     *  than thread-local) makes the buffer's ownership follow the
+     *  caller's slot, so per-slot training loops stay allocation-free
+     *  and self-contained. */
+    std::vector<double> probs;
 };
 
 /**

@@ -61,24 +61,34 @@ Network::forward(const Tensor &x, bool train)
 }
 
 void
-Network::forwardInto(const Tensor &x, Record &rec, bool train, bool stash)
+Network::forwardInto(const Tensor &x, Record &rec, bool train)
+{
+    forwardInto(x, rec, train, arena);
+    // Single-stream training semantics: fold any deferred layer-state
+    // update (Norm running stats) right away, like the pre-refactor
+    // streaming behavior. Batched training uses the slot overload and
+    // defers the fold to the batch boundary instead.
+    if (train && trainStateSize() > 0) {
+        trainStateScratch.resize(trainStateSize());
+        collectTrainState(rec, trainStateScratch.data());
+        applyTrainState(trainStateScratch.data());
+    }
+}
+
+void
+Network::forwardInto(const Tensor &x, Record &rec, bool train,
+                     GradArena &slot)
 {
     assert(x.shape() == inShape);
-    // Train-mode passes mutate layer state (Norm running stats) no
-    // matter what; stash=false only guarantees state-free execution for
-    // inference passes.
-    assert(stash || !train);
     rec.input = x; // copy-assign reuses the record's buffer
-    rec.stashed = stash;
-    lastStash = stash;
     rec.outputs.resize(nodes.size());
     for (std::size_t id = 0; id < nodes.size(); ++id) {
         auto &n = nodes[id];
-        insScratch.clear();
+        slot.ins.clear();
         for (int in_id : n.inputs)
-            insScratch.push_back(in_id < 0 ? &rec.input
-                                           : &rec.outputs[in_id]);
-        n.layer->forwardInto(insScratch, rec.outputs[id], train, stash);
+            slot.ins.push_back(in_id < 0 ? &rec.input
+                                         : &rec.outputs[in_id]);
+        n.layer->forwardInto(slot.ins, rec.outputs[id], train);
     }
 }
 
@@ -87,15 +97,13 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
                       ThreadPool *pool)
 {
     recs.resize(xs.size());
-    lastStash = false; // batch records carry no backward state
     if (pool && pool->size() > 1 && xs.size() > 1) {
         pool->parallelFor(xs.size(), [&](std::size_t i) {
-            // stash=false: no layer-state writes, so concurrent samples
+            // Layers are state-free in forward, so concurrent samples
             // through the shared layer objects do not race.
             std::vector<const Tensor *> ins;
             Record &rec = recs[i];
             rec.input = xs[i];
-            rec.stashed = false;
             rec.outputs.resize(nodes.size());
             for (std::size_t id = 0; id < nodes.size(); ++id) {
                 auto &n = nodes[id];
@@ -103,74 +111,101 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
                 for (int in_id : n.inputs)
                     ins.push_back(in_id < 0 ? &rec.input
                                             : &rec.outputs[in_id]);
-                n.layer->forwardInto(ins, rec.outputs[id], false, false);
+                n.layer->forwardInto(ins, rec.outputs[id], false);
             }
         });
         return;
     }
     for (std::size_t i = 0; i < xs.size(); ++i)
-        forwardInto(xs[i], recs[i], /*train=*/false, /*stash=*/false);
+        forwardInto(xs[i], recs[i], /*train=*/false);
 }
 
 const Tensor &
-Network::backward(const Tensor &grad_logits)
+Network::backward(const Record &rec, const Tensor &grad_logits)
 {
-    // Static to keep the steady state allocation-free; backward passes
-    // on one network are not concurrent (layer state is shared anyway).
-    thread_local std::vector<std::pair<int, Tensor>> seeds;
-    seeds.resize(1);
-    seeds[0].first = numNodes() - 1;
-    seeds[0].second = grad_logits; // copy-assign reuses the buffer
-    return backwardMulti(seeds);
+    return backward(rec, grad_logits, arena, /*param_grads=*/nullptr);
 }
 
 const Tensor &
-Network::backwardMulti(const std::vector<std::pair<int, Tensor>> &seeds)
+Network::backward(const Record &rec, const Tensor &grad_logits,
+                  GradArena &slot, std::vector<std::vector<float>> *param_grads)
 {
-    if (!lastStash)
+    slot.seeds.resize(1);
+    slot.seeds[0].first = numNodes() - 1;
+    slot.seeds[0].second = grad_logits; // copy-assign reuses the buffer
+    return backwardMulti(rec, slot.seeds, slot, param_grads);
+}
+
+const Tensor &
+Network::backwardMulti(const Record &rec,
+                       const std::vector<std::pair<int, Tensor>> &seeds)
+{
+    return backwardMulti(rec, seeds, arena, /*param_grads=*/nullptr);
+}
+
+const Tensor &
+Network::backwardMulti(const Record &rec,
+                       const std::vector<std::pair<int, Tensor>> &seeds,
+                       GradArena &slot,
+                       std::vector<std::vector<float>> *param_grads)
+{
+    if (rec.outputs.size() != nodes.size())
         throw std::logic_error(
-            "Network::backward after a stash=false forward pass: records "
-            "from forwardBatch / inference-only forwardInto carry no "
-            "layer backward state");
+            "Network::backward: the record does not cover this network's "
+            "nodes — pass the Record of a matching forward pass");
+    ensureParamIndex();
+    if (param_grads) {
+        // Per-node destination pointers into the caller's flat buffers;
+        // the table mirrors flatParams() order.
+        slot.pgradPtrs.resize(flatParamCache.size());
+        for (std::size_t i = 0; i < flatParamCache.size(); ++i)
+            slot.pgradPtrs[i] = &(*param_grads)[i];
+    }
 
     // Gradients accumulate at each node's *output* (plus the net input)
-    // inside the persistent arena; seeded flags gate every read so
-    // stale tensors from the previous pass are never observed.
-    arena.gradAt.resize(nodes.size());
-    arena.seeded.assign(nodes.size(), 0);
-    arena.gradInputSeeded = false;
+    // inside the slot arena; seeded flags gate every read so stale
+    // tensors from the previous pass are never observed.
+    slot.gradAt.resize(nodes.size());
+    slot.seeded.assign(nodes.size(), 0);
+    slot.gradInputSeeded = false;
     for (const auto &[node_id, grad] : seeds) {
-        if (!arena.seeded[node_id]) {
-            arena.gradAt[node_id] = grad; // copy-assign reuses the buffer
-            arena.seeded[node_id] = 1;
+        if (!slot.seeded[node_id]) {
+            slot.gradAt[node_id] = grad; // copy-assign reuses the buffer
+            slot.seeded[node_id] = 1;
         } else {
-            arena.gradAt[node_id] += grad;
+            slot.gradAt[node_id] += grad;
         }
     }
 
     for (int id = numNodes() - 1; id >= 0; --id) {
-        if (!arena.seeded[id])
+        if (!slot.seeded[id])
             continue; // node does not reach the loss
         auto &n = nodes[id];
-        arena.sinks.clear();
+        slot.sinks.clear();
+        slot.ins.clear();
         for (int in_id : n.inputs) {
+            slot.ins.push_back(in_id < 0 ? &rec.input
+                                         : &rec.outputs[in_id]);
             GradSink s;
             if (in_id < 0) {
-                s.grad = &arena.gradInput;
-                s.accumulate = arena.gradInputSeeded;
-                arena.gradInputSeeded = true;
+                s.grad = &slot.gradInput;
+                s.accumulate = slot.gradInputSeeded;
+                slot.gradInputSeeded = true;
             } else {
-                s.grad = &arena.gradAt[in_id];
-                s.accumulate = arena.seeded[in_id] != 0;
-                arena.seeded[in_id] = 1;
+                s.grad = &slot.gradAt[in_id];
+                s.accumulate = slot.seeded[in_id] != 0;
+                slot.seeded[in_id] = 1;
             }
-            arena.sinks.push_back(s);
+            slot.sinks.push_back(s);
         }
-        n.layer->backwardInto(arena.gradAt[id], arena.sinks);
+        n.layer->backwardInto(
+            slot.ins, slot.gradAt[id], slot.sinks,
+            param_grads ? slot.pgradPtrs.data() + nodeParamOffset[id]
+                        : nullptr);
     }
-    if (!arena.gradInputSeeded)
-        arena.gradInput.resizeZero(inShape); // loss unreachable from input
-    return arena.gradInput;
+    if (!slot.gradInputSeeded)
+        slot.gradInput.resizeZero(inShape); // loss unreachable from input
+    return slot.gradInput;
 }
 
 std::size_t
@@ -190,9 +225,44 @@ Network::params()
 }
 
 void
+Network::ensureParamIndex()
+{
+    if (paramIndexNodes == nodes.size())
+        return;
+    flatParamCache.clear();
+    nodeParamOffset.assign(nodes.size(), 0);
+    nodeStateOffset.assign(nodes.size(), 0);
+    stateFloats = 0;
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        nodeParamOffset[id] = flatParamCache.size();
+        for (auto p : nodes[id].layer->params())
+            flatParamCache.push_back(p);
+        nodeStateOffset[id] = stateFloats;
+        stateFloats += nodes[id].layer->trainStateSize();
+    }
+    paramIndexNodes = nodes.size();
+}
+
+const std::vector<Param> &
+Network::flatParams()
+{
+    ensureParamIndex();
+    return flatParamCache;
+}
+
+void
+Network::allocParamGrads(std::vector<std::vector<float>> &bufs)
+{
+    ensureParamIndex();
+    bufs.resize(flatParamCache.size());
+    for (std::size_t i = 0; i < flatParamCache.size(); ++i)
+        bufs[i].assign(flatParamCache[i].value->size(), 0.0f);
+}
+
+void
 Network::zeroGrads()
 {
-    for (auto p : params())
+    for (auto p : flatParams())
         if (p.grad)
             std::fill(p.grad->begin(), p.grad->end(), 0.0f);
 }
@@ -201,9 +271,43 @@ std::size_t
 Network::numParams()
 {
     std::size_t total = 0;
-    for (auto p : params())
+    for (auto p : flatParams())
         total += p.value->size();
     return total;
+}
+
+std::size_t
+Network::trainStateSize()
+{
+    ensureParamIndex();
+    return stateFloats;
+}
+
+void
+Network::collectTrainState(const Record &rec, float *dst)
+{
+    ensureParamIndex();
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        auto &n = nodes[id];
+        if (n.layer->trainStateSize() == 0)
+            continue;
+        // Thread-safe: collectTrainState is pure and the input views
+        // come from the caller's record.
+        thread_local std::vector<const Tensor *> ins;
+        ins.clear();
+        for (int in_id : n.inputs)
+            ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
+        n.layer->collectTrainState(ins, dst + nodeStateOffset[id]);
+    }
+}
+
+void
+Network::applyTrainState(const float *src)
+{
+    ensureParamIndex();
+    for (std::size_t id = 0; id < nodes.size(); ++id)
+        if (nodes[id].layer->trainStateSize() > 0)
+            nodes[id].layer->applyTrainState(src + nodeStateOffset[id]);
 }
 
 std::string

@@ -3,10 +3,18 @@
  * DAG of layers with activation recording.
  *
  * The network is the substrate both for inference/training and for the
- * Ptolemy detector: a forward pass can record every node's output tensor
+ * Ptolemy detector: a forward pass records every node's output tensor
  * (the "feature maps" the paper's extractor walks), and the node graph
  * exposes which nodes are weighted so the extractor can follow the data
  * graph backward through residual adds, concats and pools.
+ *
+ * Layers are stateless across passes (see Layer), so a Record is all
+ * the context a pass carries: any recorded pass — including one from
+ * forwardBatch — can be differentiated later by handing the Record to
+ * backward(). Per-slot GradArena scratch plus caller-owned parameter-
+ * gradient clones make forward+backward safe to run concurrently for
+ * different samples against one network, which is what the
+ * data-parallel trainer rides on.
  */
 
 #ifndef PTOLEMY_NN_NETWORK_HH
@@ -15,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/layer.hh"
@@ -48,17 +57,32 @@ class Network
     {
         Tensor input;
         std::vector<Tensor> outputs; ///< per node, in node order
-        /** True when the pass that produced this record stashed layer
-         *  backward state (forwardInto stash=true). Records from
-         *  forwardBatch are inference-only and carry false; a
-         *  backward() after such a pass throws (debug tripwire). */
-        bool stashed = false;
 
         /** Network output (logits) — last node's output. */
         const Tensor &logits() const { return outputs.back(); }
 
         /** Predicted class. */
         std::size_t predictedClass() const { return logits().argmax(); }
+    };
+
+    /**
+     * Per-slot forward/backward scratch: input-pointer views for the
+     * node walk plus the gradient arena (per-node output gradients,
+     * seeded flags, sink/seed scratch). One arena per concurrent pass;
+     * every buffer is reused across calls, so a warmed-up
+     * forward+backward loop performs no heap allocation. The trainer
+     * keeps one per ThreadPool slot.
+     */
+    struct GradArena
+    {
+        std::vector<const Tensor *> ins;  ///< forward/backward input views
+        std::vector<Tensor> gradAt;       ///< per node output gradient
+        std::vector<std::uint8_t> seeded; ///< gradAt[i] valid this pass
+        Tensor gradInput;
+        bool gradInputSeeded = false;
+        std::vector<GradSink> sinks;      ///< per-node sink scratch
+        std::vector<std::pair<int, Tensor>> seeds; ///< backward() scratch
+        std::vector<std::vector<float> *> pgradPtrs; ///< per-param dests
     };
 
     Network(std::string name, Shape input_shape)
@@ -98,22 +122,31 @@ class Network
     /**
      * Run the network into a caller-owned Record. Re-using the same
      * Record across calls makes the steady-state forward pass
-     * allocation-free: every node output and the stashed input are
-     * written into the buffers of the previous pass.
-     *
-     * @param stash when true (default), layers stash the state their
-     *        backward() needs. Pass false for inference-only passes;
-     *        such a pass performs no writes to layer state, which is
-     *        what makes forwardBatch safe to parallelize.
+     * allocation-free: every node output and the recorded input are
+     * written into the buffers of the previous pass. With train=true,
+     * deferred layer-state updates (Norm running statistics) are
+     * folded in immediately — the single-sample streaming semantics a
+     * hand-rolled training loop expects.
      */
-    void forwardInto(const Tensor &x, Record &rec, bool train = false,
-                     bool stash = true);
+    void forwardInto(const Tensor &x, Record &rec, bool train = false);
+
+    /**
+     * forwardInto with caller-owned node-input scratch: several threads
+     * may run this concurrently against one network, each with its own
+     * Record and GradArena (the member-scratch overload above is for
+     * single-stream callers only). This overload NEVER touches layer
+     * state — with train=true the caller owns the deferred stat fold
+     * (collectTrainState per sample, applyTrainState in sample order at
+     * the batch boundary), which is how the trainer keeps parallel
+     * training deterministic.
+     */
+    void forwardInto(const Tensor &x, Record &rec, bool train,
+                     GradArena &slot);
 
     /**
      * Run a batch of inputs, one Record per sample, optionally fanned
-     * out over a thread pool. Records are inference-only (no backward
-     * state is stashed): use them for extraction, detection and
-     * evaluation, not for a following backward().
+     * out over a thread pool. Records from a batch are full records:
+     * any of them may be handed to backward() afterwards.
      *
      * @param xs batch inputs.
      * @param recs resized to xs.size(); per-sample records (buffers are
@@ -127,38 +160,81 @@ class Network
                       ThreadPool *pool = nullptr);
 
     /**
-     * Back-propagate from the logits. Must directly follow the matching
-     * forward() on this network; throws std::logic_error if that pass
-     * ran with stash=false (its records carry no backward state).
+     * Back-propagate from the logits of a recorded pass.
+     * @param rec the record produced by the matching forward pass on
+     *        this network; throws std::logic_error if it does not cover
+     *        every node.
      * @param grad_logits dLoss/dLogits.
      * @return dLoss/dInput, borrowed from the network's gradient arena;
      *         valid until the next backward on this network. A warmed-up
      *         forward/backward loop performs no heap allocation.
      */
-    const Tensor &backward(const Tensor &grad_logits);
+    const Tensor &backward(const Record &rec, const Tensor &grad_logits);
+
+    /**
+     * As backward(rec, grad_logits), but with caller-owned scratch and
+     * gradient destinations so several samples can back-propagate
+     * concurrently on one network.
+     * @param slot this pass's scratch arena; the returned tensor is
+     *        borrowed from it.
+     * @param param_grads when non-null, parameter gradients accumulate
+     *        into these flat buffers (flatParams() order, sized like
+     *        each parameter) instead of the layers' own grad buffers.
+     */
+    const Tensor &backward(const Record &rec, const Tensor &grad_logits,
+                           GradArena &slot,
+                           std::vector<std::vector<float>> *param_grads);
 
     /**
      * Back-propagate from gradients seeded at arbitrary nodes (used by the
      * adaptive attack, whose loss is defined on intermediate activations).
-     * Must directly follow the matching forward(); same stash tripwire
-     * and arena-borrowed return as backward().
      * @param seeds (node id, dLoss/dNodeOutput) pairs.
      * @return dLoss/dInput.
      */
     const Tensor &backwardMulti(
-        const std::vector<std::pair<int, Tensor>> &seeds);
+        const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds);
+
+    /** Slot-scratch variant of backwardMulti (see backward above). */
+    const Tensor &backwardMulti(
+        const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds,
+        GradArena &slot, std::vector<std::vector<float>> *param_grads);
 
     /** Argmax class of a plain forward pass. */
     std::size_t predict(const Tensor &x);
 
-    /** All trainable parameters in node order. */
+    /** All trainable parameters in node order (fresh vector). */
     std::vector<Param> params();
+
+    /**
+     * Cached flat parameter list (same order as params()); the
+     * canonical index space for per-lane gradient clones. The pointers
+     * are stable, and repeated calls allocate nothing.
+     */
+    const std::vector<Param> &flatParams();
+
+    /** Size @p bufs as parameter-gradient clones: one zeroed vector per
+     *  flatParams() entry. */
+    void allocParamGrads(std::vector<std::vector<float>> &bufs);
 
     /** Zero every parameter gradient. */
     void zeroGrads();
 
     /** Total trainable parameter count. */
     std::size_t numParams();
+
+    /** Total floats of deferred train-state per sample (see Layer). */
+    std::size_t trainStateSize();
+
+    /**
+     * Derive one training sample's deferred state updates (Norm running
+     * statistics) from its record into @p dst (trainStateSize() floats,
+     * node order). Pure — safe from any thread.
+     */
+    void collectTrainState(const Record &rec, float *dst);
+
+    /** Fold one sample's deferred updates into the layers. Call
+     *  serially, in a fixed sample order, for determinism. */
+    void applyTrainState(const float *src);
 
     /**
      * Architecture signature used to validate weight caches: layer names,
@@ -173,28 +249,22 @@ class Network
     bool load(const std::string &path);
 
   private:
-    /**
-     * Reusable backward scratch mirroring Record: per-node output
-     * gradients plus the input gradient, with seeded flags so stale
-     * tensors from the previous call are never read. Keeping the
-     * tensors across calls makes steady-state backward allocation-free.
-     */
-    struct GradArena
-    {
-        std::vector<Tensor> gradAt;       ///< per node output gradient
-        std::vector<std::uint8_t> seeded; ///< gradAt[i] valid this pass
-        Tensor gradInput;
-        bool gradInputSeeded = false;
-        std::vector<GradSink> sinks; ///< per-call sink scratch
-    };
+    /** Build the cached parameter index (flat list + per-node spans). */
+    void ensureParamIndex();
 
     std::string netName;
     Shape inShape;
     std::vector<Node> nodes;
     std::vector<int> weightedIds;
-    std::vector<const Tensor *> insScratch; ///< forwardInto input views
-    GradArena arena;
-    bool lastStash = false; ///< did the last forward pass stash state?
+    GradArena arena; ///< member scratch for the single-stream entry points
+    std::vector<float> trainStateScratch; ///< single-stream stat folds
+    // Cached parameter index: flat params, per-node offset into it, and
+    // per-node deferred-train-state offsets. Rebuilt if nodes are added.
+    std::vector<Param> flatParamCache;
+    std::vector<std::size_t> nodeParamOffset; ///< per node, into flat list
+    std::vector<std::size_t> nodeStateOffset; ///< per node, into state blob
+    std::size_t stateFloats = 0;
+    std::size_t paramIndexNodes = static_cast<std::size_t>(-1);
 };
 
 } // namespace ptolemy::nn

@@ -10,6 +10,7 @@
 #ifndef PTOLEMY_UTIL_RNG_HH
 #define PTOLEMY_UTIL_RNG_HH
 
+#include <cassert>
 #include <cstdint>
 #include <cmath>
 
@@ -66,10 +67,16 @@ class Rng
         return lo + (hi - lo) * uniform();
     }
 
-    /** Uniform integer in [0, n). @p n must be positive. */
+    /**
+     * Uniform integer in [0, n). @p n must be positive: n == 0 is
+     * modulo-by-zero UB, so callers iterating a container (Fisher-Yates
+     * shuffles, bagging draws) must guard the empty case — the debug
+     * assert makes violations fail loudly instead of silently.
+     */
     std::uint64_t
     below(std::uint64_t n)
     {
+        assert(n > 0 && "Rng::below(0) is undefined");
         return next() % n;
     }
 

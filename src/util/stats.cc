@@ -60,7 +60,12 @@ double
 aucScore(const std::vector<double> &scores, const std::vector<int> &labels)
 {
     // Rank-sum (Mann-Whitney U) formulation with midrank tie handling.
+    // Degenerate inputs — no samples at all, or a single class — carry
+    // no ranking information: return the chance level explicitly rather
+    // than dividing by a zero class count.
     const std::size_t n = scores.size();
+    if (n == 0)
+        return 0.5;
     std::vector<std::size_t> order(n);
     for (std::size_t i = 0; i < n; ++i)
         order[i] = i;

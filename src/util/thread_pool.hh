@@ -3,9 +3,13 @@
  * Minimal persistent thread pool for data-parallel loops.
  *
  * One process-wide pool (globalPool()) is shared by every parallel
- * section in the library: batched forward passes, tile-parallel SGEMM
- * and batched path extraction all fan work out on the same workers, so
- * the process never oversubscribes the machine. parallelFor hands out
+ * section in the library: batched forward passes, tile-parallel SGEMM,
+ * batched path extraction and the data-parallel trainer's per-batch
+ * sample fan-out all share the same workers, so the process never
+ * oversubscribes the machine. Sections that need deterministic
+ * accumulation (the trainer's gradient lanes) key their accumulators
+ * to loop indices, never to the executing slot — parallelForWithTid's
+ * slot ids are a scratch-indexing facility, not a stable partition. parallelFor hands out
  * indices through an atomic counter so uneven per-item costs
  * self-balance, and the calling thread participates. On a single core
  * the pool degenerates to a plain serial loop with no threads.

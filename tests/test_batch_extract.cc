@@ -282,28 +282,37 @@ TEST(ExtractBatch, MatchesSequentialExtractAcrossThreadCounts)
     }
 }
 
-TEST(StashTripwire, BackwardAfterBatchForwardThrows)
+TEST(RecordBackward, BatchRecordsAreDifferentiable)
 {
+    // Layers keep no per-pass state, so any record — including one from
+    // forwardBatch — carries everything backward needs, and the result
+    // matches a fresh single-stream forward+backward bitwise.
     auto net = ptolemy::testing::makeTinyNet(4);
     nn::heInit(net, 33);
     const auto xs = randomBatch(2, net.inputShape(), 34);
 
     std::vector<nn::Network::Record> recs;
     net.forwardBatch(xs, recs);
-    EXPECT_FALSE(recs[0].stashed);
     nn::Tensor seed(nn::flatShape(4));
     seed[0] = 1.0f;
-    EXPECT_THROW(net.backward(seed), std::logic_error);
+    const nn::Tensor from_batch = net.backward(recs[1], seed);
 
-    // A stashing forward pass re-arms backward.
-    auto rec = net.forward(xs[0]);
-    EXPECT_TRUE(rec.stashed);
-    EXPECT_NO_THROW(net.backward(seed));
+    auto rec = net.forward(xs[1]);
+    net.zeroGrads(); // param grads accumulated above are irrelevant here
+    const nn::Tensor &fresh = net.backward(rec, seed);
+    ASSERT_EQ(from_batch.size(), fresh.size());
+    for (std::size_t i = 0; i < from_batch.size(); ++i)
+        ASSERT_EQ(from_batch[i], fresh[i]) << "i=" << i;
+}
 
-    // An explicit inference-only forwardInto trips it again.
-    net.forwardInto(xs[0], rec, /*train=*/false, /*stash=*/false);
-    EXPECT_FALSE(rec.stashed);
-    EXPECT_THROW(net.backward(seed), std::logic_error);
+TEST(RecordBackward, MismatchedRecordThrows)
+{
+    auto net = ptolemy::testing::makeTinyNet(4);
+    nn::heInit(net, 37);
+    nn::Tensor seed(nn::flatShape(4));
+    seed[0] = 1.0f;
+    nn::Network::Record empty;
+    EXPECT_THROW(net.backward(empty, seed), std::logic_error);
 }
 
 TEST(GradArena, RepeatedBackwardReturnsIdenticalGradients)
@@ -315,14 +324,14 @@ TEST(GradArena, RepeatedBackwardReturnsIdenticalGradients)
     seed[1] = 1.0f;
     seed[3] = -0.5f;
 
-    net.forward(xs[0]);
-    const nn::Tensor first = net.backward(seed); // copy out of the arena
+    auto rec = net.forward(xs[0]);
+    const nn::Tensor first = net.backward(rec, seed); // copy off the arena
     // Interleave another sample, then repeat the first: the arena must
     // not leak state between passes.
-    net.forward(xs[1]);
-    net.backward(seed);
-    net.forward(xs[0]);
-    const nn::Tensor &second = net.backward(seed);
+    rec = net.forward(xs[1]);
+    net.backward(rec, seed);
+    rec = net.forward(xs[0]);
+    const nn::Tensor &second = net.backward(rec, seed);
     ASSERT_EQ(first.size(), second.size());
     for (std::size_t i = 0; i < first.size(); ++i)
         ASSERT_EQ(first[i], second[i]) << "i=" << i;

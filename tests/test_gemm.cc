@@ -150,9 +150,9 @@ TEST(ConvGemm, ForwardMatchesNaiveAcrossStridesAndPadding)
 
         Tensor out_gemm, out_naive;
         naiveConvFlag() = false;
-        conv.forwardInto({&x}, out_gemm, false, false);
+        conv.forwardInto({&x}, out_gemm, false);
         naiveConvFlag() = true;
-        conv.forwardInto({&x}, out_naive, false, false);
+        conv.forwardInto({&x}, out_naive, false);
 
         ASSERT_EQ(out_gemm.shape(), out_naive.shape());
         for (std::size_t i = 0; i < out_gemm.size(); ++i)
@@ -181,11 +181,11 @@ TEST(ConvGemm, BackwardMatchesNaiveAcrossStridesAndPadding)
         naiveConvFlag() = false;
         auto out = cg.forward({&x}, false);
         const Tensor gout = randomTensor(out.shape(), rng);
-        auto gin_gemm = cg.backward(gout);
+        auto gin_gemm = cg.backward({&x}, gout);
 
         naiveConvFlag() = true;
         cn.forward({&x}, false);
-        auto gin_naive = cn.backward(gout);
+        auto gin_naive = cn.backward({&x}, gout);
 
         for (std::size_t i = 0; i < gin_gemm[0].size(); ++i)
             ASSERT_NEAR(gin_gemm[0][i], gin_naive[0][i], 1e-4f)
@@ -212,7 +212,7 @@ TEST(ConvGemm, PartialSumsStillMatchForwardOutput)
     fillRandom(conv.biases(), rng);
     const Tensor x = randomTensor(mapShape(2, 6, 6), rng);
     Tensor out;
-    conv.forwardInto({&x}, out, false, false);
+    conv.forwardInto({&x}, out, false);
 
     std::vector<PartialSum> psums;
     for (std::size_t o = 0; o < out.size(); ++o) {
@@ -305,6 +305,37 @@ TEST(SgemmSimd, Avx2MatchesScalarAcrossOddRemainders)
                     ASSERT_NEAR(cs[i], cv[i], tol)
                         << "sgemmNT M=" << M << " N=" << N << " K=" << K;
             }
+        }
+    }
+}
+
+TEST(SgemvBias, Avx2MatchesScalarAcrossOddLengths)
+{
+    if (!avx2Available())
+        GTEST_SKIP() << "AVX2 kernels not compiled in or not supported";
+    SimdModeGuard guard;
+    Rng rng(13);
+
+    // Lengths around the 8-wide FMA blocking plus FC-layer-like sizes.
+    const int ms[] = {1, 2, 7, 10, 48, 64};
+    const int ks[] = {1, 5, 8, 9, 16, 23, 192};
+    for (int M : ms) {
+        for (int K : ks) {
+            std::vector<float> A(static_cast<std::size_t>(M) * K);
+            std::vector<float> x(static_cast<std::size_t>(K));
+            std::vector<float> b(static_cast<std::size_t>(M));
+            fillRandom(A, rng);
+            fillRandom(x, rng);
+            fillRandom(b, rng);
+            std::vector<float> ys(M, -7.0f), yv(M, -7.0f);
+            const float tol = 1e-5f * (1.0f + static_cast<float>(K));
+            simdMode() = SimdMode::Scalar;
+            sgemvBias(M, K, A.data(), x.data(), b.data(), ys.data());
+            simdMode() = SimdMode::Avx2;
+            sgemvBias(M, K, A.data(), x.data(), b.data(), yv.data());
+            for (int i = 0; i < M; ++i)
+                ASSERT_NEAR(ys[i], yv[i], tol)
+                    << "M=" << M << " K=" << K << " i=" << i;
         }
     }
 }

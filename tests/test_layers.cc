@@ -25,7 +25,7 @@ analyticInputGrad(Layer &layer, const Tensor &x, const Tensor &loss_w)
 {
     auto out = layer.forward({&x}, false);
     EXPECT_EQ(out.size(), loss_w.size());
-    auto grads = layer.backward(loss_w);
+    auto grads = layer.backward({&x}, loss_w);
     return grads[0];
 }
 
@@ -197,7 +197,7 @@ TEST(ReLULayer, ForwardAndMaskedBackward)
     EXPECT_FLOAT_EQ(y[1], 2.0f);
     EXPECT_FLOAT_EQ(y[3], 3.0f);
     Tensor g(flatShape(4), {1.0f, 1.0f, 1.0f, 1.0f});
-    auto gi = relu.backward(g);
+    auto gi = relu.backward({&x}, g);
     EXPECT_FLOAT_EQ(gi[0][0], 0.0f);
     EXPECT_FLOAT_EQ(gi[0][1], 1.0f);
     EXPECT_FLOAT_EQ(gi[0][2], 0.0f);
@@ -218,7 +218,7 @@ TEST(MaxPoolLayer, BackwardRoutesToArgmax)
     Tensor x(mapShape(1, 2, 2), {1.0f, 4.0f, 3.0f, 2.0f});
     pool.forward({&x}, false);
     Tensor g(mapShape(1, 1, 1), {2.5f});
-    auto gi = pool.backward(g);
+    auto gi = pool.backward({&x}, g);
     EXPECT_FLOAT_EQ(gi[0][1], 2.5f);
     EXPECT_FLOAT_EQ(gi[0][0], 0.0f);
     EXPECT_FLOAT_EQ(gi[0][2], 0.0f);
@@ -252,7 +252,7 @@ TEST(GlobalAvgPoolLayer, BackwardSpreadsUniformly)
     Tensor x = randomTensor(mapShape(1, 2, 2), 30);
     gap.forward({&x}, false);
     Tensor g(flatShape(1), {4.0f});
-    auto gi = gap.backward(g);
+    auto gi = gap.backward({&x}, g);
     for (std::size_t i = 0; i < 4; ++i)
         EXPECT_FLOAT_EQ(gi[0][i], 1.0f);
 }
@@ -265,7 +265,7 @@ TEST(FlattenLayer, RoundTripValues)
     EXPECT_TRUE(y.shape().isFlat());
     for (std::size_t i = 0; i < x.size(); ++i)
         EXPECT_FLOAT_EQ(y[i], x[i]);
-    auto gi = flat.backward(y);
+    auto gi = flat.backward({&x}, y);
     EXPECT_EQ(gi[0].shape(), x.shape());
 }
 
@@ -277,7 +277,7 @@ TEST(AddLayer, ForwardAndBackward)
     auto y = add.forward({&a, &b}, false);
     EXPECT_FLOAT_EQ(y[2], 3.3f);
     Tensor g(flatShape(3), {1.0f, 1.0f, 1.0f});
-    auto gi = add.backward(g);
+    auto gi = add.backward({&a, &b}, g);
     ASSERT_EQ(gi.size(), 2u);
     EXPECT_FLOAT_EQ(gi[0][0], 1.0f);
     EXPECT_FLOAT_EQ(gi[1][0], 1.0f);

@@ -82,7 +82,7 @@ TEST(Network, BackwardMatchesNumericalLossGradient)
 
     auto rec = net.forward(x);
     auto lg = softmaxCrossEntropy(rec.logits(), label);
-    const Tensor analytic = net.backward(lg.grad);
+    const Tensor analytic = net.backward(rec, lg.grad);
 
     // Spot-check a handful of input coordinates numerically.
     const float h = 1e-3f;
@@ -107,11 +107,9 @@ TEST(Network, BackwardMultiWithLogitsSeedMatchesBackward)
     seed[0] = 1.0f;
     seed[2] = -0.5f;
 
-    net.forward(x);
-    const Tensor a = net.backward(seed);
-    net.forward(x);
+    const Tensor a = net.backward(rec, seed);
     const Tensor b =
-        net.backwardMulti({{net.numNodes() - 1, seed}});
+        net.backwardMulti(rec, {{net.numNodes() - 1, seed}});
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i)
         EXPECT_FLOAT_EQ(a[i], b[i]);
@@ -176,7 +174,7 @@ TEST_P(ModelZoo, BuildsAndRuns)
     EXPECT_EQ(rec.logits().size(), 10u);
     // Gradients flow end-to-end.
     auto lg = softmaxCrossEntropy(rec.logits(), 0);
-    const Tensor g = net.backward(lg.grad);
+    const Tensor g = net.backward(rec, lg.grad);
     double mag = 0.0;
     for (std::size_t i = 0; i < g.size(); ++i)
         mag += std::abs(g[i]);

@@ -68,6 +68,14 @@ TEST(Auc, DegenerateSingleClass)
     EXPECT_DOUBLE_EQ(aucScore({0.1, 0.9}, {0, 0}), 0.5);
 }
 
+TEST(Auc, EmptyInputIsChanceLevel)
+{
+    // Zero held-out points carry no ranking information; the score must
+    // be the defined chance level, not a divide-by-zero artifact.
+    EXPECT_DOUBLE_EQ(aucScore({}, {}), 0.5);
+    EXPECT_DOUBLE_EQ(aucScore({0.7}, {1}), 0.5);
+}
+
 TEST(DetectionCounts, ThresholdCounting)
 {
     const std::vector<double> scores = {0.9, 0.4, 0.6, 0.1};

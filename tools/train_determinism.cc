@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Training-determinism probe for CI: trains a small CNN (with a Norm2d
+ * layer, so the deferred-stat path is exercised) on synthetic data
+ * using the process-wide pool, then prints an FNV-1a hash of every
+ * trained parameter and state buffer. Running it under different
+ * PTOLEMY_NUM_THREADS values must print the same hash — that is the
+ * data-parallel trainer's bit-identity contract.
+ *
+ * Exit status is always 0 on success; the comparison happens in CI
+ * (hash of the 1-thread run vs the 2-thread run).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "data/synthetic.hh"
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace ptolemy;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+nn::Network
+makeProbeNet()
+{
+    nn::Network net("probe", nn::mapShape(3, 16, 16));
+    net.add(std::make_unique<nn::Conv2d>("conv1", 3, 8, 3, 1, 1));
+    net.add(std::make_unique<nn::Norm2d>("norm1", 8));
+    net.add(std::make_unique<nn::ReLU>("relu1"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool1", 2)); // 8x8
+    net.add(std::make_unique<nn::Conv2d>("conv2", 8, 12, 3, 1, 1));
+    net.add(std::make_unique<nn::ReLU>("relu2"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool2", 2)); // 4x4
+    net.add(std::make_unique<nn::Flatten>("flat"));
+    net.add(std::make_unique<nn::Linear>("fc", 12 * 4 * 4, 10));
+    return net;
+}
+
+} // namespace
+
+int
+main()
+{
+    data::DatasetSpec spec;
+    spec.numClasses = 10;
+    spec.trainPerClass = 20;
+    spec.testPerClass = 2;
+    spec.seed = 42;
+    const auto ds = data::makeSyntheticDataset(spec);
+
+    auto net = makeProbeNet();
+    nn::heInit(net, 7);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.learningRate = 0.02;
+    nn::Trainer trainer(tc);
+    trainer.train(net, ds.train);
+
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (auto p : net.params())
+        h = fnv1a(h, p.value->data(), p.value->size() * sizeof(float));
+    for (int id = 0; id < net.numNodes(); ++id)
+        for (auto p : net.layerAt(id).state())
+            h = fnv1a(h, p.value->data(), p.value->size() * sizeof(float));
+
+    std::printf("threads=%u weights_hash=%016llx acc=%.4f\n",
+                globalPool().size(),
+                static_cast<unsigned long long>(h),
+                nn::Trainer::evaluate(net, ds.test));
+    return 0;
+}
