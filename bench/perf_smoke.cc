@@ -23,6 +23,7 @@
 #include <new>
 #include <vector>
 
+#include "attack/gradient_attacks.hh"
 #include "data/synthetic.hh"
 #include "nn/common_layers.hh"
 #include "nn/conv.hh"
@@ -395,6 +396,171 @@ benchTrain(double min_time)
     return r;
 }
 
+struct AttackBenchResult
+{
+    double bimSerialPerSec = 0.0;
+    double bimBatchPerSec = 0.0;
+    double pgdSerialPerSec = 0.0;
+    double pgdBatchPerSec = 0.0;
+    std::size_t allocsPerBatchBim = 0;
+    std::size_t allocsPerBatchPgd = 0;
+    std::size_t chunk = 0;
+    int maxIters = 0;
+};
+
+/** One ascent step on the CE loss (the legacy serial loop's step). */
+void
+signStepRef(nn::Tensor &x, const nn::Tensor &grad, double step)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (grad[i] > 0.0f)
+            x[i] += static_cast<float>(step);
+        else if (grad[i] < 0.0f)
+            x[i] -= static_cast<float>(step);
+    }
+}
+
+/**
+ * The pre-refactor sample-serial BIM loop, kept here as the perf
+ * reference the batched engine is compared against: one prediction
+ * forward (allocating a fresh Record, as Network::predict does) plus
+ * one gradient forward+backward per iteration, then a final
+ * prediction forward. The batched engine fuses the prediction check
+ * into the gradient pass's record, halving the forwards and running
+ * allocation-free.
+ */
+void
+serialLinfRef(nn::Network &net, const nn::Tensor &x, std::size_t label,
+              const attack::AttackBudget &budget, nn::Tensor &adv,
+              nn::Tensor &grad)
+{
+    adv = x;
+    for (int it = 0; it < budget.maxIters; ++it) {
+        if (net.predict(adv) != label)
+            break;
+        attack::lossInputGradientInto(net, adv, label, grad);
+        signStepRef(adv, grad, budget.stepSize);
+        attack::clipToEpsBall(adv, x, budget.epsilon);
+    }
+    volatile bool success = net.predict(adv) != label;
+    (void)success;
+}
+
+/**
+ * Attack-generation throughput on the 3conv+2fc net: a 64-sample
+ * candidate chunk (the evaluateSuite chunk size) driven through the
+ * batched engine vs the legacy sample-serial loop, for BIM and PGD.
+ * The budget is small enough that most candidates use every iteration,
+ * so the measurement tracks iteration throughput rather than
+ * early-exit luck. The batched steady state must be allocation-free.
+ */
+AttackBenchResult
+benchAttack(double min_time)
+{
+    nn::Network net = extractionNet();
+    constexpr std::size_t kChunk = 64;
+    attack::AttackBudget budget;
+    budget.epsilon = 0.03;
+    budget.stepSize = 0.003;
+    budget.maxIters = 12;
+
+    Rng rng(0xA77AC);
+    std::vector<nn::Tensor> inputs;
+    std::vector<const nn::Tensor *> xs;
+    std::vector<std::size_t> labels;
+    inputs.reserve(kChunk);
+    for (std::size_t s = 0; s < kChunk; ++s) {
+        nn::Tensor x(nn::mapShape(3, 32, 32));
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<float>(rng.uniform());
+        inputs.push_back(std::move(x));
+    }
+    // Label every candidate with its current prediction so the attacks
+    // have to do real work to flip it.
+    for (auto &x : inputs) {
+        xs.push_back(&x);
+        labels.push_back(net.predict(x));
+    }
+
+    AttackBenchResult r;
+    r.chunk = kChunk;
+    r.maxIters = budget.maxIters;
+
+    auto measureSerial = [&](auto &&attack_one) {
+        return static_cast<double>(kChunk) /
+               secsPerCall(
+                   [&] {
+                       for (std::size_t i = 0; i < kChunk; ++i)
+                           attack_one(i);
+                   },
+                   min_time);
+    };
+    auto measureBatch = [&](attack::Attack &atk, std::size_t &allocs_out) {
+        std::vector<attack::AttackResult> results(kChunk);
+        // Warm until quiescent (pool-worker thread-locals settle on
+        // their own schedule, like the backward bench).
+        int quiet = 0;
+        for (int i = 0; i < 50 && quiet < 3; ++i) {
+            const std::size_t before =
+                g_allocs.load(std::memory_order_relaxed);
+            atk.runBatch(net, xs, labels, results, 0);
+            quiet = g_allocs.load(std::memory_order_relaxed) == before
+                        ? quiet + 1
+                        : 0;
+        }
+        const std::size_t allocs_before =
+            g_allocs.load(std::memory_order_relaxed);
+        std::size_t calls = 0;
+        const double spc = secsPerCall(
+            [&] {
+                atk.runBatch(net, xs, labels, results, 0);
+                ++calls;
+            },
+            min_time);
+        const std::size_t allocs_after =
+            g_allocs.load(std::memory_order_relaxed);
+        allocs_out = calls ? (allocs_after - allocs_before) / calls : 0;
+        return static_cast<double>(kChunk) / spc;
+    };
+
+    {
+        nn::Tensor adv, grad;
+        serialLinfRef(net, inputs[0], labels[0], budget, adv, grad); // warm
+        r.bimSerialPerSec = measureSerial([&](std::size_t i) {
+            serialLinfRef(net, inputs[i], labels[i], budget, adv, grad);
+        });
+        attack::Bim bim(budget);
+        r.bimBatchPerSec = measureBatch(bim, r.allocsPerBatchBim);
+    }
+    {
+        nn::Tensor adv, grad;
+        auto pgd_one = [&](std::size_t i) {
+            // Legacy loop from the new engine's random start (keyed by
+            // sample index), so both paths do identical work.
+            Rng start(attack::sampleKey(0xB0B, i));
+            adv = inputs[i];
+            for (std::size_t e = 0; e < adv.size(); ++e)
+                adv[e] += static_cast<float>(
+                    start.uniform(-budget.epsilon, budget.epsilon));
+            attack::clipToEpsBall(adv, inputs[i], budget.epsilon);
+            for (int it = 0; it < budget.maxIters; ++it) {
+                if (net.predict(adv) != labels[i])
+                    break;
+                attack::lossInputGradientInto(net, adv, labels[i], grad);
+                signStepRef(adv, grad, budget.stepSize);
+                attack::clipToEpsBall(adv, inputs[i], budget.epsilon);
+            }
+            volatile bool success = net.predict(adv) != labels[i];
+            (void)success;
+        };
+        pgd_one(0); // warm
+        r.pgdSerialPerSec = measureSerial(pgd_one);
+        attack::Pgd pgd(budget);
+        r.pgdBatchPerSec = measureBatch(pgd, r.allocsPerBatchPgd);
+    }
+    return r;
+}
+
 struct SimilarityBenchResult
 {
     double opsPerSec = 0.0;
@@ -435,6 +601,7 @@ main(int argc, char **argv)
     const auto ext = benchExtraction(min_time);
     const auto bwd = benchBackward(min_time);
     const auto trn = benchTrain(min_time);
+    const auto atk = benchAttack(min_time);
     const auto sim = benchSimilarity(min_time);
 
     const unsigned threads = ptolemy::globalPool().size();
@@ -485,6 +652,19 @@ main(int argc, char **argv)
     j.kv("grad_lanes", trn.gradLanes);
     j.kv("allocs_per_epoch", trn.allocsPerEpoch);
     j.endObject();
+    j.key("attack").beginObject();
+    j.kv("model", "3conv+2fc on 3x32x32, 64-sample chunk");
+    j.kv("chunk", atk.chunk);
+    j.kv("max_iters", static_cast<std::size_t>(atk.maxIters));
+    j.kv("bim_serial_per_sec", atk.bimSerialPerSec);
+    j.kv("bim_batch_per_sec", atk.bimBatchPerSec);
+    j.kv("bim_speedup", atk.bimBatchPerSec / atk.bimSerialPerSec);
+    j.kv("pgd_serial_per_sec", atk.pgdSerialPerSec);
+    j.kv("pgd_batch_per_sec", atk.pgdBatchPerSec);
+    j.kv("pgd_speedup", atk.pgdBatchPerSec / atk.pgdSerialPerSec);
+    j.kv("allocs_per_batch_bim", atk.allocsPerBatchBim);
+    j.kv("allocs_per_batch_pgd", atk.allocsPerBatchPgd);
+    j.endObject();
     j.key("similarity").beginObject();
     j.kv("bits", sim.bits);
     j.kv("and_popcount_ops_per_sec", sim.opsPerSec);
@@ -516,6 +696,15 @@ main(int argc, char **argv)
               << trn.samplesPerSecPooled / trn.samplesPerSecSerial
               << "x, " << trn.gradLanes << " grad lanes), "
               << trn.allocsPerEpoch << " allocs per epoch\n"
+              << "attack (chunk " << atk.chunk << ", " << atk.maxIters
+              << " iters): BIM " << atk.bimBatchPerSec
+              << " attacks/s batched vs " << atk.bimSerialPerSec
+              << "/s serial (" << atk.bimBatchPerSec / atk.bimSerialPerSec
+              << "x), PGD " << atk.pgdBatchPerSec << " vs "
+              << atk.pgdSerialPerSec << " ("
+              << atk.pgdBatchPerSec / atk.pgdSerialPerSec << "x), "
+              << atk.allocsPerBatchBim << "/" << atk.allocsPerBatchPgd
+              << " allocs per batch\n"
               << "similarity and+popcount (" << sim.bits
               << " bits): " << sim.opsPerSec << " ops/s\n"
               << "wrote " << out_path << "\n";
@@ -535,6 +724,13 @@ main(int argc, char **argv)
         std::cerr << "FAIL: steady-state parallel training loop performed "
                   << trn.allocsPerEpoch << " heap allocations per epoch "
                   << "(expected 0)\n";
+        return 1;
+    }
+    if (atk.allocsPerBatchBim != 0 || atk.allocsPerBatchPgd != 0) {
+        std::cerr << "FAIL: steady-state batched attack loop performed "
+                  << atk.allocsPerBatchBim << " (BIM) / "
+                  << atk.allocsPerBatchPgd << " (PGD) heap allocations "
+                  << "per batch (expected 0)\n";
         return 1;
     }
     return 0;

@@ -12,6 +12,17 @@
  *
  * AT-n considers the last n weighted layers; larger n is a stronger
  * attack (paper Fig. 13).
+ *
+ * Batched execution fans the candidate batch out sample-parallel on the
+ * attack's pool: each sample's nested target/PGD loop (with its own
+ * data-dependent target draws and early exits) runs in one pool task
+ * against per-slot scratch, so a lockstep mask would only add barriers.
+ *
+ * Randomness contract: target sampling for a sample draws from an Rng
+ * seeded with sampleKey(seed, index_base + i) — keyed by the sample's
+ * global index, never by batch position or a shared per-instance
+ * stream — so serial, batched and multi-threaded runs produce
+ * identical adversarials for the same (input, label, sample index).
  */
 
 #ifndef PTOLEMY_ATTACK_ADAPTIVE_HH
@@ -48,8 +59,10 @@ class AdaptiveActivationAttack : public Attack
         return "AT" + std::to_string(layersConsidered);
     }
 
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     int layersConsidered;
@@ -58,6 +71,8 @@ class AdaptiveActivationAttack : public Attack
     int iters;
     double lr;
     std::uint64_t seed;
+    AttackScratch scratch;
+    std::vector<int> zNodes; ///< activation nodes, shared per batch
 };
 
 } // namespace ptolemy::attack

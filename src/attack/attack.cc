@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/loss.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::attack
 {
@@ -49,6 +50,41 @@ l2Distortion(const nn::Tensor &a, const nn::Tensor &b)
     return std::sqrt(s);
 }
 
+std::uint64_t
+sampleKey(std::uint64_t seed, std::uint64_t sample_index)
+{
+    std::uint64_t z = sample_index + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return seed ^ (z ^ (z >> 31));
+}
+
+void
+AttackScratch::prepare(nn::Network &net, ThreadPool &pool)
+{
+    if (slots.size() < pool.size())
+        slots.resize(pool.size());
+    // Build the parameter index before the fan-out: backward passes
+    // from concurrent slots may read it but must never build it.
+    net.flatParams();
+}
+
+ThreadPool &
+Attack::pool() const
+{
+    return poolOverride ? *poolOverride : globalPool();
+}
+
+AttackResult
+Attack::run(nn::Network &net, const nn::Tensor &x, std::size_t label,
+            std::uint64_t sample_index)
+{
+    AttackResult r;
+    const nn::Tensor *xp = &x;
+    runBatch(net, {&xp, 1}, {&label, 1}, {&r, 1}, sample_index);
+    return r;
+}
+
 nn::Tensor
 lossInputGradient(nn::Network &net, const nn::Tensor &x, std::size_t label,
                   double *loss_out)
@@ -69,6 +105,38 @@ lossInputGradientInto(nn::Network &net, const nn::Tensor &x,
     if (loss_out)
         *loss_out = lg.loss;
     grad = net.backward(rec, lg.grad); // copy-assign reuses the buffer
+}
+
+void
+lossInputGradientBatch(nn::Network &net,
+                       std::span<const nn::Tensor *const> xs,
+                       std::span<const std::size_t> labels,
+                       std::span<nn::Tensor> grads, AttackScratch &scratch,
+                       ThreadPool &pool, std::span<std::size_t> preds_out,
+                       std::span<const std::uint8_t> active,
+                       bool skip_fooled, std::span<double> losses_out)
+{
+    scratch.prepare(net, pool);
+    pool.parallelForWithTid(xs.size(), [&](std::size_t i, unsigned tid) {
+        if (!active.empty() && !active[i])
+            return;
+        auto &sl = scratch.slot(tid);
+        net.forwardInto(*xs[i], sl.rec, /*train=*/false, sl.arena);
+        const std::size_t pred = sl.rec.predictedClass();
+        if (!preds_out.empty())
+            preds_out[i] = pred;
+        if (skip_fooled && pred != labels[i])
+            return;
+        nn::softmaxCrossEntropyInto(sl.rec.logits(), labels[i],
+                                    sl.lossGrad);
+        if (!losses_out.empty())
+            losses_out[i] = sl.lossGrad.loss;
+        // Input-gradient-only backward: attacks never consume dW, and
+        // skipping it roughly halves the conv backward arithmetic.
+        // Copy-assign reuses the caller's per-sample buffer.
+        grads[i] = net.backwardInputOnly(sl.rec, sl.lossGrad.grad,
+                                         sl.arena);
+    });
 }
 
 void

@@ -2,67 +2,85 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hh"
+
 namespace ptolemy::attack
 {
 
-AttackResult
-CarliniWagnerL2::run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label)
+void
+CarliniWagnerL2::runBatch(nn::Network &net,
+                          std::span<const nn::Tensor *const> xs,
+                          std::span<const std::size_t> labels,
+                          std::span<AttackResult> results, std::uint64_t)
 {
-    nn::Tensor adv = x;
-    nn::Tensor best_adv = x;
-    double best_l2 = 1e30;
-    bool found = false;
-    int it = 0;
-    nn::Network::Record rec; // reused across iterations
+    if (xs.empty())
+        return;
+    ThreadPool &tp = pool();
+    scratch.prepare(net, tp);
+    tp.parallelForWithTid(xs.size(), [&](std::size_t si, unsigned tid) {
+        auto &sl = scratch.slot(tid);
+        const nn::Tensor &x = *xs[si];
+        const std::size_t label = labels[si];
 
-    for (; it < maxIters; ++it) {
-        net.forwardInto(adv, rec); // records the pass for the backward below
-        const auto &logits = rec.logits();
+        nn::Tensor &adv = sl.adv;
+        nn::Tensor &best_adv = sl.best;
+        adv = x;      // copy-assigns reuse the slot buffers
+        best_adv = x;
+        double best_l2 = 1e30;
+        bool found = false;
+        int it = 0;
 
-        // Strongest rival class.
-        std::size_t rival = label == 0 ? 1 : 0;
-        for (std::size_t k = 0; k < logits.size(); ++k)
-            if (k != label && logits[k] > logits[rival])
-                rival = k;
+        for (; it < maxIters; ++it) {
+            net.forwardInto(adv, sl.rec, /*train=*/false, sl.arena);
+            const auto &logits = sl.rec.logits();
 
-        const double margin =
-            static_cast<double>(logits[label]) - logits[rival];
-        if (margin < -kappa) {
-            // Adversarial; keep the lowest-distortion success and keep
-            // shrinking the perturbation.
-            const double l2 = l2Distortion(adv, x);
-            if (l2 < best_l2) {
-                best_l2 = l2;
-                best_adv = adv;
-                found = true;
+            // Strongest rival class.
+            std::size_t rival = label == 0 ? 1 : 0;
+            for (std::size_t k = 0; k < logits.size(); ++k)
+                if (k != label && logits[k] > logits[rival])
+                    rival = k;
+
+            const double margin =
+                static_cast<double>(logits[label]) - logits[rival];
+            if (margin < -kappa) {
+                // Adversarial; keep the lowest-distortion success and
+                // keep shrinking the perturbation.
+                const double l2 = l2Distortion(adv, x);
+                if (l2 < best_l2) {
+                    best_l2 = l2;
+                    best_adv = adv;
+                    found = true;
+                }
             }
+
+            // Gradient of the margin part (only active while
+            // margin > -kappa).
+            nn::Tensor &grad = sl.grad;
+            if (margin > -kappa) {
+                sl.logitSeed.resizeZero(logits.shape());
+                sl.logitSeed[label] = 1.0f;
+                sl.logitSeed[rival] = -1.0f;
+                grad = net.backwardInputOnly(sl.rec, sl.logitSeed, sl.arena);
+                grad *= static_cast<float>(tradeoffC);
+            } else {
+                grad.resizeZero(x.shape());
+            }
+            // Plus the distortion gradient 2*(adv - x).
+            for (std::size_t i = 0; i < adv.size(); ++i)
+                grad[i] += 2.0f * (adv[i] - x[i]);
+
+            for (std::size_t i = 0; i < adv.size(); ++i)
+                adv[i] -= static_cast<float>(learnRate) * grad[i];
+            clipToImageRange(adv);
         }
 
-        // Gradient of the margin part (only active while margin > -kappa).
-        nn::Tensor grad(x.shape());
-        if (margin > -kappa) {
-            nn::Tensor seed(logits.shape());
-            seed[label] = 1.0f;
-            seed[rival] = -1.0f;
-            grad = net.backward(rec, seed);
-            grad *= static_cast<float>(tradeoffC);
-        }
-        // Plus the distortion gradient 2*(adv - x).
-        for (std::size_t i = 0; i < adv.size(); ++i)
-            grad[i] += 2.0f * (adv[i] - x[i]);
-
-        for (std::size_t i = 0; i < adv.size(); ++i)
-            adv[i] -= static_cast<float>(learnRate) * grad[i];
-        clipToImageRange(adv);
-    }
-
-    AttackResult r;
-    r.adversarial = found ? best_adv : adv;
-    r.success = net.predict(r.adversarial) != label;
-    r.mse = mseDistortion(r.adversarial, x);
-    r.iterations = it;
-    return r;
+        AttackResult &r = results[si];
+        r.adversarial = found ? best_adv : adv;
+        net.forwardInto(r.adversarial, sl.rec, /*train=*/false, sl.arena);
+        r.success = sl.rec.predictedClass() != label;
+        r.mse = mseDistortion(r.adversarial, x);
+        r.iterations = it;
+    });
 }
 
 } // namespace ptolemy::attack

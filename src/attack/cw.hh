@@ -6,6 +6,12 @@
  * With kappa = 0 the attack stops right at the decision boundary, which
  * produces the "low-confidence rank-1 ≈ rank-2" adversarial samples the
  * paper highlights in its CWL2 discussion (Sec. VII-B).
+ *
+ * Batched execution fans the candidate batch out sample-parallel on
+ * the attack's pool: CW has no early exit (every sample runs the full
+ * optimization), so each sample's whole descent runs in one pool task
+ * against per-slot scratch — no per-iteration barriers, bit-identical
+ * to the sample-serial loop at any thread count.
  */
 
 #ifndef PTOLEMY_ATTACK_CW_HH
@@ -31,13 +37,16 @@ class CarliniWagnerL2 : public Attack
     {}
 
     std::string name() const override { return "CWL2"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     double tradeoffC, learnRate;
     int maxIters;
     double kappa;
+    AttackScratch scratch;
 };
 
 } // namespace ptolemy::attack

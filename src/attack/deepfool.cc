@@ -5,88 +5,94 @@
 #include <limits>
 #include <numeric>
 
+#include "util/thread_pool.hh"
+
 namespace ptolemy::attack
 {
 
-namespace
+void
+DeepFool::runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                   std::span<const std::size_t> labels,
+                   std::span<AttackResult> results, std::uint64_t)
 {
+    if (xs.empty())
+        return;
+    constexpr std::size_t kRivals = 3;
+    ThreadPool &tp = pool();
+    scratch.prepare(net, tp);
+    tp.parallelForWithTid(xs.size(), [&](std::size_t si, unsigned tid) {
+        auto &sl = scratch.slot(tid);
+        const nn::Tensor &x = *xs[si];
+        const std::size_t label = labels[si];
 
-/** Indices of the largest @p k logits excluding @p skip. */
-std::vector<std::size_t>
-topRivals(const nn::Tensor &logits, std::size_t skip, std::size_t k)
-{
-    std::vector<std::size_t> idx(logits.size());
-    std::iota(idx.begin(), idx.end(), 0);
-    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-        return logits[a] > logits[b];
-    });
-    std::vector<std::size_t> out;
-    for (std::size_t i : idx) {
-        if (i == skip)
-            continue;
-        out.push_back(i);
-        if (out.size() == k)
-            break;
-    }
-    return out;
-}
+        nn::Tensor &adv = sl.adv;
+        adv = x; // copy-assign reuses the slot buffer
+        int it = 0;
+        for (; it < maxIters; ++it) {
+            net.forwardInto(adv, sl.rec, /*train=*/false, sl.arena);
+            const auto &logits = sl.rec.logits();
+            if (sl.rec.predictedClass() != label)
+                break;
 
-} // namespace
+            // Rivals in descending-logit order (label excluded).
+            sl.idx.resize(logits.size());
+            std::iota(sl.idx.begin(), sl.idx.end(), 0);
+            std::sort(sl.idx.begin(), sl.idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return logits[a] > logits[b];
+                      });
 
-AttackResult
-DeepFool::run(nn::Network &net, const nn::Tensor &x, std::size_t label)
-{
-    nn::Tensor adv = x;
-    int it = 0;
-    nn::Network::Record rec; // reused across iterations
-    for (; it < maxIters; ++it) {
-        net.forwardInto(adv, rec);
-        const auto &logits = rec.logits();
-        if (rec.predictedClass() != label)
-            break;
-
-        // For each rival class k, the linearized distance to the boundary
-        // is |f_k - f_label| / ||grad(f_k - f_label)||; move toward the
-        // closest one.
-        double best_dist = std::numeric_limits<double>::max();
-        nn::Tensor best_dir;
-        double best_fdiff = 0.0;
-        for (std::size_t k : topRivals(logits, label, 3)) {
-            nn::Tensor seed(logits.shape());
-            seed[k] = 1.0f;
-            seed[label] = -1.0f;
-            // One record serves every rival's backward: layers keep no
-            // per-pass state, so no refresh forward is needed.
-            nn::Tensor grad = net.backward(rec, seed);
-            const double gnorm2 = grad.sumSq();
-            if (gnorm2 < 1e-20)
-                continue;
-            const double fdiff =
-                static_cast<double>(logits[k]) - logits[label];
-            const double dist = std::abs(fdiff) / std::sqrt(gnorm2);
-            if (dist < best_dist) {
-                best_dist = dist;
-                best_dir = std::move(grad);
-                best_fdiff = fdiff;
+            // For each rival class k, the linearized distance to the
+            // boundary is |f_k - f_label| / ||grad(f_k - f_label)||;
+            // move toward the closest one.
+            double best_dist = std::numeric_limits<double>::max();
+            nn::Tensor &best_dir = sl.best;
+            bool have_dir = false;
+            double best_fdiff = 0.0;
+            std::size_t rivals = 0;
+            for (std::size_t k : sl.idx) {
+                if (k == label)
+                    continue;
+                if (rivals++ == kRivals)
+                    break;
+                sl.logitSeed.resizeZero(logits.shape());
+                sl.logitSeed[k] = 1.0f;
+                sl.logitSeed[label] = -1.0f;
+                // One record serves every rival's backward: layers keep
+                // no per-pass state, so no refresh forward is needed.
+                const nn::Tensor &grad =
+                    net.backwardInputOnly(sl.rec, sl.logitSeed, sl.arena);
+                const double gnorm2 = grad.sumSq();
+                if (gnorm2 < 1e-20)
+                    continue;
+                const double fdiff =
+                    static_cast<double>(logits[k]) - logits[label];
+                const double dist = std::abs(fdiff) / std::sqrt(gnorm2);
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best_dir = grad; // copy-assign reuses the buffer
+                    have_dir = true;
+                    best_fdiff = fdiff;
+                }
             }
+            if (!have_dir)
+                break;
+            // Step just across the boundary: delta = |f|/||g||^2 * g.
+            const double gnorm2 = best_dir.sumSq();
+            const double scale =
+                (1.0 + overshoot) * (std::abs(best_fdiff) + 1e-4) / gnorm2;
+            for (std::size_t i = 0; i < adv.size(); ++i)
+                adv[i] += static_cast<float>(scale * best_dir[i]);
+            clipToImageRange(adv);
         }
-        if (best_dir.empty())
-            break;
-        // Step just across the boundary: delta = |f|/||g||^2 * g.
-        const double gnorm2 = best_dir.sumSq();
-        const double scale =
-            (1.0 + overshoot) * (std::abs(best_fdiff) + 1e-4) / gnorm2;
-        for (std::size_t i = 0; i < adv.size(); ++i)
-            adv[i] += static_cast<float>(scale * best_dir[i]);
-        clipToImageRange(adv);
-    }
 
-    AttackResult r;
-    r.success = net.predict(adv) != label;
-    r.mse = mseDistortion(adv, x);
-    r.iterations = it;
-    r.adversarial = std::move(adv);
-    return r;
+        AttackResult &r = results[si];
+        net.forwardInto(adv, sl.rec, /*train=*/false, sl.arena);
+        r.success = sl.rec.predictedClass() != label;
+        r.mse = mseDistortion(adv, x);
+        r.iterations = it;
+        r.adversarial = adv; // copy-assign reuses the buffer
+    });
 }
 
 } // namespace ptolemy::attack

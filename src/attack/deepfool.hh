@@ -2,6 +2,12 @@
  * @file
  * DeepFool [Moosavi-Dezfooli'16]: iteratively project onto the nearest
  * linearized decision boundary (an L2 attack).
+ *
+ * Batched execution fans the candidate batch out sample-parallel on
+ * the attack's pool; each sample's projection loop (with its per-sample
+ * early exit the moment the prediction flips) runs in one pool task
+ * against per-slot scratch, bit-identical to the sample-serial loop at
+ * any thread count.
  */
 
 #ifndef PTOLEMY_ATTACK_DEEPFOOL_HH
@@ -24,12 +30,15 @@ class DeepFool : public Attack
     {}
 
     std::string name() const override { return "DeepFool"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     int maxIters;
     double overshoot;
+    AttackScratch scratch;
 };
 
 } // namespace ptolemy::attack

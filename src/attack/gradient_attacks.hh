@@ -2,6 +2,13 @@
  * @file
  * Gradient-sign attacks: FGSM [Goodfellow'14], BIM [Kurakin'16] and
  * PGD [Madry'17]. All perturb within an L∞ ball.
+ *
+ * The iterative attacks run whole candidate batches in lockstep: every
+ * iteration issues one batched forward+backward (lossInputGradientBatch
+ * on the attack's pool) for the samples still active, retires samples
+ * the moment the model mispredicts them (per-sample early-exit mask),
+ * and steps the survivors. Results are bit-identical to the
+ * sample-serial loop at any thread count.
  */
 
 #ifndef PTOLEMY_ATTACK_GRADIENT_ATTACKS_HH
@@ -14,34 +21,72 @@
 namespace ptolemy::attack
 {
 
+namespace detail
+{
+
+/**
+ * Reusable per-batch state for the iterative L∞ attacks: per-sample
+ * working adversarials, gradients, the early-exit mask and iteration
+ * counters. Buffers never shrink, so repeated equal-size batches are
+ * allocation-free once warmed.
+ */
+struct LinfBatchState
+{
+    std::vector<nn::Tensor> advs;           ///< per-sample working input
+    std::vector<nn::Tensor> grads;          ///< per-sample CE gradient
+    std::vector<const nn::Tensor *> advPtrs; ///< batch views of advs
+    std::vector<std::uint8_t> active;       ///< 1 = still iterating
+    std::vector<std::size_t> preds;         ///< per-sample argmax
+    std::vector<int> iters;                 ///< iterations consumed
+};
+
+} // namespace detail
+
 /** Single-step fast gradient sign method. */
 class Fgsm : public Attack
 {
   public:
     explicit Fgsm(AttackBudget budget = {}) : budget(budget) {}
     std::string name() const override { return "FGSM"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     AttackBudget budget;
+    AttackScratch scratch;
+    std::vector<nn::Tensor> grads;
 };
 
 /** Basic iterative method: repeated small FGSM steps, clipped to the
- *  epsilon ball; stops early on success. */
+ *  epsilon ball; each sample stops early on success. */
 class Bim : public Attack
 {
   public:
     explicit Bim(AttackBudget budget = {}) : budget(budget) {}
     std::string name() const override { return "BIM"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     AttackBudget budget;
+    AttackScratch scratch;
+    detail::LinfBatchState state;
 };
 
-/** Projected gradient descent: BIM from a random start in the ball. */
+/**
+ * Projected gradient descent: BIM from a random start in the ball.
+ *
+ * Randomness contract: the start noise for a sample is drawn from an
+ * Rng seeded with sampleKey(seed, index_base + i) — each sample owns
+ * its stream, keyed by its global index, never by batch position or a
+ * shared per-instance stream. Serial run() calls, batched runBatch
+ * chunks of any size, and any PTOLEMY_NUM_THREADS therefore produce
+ * identical adversarials for the same (input, label, sample index).
+ */
 class Pgd : public Attack
 {
   public:
@@ -49,12 +94,16 @@ class Pgd : public Attack
         : budget(budget), seed(seed)
     {}
     std::string name() const override { return "PGD"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     AttackBudget budget;
     std::uint64_t seed;
+    AttackScratch scratch;
+    detail::LinfBatchState state;
 };
 
 } // namespace ptolemy::attack

@@ -2,6 +2,12 @@
  * @file
  * Jacobian-based saliency map attack [Papernot'16] — an L0 attack that
  * perturbs few, highly-salient input elements toward a target class.
+ *
+ * Batched execution fans the candidate batch out sample-parallel on
+ * the attack's pool; each sample's pixel-selection loop (early-exiting
+ * the moment the prediction flips or the saliency map saturates) runs
+ * in one pool task against per-slot scratch, bit-identical to the
+ * sample-serial loop at any thread count.
  */
 
 #ifndef PTOLEMY_ATTACK_JSMA_HH
@@ -24,12 +30,15 @@ class Jsma : public Attack
     {}
 
     std::string name() const override { return "JSMA"; }
-    AttackResult run(nn::Network &net, const nn::Tensor &x,
-                     std::size_t label) override;
+    void runBatch(nn::Network &net, std::span<const nn::Tensor *const> xs,
+                  std::span<const std::size_t> labels,
+                  std::span<AttackResult> results,
+                  std::uint64_t index_base = 0) override;
 
   private:
     int maxPixels;
     double step;
+    AttackScratch scratch;
 };
 
 } // namespace ptolemy::attack

@@ -2,7 +2,9 @@
  * @file
  * The paper's standard five-attack evaluation suite (Sec. VI-A):
  * BIM, CWL2, DeepFool, FGSM, JSMA — covering L0, L2 and L∞ perturbation
- * measures.
+ * measures. All five are deterministic (no per-sample randomness), so
+ * the batched engine reproduces the historical sample-serial
+ * evaluateSuite output bit-for-bit.
  */
 
 #ifndef PTOLEMY_ATTACK_SUITE_HH

@@ -25,38 +25,70 @@ buildAttackPairs(nn::Network &net, attack::Attack &atk,
 
     std::vector<DetectionPair> pairs;
     int attempted = 0;
-    // Filter pass rides forwardBatch: candidates are classified one
-    // chunk at a time on the process-wide pool. Per-sample predictions
-    // are bit-identical to the sequential loop, so the selected attack
-    // targets (and thus every pair) are unchanged; a chunk may classify
-    // a few candidates beyond the cap, which is noise next to the
-    // attack cost that dominates this function.
+    // Filter pass rides forwardBatch over borrowed candidate views:
+    // candidates are classified one chunk at a time on the process-wide
+    // pool, bit-identical to the sequential loop, so the selected attack
+    // targets are unchanged; a chunk may classify a few candidates
+    // beyond the cap, which is noise next to the attack cost.
+    //
+    // Selected candidates accumulate into kChunk-sample batches for the
+    // batched attack engine. A candidate's global sample index is its
+    // selection ordinal (the attempted count at selection time), so
+    // randomized attacks draw the same noise however the stream is
+    // chunked — pairs are bit-identical to attacking the candidates one
+    // at a time in selection order, at any PTOLEMY_NUM_THREADS.
     constexpr std::size_t kChunk = 64;
-    std::vector<nn::Tensor> xs;
+    std::vector<const nn::Tensor *> xptrs;
     std::vector<nn::Network::Record> recs;
+    std::vector<const nn::Tensor *> batch_xs;
+    std::vector<std::size_t> batch_labels;
+    std::vector<const nn::Sample *> batch_samples;
+    std::vector<attack::AttackResult> results;
+
+    auto flushBatch = [&] {
+        if (batch_xs.empty())
+            return;
+        results.resize(batch_xs.size());
+        atk.runBatch(net, batch_xs, batch_labels, results,
+                     /*index_base=*/static_cast<std::uint64_t>(attempted) -
+                         batch_xs.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (!results[i].success)
+                continue;
+            DetectionPair p;
+            p.clean = batch_samples[i]->input;
+            p.adversarial = std::move(results[i].adversarial);
+            p.label = batch_samples[i]->label;
+            p.mse = results[i].mse;
+            pairs.push_back(std::move(p));
+        }
+        batch_xs.clear();
+        batch_labels.clear();
+        batch_samples.clear();
+    };
+
     for (std::size_t c0 = 0;
          c0 < order.size() && attempted < max_samples; c0 += kChunk) {
         const std::size_t cn = std::min(kChunk, order.size() - c0);
-        xs.clear();
+        xptrs.clear();
         for (std::size_t i = 0; i < cn; ++i)
-            xs.push_back(test[order[c0 + i]].input);
-        net.forwardBatch(xs, recs, &globalPool());
+            xptrs.push_back(&test[order[c0 + i]].input);
+        net.forwardBatch(
+            std::span<const nn::Tensor *const>(xptrs.data(), cn), recs,
+            &globalPool());
         for (std::size_t i = 0; i < cn && attempted < max_samples; ++i) {
             const auto &s = test[order[c0 + i]];
             if (recs[i].predictedClass() != s.label)
                 continue; // attacks start from correctly-classified inputs
             ++attempted;
-            auto res = atk.run(net, s.input, s.label);
-            if (!res.success)
-                continue;
-            DetectionPair p;
-            p.clean = s.input;
-            p.adversarial = std::move(res.adversarial);
-            p.label = s.label;
-            p.mse = res.mse;
-            pairs.push_back(std::move(p));
+            batch_xs.push_back(&s.input);
+            batch_labels.push_back(s.label);
+            batch_samples.push_back(&s);
+            if (batch_xs.size() == kChunk)
+                flushBatch();
         }
     }
+    flushBatch();
     if (attempted_out)
         *attempted_out = attempted;
     return pairs;

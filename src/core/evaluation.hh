@@ -69,8 +69,11 @@ struct SuiteEvalResult
 /**
  * Attack up to @p max_samples correctly-classified test inputs; keep the
  * successful ones as pairs. Candidates are filtered through batched
- * inference (Network::forwardBatch on the process-wide pool), which is
- * bit-identical to the historical one-at-a-time filter.
+ * inference and then fed to the attack in 64-sample chunks
+ * (Attack::runBatch on the process-wide pool). Each candidate's sample
+ * index is its selection ordinal, so the produced pairs are
+ * bit-identical to attacking the candidates one at a time in selection
+ * order — at any chunking and any PTOLEMY_NUM_THREADS.
  *
  * @param attempted_out when non-null, receives the number of attacks
  *        actually launched. The test set can run out of
@@ -101,7 +104,12 @@ AttackEvalResult evaluateAttack(Detector &det, attack::Attack &atk,
                                 const nn::Dataset &test, int max_samples,
                                 std::uint64_t seed = 17);
 
-/** Evaluate every attack in @p attacks and summarize. */
+/**
+ * Evaluate every attack in @p attacks and summarize. Attack generation
+ * (the dominant cost) rides the batched attack engine, so throughput
+ * scales with the process-wide pool while the summary stays
+ * bit-identical to the sample-serial path at any thread count.
+ */
 SuiteEvalResult evaluateSuite(
     Detector &det,
     const std::vector<std::unique_ptr<attack::Attack>> &attacks,

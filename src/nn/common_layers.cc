@@ -483,14 +483,31 @@ Norm2d::backwardInto(const std::vector<const Tensor *> &ins,
                      const std::vector<GradSink> &sinks,
                      std::vector<float> *const *param_grads)
 {
-    auto &g_gamma = param_grads ? *param_grads[0] : gradGamma;
-    auto &g_beta = param_grads ? *param_grads[1] : gradBeta;
     const Tensor &in = *ins[0];
     Tensor &d = *sinks[0].grad;
     const bool acc = sinks[0].accumulate;
     if (!acc)
         d.resize(in.shape());
     const int hw = std::max(1, in.shape().h * in.shape().w);
+    if (param_grads == skipParamGrads()) {
+        // Input-gradient-only backward: d depends only on gamma and
+        // the frozen stats, so xhat need not be recomputed at all.
+        for (int c = 0; c < chans; ++c) {
+            const float inv = 1.0f / std::sqrt(runVar[c] + epsilon);
+            const float scale = gamma[c] * inv;
+            for (int i = 0; i < hw; ++i) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(c) * hw + i;
+                if (acc)
+                    d[idx] += grad_out[idx] * scale;
+                else
+                    d[idx] = grad_out[idx] * scale;
+            }
+        }
+        return;
+    }
+    auto &g_gamma = param_grads ? *param_grads[0] : gradGamma;
+    auto &g_beta = param_grads ? *param_grads[1] : gradBeta;
     for (int c = 0; c < chans; ++c) {
         // xhat is recomputed from the recorded input with the same
         // frozen stats the forward pass used — bit-identical to what

@@ -103,8 +103,11 @@ Conv2d::backwardInto(const std::vector<const Tensor *> &ins,
                      std::vector<float> *const *param_grads)
 {
     const Tensor &in = *ins[0];
-    auto &grad_w = param_grads ? *param_grads[0] : gradWeight;
-    auto &grad_b = param_grads ? *param_grads[1] : gradBias;
+    const bool skip = param_grads == skipParamGrads();
+    auto *grad_w =
+        skip ? nullptr : (param_grads ? param_grads[0] : &gradWeight);
+    auto *grad_b =
+        skip ? nullptr : (param_grads ? param_grads[1] : &gradBias);
     // Both paths scatter-add into the input gradient, so an overwrite
     // sink starts from zero and an accumulate sink keeps its contents.
     if (!sinks[0].accumulate)
@@ -117,8 +120,8 @@ Conv2d::backwardInto(const std::vector<const Tensor *> &ins,
 
 void
 Conv2d::backwardGemm(const Tensor &in, const Tensor &grad_out,
-                     const GradSink &sink, std::vector<float> &grad_w,
-                     std::vector<float> &grad_b)
+                     const GradSink &sink, std::vector<float> *grad_w,
+                     std::vector<float> *grad_b)
 {
     Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
@@ -126,20 +129,26 @@ Conv2d::backwardGemm(const Tensor &in, const Tensor &grad_out,
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
     const int kdim = inC * kSize * kSize;
 
-    for (int oc = 0; oc < outC; ++oc) {
-        const float *row =
-            grad_out.data() + static_cast<std::size_t>(oc) * ohw;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < ohw; ++i)
-            acc += row[i];
-        grad_b[oc] += acc;
-    }
-
     auto &scratch = gemmScratch();
-    im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow, scratch.col);
-    // grad_W[outC x kdim] += grad_out[outC x ohw] * col^T.
-    sgemmNT(outC, kdim, static_cast<int>(ohw), grad_out.data(),
-            scratch.col.data(), grad_w.data(), /*accumulate=*/true);
+    if (grad_b) {
+        for (int oc = 0; oc < outC; ++oc) {
+            const float *row =
+                grad_out.data() + static_cast<std::size_t>(oc) * ohw;
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < ohw; ++i)
+                acc += row[i];
+            (*grad_b)[oc] += acc;
+        }
+    }
+    if (grad_w) {
+        // The im2col only feeds the dW product, so the input-only
+        // backward skips both.
+        im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow,
+               scratch.col);
+        // grad_W[outC x kdim] += grad_out[outC x ohw] * col^T.
+        sgemmNT(outC, kdim, static_cast<int>(ohw), grad_out.data(),
+                scratch.col.data(), grad_w->data(), /*accumulate=*/true);
+    }
     // col_grad[kdim x ohw] = W^T * grad_out, scattered back to the image.
     scratch.colGrad.resize(static_cast<std::size_t>(kdim) * ohw);
     sgemmTN(kdim, static_cast<int>(ohw), outC, weight.data(),
@@ -150,8 +159,8 @@ Conv2d::backwardGemm(const Tensor &in, const Tensor &grad_out,
 
 void
 Conv2d::backwardNaive(const Tensor &in, const Tensor &grad_out,
-                      const GradSink &sink, std::vector<float> &grad_w,
-                      std::vector<float> &grad_b)
+                      const GradSink &sink, std::vector<float> *grad_w,
+                      std::vector<float> *grad_b)
 {
     Tensor &grad_in = *sink.grad;
     const int ih = in.shape().h, iw = in.shape().w;
@@ -163,7 +172,8 @@ Conv2d::backwardNaive(const Tensor &in, const Tensor &grad_out,
                 const float g = grad_out.at(oc, oy, ox);
                 if (g == 0.0f)
                     continue;
-                grad_b[oc] += g;
+                if (grad_b)
+                    (*grad_b)[oc] += g;
                 const int iy0 = oy * strd - padding;
                 const int ix0 = ox * strd - padding;
                 for (int ic = 0; ic < inC; ++ic) {
@@ -178,7 +188,8 @@ Conv2d::backwardNaive(const Tensor &in, const Tensor &grad_out,
                             const std::size_t wi =
                                 ((static_cast<std::size_t>(oc) * inC + ic) *
                                  kSize + ky) * kSize + kx;
-                            grad_w[wi] += g * in.at(ic, iy, ix);
+                            if (grad_w)
+                                (*grad_w)[wi] += g * in.at(ic, iy, ix);
                             grad_in.at(ic, iy, ix) += g * weight[wi];
                         }
                     }

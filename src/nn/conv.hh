@@ -63,14 +63,16 @@ class Conv2d : public Layer
     void forwardNaive(const Tensor &in, Tensor &out) const;
     /** GEMM forward: im2col + cache-blocked sgemm (the hot path). */
     void forwardGemm(const Tensor &in, Tensor &out) const;
-    /** Scalar reference backward. */
+    /** Scalar reference backward. Null @p grad_w / @p grad_b skip the
+     *  parameter-gradient arithmetic (input-gradient-only backward). */
     void backwardNaive(const Tensor &in, const Tensor &grad_out,
-                       const GradSink &sink, std::vector<float> &grad_w,
-                       std::vector<float> &grad_b);
-    /** GEMM backward: grad_W via NT, grad_in via TN + col2im. */
+                       const GradSink &sink, std::vector<float> *grad_w,
+                       std::vector<float> *grad_b);
+    /** GEMM backward: grad_W via NT, grad_in via TN + col2im. Null
+     *  @p grad_w / @p grad_b skip the dW GEMM and its im2col. */
     void backwardGemm(const Tensor &in, const Tensor &grad_out,
-                      const GradSink &sink, std::vector<float> &grad_w,
-                      std::vector<float> &grad_b);
+                      const GradSink &sink, std::vector<float> *grad_w,
+                      std::vector<float> *grad_b);
 
     float &
     wAt(int oc, int ic, int ky, int kx)

@@ -3,6 +3,15 @@
 namespace ptolemy::nn
 {
 
+std::vector<float> *const *
+skipParamGrads()
+{
+    // Unique address compared against by layers with parameters; the
+    // pointed-to slot is never read.
+    static std::vector<float> *const sentinel[1] = {nullptr};
+    return sentinel;
+}
+
 const char *
 layerKindName(LayerKind k)
 {

@@ -85,6 +85,18 @@ struct GradSink
 };
 
 /**
+ * Sentinel accepted as backwardInto's @p param_grads: compute no
+ * parameter gradients at all. Layers with parameters skip the dW/db
+ * arithmetic outright (for conv that also drops the im2col that only
+ * feeds dW — roughly half the backward cost); the input gradients they
+ * produce are bit-identical to a full backward's. The batched attack
+ * engine rides this: attacks consume dLoss/dInput only, and the legacy
+ * sample-serial path wasted the parameter-gradient work every
+ * iteration. Compare by address; never dereference.
+ */
+std::vector<float> *const *skipParamGrads();
+
+/**
  * Abstract NN layer.
  */
 class Layer
@@ -146,7 +158,9 @@ class Layer
      *        per params() entry in the same order, accumulated (+=).
      *        Pass nullptr to accumulate into the layer's own grad
      *        buffers (the serial default); a data-parallel trainer
-     *        passes per-lane clones instead.
+     *        passes per-lane clones instead; skipParamGrads() elides
+     *        the parameter-gradient computation entirely (the attack
+     *        engine's input-gradient-only backward).
      */
     virtual void backwardInto(const std::vector<const Tensor *> &ins,
                               const Tensor &grad_out,

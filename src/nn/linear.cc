@@ -40,8 +40,6 @@ Linear::backwardInto(const std::vector<const Tensor *> &ins,
                      std::vector<float> *const *param_grads)
 {
     const Tensor &in = *ins[0];
-    auto &grad_w = param_grads ? *param_grads[0] : gradWeight;
-    auto &grad_b = param_grads ? *param_grads[1] : gradBias;
     Tensor &grad_in = *sinks[0].grad;
     if (!sinks[0].accumulate)
         grad_in.resize(in.shape());
@@ -50,6 +48,10 @@ Linear::backwardInto(const std::vector<const Tensor *> &ins,
     // implements the sink's overwrite/accumulate contract.
     sgemvT(outN, inN, weight.data(), grad_out.data(), grad_in.data(),
            sinks[0].accumulate);
+    if (param_grads == skipParamGrads())
+        return; // input-gradient-only backward
+    auto &grad_w = param_grads ? *param_grads[0] : gradWeight;
+    auto &grad_b = param_grads ? *param_grads[1] : gradBias;
     for (int o = 0; o < outN; ++o) {
         const float g = grad_out[o];
         if (g == 0.0f)

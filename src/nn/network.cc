@@ -96,14 +96,30 @@ void
 Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
                       ThreadPool *pool)
 {
+    // Delegate through borrowed views; per-thread pointer scratch keeps
+    // repeated batches allocation-free.
+    thread_local std::vector<const Tensor *> ptrs;
+    ptrs.clear();
+    for (const Tensor &x : xs)
+        ptrs.push_back(&x);
+    forwardBatch(std::span<const Tensor *const>(ptrs.data(), ptrs.size()),
+                 recs, pool);
+}
+
+void
+Network::forwardBatch(std::span<const Tensor *const> xs,
+                      std::vector<Record> &recs, ThreadPool *pool)
+{
     recs.resize(xs.size());
     if (pool && pool->size() > 1 && xs.size() > 1) {
         pool->parallelFor(xs.size(), [&](std::size_t i) {
             // Layers are state-free in forward, so concurrent samples
-            // through the shared layer objects do not race.
-            std::vector<const Tensor *> ins;
+            // through the shared layer objects do not race. The input
+            // views are thread-local so steady-state batches allocate
+            // nothing.
+            thread_local std::vector<const Tensor *> ins;
             Record &rec = recs[i];
-            rec.input = xs[i];
+            rec.input = *xs[i];
             rec.outputs.resize(nodes.size());
             for (std::size_t id = 0; id < nodes.size(); ++id) {
                 auto &n = nodes[id];
@@ -117,7 +133,7 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
         return;
     }
     for (std::size_t i = 0; i < xs.size(); ++i)
-        forwardInto(xs[i], recs[i], /*train=*/false);
+        forwardInto(*xs[i], recs[i], /*train=*/false);
 }
 
 const Tensor &
@@ -137,6 +153,18 @@ Network::backward(const Record &rec, const Tensor &grad_logits,
 }
 
 const Tensor &
+Network::backwardInputOnly(const Record &rec, const Tensor &grad_logits,
+                           GradArena &slot)
+{
+    slot.seeds.resize(1);
+    slot.seeds[0].first = numNodes() - 1;
+    slot.seeds[0].second = grad_logits; // copy-assign reuses the buffer
+    return backwardMultiImpl(rec, slot.seeds, slot,
+                             /*param_grads=*/nullptr,
+                             /*input_only=*/true);
+}
+
+const Tensor &
 Network::backwardMulti(const Record &rec,
                        const std::vector<std::pair<int, Tensor>> &seeds)
 {
@@ -148,6 +176,26 @@ Network::backwardMulti(const Record &rec,
                        const std::vector<std::pair<int, Tensor>> &seeds,
                        GradArena &slot,
                        std::vector<std::vector<float>> *param_grads)
+{
+    return backwardMultiImpl(rec, seeds, slot, param_grads,
+                             /*input_only=*/false);
+}
+
+const Tensor &
+Network::backwardMultiInputOnly(
+    const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds,
+    GradArena &slot)
+{
+    return backwardMultiImpl(rec, seeds, slot, /*param_grads=*/nullptr,
+                             /*input_only=*/true);
+}
+
+const Tensor &
+Network::backwardMultiImpl(const Record &rec,
+                           const std::vector<std::pair<int, Tensor>> &seeds,
+                           GradArena &slot,
+                           std::vector<std::vector<float>> *param_grads,
+                           bool input_only)
 {
     if (rec.outputs.size() != nodes.size())
         throw std::logic_error(
@@ -200,8 +248,11 @@ Network::backwardMulti(const Record &rec,
         }
         n.layer->backwardInto(
             slot.ins, slot.gradAt[id], slot.sinks,
-            param_grads ? slot.pgradPtrs.data() + nodeParamOffset[id]
-                        : nullptr);
+            input_only
+                ? skipParamGrads()
+                : (param_grads
+                       ? slot.pgradPtrs.data() + nodeParamOffset[id]
+                       : nullptr));
     }
     if (!slot.gradInputSeeded)
         slot.gradInput.resizeZero(inShape); // loss unreachable from input

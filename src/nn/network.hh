@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -160,6 +161,17 @@ class Network
                       ThreadPool *pool = nullptr);
 
     /**
+     * As forwardBatch, but over borrowed tensors (no copies into a
+     * contiguous vector): the batched attack engine and the
+     * evaluation filter pass feed candidate views straight from their
+     * owners. Worker-side scratch is thread-local, so a warmed-up
+     * batch loop performs no heap allocation.
+     */
+    void forwardBatch(std::span<const Tensor *const> xs,
+                      std::vector<Record> &recs,
+                      ThreadPool *pool = nullptr);
+
+    /**
      * Back-propagate from the logits of a recorded pass.
      * @param rec the record produced by the matching forward pass on
      *        this network; throws std::logic_error if it does not cover
@@ -186,6 +198,19 @@ class Network
                            std::vector<std::vector<float>> *param_grads);
 
     /**
+     * As the slot-scratch backward, but computing the input gradient
+     * ONLY: parameter gradients are neither computed nor written
+     * anywhere — weighted layers skip the dW/db arithmetic outright
+     * (roughly half of a conv backward), and the returned input
+     * gradient is bit-identical to the full backward's. This is the
+     * batched attack engine's fast path: attacks consume dLoss/dInput
+     * and nothing else.
+     */
+    const Tensor &backwardInputOnly(const Record &rec,
+                                    const Tensor &grad_logits,
+                                    GradArena &slot);
+
+    /**
      * Back-propagate from gradients seeded at arbitrary nodes (used by the
      * adaptive attack, whose loss is defined on intermediate activations).
      * @param seeds (node id, dLoss/dNodeOutput) pairs.
@@ -198,6 +223,12 @@ class Network
     const Tensor &backwardMulti(
         const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds,
         GradArena &slot, std::vector<std::vector<float>> *param_grads);
+
+    /** Input-gradient-only variant of backwardMulti (see
+     *  backwardInputOnly). */
+    const Tensor &backwardMultiInputOnly(
+        const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds,
+        GradArena &slot);
 
     /** Argmax class of a plain forward pass. */
     std::size_t predict(const Tensor &x);
@@ -251,6 +282,12 @@ class Network
   private:
     /** Build the cached parameter index (flat list + per-node spans). */
     void ensureParamIndex();
+
+    /** Shared walk behind every backward entry point. */
+    const Tensor &backwardMultiImpl(
+        const Record &rec, const std::vector<std::pair<int, Tensor>> &seeds,
+        GradArena &slot, std::vector<std::vector<float>> *param_grads,
+        bool input_only);
 
     std::string netName;
     Shape inShape;

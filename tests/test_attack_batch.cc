@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Batched attack engine tests: for every attack in the suite (plus PGD
+ * and the adaptive attack), runBatch over a candidate batch must be
+ * bit-identical to one-at-a-time run() calls with matching sample
+ * indices — for any chunking of the stream and any thread count — and
+ * the distortion metrics must behave on edge cases (identical tensors,
+ * single elements, the L0 tolerance boundary).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "attack/adaptive.hh"
+#include "attack/cw.hh"
+#include "attack/deepfool.hh"
+#include "attack/gradient_attacks.hh"
+#include "attack/jsma.hh"
+#include "attack/suite.hh"
+#include "common/test_models.hh"
+#include "util/thread_pool.hh"
+
+namespace ptolemy::attack
+{
+namespace
+{
+
+/** First @p n test samples (no correctness filter: the engine contract
+ *  covers fooled inputs too). */
+void
+batchOf(int n, std::vector<const nn::Tensor *> &xs,
+        std::vector<std::size_t> &labels)
+{
+    auto &w = ptolemy::testing::world();
+    xs.clear();
+    labels.clear();
+    for (int i = 0; i < n; ++i) {
+        xs.push_back(&w.dataset.test[i].input);
+        labels.push_back(w.dataset.test[i].label);
+    }
+}
+
+void
+expectBitIdentical(const AttackResult &a, const AttackResult &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.success, b.success) << what;
+    EXPECT_EQ(a.iterations, b.iterations) << what;
+    EXPECT_EQ(a.mse, b.mse) << what; // exact: same float ops either way
+    ASSERT_EQ(a.adversarial.size(), b.adversarial.size()) << what;
+    EXPECT_EQ(std::memcmp(a.adversarial.data(), b.adversarial.data(),
+                          a.adversarial.size() * sizeof(float)),
+              0)
+        << what;
+}
+
+/** Attacks under test: the paper's five plus the randomized pair. */
+std::vector<std::unique_ptr<Attack>>
+attacksUnderTest()
+{
+    auto &w = ptolemy::testing::world();
+    auto v = makeStandardAttacks();
+    v.push_back(std::make_unique<Pgd>());
+    v.push_back(std::make_unique<AdaptiveActivationAttack>(
+        2, &w.dataset.train, /*num_targets=*/2, /*iters=*/10));
+    return v;
+}
+
+TEST(BatchEngine, BatchedMatchesSerialRunBitExactly)
+{
+    auto &w = ptolemy::testing::world();
+    constexpr int kN = 6;
+    std::vector<const nn::Tensor *> xs;
+    std::vector<std::size_t> labels;
+    batchOf(kN, xs, labels);
+
+    for (auto &atk : attacksUnderTest()) {
+        std::vector<AttackResult> serial(kN);
+        for (int i = 0; i < kN; ++i)
+            serial[i] = atk->run(w.net, *xs[i], labels[i],
+                                 /*sample_index=*/i);
+        std::vector<AttackResult> batched(kN);
+        atk->runBatch(w.net, xs, labels, batched, /*index_base=*/0);
+        for (int i = 0; i < kN; ++i)
+            expectBitIdentical(serial[i], batched[i],
+                               atk->name() + " sample " +
+                                   std::to_string(i));
+    }
+}
+
+TEST(BatchEngine, ChunkCompositionIsIrrelevant)
+{
+    // One 6-sample batch vs chunks of 4 + 2 with matching index bases:
+    // the randomized attacks key noise by global sample index, so the
+    // chunking must not matter.
+    auto &w = ptolemy::testing::world();
+    constexpr int kN = 6;
+    std::vector<const nn::Tensor *> xs;
+    std::vector<std::size_t> labels;
+    batchOf(kN, xs, labels);
+
+    for (auto &atk : attacksUnderTest()) {
+        std::vector<AttackResult> whole(kN);
+        atk->runBatch(w.net, xs, labels, whole, /*index_base=*/0);
+
+        std::vector<AttackResult> chunked(kN);
+        atk->runBatch(w.net, {xs.data(), 4}, {labels.data(), 4},
+                      {chunked.data(), 4}, /*index_base=*/0);
+        atk->runBatch(w.net, {xs.data() + 4, 2}, {labels.data() + 4, 2},
+                      {chunked.data() + 4, 2}, /*index_base=*/4);
+        for (int i = 0; i < kN; ++i)
+            expectBitIdentical(whole[i], chunked[i],
+                               atk->name() + " chunked sample " +
+                                   std::to_string(i));
+    }
+}
+
+TEST(BatchEngine, ThreadCountDoesNotChangeResults)
+{
+    // PTOLEMY_NUM_THREADS ∈ {1, 2, 8} equivalent: explicit local pools
+    // pinned onto each attack. The 1-thread run is the reference.
+    auto &w = ptolemy::testing::world();
+    constexpr int kN = 6;
+    std::vector<const nn::Tensor *> xs;
+    std::vector<std::size_t> labels;
+    batchOf(kN, xs, labels);
+
+    for (auto &atk : attacksUnderTest()) {
+        ThreadPool serial(1);
+        atk->setPool(&serial);
+        std::vector<AttackResult> ref(kN);
+        atk->runBatch(w.net, xs, labels, ref, /*index_base=*/0);
+
+        for (unsigned threads : {2u, 8u}) {
+            ThreadPool pool(threads);
+            atk->setPool(&pool);
+            std::vector<AttackResult> got(kN);
+            atk->runBatch(w.net, xs, labels, got, /*index_base=*/0);
+            for (int i = 0; i < kN; ++i)
+                expectBitIdentical(ref[i], got[i],
+                                   atk->name() + " threads=" +
+                                       std::to_string(threads) +
+                                       " sample " + std::to_string(i));
+        }
+        atk->setPool(nullptr);
+    }
+}
+
+TEST(BatchEngine, PgdStartNoiseIsKeyedBySampleIndex)
+{
+    // Same input at two different sample indices must draw different
+    // start noise; the same index must reproduce it exactly.
+    auto &w = ptolemy::testing::world();
+    const auto &s = w.dataset.test[0];
+    Pgd pgd;
+    const auto a0 = pgd.run(w.net, s.input, s.label, /*sample_index=*/0);
+    const auto a0_again =
+        pgd.run(w.net, s.input, s.label, /*sample_index=*/0);
+    const auto a1 = pgd.run(w.net, s.input, s.label, /*sample_index=*/1);
+    expectBitIdentical(a0, a0_again, "PGD replay at index 0");
+    EXPECT_NE(std::memcmp(a0.adversarial.data(), a1.adversarial.data(),
+                          a0.adversarial.size() * sizeof(float)),
+              0)
+        << "distinct sample indices should draw distinct start noise";
+}
+
+TEST(BatchEngine, InputOnlyBackwardMatchesFullBackwardInput)
+{
+    // The engine's fast path skips all dW/db arithmetic; the input
+    // gradient must stay bit-identical and the layers' parameter
+    // gradient buffers must stay untouched.
+    auto &w = ptolemy::testing::world();
+    const auto &s = w.dataset.test[0];
+    auto rec = w.net.forward(s.input);
+    nn::LossGrad lg;
+    nn::softmaxCrossEntropyInto(rec.logits(), s.label, lg);
+
+    w.net.zeroGrads();
+    nn::Tensor full = w.net.backward(rec, lg.grad); // fills param grads
+
+    std::vector<std::vector<float>> param_grads_after_full;
+    for (auto p : w.net.flatParams())
+        param_grads_after_full.push_back(*p.grad);
+
+    w.net.zeroGrads();
+    nn::Network::GradArena slot;
+    const nn::Tensor &in_only =
+        w.net.backwardInputOnly(rec, lg.grad, slot);
+
+    ASSERT_EQ(full.size(), in_only.size());
+    EXPECT_EQ(std::memcmp(full.data(), in_only.data(),
+                          full.size() * sizeof(float)),
+              0);
+    // Full backward produced nonzero param grads; input-only left the
+    // zeroed buffers alone.
+    double full_sum = 0.0, after_sum = 0.0;
+    std::size_t pi = 0;
+    for (auto p : w.net.flatParams()) {
+        for (float g : param_grads_after_full[pi++])
+            full_sum += std::abs(g);
+        for (float g : *p.grad)
+            after_sum += std::abs(g);
+    }
+    EXPECT_GT(full_sum, 0.0);
+    EXPECT_EQ(after_sum, 0.0);
+    w.net.zeroGrads();
+}
+
+TEST(BatchEngine, EmptyBatchIsANoOp)
+{
+    auto &w = ptolemy::testing::world();
+    for (auto &atk : attacksUnderTest())
+        atk->runBatch(w.net, {}, {}, {}, 0); // must not crash
+}
+
+TEST(Metrics, IdenticalTensorsScoreZero)
+{
+    nn::Tensor a(nn::flatShape(5), {0.1f, 0.2f, 0.3f, 0.4f, 0.5f});
+    EXPECT_EQ(mseDistortion(a, a), 0.0);
+    EXPECT_EQ(linfDistortion(a, a), 0.0);
+    EXPECT_EQ(l0Distortion(a, a), 0u);
+    EXPECT_EQ(l2Distortion(a, a), 0.0);
+}
+
+TEST(Metrics, SingleElementTensors)
+{
+    nn::Tensor a(nn::flatShape(1), {0.5f});
+    nn::Tensor b(nn::flatShape(1), {0.25f});
+    EXPECT_NEAR(mseDistortion(a, b), 0.0625, 1e-9);
+    EXPECT_NEAR(linfDistortion(a, b), 0.25, 1e-7);
+    EXPECT_EQ(l0Distortion(a, b), 1u);
+    EXPECT_NEAR(l2Distortion(a, b), 0.25, 1e-7);
+}
+
+TEST(Metrics, EmptyTensorsAreSafe)
+{
+    nn::Tensor a, b;
+    EXPECT_EQ(mseDistortion(a, b), 0.0); // explicit 0/0 guard
+    EXPECT_EQ(linfDistortion(a, b), 0.0);
+    EXPECT_EQ(l0Distortion(a, b), 0u);
+    EXPECT_EQ(l2Distortion(a, b), 0.0);
+}
+
+TEST(Metrics, L0ToleranceBoundaryIsStrict)
+{
+    // Differences strictly above tol count; a difference equal to tol
+    // does not. Use exactly-representable values so the boundary is
+    // exact in float and double alike.
+    nn::Tensor a(nn::flatShape(3), {0.0f, 0.0f, 0.0f});
+    nn::Tensor b(nn::flatShape(3), {0.5f, -0.5f, 0.25f});
+    EXPECT_EQ(l0Distortion(a, b, 0.5), 0u);  // both 0.5 diffs == tol
+    EXPECT_EQ(l0Distortion(a, b, 0.3), 2u);  // the ±0.5 diffs count
+    EXPECT_EQ(l0Distortion(a, b, 0.25), 2u); // the 0.25 diff == tol
+    EXPECT_EQ(l0Distortion(a, b, 0.1), 3u);
+    EXPECT_EQ(l0Distortion(a, b, 0.0), 3u);
+}
+
+} // namespace
+} // namespace ptolemy::attack

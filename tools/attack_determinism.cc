@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Attack-determinism probe for CI: trains a small CNN on synthetic
+ * data, runs every attack in the evaluation suite through
+ * core::buildAttackPairs (the same path evaluateSuite takes), and
+ * prints an FNV-1a hash of every produced adversarial (bytes + label +
+ * mse). Running it under different PTOLEMY_NUM_THREADS values must
+ * print the same hashes — that is the batched attack engine's
+ * bit-identity contract (adversarials depend only on the input, label
+ * and sample index, never on batch composition or thread count).
+ *
+ * Two hashes are printed:
+ *  - suite_hash: the five standard deterministic attacks (BIM, CWL2,
+ *    DeepFool, FGSM, JSMA). Also stable across the engine's
+ *    serial-vs-batched paths and across refactors that preserve the
+ *    per-sample math.
+ *  - full_hash: suite plus the randomized attacks (PGD and the
+ *    adaptive activation-matching attack), whose randomness is keyed
+ *    by (seed, sampleIndex) so it too is thread-count invariant.
+ *
+ * Exit status is always 0 on success; the comparison happens in CI
+ * (hashes of the 1-thread run vs the 2-thread run).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+#include "attack/adaptive.hh"
+#include "attack/gradient_attacks.hh"
+#include "attack/suite.hh"
+#include "core/evaluation.hh"
+#include "data/synthetic.hh"
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace ptolemy;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void *data, std::size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+nn::Network
+makeProbeNet()
+{
+    nn::Network net("attack_probe", nn::mapShape(3, 16, 16));
+    net.add(std::make_unique<nn::Conv2d>("conv1", 3, 8, 3, 1, 1));
+    net.add(std::make_unique<nn::ReLU>("relu1"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool1", 2)); // 8x8
+    net.add(std::make_unique<nn::Conv2d>("conv2", 8, 12, 3, 1, 1));
+    net.add(std::make_unique<nn::ReLU>("relu2"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool2", 2)); // 4x4
+    net.add(std::make_unique<nn::Flatten>("flat"));
+    net.add(std::make_unique<nn::Linear>("fc", 12 * 4 * 4, 10));
+    return net;
+}
+
+std::uint64_t
+hashPairs(std::uint64_t h, const std::vector<core::DetectionPair> &pairs)
+{
+    for (const auto &p : pairs) {
+        h = fnv1a(h, p.adversarial.data(),
+                  p.adversarial.size() * sizeof(float));
+        const std::uint64_t label = p.label;
+        h = fnv1a(h, &label, sizeof(label));
+        h = fnv1a(h, &p.mse, sizeof(p.mse));
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main()
+{
+    data::DatasetSpec spec;
+    spec.numClasses = 10;
+    spec.trainPerClass = 20;
+    spec.testPerClass = 4;
+    spec.seed = 42;
+    const auto ds = data::makeSyntheticDataset(spec);
+
+    auto net = makeProbeNet();
+    nn::heInit(net, 7);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    tc.learningRate = 0.02;
+    nn::Trainer trainer(tc);
+    trainer.train(net, ds.train);
+
+    constexpr int kCap = 12;
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto &atk : attack::makeStandardAttacks()) {
+        const auto pairs =
+            core::buildAttackPairs(net, *atk, ds.test, kCap, 0xE7A1);
+        h = hashPairs(h, pairs);
+    }
+    const std::uint64_t suite_hash = h;
+
+    {
+        attack::Pgd pgd;
+        const auto pairs =
+            core::buildAttackPairs(net, pgd, ds.test, kCap, 0xE7A1);
+        h = hashPairs(h, pairs);
+    }
+    {
+        attack::AdaptiveActivationAttack at(2, &ds.train, /*num_targets=*/2,
+                                            /*iters=*/15, /*lr=*/0.08);
+        const auto pairs =
+            core::buildAttackPairs(net, at, ds.test, kCap, 0xE7A1);
+        h = hashPairs(h, pairs);
+    }
+
+    std::printf("threads=%u suite_hash=%016llx full_hash=%016llx\n",
+                globalPool().size(),
+                static_cast<unsigned long long>(suite_hash),
+                static_cast<unsigned long long>(h));
+    return 0;
+}
