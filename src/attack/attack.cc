@@ -114,7 +114,7 @@ lossInputGradientBatch(nn::Network &net,
                        std::span<nn::Tensor> grads, AttackScratch &scratch,
                        ThreadPool &pool, std::span<std::size_t> preds_out,
                        std::span<const std::uint8_t> active,
-                       bool skip_fooled, std::span<double> losses_out)
+                       bool skip_fooled)
 {
     scratch.prepare(net, pool);
     pool.parallelForWithTid(xs.size(), [&](std::size_t i, unsigned tid) {
@@ -129,8 +129,6 @@ lossInputGradientBatch(nn::Network &net,
             return;
         nn::softmaxCrossEntropyInto(sl.rec.logits(), labels[i],
                                     sl.lossGrad);
-        if (!losses_out.empty())
-            losses_out[i] = sl.lossGrad.loss;
         // Input-gradient-only backward: attacks never consume dW, and
         // skipping it roughly halves the conv backward arithmetic.
         // Copy-assign reuses the caller's per-sample buffer.

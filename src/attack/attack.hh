@@ -234,8 +234,6 @@ void lossInputGradientInto(nn::Network &net, const nn::Tensor &x,
  *        samples already predicted away from labels[i] (grads[i] is
  *        left untouched); iterative attacks use this as their
  *        per-sample early exit.
- * @param losses_out when non-empty, receives the per-sample CE loss
- *        (only written where the backward pass ran).
  */
 void lossInputGradientBatch(nn::Network &net,
                             std::span<const nn::Tensor *const> xs,
@@ -244,8 +242,7 @@ void lossInputGradientBatch(nn::Network &net,
                             AttackScratch &scratch, ThreadPool &pool,
                             std::span<std::size_t> preds_out = {},
                             std::span<const std::uint8_t> active = {},
-                            bool skip_fooled = false,
-                            std::span<double> losses_out = {});
+                            bool skip_fooled = false);
 
 /** Clip every element to [0, 1] (valid image range). */
 void clipToImageRange(nn::Tensor &t);

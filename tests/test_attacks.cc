@@ -44,8 +44,11 @@ successRate(Attack &atk, int n = 12)
     auto &w = ptolemy::testing::world();
     const auto samples = correctSamples(n);
     int wins = 0;
-    for (const auto *s : samples)
-        wins += atk.run(w.net, s->input, s->label).success;
+    // Distinct sample indices so randomized attacks (PGD) draw a
+    // fresh noise realization per sample, like the evaluation path.
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        wins += atk.run(w.net, samples[i]->input, samples[i]->label, i)
+                    .success;
     return samples.empty() ? 0.0
                            : static_cast<double>(wins) / samples.size();
 }
@@ -161,8 +164,10 @@ TEST(AdaptiveAttack, MatchesActivationsAndFools)
     const auto samples = correctSamples(5);
     int wins = 0;
     double mse_sum = 0.0;
-    for (const auto *s : samples) {
-        const auto r = atk.run(w.net, s->input, s->label);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        // Distinct indices -> per-sample target-draw streams.
+        const auto r =
+            atk.run(w.net, samples[i]->input, samples[i]->label, i);
         wins += r.success;
         mse_sum += r.mse;
     }
