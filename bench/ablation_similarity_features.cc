@@ -34,7 +34,8 @@ aucWithFeatureDims(core::Detector &det,
     const std::size_t n_train = pairs.size() / 2;
 
     auto feats = [&](const nn::Tensor &x) {
-        auto rec = det.network().forward(x);
+        nn::Network::Record rec;
+        det.network().inferInto(x, rec); // const online view
         auto f = det.featuresFor(rec);
         f.resize(std::min(k, f.size()));
         return f;

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "attack/gradient_attacks.hh"
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
 #include "data/synthetic.hh"
 #include "nn/common_layers.hh"
 #include "nn/conv.hh"
@@ -561,6 +563,149 @@ benchAttack(double min_time)
     return r;
 }
 
+struct DetectBenchResult
+{
+    double singleStreamPerSec = 0.0;
+    double batchPerSec = 0.0;
+    double legacyPerSec = 0.0;
+    std::size_t allocsPerBatch = 0;
+    std::size_t chunk = 0;
+};
+
+/**
+ * End-to-end detection serving throughput on the 3conv+2fc net with a
+ * fitted BwCu detector: a 64-request chunk through the fused
+ * DetectorSession::detectBatch vs (a) the sequential warmed
+ * session.detect loop ("single-stream": what one client serially
+ * achieves — on a one-core host the fused batch does the same
+ * per-sample math, so the interesting batch multiplier is pool
+ * scaling, measured on multi-core hosts) and (b) the legacy per-sample
+ * score() serving pipeline the evaluation harness used before the
+ * Engine/Session split: a fresh allocating Record per request
+ * (Network::forward), a fresh extraction workspace with the
+ * reference full-sort selection, and an allocating
+ * features->vector->predictProb chain. The batched steady state must
+ * be allocation-free.
+ */
+DetectBenchResult
+benchDetect(double min_time)
+{
+    nn::Network net = extractionNet();
+    constexpr std::size_t kChunk = 64;
+    constexpr std::size_t kClasses = 10;
+
+    Rng rng(0xDE7EC7);
+    std::vector<nn::Tensor> inputs;
+    std::vector<const nn::Tensor *> xs;
+    inputs.reserve(kChunk);
+    for (std::size_t s = 0; s < kChunk; ++s) {
+        nn::Tensor x(nn::mapShape(3, 32, 32));
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] = static_cast<float>(rng.uniform());
+        inputs.push_back(std::move(x));
+    }
+    for (auto &x : inputs)
+        xs.push_back(&x);
+
+    // Offline phase: profile class paths on the request inputs (labels
+    // = current predictions so every sample aggregates) and fit the
+    // forest on clean-vs-noisy feature rows.
+    core::DetectorBuilder bld(
+        net,
+        path::ExtractionConfig::bwCu(
+            static_cast<int>(net.weightedNodes().size()), 0.5),
+        kClasses);
+    {
+        nn::Dataset profile;
+        nn::Network::Record rec;
+        for (const auto &x : inputs)
+            profile.push_back({x, net.inferPredict(x, rec)});
+        bld.profileClassPaths(profile, /*max_per_class=*/16);
+        std::vector<nn::Tensor> noisy;
+        for (const auto &x : inputs) {
+            nn::Tensor p = x;
+            for (std::size_t e = 0; e < p.size(); ++e)
+                p[e] += static_cast<float>(rng.uniform(-0.1, 0.1));
+            noisy.push_back(std::move(p));
+        }
+        classify::FeatureMatrix benign, adversarial;
+        bld.featuresBatch(inputs, benign);
+        bld.featuresBatch(noisy, adversarial);
+        bld.fitClassifier(benign, adversarial);
+    }
+    const core::DetectorModel model = std::move(bld).build();
+
+    DetectBenchResult r;
+    r.chunk = kChunk;
+
+    core::DetectorSession sess(model);
+    std::vector<core::Decision> out(kChunk);
+    const std::span<const nn::Tensor *const> xspan(xs.data(), xs.size());
+    const std::span<core::Decision> ospan(out.data(), out.size());
+
+    // Warm until quiescent (pool-worker thread-locals settle on their
+    // own schedule, like the other benches).
+    int quiet = 0;
+    for (int i = 0; i < 50 && quiet < 3; ++i) {
+        const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+        sess.detectBatch(xspan, ospan);
+        quiet = g_allocs.load(std::memory_order_relaxed) == before
+                    ? quiet + 1
+                    : 0;
+    }
+    {
+        const std::size_t allocs_before =
+            g_allocs.load(std::memory_order_relaxed);
+        std::size_t calls = 0;
+        const double spc = secsPerCall(
+            [&] {
+                sess.detectBatch(xspan, ospan);
+                ++calls;
+            },
+            min_time);
+        const std::size_t allocs_after =
+            g_allocs.load(std::memory_order_relaxed);
+        r.batchPerSec = static_cast<double>(kChunk) / spc;
+        r.allocsPerBatch =
+            calls ? (allocs_after - allocs_before) / calls : 0;
+    }
+    {
+        std::size_t cursor = 0;
+        core::Decision d = sess.detect(inputs[0]); // warm
+        const double spc = secsPerCall(
+            [&] {
+                d = sess.detect(inputs[cursor]);
+                cursor = (cursor + 1) % kChunk;
+            },
+            min_time);
+        r.singleStreamPerSec = 1.0 / spc;
+    }
+    {
+        // Legacy per-sample score() serving: every request pays a
+        // freshly-allocated Record, a fresh reference-sort workspace
+        // and the allocating feature chain.
+        std::size_t cursor = 0;
+        volatile double sink = 0.0;
+        const double spc = secsPerCall(
+            [&] {
+                auto rec = net.forward(inputs[cursor]);
+                path::ExtractionWorkspace fresh;
+                fresh.referenceSort = true;
+                const BitVector path =
+                    model.extractor().extract(rec, fresh);
+                const auto f = path::computeSimilarity(
+                    path,
+                    model.classPaths().classPath(rec.predictedClass()),
+                    model.extractor().layout());
+                sink = model.forest().predictProb(f.toVector());
+                cursor = (cursor + 1) % kChunk;
+            },
+            min_time);
+        r.legacyPerSec = 1.0 / spc;
+    }
+    return r;
+}
+
 struct SimilarityBenchResult
 {
     double opsPerSec = 0.0;
@@ -602,6 +747,7 @@ main(int argc, char **argv)
     const auto bwd = benchBackward(min_time);
     const auto trn = benchTrain(min_time);
     const auto atk = benchAttack(min_time);
+    const auto det = benchDetect(min_time);
     const auto sim = benchSimilarity(min_time);
 
     const unsigned threads = ptolemy::globalPool().size();
@@ -665,6 +811,17 @@ main(int argc, char **argv)
     j.kv("allocs_per_batch_bim", atk.allocsPerBatchBim);
     j.kv("allocs_per_batch_pgd", atk.allocsPerBatchPgd);
     j.endObject();
+    j.key("detect").beginObject();
+    j.kv("model", "3conv+2fc on 3x32x32, BwCu theta=0.5, 64-request chunk");
+    j.kv("chunk", det.chunk);
+    j.kv("single_stream_per_sec", det.singleStreamPerSec);
+    j.kv("batch_per_sec", det.batchPerSec);
+    j.kv("legacy_per_sec", det.legacyPerSec);
+    j.kv("batch_speedup_vs_single_stream",
+         det.batchPerSec / det.singleStreamPerSec);
+    j.kv("batch_speedup_vs_legacy", det.batchPerSec / det.legacyPerSec);
+    j.kv("allocs_per_batch", det.allocsPerBatch);
+    j.endObject();
     j.key("similarity").beginObject();
     j.kv("bits", sim.bits);
     j.kv("and_popcount_ops_per_sec", sim.opsPerSec);
@@ -705,6 +862,13 @@ main(int argc, char **argv)
               << atk.pgdBatchPerSec / atk.pgdSerialPerSec << "x), "
               << atk.allocsPerBatchBim << "/" << atk.allocsPerBatchPgd
               << " allocs per batch\n"
+              << "detect (chunk " << det.chunk << "): "
+              << det.batchPerSec << " detections/s batched vs "
+              << det.singleStreamPerSec << "/s single-stream ("
+              << det.batchPerSec / det.singleStreamPerSec << "x) and "
+              << det.legacyPerSec << "/s legacy per-sample score ("
+              << det.batchPerSec / det.legacyPerSec << "x), "
+              << det.allocsPerBatch << " allocs per batch\n"
               << "similarity and+popcount (" << sim.bits
               << " bits): " << sim.opsPerSec << " ops/s\n"
               << "wrote " << out_path << "\n";
@@ -731,6 +895,12 @@ main(int argc, char **argv)
                   << atk.allocsPerBatchBim << " (BIM) / "
                   << atk.allocsPerBatchPgd << " (PGD) heap allocations "
                   << "per batch (expected 0)\n";
+        return 1;
+    }
+    if (det.allocsPerBatch != 0) {
+        std::cerr << "FAIL: steady-state detectBatch serving loop "
+                  << "performed " << det.allocsPerBatch
+                  << " heap allocations per batch (expected 0)\n";
         return 1;
     }
     return 0;

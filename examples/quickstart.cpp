@@ -1,21 +1,29 @@
 /**
  * @file
- * Quickstart: the whole Ptolemy pipeline in one file.
+ * Quickstart: the whole Ptolemy pipeline in one file, on the serving
+ * API (Engine/Session split).
  *
  *  1. Build and train a small CNN on the synthetic dataset.
- *  2. Offline phase: profile the training data into per-class canary
- *     paths and fit the random-forest classifier.
- *  3. Online phase: craft an adversarial input with FGSM and watch the
- *     detector flag it while passing the clean input.
+ *  2. Offline phase (DetectorBuilder): profile the training data into
+ *     per-class canary paths, fit the random-forest classifier, and
+ *     freeze the result into an immutable DetectorModel.
+ *  3. Online phase (DetectorSession): craft adversarial inputs with
+ *     FGSM and serve mixed clean/adversarial traffic through the fused
+ *     batched detectBatch — the model is shared, the session holds the
+ *     per-client scratch.
+ *  4. Persist the fitted model and reload it: the loaded model serves
+ *     identical decisions without re-profiling.
  *
- * Build & run:  ./build/examples/quickstart
+ * Build & run:  ./build/quickstart
  */
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "attack/gradient_attacks.hh"
-#include "core/detector.hh"
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
 #include "core/evaluation.hh"
 #include "data/synthetic.hh"
 #include "nn/common_layers.hh"
@@ -56,32 +64,62 @@ main()
     std::printf("clean test accuracy: %.3f\n\n",
                 nn::Trainer::evaluate(net, dataset.test));
 
-    // --------------------------------------------- 2. offline profiling --
+    // --------------------------------------------- 2. offline phase --
     // Backward extraction with a cumulative threshold (the paper's most
-    // accurate variant, BwCu) on all weighted layers.
+    // accurate variant, BwCu) on all weighted layers. The builder wraps
+    // profiling + fitting and releases an immutable DetectorModel.
     const int n_layers = static_cast<int>(net.weightedNodes().size());
-    core::Detector detector(
+    core::DetectorBuilder builder(
         net, path::ExtractionConfig::bwCu(n_layers, /*theta=*/0.5), 10);
-    detector.buildClassPaths(dataset.train, /*max_per_class=*/100);
+    builder.profileClassPaths(dataset.train, /*max_per_class=*/100);
 
-    // Fit the random forest on features from attacked training pairs.
+    // Fit the random forest on features of attacked test pairs.
     attack::Fgsm fgsm;
     auto pairs = core::buildAttackPairs(net, fgsm, dataset.test, 60);
-    const auto eval = core::fitAndScore(detector, pairs, 0.5);
-    std::printf("detection AUC on held-out FGSM pairs: %.3f\n\n", eval.auc);
+    {
+        std::vector<nn::Tensor> clean, adversarial;
+        for (const auto &p : pairs) {
+            clean.push_back(p.clean);
+            adversarial.push_back(p.adversarial);
+        }
+        classify::FeatureMatrix benign_rows, adv_rows;
+        builder.featuresBatch(clean, benign_rows);
+        builder.featuresBatch(adversarial, adv_rows);
+        builder.fitClassifier(benign_rows, adv_rows);
+    }
+    const core::DetectorModel model = std::move(builder).build();
 
     // ------------------------------------------------ 3. online phase --
-    const auto &victim = pairs.front();
-    const auto clean_verdict = detector.detect(victim.clean);
-    const auto adv_verdict = detector.detect(victim.adversarial);
-    std::printf("clean input      -> class %zu, adversarial score %.2f "
-                "(%s)\n",
-                clean_verdict.predictedClass, clean_verdict.score,
-                clean_verdict.adversarial ? "REJECTED" : "accepted");
-    std::printf("perturbed input  -> class %zu, adversarial score %.2f "
-                "(%s)\n",
-                adv_verdict.predictedClass, adv_verdict.score,
-                adv_verdict.adversarial ? "REJECTED" : "accepted");
-    std::printf("perturbation MSE: %.4f\n", victim.mse);
+    // One session per client/request stream; the frozen model is shared
+    // (any number of sessions, any number of threads, no locks). Serve
+    // a mixed batch through the fused batched entry point.
+    core::DetectorSession session(model);
+    std::vector<nn::Tensor> traffic;
+    for (std::size_t i = 0; i < 4 && i < pairs.size(); ++i) {
+        traffic.push_back(pairs[i].clean);
+        traffic.push_back(pairs[i].adversarial);
+    }
+    std::vector<core::Decision> decisions;
+    session.detectBatch(traffic, decisions);
+    for (std::size_t i = 0; i < decisions.size(); ++i)
+        std::printf("%s input -> class %zu, adversarial score %.2f (%s)\n",
+                    i % 2 == 0 ? "clean    " : "perturbed",
+                    decisions[i].predictedClass, decisions[i].score,
+                    decisions[i].adversarial ? "REJECTED" : "accepted");
+
+    // -------------------------------------------------- 4. persistence --
+    // Deploy without re-profiling: save the fitted artifacts, load them
+    // into a fresh model over the same network, serve identically.
+    if (model.save("quickstart_detector.model")) {
+        core::DetectorModel reloaded(
+            net, path::ExtractionConfig::bwCu(n_layers, 0.5), 10);
+        if (reloaded.load("quickstart_detector.model")) {
+            core::DetectorSession replay(reloaded);
+            const auto d = replay.detect(traffic.front());
+            std::printf("\nreloaded model agrees: class %zu, score %.2f\n",
+                        d.predictedClass, d.score);
+        }
+        std::remove("quickstart_detector.model");
+    }
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/rng.hh"
+#include "util/serialize.hh"
 
 namespace ptolemy::classify
 {
@@ -148,6 +149,61 @@ DecisionTree::decisionOps(const std::vector<double> &features) const
             : nodes[id].right;
     }
     return ops;
+}
+
+void
+DecisionTree::serialize(std::ostream &os) const
+{
+    writeU64(os, nodes.size());
+    for (const auto &n : nodes) {
+        writeU32(os, static_cast<std::uint32_t>(n.feature));
+        writeF64(os, n.threshold);
+        writeU32(os, static_cast<std::uint32_t>(n.left));
+        writeU32(os, static_cast<std::uint32_t>(n.right));
+        writeF64(os, n.prob);
+        writeU32(os, static_cast<std::uint32_t>(n.nodeDepth));
+    }
+}
+
+bool
+DecisionTree::deserialize(std::istream &is, std::size_t num_features)
+{
+    std::uint64_t n;
+    if (!readU64(is, n))
+        return false;
+    // Bound the count before allocating: a corrupt length field must
+    // return false, not throw bad_alloc (depth-12 CARTs have < 2^13
+    // nodes; 2^22 is generous for any future growth config).
+    if (n > (1u << 22))
+        return false;
+    nodes.assign(n, Node{});
+    for (std::size_t id = 0; id < n; ++id) {
+        auto &node = nodes[id];
+        std::uint32_t feature, left, right, depth;
+        if (!readU32(is, feature) || !readF64(is, node.threshold) ||
+            !readU32(is, left) || !readU32(is, right) ||
+            !readF64(is, node.prob) || !readU32(is, depth))
+            return false;
+        node.feature = static_cast<int>(feature);
+        node.left = static_cast<int>(left);
+        node.right = static_cast<int>(right);
+        node.nodeDepth = static_cast<int>(depth);
+        if (node.feature < 0)
+            continue; // leaf: child links unused
+        // Interior node: the split feature must exist in the feature
+        // vector predict() will be handed, and child links must point
+        // strictly forward inside the table — build() emits children
+        // after their parent, and forward-only links are what makes
+        // the predict() walk provably terminate on loaded files.
+        if (static_cast<std::size_t>(node.feature) >= num_features)
+            return false;
+        if (node.left <= static_cast<int>(id) ||
+            node.right <= static_cast<int>(id) ||
+            node.left >= static_cast<int>(n) ||
+            node.right >= static_cast<int>(n))
+            return false;
+    }
+    return true;
 }
 
 } // namespace ptolemy::classify

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace ptolemy
@@ -55,6 +56,20 @@ class DecisionTree
 
     /** Comparisons performed for one prediction (path length). */
     std::size_t decisionOps(const std::vector<double> &features) const;
+
+    /** Write the fitted tree to a binary stream (node table verbatim,
+     *  so a loaded tree predicts bit-identically). */
+    void serialize(std::ostream &os) const;
+
+    /**
+     * Inverse of serialize(). Rejects malformed input outright:
+     * implausible node counts, interior-node feature indices outside
+     * [0, @p num_features), and child links that are out of range or
+     * not strictly forward (build() emits children after their parent,
+     * so forward-only links also guarantee predict() terminates).
+     * @return false on malformed input.
+     */
+    bool deserialize(std::istream &is, std::size_t num_features);
 
   private:
     struct Node

@@ -1,6 +1,7 @@
 #include "random_forest.hh"
 
 #include "util/rng.hh"
+#include "util/serialize.hh"
 
 namespace ptolemy::classify
 {
@@ -48,6 +49,31 @@ RandomForest::decisionOps(const std::vector<double> &features) const
     for (const auto &tree : trees)
         ops += tree.decisionOps(features);
     return ops;
+}
+
+void
+RandomForest::serialize(std::ostream &os) const
+{
+    writeU64(os, trees.size());
+    for (const auto &tree : trees)
+        tree.serialize(os);
+}
+
+bool
+RandomForest::deserialize(std::istream &is, std::size_t num_features)
+{
+    std::uint64_t n;
+    if (!readU64(is, n))
+        return false;
+    // Bounded before allocation: corrupt counts return false rather
+    // than throwing bad_alloc (the paper's forest has 100 trees).
+    if (n > (1u << 20))
+        return false;
+    trees.assign(n, DecisionTree());
+    for (auto &tree : trees)
+        if (!tree.deserialize(is, num_features))
+            return false;
+    return true;
 }
 
 } // namespace ptolemy::classify

@@ -11,6 +11,7 @@
 #define PTOLEMY_CLASSIFY_RANDOM_FOREST_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "classify/decision_tree.hh"
@@ -56,6 +57,16 @@ class RandomForest
 
     /** Total comparisons for one prediction, for the MCU cost model. */
     std::size_t decisionOps(const std::vector<double> &features) const;
+
+    /** Write the fitted ensemble to a binary stream; a deserialized
+     *  forest scores bit-identically (used by DetectorModel::save). */
+    void serialize(std::ostream &os) const;
+
+    /** Inverse of serialize(). @p num_features is the arity of the
+     *  feature vectors the loaded forest will score; trees referencing
+     *  features outside it are rejected (see DecisionTree).
+     *  @return false on malformed input. */
+    bool deserialize(std::istream &is, std::size_t num_features);
 
   private:
     ForestConfig config;

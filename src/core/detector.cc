@@ -1,72 +1,28 @@
 #include "detector.hh"
 
-#include "util/thread_pool.hh"
-
 namespace ptolemy::core
 {
 
-Detector::Detector(nn::Network &net_ref, path::ExtractionConfig cfg,
+Detector::Detector(const nn::Network &net, path::ExtractionConfig cfg,
                    std::size_t num_classes,
                    classify::ForestConfig forest_cfg)
-    : net(&net_ref), pathExtractor(net_ref, std::move(cfg)),
-      store(num_classes, pathExtractor.layout().totalBits()), rf(forest_cfg)
+    : bld(std::make_unique<DetectorBuilder>(net, std::move(cfg),
+                                            num_classes, forest_cfg)),
+      sess(std::make_unique<DetectorSession>(bld->model()))
 {
 }
 
 std::size_t
 Detector::buildClassPaths(const nn::Dataset &train, int max_per_class)
 {
-    // Chunked batch pipeline: inference + extraction of each chunk fan
-    // out on the pool, then aggregation replays the chunk in dataset
-    // order with the same cap/correctness checks the sequential loop
-    // applied, so the resulting class paths are identical to it. (A
-    // sample whose class fills up mid-chunk is forwarded wastefully but
-    // never aggregated.)
-    std::size_t aggregated = 0;
-    ThreadPool *pool = &globalPool();
-    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
-    const auto cap = static_cast<std::size_t>(max_per_class);
-    xsScratch.clear();
-    labelScratch.clear();
-
-    auto flush = [&] {
-        if (xsScratch.empty())
-            return;
-        net->forwardBatch(xsScratch, recBatch, pool);
-        pathExtractor.extractBatch(recBatch, pathBatch, bws, pool);
-        for (std::size_t i = 0; i < xsScratch.size(); ++i) {
-            const std::size_t label = labelScratch[i];
-            if (store.samplesSeen(label) >= cap)
-                continue;
-            if (recBatch[i].predictedClass() != label)
-                continue; // only correct predictions define the canary
-            store.aggregate(label, pathBatch[i]);
-            ++aggregated;
-        }
-        xsScratch.clear();
-        labelScratch.clear();
-    };
-
-    for (const auto &s : train) {
-        if (store.samplesSeen(s.label) >= cap)
-            continue;
-        xsScratch.push_back(s.input);
-        labelScratch.push_back(s.label);
-        if (xsScratch.size() >= chunk)
-            flush();
-    }
-    flush();
-    return aggregated;
+    return bld->profileClassPaths(train, max_per_class);
 }
 
 std::vector<double>
 Detector::featuresFor(const nn::Network::Record &rec,
                       path::ExtractionTrace *trace)
 {
-    pathExtractor.extractInto(rec, ws, pathScratch, trace);
-    const auto &pc = store.classPath(rec.predictedClass());
-    return path::computeSimilarity(pathScratch, pc, pathExtractor.layout())
-        .toVector();
+    return sess->featuresFor(rec, trace);
 }
 
 void
@@ -74,70 +30,26 @@ Detector::featuresBatch(const std::vector<nn::Tensor> &xs,
                         classify::FeatureMatrix &rows,
                         std::vector<std::size_t> *predicted)
 {
-    // Chunked so resident memory stays bounded by a few pool-widths of
-    // Records (a Record holds every intermediate feature map) instead
-    // of one Record per input for the whole batch.
-    ThreadPool *pool = &globalPool();
-    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
-    rows.resize(xs.size());
-    if (predicted)
-        predicted->resize(xs.size());
-    for (std::size_t base = 0; base < xs.size(); base += chunk) {
-        const std::size_t n = std::min(chunk, xs.size() - base);
-        xsScratch.assign(xs.begin() + static_cast<std::ptrdiff_t>(base),
-                         xs.begin() + static_cast<std::ptrdiff_t>(base + n));
-        net->forwardBatch(xsScratch, recBatch, pool);
-        pathExtractor.extractBatch(recBatch, pathBatch, bws, pool);
-        for (std::size_t i = 0; i < n; ++i) {
-            const std::size_t pred = recBatch[i].predictedClass();
-            if (predicted)
-                (*predicted)[base + i] = pred;
-            rows[base + i] =
-                path::computeSimilarity(pathBatch[i],
-                                        store.classPath(pred),
-                                        pathExtractor.layout())
-                    .toVector();
-        }
-    }
+    sess->featuresBatch(xs, rows, predicted);
 }
 
 void
 Detector::fitClassifier(const classify::FeatureMatrix &benign,
                         const classify::FeatureMatrix &adversarial)
 {
-    classify::FeatureMatrix x;
-    std::vector<int> y;
-    x.reserve(benign.size() + adversarial.size());
-    for (const auto &row : benign) {
-        x.push_back(row);
-        y.push_back(0);
-    }
-    for (const auto &row : adversarial) {
-        x.push_back(row);
-        y.push_back(1);
-    }
-    rf.fit(x, y);
+    bld->fitClassifier(benign, adversarial);
 }
 
 Detector::Decision
 Detector::detect(const nn::Tensor &x)
 {
-    net->forwardInto(x, recScratch, /*train=*/false);
-    Decision d;
-    d.predictedClass = recScratch.predictedClass();
-    pathExtractor.extractInto(recScratch, ws, pathScratch);
-    const auto &pc = store.classPath(d.predictedClass);
-    d.features =
-        path::computeSimilarity(pathScratch, pc, pathExtractor.layout());
-    d.score = rf.predictProb(d.features.toVector());
-    d.adversarial = d.score >= 0.5;
-    return d;
+    return sess->detect(x);
 }
 
 double
 Detector::score(const nn::Network::Record &rec)
 {
-    return rf.predictProb(featuresFor(rec));
+    return sess->score(rec);
 }
 
 } // namespace ptolemy::core

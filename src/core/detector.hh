@@ -1,46 +1,44 @@
 /**
  * @file
- * The Ptolemy adversarial-sample detector (paper Fig. 4).
+ * Deprecated single-client façade over the Engine/Session split.
  *
- * Offline: profile correctly-predicted training samples, extract their
- * activation paths and OR them into per-class canary paths; fit the
- * random-forest classifier on path-similarity features of benign and
- * adversarial examples.
+ * The detection stack now lives in two pieces (see detector_model.hh /
+ * detector_session.hh): an immutable, thread-shareable DetectorModel
+ * built offline by a DetectorBuilder, and cheap per-client
+ * DetectorSessions holding all hot-path scratch, with the fused
+ * batched serving entry point DetectorSession::detectBatch.
  *
- * Online: extract the input's activation path (per the configured
- * direction/threshold/selective-extraction knobs), compare it against the
- * canary path of the predicted class, and classify.
+ * Detector remains as a thin transition façade bundling one builder
+ * and one session for code written against the pre-split API. It is a
+ * single-client object like before — but it no longer leaks mutable
+ * views: network(), classPaths() and friends are const-only, so online
+ * -path code can only read. New code should use
+ * DetectorBuilder/DetectorModel/DetectorSession directly.
  */
 
 #ifndef PTOLEMY_CORE_DETECTOR_HH
 #define PTOLEMY_CORE_DETECTOR_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "classify/random_forest.hh"
-#include "nn/network.hh"
-#include "nn/trainer.hh"
-#include "path/class_path.hh"
-#include "path/extractor.hh"
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
 
 namespace ptolemy::core
 {
 
 /**
- * End-to-end detector for one (network, extraction-config) pair.
+ * End-to-end single-client detector for one (network, extraction-config)
+ * pair. Deprecated façade: delegates to DetectorBuilder (offline phase)
+ * and DetectorSession (online phase) over one internally-owned model.
  */
 class Detector
 {
   public:
-    /** Verdict for one input. */
-    struct Decision
-    {
-        std::size_t predictedClass = 0;
-        bool adversarial = false;
-        double score = 0.0; ///< forest probability of "adversarial"
-        path::SimilarityFeatures features;
-    };
+    /** Verdict for one input (alias of the serving-API type). */
+    using Decision = core::Decision;
 
     /**
      * @param net the protected network (borrowed; must outlive this).
@@ -48,40 +46,24 @@ class Detector
      * @param num_classes classifier output arity.
      * @param forest_cfg random-forest hyper-parameters.
      */
-    Detector(nn::Network &net, path::ExtractionConfig cfg,
+    Detector(const nn::Network &net, path::ExtractionConfig cfg,
              std::size_t num_classes,
              classify::ForestConfig forest_cfg = {});
 
-    /**
-     * Offline profiling: aggregate activation paths of correctly-predicted
-     * training samples into class paths (paper: saturates around 100
-     * images per class).
-     * @param train training samples.
-     * @param max_per_class cap of aggregated samples per class.
-     * @return number of samples aggregated.
-     */
+    /** Offline profiling (see DetectorBuilder::profileClassPaths). */
     std::size_t buildClassPaths(const nn::Dataset &train,
                                 int max_per_class = 100);
 
-    /** Similarity features of a recorded inference against the canary
-     *  path of its predicted class. @p trace optionally receives the
-     *  extraction op counts. */
+    /** See DetectorSession::featuresFor. */
     std::vector<double> featuresFor(const nn::Network::Record &rec,
                                     path::ExtractionTrace *trace = nullptr);
 
-    /**
-     * Batched featuresFor over raw inputs: inference and path
-     * extraction fan out on the process-wide pool, one workspace per
-     * pool slot. rows[i] (and predicted[i] when requested) always
-     * correspond to xs[i] and are bit-identical to the sequential
-     * pipeline, independent of thread count.
-     */
+    /** See DetectorSession::featuresBatch. */
     void featuresBatch(const std::vector<nn::Tensor> &xs,
                        classify::FeatureMatrix &rows,
                        std::vector<std::size_t> *predicted = nullptr);
 
-    /** Fit the forest on benign (label 0) and adversarial (label 1)
-     *  feature rows. */
+    /** See DetectorBuilder::fitClassifier. */
     void fitClassifier(const classify::FeatureMatrix &benign,
                        const classify::FeatureMatrix &adversarial);
 
@@ -91,35 +73,39 @@ class Detector
     /** Adversarial-probability score for a recorded pass. */
     double score(const nn::Network::Record &rec);
 
-    nn::Network &network() { return *net; }
-    const path::PathExtractor &extractor() const { return pathExtractor; }
-    const path::ClassPathStore &classPaths() const { return store; }
-    path::ClassPathStore &classPaths() { return store; }
-    const classify::RandomForest &forest() const { return rf; }
-    const path::ExtractionConfig &config() const
+    /**
+     * Const-only views. The pre-split API returned mutable references
+     * to the network and class-path store here; those leaks are gone —
+     * everything the online path can reach through a Detector is
+     * read-only. Code that mutates the network (attack generation,
+     * training) must hold its own non-const reference.
+     */
+    const nn::Network &network() const { return model().network(); }
+    const path::PathExtractor &extractor() const
     {
-        return pathExtractor.config();
+        return model().extractor();
     }
+    const path::ClassPathStore &classPaths() const
+    {
+        return model().classPaths();
+    }
+    const classify::RandomForest &forest() const { return model().forest(); }
+    const path::ExtractionConfig &config() const { return model().config(); }
 
     /** Variant tag, e.g. "BwCu". */
-    std::string variantName() const { return config().variantName(); }
+    std::string variantName() const { return model().variantName(); }
+
+    /** The underlying immutable model (share it across sessions). */
+    const DetectorModel &model() const { return bld->model(); }
+
+    /** The façade's own serving session (single-client scratch). */
+    DetectorSession &session() { return *sess; }
 
   private:
-    nn::Network *net;
-    path::PathExtractor pathExtractor;
-    path::ClassPathStore store;
-    classify::RandomForest rf;
-    // Reused hot-path buffers: the online pipeline (forward -> extract
-    // -> compare) allocates nothing once these are warm.
-    nn::Network::Record recScratch;
-    path::ExtractionWorkspace ws;
-    BitVector pathScratch;
-    // Batched-pipeline scratch (buildClassPaths / featuresBatch).
-    std::vector<nn::Tensor> xsScratch;
-    std::vector<std::size_t> labelScratch;
-    std::vector<nn::Network::Record> recBatch;
-    std::vector<BitVector> pathBatch;
-    path::BatchExtractionWorkspace bws;
+    // unique_ptrs keep the model/session addresses stable across moves
+    // of the façade (bench helpers return Detectors by value).
+    std::unique_ptr<DetectorBuilder> bld;
+    std::unique_ptr<DetectorSession> sess;
 };
 
 } // namespace ptolemy::core

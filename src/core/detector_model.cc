@@ -1,0 +1,201 @@
+#include "detector_model.hh"
+
+#include <fstream>
+
+#include "util/serialize.hh"
+#include "util/thread_pool.hh"
+
+namespace ptolemy::core
+{
+
+namespace
+{
+const char *const kModelMagic = "ptolemy-detector-v1";
+} // namespace
+
+DetectorModel::DetectorModel(const nn::Network &net_ref,
+                             path::ExtractionConfig cfg,
+                             std::size_t num_classes,
+                             classify::ForestConfig forest_cfg)
+    : net(&net_ref), pathExtractor(net_ref, std::move(cfg)),
+      store(num_classes, pathExtractor.layout().totalBits()), rf(forest_cfg)
+{
+}
+
+bool
+DetectorModel::save(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    writeString(os, kModelMagic);
+    writeString(os, net->signature());
+    writeU64(os, store.numClasses());
+    config().serialize(os);
+    store.serialize(os);
+    rf.serialize(os);
+    return os.good();
+}
+
+bool
+DetectorModel::load(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::string magic, sig;
+    std::uint64_t num_classes;
+    if (!readString(is, magic) || magic != kModelMagic ||
+        !readString(is, sig) || sig != net->signature() ||
+        !readU64(is, num_classes))
+        return false;
+    path::ExtractionConfig cfg;
+    if (!cfg.deserialize(is) ||
+        cfg.numLayers() !=
+            static_cast<int>(net->weightedNodes().size()))
+        return false;
+    // Rebuild the extractor for the loaded config before validating the
+    // store against its layout: the offline and online phases must
+    // agree on every knob, or the canary bits would not line up.
+    path::PathExtractor ex(*net, std::move(cfg));
+    path::ClassPathStore loaded_store;
+    classify::RandomForest loaded_rf;
+    // Feature arity the served vectors will have ([overall,
+    // perLayer...]): trees referencing features beyond it are corrupt.
+    const std::size_t num_features = 1 + ex.layout().segments().size();
+    if (!loaded_store.deserialize(is) ||
+        !loaded_rf.deserialize(is, num_features))
+        return false;
+    if (loaded_store.numClasses() != num_classes ||
+        (loaded_store.numClasses() > 0 &&
+         loaded_store.numBits() != ex.layout().totalBits()))
+        return false;
+    pathExtractor = std::move(ex);
+    store = std::move(loaded_store);
+    rf = std::move(loaded_rf);
+    return true;
+}
+
+namespace detail
+{
+
+void
+featuresBatch(const DetectorModel &mdl, const std::vector<nn::Tensor> &xs,
+              classify::FeatureMatrix &rows,
+              std::vector<std::size_t> *predicted,
+              FeatureBatchScratch &scratch)
+{
+    // Chunked so resident memory stays bounded by a few pool-widths of
+    // Records (a Record holds every intermediate feature map) instead
+    // of one Record per input for the whole batch.
+    ThreadPool *pool = &globalPool();
+    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
+    rows.resize(xs.size());
+    if (predicted)
+        predicted->resize(xs.size());
+    const auto &ex = mdl.extractor();
+    for (std::size_t base = 0; base < xs.size(); base += chunk) {
+        const std::size_t n = std::min(chunk, xs.size() - base);
+        scratch.xs.assign(xs.begin() + static_cast<std::ptrdiff_t>(base),
+                          xs.begin() +
+                              static_cast<std::ptrdiff_t>(base + n));
+        mdl.network().forwardBatch(scratch.xs, scratch.recs, pool);
+        ex.extractBatch(scratch.recs, scratch.paths, scratch.bws, pool);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t pred = scratch.recs[i].predictedClass();
+            if (predicted)
+                (*predicted)[base + i] = pred;
+            rows[base + i] =
+                path::computeSimilarity(scratch.paths[i],
+                                        mdl.classPaths().classPath(pred),
+                                        ex.layout())
+                    .toVector();
+        }
+    }
+}
+
+} // namespace detail
+
+DetectorBuilder::DetectorBuilder(const nn::Network &net,
+                                 path::ExtractionConfig cfg,
+                                 std::size_t num_classes,
+                                 classify::ForestConfig forest_cfg)
+    : mdl(net, std::move(cfg), num_classes, forest_cfg)
+{
+}
+
+std::size_t
+DetectorBuilder::profileClassPaths(const nn::Dataset &train,
+                                   int max_per_class)
+{
+    // Chunked batch pipeline: inference + extraction of each chunk fan
+    // out on the pool, then aggregation replays the chunk in dataset
+    // order with the same cap/correctness checks the sequential loop
+    // applied, so the resulting class paths are identical to it. (A
+    // sample whose class fills up mid-chunk is forwarded wastefully but
+    // never aggregated.)
+    std::size_t aggregated = 0;
+    ThreadPool *pool = &globalPool();
+    const std::size_t chunk = std::max<std::size_t>(8, 4 * pool->size());
+    const auto cap = static_cast<std::size_t>(max_per_class);
+    scratch.xs.clear();
+    labelScratch.clear();
+
+    auto flush = [&] {
+        if (scratch.xs.empty())
+            return;
+        mdl.network().forwardBatch(scratch.xs, scratch.recs, pool);
+        mdl.pathExtractor.extractBatch(scratch.recs, scratch.paths,
+                                       scratch.bws, pool);
+        for (std::size_t i = 0; i < scratch.xs.size(); ++i) {
+            const std::size_t label = labelScratch[i];
+            if (mdl.store.samplesSeen(label) >= cap)
+                continue;
+            if (scratch.recs[i].predictedClass() != label)
+                continue; // only correct predictions define the canary
+            mdl.store.aggregate(label, scratch.paths[i]);
+            ++aggregated;
+        }
+        scratch.xs.clear();
+        labelScratch.clear();
+    };
+
+    for (const auto &s : train) {
+        if (mdl.store.samplesSeen(s.label) >= cap)
+            continue;
+        scratch.xs.push_back(s.input);
+        labelScratch.push_back(s.label);
+        if (scratch.xs.size() >= chunk)
+            flush();
+    }
+    flush();
+    return aggregated;
+}
+
+void
+DetectorBuilder::featuresBatch(const std::vector<nn::Tensor> &xs,
+                               classify::FeatureMatrix &rows,
+                               std::vector<std::size_t> *predicted)
+{
+    detail::featuresBatch(mdl, xs, rows, predicted, scratch);
+}
+
+void
+DetectorBuilder::fitClassifier(const classify::FeatureMatrix &benign,
+                               const classify::FeatureMatrix &adversarial)
+{
+    classify::FeatureMatrix x;
+    std::vector<int> y;
+    x.reserve(benign.size() + adversarial.size());
+    for (const auto &row : benign) {
+        x.push_back(row);
+        y.push_back(0);
+    }
+    for (const auto &row : adversarial) {
+        x.push_back(row);
+        y.push_back(1);
+    }
+    mdl.rf.fit(x, y);
+}
+
+} // namespace ptolemy::core

@@ -1,0 +1,94 @@
+#include "detector_session.hh"
+
+#include "util/thread_pool.hh"
+
+namespace ptolemy::core
+{
+
+DetectorSession::DetectorSession(const DetectorModel &model)
+    : mdl(&model), slots(1)
+{
+}
+
+void
+DetectorSession::detectInto(const nn::Tensor &x, Decision &d, Slot &s)
+{
+    // The fused per-sample pipeline: inference, extraction, canary
+    // comparison and forest scoring back-to-back against one slot's
+    // scratch, so the recorded activations are still cache-hot when
+    // the extractor ranks them. Bit-identical to the historical
+    // sequential pipeline: same float ops, same order.
+    mdl->network().inferInto(x, s.rec);
+    d.predictedClass = s.rec.predictedClass();
+    mdl->extractor().extractInto(s.rec, s.ws, s.path);
+    path::computeSimilarityInto(
+        s.path, mdl->classPaths().classPath(d.predictedClass),
+        mdl->extractor().layout(), d.features);
+    d.features.toVectorInto(s.feat);
+    d.score = mdl->forest().predictProb(s.feat);
+    d.adversarial = d.score >= 0.5;
+}
+
+Decision
+DetectorSession::detect(const nn::Tensor &x)
+{
+    Decision d;
+    detectInto(x, d, slots[0]);
+    return d;
+}
+
+void
+DetectorSession::detectBatch(std::span<const nn::Tensor *const> xs,
+                             std::span<Decision> out, ThreadPool *pool)
+{
+    if (!pool)
+        pool = &globalPool();
+    // Grow (never shrink) the slot table to the pool width so warmed
+    // buffers survive pool changes.
+    if (slots.size() < pool->size())
+        slots.resize(pool->size());
+    pool->parallelForWithTid(xs.size(), [&](std::size_t i, unsigned tid) {
+        detectInto(*xs[i], out[i], slot(tid));
+    });
+}
+
+void
+DetectorSession::detectBatch(const std::vector<nn::Tensor> &xs,
+                             std::vector<Decision> &out, ThreadPool *pool)
+{
+    thread_local std::vector<const nn::Tensor *> ptrs;
+    ptrs.clear();
+    for (const auto &x : xs)
+        ptrs.push_back(&x);
+    out.resize(xs.size());
+    detectBatch(std::span<const nn::Tensor *const>(ptrs.data(),
+                                                   ptrs.size()),
+                std::span<Decision>(out.data(), out.size()), pool);
+}
+
+std::vector<double>
+DetectorSession::featuresFor(const nn::Network::Record &rec,
+                             path::ExtractionTrace *trace)
+{
+    Slot &s = slots[0];
+    mdl->extractor().extractInto(rec, s.ws, s.path, trace);
+    const auto &pc = mdl->classPaths().classPath(rec.predictedClass());
+    return path::computeSimilarity(s.path, pc, mdl->extractor().layout())
+        .toVector();
+}
+
+double
+DetectorSession::score(const nn::Network::Record &rec)
+{
+    return mdl->forest().predictProb(featuresFor(rec));
+}
+
+void
+DetectorSession::featuresBatch(const std::vector<nn::Tensor> &xs,
+                               classify::FeatureMatrix &rows,
+                               std::vector<std::size_t> *predicted)
+{
+    detail::featuresBatch(*mdl, xs, rows, predicted, fbScratch);
+}
+
+} // namespace ptolemy::core

@@ -130,14 +130,21 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
     det.featuresBatch(xs, adversarial);
     det.fitClassifier(benign, adversarial);
 
-    xs.clear();
+    // Held-out scoring goes through the real serving path: one fused
+    // detectBatch over borrowed held-out views (clean/adversarial
+    // interleaved, the paper's evenly-split test set). Decisions carry
+    // the same features/scores the old per-row predictProb computed —
+    // bit-identical — but the code path is now exactly the one serving
+    // production traffic.
+    std::vector<const nn::Tensor *> xptrs;
     for (std::size_t i = n_train; i < pairs.size(); ++i) {
-        xs.push_back(pairs[order[i]].clean);
-        xs.push_back(pairs[order[i]].adversarial);
+        xptrs.push_back(&pairs[order[i]].clean);
+        xptrs.push_back(&pairs[order[i]].adversarial);
     }
-    classify::FeatureMatrix held;
-    std::vector<std::size_t> preds;
-    det.featuresBatch(xs, held, &preds);
+    std::vector<Decision> decisions(xptrs.size());
+    det.session().detectBatch(
+        std::span<const nn::Tensor *const>(xptrs.data(), xptrs.size()),
+        std::span<Decision>(decisions.data(), decisions.size()));
 
     std::vector<double> scores;
     std::vector<int> labels;
@@ -149,8 +156,8 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
             ss.label = adv;
             ss.trueClass = p.label;
             ss.mse = adv ? p.mse : 0.0;
-            ss.predictedClass = preds[q];
-            ss.score = det.forest().predictProb(held[q]);
+            ss.predictedClass = decisions[q].predictedClass;
+            ss.score = decisions[q].score;
             scores.push_back(ss.score);
             labels.push_back(ss.label);
             out.heldOut.push_back(std::move(ss));
@@ -161,14 +168,14 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
 }
 
 AttackEvalResult
-evaluateAttack(Detector &det, attack::Attack &atk, const nn::Dataset &test,
-               int max_samples, std::uint64_t seed)
+evaluateAttack(nn::Network &net, Detector &det, attack::Attack &atk,
+               const nn::Dataset &test, int max_samples, std::uint64_t seed)
 {
     AttackEvalResult r;
     r.attackName = atk.name();
     int attempted = 0;
-    auto pairs = buildAttackPairs(det.network(), atk, test, max_samples,
-                                  seed, &attempted);
+    auto pairs =
+        buildAttackPairs(net, atk, test, max_samples, seed, &attempted);
     r.numPairs = pairs.size();
     r.numAttempted = static_cast<std::size_t>(attempted);
     // Divide by the attacks actually launched: the test set can run out
@@ -186,7 +193,7 @@ evaluateAttack(Detector &det, attack::Attack &atk, const nn::Dataset &test,
 }
 
 SuiteEvalResult
-evaluateSuite(Detector &det,
+evaluateSuite(nn::Network &net, Detector &det,
               const std::vector<std::unique_ptr<attack::Attack>> &attacks,
               const nn::Dataset &test, int max_samples_per_attack,
               std::uint64_t seed)
@@ -194,8 +201,8 @@ evaluateSuite(Detector &det,
     SuiteEvalResult suite;
     double sum = 0.0;
     for (const auto &atk : attacks) {
-        auto r = evaluateAttack(det, *atk, test, max_samples_per_attack,
-                                seed);
+        auto r = evaluateAttack(net, det, *atk, test,
+                                max_samples_per_attack, seed);
         sum += r.auc;
         suite.minAuc = std::min(suite.minAuc, r.auc);
         suite.maxAuc = std::max(suite.maxAuc, r.auc);

@@ -93,14 +93,25 @@ std::vector<DetectionPair> buildAttackPairs(nn::Network &net,
  * benign/adversarial features, then score the held-out split. The
  * train split is clamped to [2, pairs.size() - 2] so the held-out
  * split is never empty, whatever @p train_fraction says.
+ *
+ * Held-out scoring rides the real serving path — one fused
+ * DetectorSession::detectBatch over the held-out inputs — so the
+ * Sec. VI harness exercises exactly what production traffic would,
+ * with scores bit-identical to per-sample score() calls.
  */
 PairScores fitAndScore(Detector &det,
                        const std::vector<DetectionPair> &pairs,
                        double train_fraction = 0.5,
                        std::uint64_t seed = 17);
 
-/** buildAttackPairs + fitAndScore for one attack. */
-AttackEvalResult evaluateAttack(Detector &det, attack::Attack &atk,
+/**
+ * buildAttackPairs + fitAndScore for one attack. Attack generation
+ * needs gradient passes against @p net — the one mutable-network use
+ * in the harness — so the network is passed explicitly; @p det only
+ * ever reads (it borrows the same network const).
+ */
+AttackEvalResult evaluateAttack(nn::Network &net, Detector &det,
+                                attack::Attack &atk,
                                 const nn::Dataset &test, int max_samples,
                                 std::uint64_t seed = 17);
 
@@ -111,7 +122,7 @@ AttackEvalResult evaluateAttack(Detector &det, attack::Attack &atk,
  * bit-identical to the sample-serial path at any thread count.
  */
 SuiteEvalResult evaluateSuite(
-    Detector &det,
+    nn::Network &net, Detector &det,
     const std::vector<std::unique_ptr<attack::Attack>> &attacks,
     const nn::Dataset &test, int max_samples_per_attack,
     std::uint64_t seed = 17);

@@ -9,7 +9,7 @@ namespace ptolemy::core
 {
 
 nn::Network::Record
-forwardWithFault(nn::Network &net, const nn::Tensor &x,
+forwardWithFault(const nn::Network &net, const nn::Tensor &x,
                  const FaultSpec &fault)
 {
     nn::Network::Record rec;
@@ -21,7 +21,8 @@ forwardWithFault(nn::Network &net, const nn::Tensor &x,
         ins.reserve(node.inputs.size());
         for (int in_id : node.inputs)
             ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
-        rec.outputs.push_back(net.layerAt(id).forward(ins, false));
+        rec.outputs.emplace_back();
+        net.layerAt(id).forwardInto(ins, rec.outputs.back(), false);
 
         if (id == fault.nodeId && !rec.outputs[id].empty()) {
             // Single-event upset: flip one bit of the stored value.
@@ -48,11 +49,13 @@ runFaultCampaign(Detector &det, const nn::Dataset &inputs,
 {
     Rng rng(seed);
     FaultCampaignResult result;
-    nn::Network &net = det.network();
+    const nn::Network &net = det.network(); // const-only online view
+    nn::Network::Record predScratch;
 
     for (int i = 0; i < num_injections; ++i) {
         const auto &sample = inputs[rng.below(inputs.size())];
-        const std::size_t clean_pred = net.predict(sample.input);
+        const std::size_t clean_pred =
+            net.inferPredict(sample.input, predScratch);
 
         FaultSpec fault;
         fault.nodeId = static_cast<int>(rng.below(net.numNodes() - 1));

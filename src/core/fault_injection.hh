@@ -36,11 +36,13 @@ struct FaultSpec
 };
 
 /**
- * Forward pass with a single-event upset injected: identical to
- * Network::forward except the fault is applied to the chosen node's
- * output before its consumers read it.
+ * Forward pass with a single-event upset injected: identical to an
+ * inference pass except the fault is applied to the chosen node's
+ * output before its consumers read it. Read-only on the network (the
+ * campaign runs against the detector's shared const view).
  */
-nn::Network::Record forwardWithFault(nn::Network &net, const nn::Tensor &x,
+nn::Network::Record forwardWithFault(const nn::Network &net,
+                                     const nn::Tensor &x,
                                      const FaultSpec &fault);
 
 /** Fault-campaign outcome. */

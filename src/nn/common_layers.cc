@@ -17,7 +17,7 @@ ReLU::outputShape(const std::vector<Shape> &ins) const
 
 void
 ReLU::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                  bool train)
+                  bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];
@@ -57,7 +57,7 @@ MaxPool2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 MaxPool2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                       bool train)
+                       bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];
@@ -162,7 +162,7 @@ GlobalAvgPool::outputShape(const std::vector<Shape> &ins) const
 
 void
 GlobalAvgPool::forwardInto(const std::vector<const Tensor *> &ins,
-                           Tensor &out, bool train)
+                           Tensor &out, bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];
@@ -231,7 +231,7 @@ Flatten::outputShape(const std::vector<Shape> &ins) const
 
 void
 Flatten::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train)
+                     bool train) const
 {
     (void)train;
     out.resize(flatShape(static_cast<int>(ins[0]->size())));
@@ -267,7 +267,7 @@ Add::outputShape(const std::vector<Shape> &ins) const
 
 void
 Add::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                 bool train)
+                 bool train) const
 {
     (void)train;
     const Tensor &a = *ins[0], &b = *ins[1];
@@ -318,7 +318,7 @@ Concat::outputShape(const std::vector<Shape> &ins) const
 
 void
 Concat::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train)
+                    bool train) const
 {
     (void)train;
     out.resize(mapShape(ins[0]->shape().c + ins[1]->shape().c,
@@ -384,7 +384,7 @@ DownsamplePad::outputShape(const std::vector<Shape> &ins) const
 
 void
 DownsamplePad::forwardInto(const std::vector<const Tensor *> &ins,
-                           Tensor &out, bool train)
+                           Tensor &out, bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];
@@ -459,7 +459,7 @@ Norm2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 Norm2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train)
+                    bool train) const
 {
     // Train and inference passes normalize identically, with the stats
     // as they stand; the training-time stat update is deferred (see the

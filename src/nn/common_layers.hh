@@ -28,7 +28,7 @@ class ReLU : public Layer
     LayerKind kind() const override { return LayerKind::ReLU; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -44,7 +44,7 @@ class MaxPool2d : public Layer
     LayerKind kind() const override { return LayerKind::MaxPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -69,7 +69,7 @@ class GlobalAvgPool : public Layer
     LayerKind kind() const override { return LayerKind::GlobalAvgPool; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -89,7 +89,7 @@ class Flatten : public Layer
     LayerKind kind() const override { return LayerKind::Flatten; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -106,7 +106,7 @@ class Add : public Layer
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -127,7 +127,7 @@ class Concat : public Layer
     int numInputs() const override { return 2; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -151,7 +151,7 @@ class DownsamplePad : public Layer
     LayerKind kind() const override { return LayerKind::Downsample; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,
@@ -187,7 +187,7 @@ class Norm2d : public Layer
     LayerKind kind() const override { return LayerKind::Norm; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,

@@ -34,7 +34,7 @@ Conv2d::outputShape(const std::vector<Shape> &ins) const
 
 void
 Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train)
+                    bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];

@@ -35,7 +35,7 @@ class Conv2d : public Layer
     LayerKind kind() const override { return LayerKind::Conv; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,

@@ -121,8 +121,11 @@ class Layer
     /**
      * Run the layer, writing the result into @p out (resized as needed;
      * a warmed-up @p out buffer makes the call allocation-free for the
-     * overriding layers). Performs no writes to layer state whatsoever
-     * — concurrent samples through one layer object never race.
+     * overriding layers). Const and state-free: it performs no writes
+     * to layer state whatsoever, so concurrent samples through one
+     * layer object never race, and a fully `const Network` can serve
+     * inference (the immutability guarantee core::DetectorModel is
+     * built on).
      *
      * @param ins borrowed input tensors, one per declared input.
      * @param out output tensor, resized to the layer's output shape.
@@ -132,13 +135,15 @@ class Layer
      *        future train-only behaviors (dropout) have a seam.
      */
     virtual void forwardInto(const std::vector<const Tensor *> &ins,
-                             Tensor &out, bool train) = 0;
+                             Tensor &out, bool train) const = 0;
 
     /**
      * Convenience wrapper around forwardInto() that allocates the output.
      * When @p train is set, any deferred train-state update (Norm2d's
      * running statistics) is folded in immediately — the single-sample
-     * streaming behavior tests and one-off callers expect.
+     * streaming behavior tests and one-off callers expect. Non-const
+     * because of that fold; inference-only callers on a const layer use
+     * forwardInto directly.
      */
     Tensor forward(const std::vector<const Tensor *> &ins, bool train);
 

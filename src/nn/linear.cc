@@ -24,7 +24,7 @@ Linear::outputShape(const std::vector<Shape> &ins) const
 
 void
 Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                    bool train)
+                    bool train) const
 {
     (void)train;
     const Tensor &in = *ins[0];

@@ -24,7 +24,7 @@ class Linear : public Layer
     LayerKind kind() const override { return LayerKind::Linear; }
     Shape outputShape(const std::vector<Shape> &ins) const override;
     void forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
-                     bool train) override;
+                     bool train) const override;
     void backwardInto(const std::vector<const Tensor *> &ins,
                       const Tensor &grad_out,
                       const std::vector<GradSink> &sinks,

@@ -77,13 +77,13 @@ Network::forwardInto(const Tensor &x, Record &rec, bool train)
 
 void
 Network::forwardInto(const Tensor &x, Record &rec, bool train,
-                     GradArena &slot)
+                     GradArena &slot) const
 {
     assert(x.shape() == inShape);
     rec.input = x; // copy-assign reuses the record's buffer
     rec.outputs.resize(nodes.size());
     for (std::size_t id = 0; id < nodes.size(); ++id) {
-        auto &n = nodes[id];
+        const auto &n = nodes[id];
         slot.ins.clear();
         for (int in_id : n.inputs)
             slot.ins.push_back(in_id < 0 ? &rec.input
@@ -93,8 +93,27 @@ Network::forwardInto(const Tensor &x, Record &rec, bool train,
 }
 
 void
+Network::inferInto(const Tensor &x, Record &rec) const
+{
+    assert(x.shape() == inShape);
+    // Layers are state-free in forward, so concurrent inferences
+    // through the shared layer objects do not race. The input views are
+    // thread-local so a warmed-up loop allocates nothing.
+    thread_local std::vector<const Tensor *> ins;
+    rec.input = x; // copy-assign reuses the record's buffer
+    rec.outputs.resize(nodes.size());
+    for (std::size_t id = 0; id < nodes.size(); ++id) {
+        const auto &n = nodes[id];
+        ins.clear();
+        for (int in_id : n.inputs)
+            ins.push_back(in_id < 0 ? &rec.input : &rec.outputs[in_id]);
+        n.layer->forwardInto(ins, rec.outputs[id], false);
+    }
+}
+
+void
 Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
-                      ThreadPool *pool)
+                      ThreadPool *pool) const
 {
     // Delegate through borrowed views; per-thread pointer scratch keeps
     // repeated batches allocation-free.
@@ -108,32 +127,16 @@ Network::forwardBatch(const std::vector<Tensor> &xs, std::vector<Record> &recs,
 
 void
 Network::forwardBatch(std::span<const Tensor *const> xs,
-                      std::vector<Record> &recs, ThreadPool *pool)
+                      std::vector<Record> &recs, ThreadPool *pool) const
 {
     recs.resize(xs.size());
     if (pool && pool->size() > 1 && xs.size() > 1) {
-        pool->parallelFor(xs.size(), [&](std::size_t i) {
-            // Layers are state-free in forward, so concurrent samples
-            // through the shared layer objects do not race. The input
-            // views are thread-local so steady-state batches allocate
-            // nothing.
-            thread_local std::vector<const Tensor *> ins;
-            Record &rec = recs[i];
-            rec.input = *xs[i];
-            rec.outputs.resize(nodes.size());
-            for (std::size_t id = 0; id < nodes.size(); ++id) {
-                auto &n = nodes[id];
-                ins.clear();
-                for (int in_id : n.inputs)
-                    ins.push_back(in_id < 0 ? &rec.input
-                                            : &rec.outputs[in_id]);
-                n.layer->forwardInto(ins, rec.outputs[id], false);
-            }
-        });
+        pool->parallelFor(xs.size(),
+                          [&](std::size_t i) { inferInto(*xs[i], recs[i]); });
         return;
     }
     for (std::size_t i = 0; i < xs.size(); ++i)
-        forwardInto(*xs[i], recs[i], /*train=*/false);
+        inferInto(*xs[i], recs[i]);
 }
 
 const Tensor &
@@ -372,6 +375,17 @@ Network::signature() const
             << n.layer->name();
         for (int in_id : n.inputs)
             oss << "," << in_id;
+        // Parameter/state sizes distinguish same-named architectures
+        // that differ only in arity (e.g. a classifier head with a
+        // different class count) — without them, weight caches and
+        // detector-model files could load onto the wrong network.
+        // params()/state() return mutable views so they are non-const;
+        // only the sizes are read here.
+        auto &layer = const_cast<Layer &>(*n.layer);
+        for (auto p : layer.params())
+            oss << ";p" << p.value->size();
+        for (auto p : layer.state())
+            oss << ";s" << p.value->size();
     }
     return oss.str();
 }

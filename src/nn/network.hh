@@ -139,10 +139,30 @@ class Network
      * state — with train=true the caller owns the deferred stat fold
      * (collectTrainState per sample, applyTrainState in sample order at
      * the batch boundary), which is how the trainer keeps parallel
-     * training deterministic.
+     * training deterministic. Const: legal on a shared, frozen network.
      */
     void forwardInto(const Tensor &x, Record &rec, bool train,
-                     GradArena &slot);
+                     GradArena &slot) const;
+
+    /**
+     * Const inference entry point: run the network (train=false),
+     * recording every node's output, without touching any member
+     * scratch. Any number of threads may call this concurrently on one
+     * frozen network, each with its own Record — the thread-safety
+     * contract core::DetectorModel/DetectorSession serve on. The
+     * node-input views live in thread-local scratch, so a warmed-up
+     * loop performs no heap allocation and the results are
+     * bit-identical to forwardInto(x, rec, false).
+     */
+    void inferInto(const Tensor &x, Record &rec) const;
+
+    /** Argmax class of a const inference pass; @p rec is this caller's
+     *  reusable record scratch. */
+    std::size_t inferPredict(const Tensor &x, Record &rec) const
+    {
+        inferInto(x, rec);
+        return rec.predictedClass();
+    }
 
     /**
      * Run a batch of inputs, one Record per sample, optionally fanned
@@ -158,7 +178,7 @@ class Network
      */
     void forwardBatch(const std::vector<Tensor> &xs,
                       std::vector<Record> &recs,
-                      ThreadPool *pool = nullptr);
+                      ThreadPool *pool = nullptr) const;
 
     /**
      * As forwardBatch, but over borrowed tensors (no copies into a
@@ -169,7 +189,7 @@ class Network
      */
     void forwardBatch(std::span<const Tensor *const> xs,
                       std::vector<Record> &recs,
-                      ThreadPool *pool = nullptr);
+                      ThreadPool *pool = nullptr) const;
 
     /**
      * Back-propagate from the logits of a recorded pass.

@@ -1,5 +1,6 @@
 #include "class_path.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/serialize.hh"
@@ -36,28 +37,25 @@ ClassPathStore::similarityMatrix() const
     return m;
 }
 
-bool
-ClassPathStore::save(const std::string &file_path) const
+void
+ClassPathStore::serialize(std::ostream &os) const
 {
-    std::ofstream os(file_path, std::ios::binary);
-    if (!os)
-        return false;
     writeU64(os, paths.size());
     for (std::size_t c = 0; c < paths.size(); ++c) {
         writeU64(os, counts[c]);
         writeString(os, paths[c].serialize());
     }
-    return os.good();
 }
 
 bool
-ClassPathStore::load(const std::string &file_path)
+ClassPathStore::deserialize(std::istream &is)
 {
-    std::ifstream is(file_path, std::ios::binary);
-    if (!is)
-        return false;
     std::uint64_t n;
     if (!readU64(is, n))
+        return false;
+    // Bounded before allocation: a corrupt class count must return
+    // false, not throw bad_alloc.
+    if (n > (1u << 20))
         return false;
     paths.assign(n, BitVector());
     counts.assign(n, 0);
@@ -72,6 +70,25 @@ ClassPathStore::load(const std::string &file_path)
     return true;
 }
 
+bool
+ClassPathStore::save(const std::string &file_path) const
+{
+    std::ofstream os(file_path, std::ios::binary);
+    if (!os)
+        return false;
+    serialize(os);
+    return os.good();
+}
+
+bool
+ClassPathStore::load(const std::string &file_path)
+{
+    std::ifstream is(file_path, std::ios::binary);
+    if (!is)
+        return false;
+    return deserialize(is);
+}
+
 std::vector<double>
 SimilarityFeatures::toVector() const
 {
@@ -82,25 +99,41 @@ SimilarityFeatures::toVector() const
     return v;
 }
 
+void
+SimilarityFeatures::toVectorInto(std::vector<double> &out) const
+{
+    out.resize(1 + perLayer.size());
+    out[0] = overall;
+    std::copy(perLayer.begin(), perLayer.end(), out.begin() + 1);
+}
+
 SimilarityFeatures
 computeSimilarity(const BitVector &p, const BitVector &pc,
                   const PathLayout &layout)
 {
     SimilarityFeatures f;
+    computeSimilarityInto(p, pc, layout, f);
+    return f;
+}
+
+void
+computeSimilarityInto(const BitVector &p, const BitVector &pc,
+                      const PathLayout &layout, SimilarityFeatures &out)
+{
     const std::size_t p_ones = p.popcount();
-    f.overall = p_ones == 0
+    out.overall = p_ones == 0
         ? 1.0
         : static_cast<double>(p.andPopcount(pc)) / p_ones;
-    f.perLayer.reserve(layout.segments().size());
+    out.perLayer.resize(layout.segments().size());
+    std::size_t w = 0;
     for (const auto &seg : layout.segments()) {
         const std::size_t ones =
             p.popcountRange(seg.bitOffset, seg.bitOffset + seg.numBits);
         const std::size_t inter = p.andPopcountRange(
             pc, seg.bitOffset, seg.bitOffset + seg.numBits);
-        f.perLayer.push_back(
-            ones == 0 ? 1.0 : static_cast<double>(inter) / ones);
+        out.perLayer[w++] =
+            ones == 0 ? 1.0 : static_cast<double>(inter) / ones;
     }
-    return f;
 }
 
 } // namespace ptolemy::path

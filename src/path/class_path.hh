@@ -12,6 +12,7 @@
 #define PTOLEMY_PATH_CLASS_PATH_HH
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,11 @@ class ClassPathStore
     /** Load; replaces current contents. @return success. */
     bool load(const std::string &file_path);
 
+    /** Stream-embeddable form of save/load (used by DetectorModel
+     *  persistence, which packs the store into one model file). */
+    void serialize(std::ostream &os) const;
+    bool deserialize(std::istream &is);
+
   private:
     std::vector<BitVector> paths;
     std::vector<std::size_t> counts;
@@ -78,11 +84,25 @@ struct SimilarityFeatures
 
     /** Flatten to a feature vector: [overall, perLayer...]. */
     std::vector<double> toVector() const;
+
+    /** Flatten into a caller-owned vector (buffer reused across calls,
+     *  so a warmed serving loop performs no heap allocation). */
+    void toVectorInto(std::vector<double> &out) const;
 };
 
 /** Compute similarity features of @p p against class path @p pc. */
 SimilarityFeatures computeSimilarity(const BitVector &p, const BitVector &pc,
                                      const PathLayout &layout);
+
+/**
+ * As computeSimilarity, but writing into caller-owned features whose
+ * perLayer buffer is reused across calls — the allocation-free form the
+ * serving hot path (DetectorSession::detect/detectBatch) rides.
+ * Results are bit-identical to computeSimilarity.
+ */
+void computeSimilarityInto(const BitVector &p, const BitVector &pc,
+                           const PathLayout &layout,
+                           SimilarityFeatures &out);
 
 } // namespace ptolemy::path
 

@@ -1,5 +1,9 @@
 #include "extraction_config.hh"
 
+#include <cstdint>
+
+#include "util/serialize.hh"
+
 namespace ptolemy::path
 {
 
@@ -80,6 +84,45 @@ ExtractionConfig::hybrid(int n, double theta, double phi)
     for (int i = n / 2; i < n; ++i)
         cfg.layers[i].kind = ThresholdKind::Cumulative;
     return cfg;
+}
+
+void
+ExtractionConfig::serialize(std::ostream &os) const
+{
+    writeU32(os, direction == Direction::Backward ? 0u : 1u);
+    writeU64(os, layers.size());
+    for (const auto &lp : layers) {
+        writeU32(os, lp.extract ? 1u : 0u);
+        writeU32(os, lp.kind == ThresholdKind::Cumulative ? 0u : 1u);
+        writeF64(os, lp.theta);
+        writeF64(os, lp.phi);
+    }
+}
+
+bool
+ExtractionConfig::deserialize(std::istream &is)
+{
+    std::uint32_t dir;
+    std::uint64_t n;
+    if (!readU32(is, dir) || dir > 1 || !readU64(is, n))
+        return false;
+    // Bounded before allocation: a corrupt layer count must return
+    // false, not throw bad_alloc (no real network has 2^16 weighted
+    // layers).
+    if (n > (1u << 16))
+        return false;
+    direction = dir == 0 ? Direction::Backward : Direction::Forward;
+    layers.assign(n, LayerPolicy{});
+    for (auto &lp : layers) {
+        std::uint32_t extract, kind;
+        if (!readU32(is, extract) || extract > 1 || !readU32(is, kind) ||
+            kind > 1 || !readF64(is, lp.theta) || !readF64(is, lp.phi))
+            return false;
+        lp.extract = extract != 0;
+        lp.kind = kind == 0 ? ThresholdKind::Cumulative
+                            : ThresholdKind::Absolute;
+    }
+    return true;
 }
 
 } // namespace ptolemy::path

@@ -18,6 +18,7 @@
 #ifndef PTOLEMY_PATH_EXTRACTION_CONFIG_HH
 #define PTOLEMY_PATH_EXTRACTION_CONFIG_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,13 @@ struct ExtractionConfig
 
     /** Human-readable variant tag ("BwCu", "FwAb", "Hybrid", ...). */
     std::string variantName() const;
+
+    /** Write the full configuration to a binary stream (DetectorModel
+     *  persistence: the offline and online phases must share knobs). */
+    void serialize(std::ostream &os) const;
+
+    /** Inverse of serialize(). @return false on malformed input. */
+    bool deserialize(std::istream &is);
 
     // Presets (paper Sec. VI-B). @p n = number of weighted layers.
 

@@ -46,7 +46,8 @@ TEST(DetectorTest, DetectsFgsmAdversariesWithHighAuc)
                  10);
     det.buildClassPaths(w.dataset.train, 60);
     attack::Fgsm fgsm;
-    const auto result = evaluateAttack(det, fgsm, w.dataset.test, 60);
+    const auto result =
+        evaluateAttack(w.net, det, fgsm, w.dataset.test, 60);
     EXPECT_EQ(result.attackName, "FGSM");
     EXPECT_GT(result.numPairs, 10u);
     EXPECT_GT(result.auc, 0.80) << "detection should clearly beat chance";

@@ -79,7 +79,7 @@ TEST(EvaluationAccounting, SuccessRateDividesByAttemptedNotByCap)
     ASSERT_GT(pairs.size(), 0u) << "FGSM should fool some inputs";
 
     auto det = smallDetector();
-    const auto r = evaluateAttack(det, fgsm, slice, cap);
+    const auto r = evaluateAttack(w.net, det, fgsm, slice, cap);
     EXPECT_EQ(r.numAttempted, static_cast<std::size_t>(attempted));
     EXPECT_EQ(r.numPairs, pairs.size());
     EXPECT_DOUBLE_EQ(r.attackSuccessRate,
@@ -88,14 +88,15 @@ TEST(EvaluationAccounting, SuccessRateDividesByAttemptedNotByCap)
 
 TEST(EvaluationAccounting, EmptyTestSetIsSafe)
 {
+    auto &w = ptolemy::testing::world();
     auto det = smallDetector();
     attack::Fgsm fgsm;
     int attempted = -1;
-    const auto pairs = buildAttackPairs(det.network(), fgsm, {}, 20,
-                                        0xE7A1, &attempted);
+    const auto pairs =
+        buildAttackPairs(w.net, fgsm, {}, 20, 0xE7A1, &attempted);
     EXPECT_TRUE(pairs.empty());
     EXPECT_EQ(attempted, 0);
-    const auto r = evaluateAttack(det, fgsm, {}, 20);
+    const auto r = evaluateAttack(w.net, det, fgsm, {}, 20);
     EXPECT_EQ(r.numPairs, 0u);
     EXPECT_EQ(r.numAttempted, 0u);
     EXPECT_DOUBLE_EQ(r.attackSuccessRate, 0.0);
