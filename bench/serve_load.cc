@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Serving-tier load generator and soak harness.
+ *
+ * Default mode sweeps offered QPS across {0.5x, 1x, 2x} of the
+ * measured closed-loop capacity and records per-point p50/p95/p99
+ * latency, delivered throughput and shed rate into a "serve" block of
+ * BENCH_micro.json (spliced into the perf_smoke artifact when it
+ * already exists, so one file carries the whole perf trajectory). The
+ * measured window is asserted allocation-free: a warmed server +
+ * request slab must serve an open-loop flood with zero heap
+ * allocations, the same steady-state discipline perf_smoke enforces on
+ * the kernels below it.
+ *
+ * --soak mode is the CI robustness leg (run under ThreadSanitizer):
+ * phase 1 offers comfortable load with no faults and requires ZERO
+ * sheds, deadline misses and errors; phase 2 turns on the full
+ * ServeFaultPlan campaign (stalled batches, poisoned requests, hot
+ * swaps with injected load failures) under concurrent retrying clients
+ * and requires conservation — every submitted request resolved to
+ * exactly one typed status — plus bit-identical kOk decisions across
+ * model swaps. An internal watchdog hard-exits if the tier deadlocks.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
+#include "core/fault_injection.hh"
+#include "data/synthetic.hh"
+#include "nn/common_layers.hh"
+#include "nn/conv.hh"
+#include "nn/init.hh"
+#include "nn/linear.hh"
+#include "nn/network.hh"
+#include "nn/trainer.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+std::atomic<std::size_t> g_allocs{0};
+} // namespace
+
+// Count every heap allocation in the process so the measured serving
+// window can be shown to perform none.
+void *
+operator new(std::size_t n)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace ptolemy;
+using serve::Clock;
+
+nn::Network
+makeServeNet()
+{
+    nn::Network net("serve_probe", nn::mapShape(3, 16, 16));
+    net.add(std::make_unique<nn::Conv2d>("conv1", 3, 8, 3, 1, 1));
+    net.add(std::make_unique<nn::ReLU>("relu1"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool1", 2)); // 8x8
+    net.add(std::make_unique<nn::Conv2d>("conv2", 8, 12, 3, 1, 1));
+    net.add(std::make_unique<nn::ReLU>("relu2"));
+    net.add(std::make_unique<nn::MaxPool2d>("pool2", 2)); // 4x4
+    net.add(std::make_unique<nn::Flatten>("flat"));
+    net.add(std::make_unique<nn::Linear>("fc", 12 * 4 * 4, 10));
+    return net;
+}
+
+/** Trained net + fitted model + serving inputs for the generator. */
+struct ServeWorld
+{
+    nn::Network net;
+    core::DetectorModel model;
+    std::vector<nn::Tensor> inputs;
+
+    ServeWorld() : net(makeServeNet()), model(buildModel(net))
+    {
+        Rng rng(0xD37EC7);
+        data::DatasetSpec spec;
+        spec.numClasses = 10;
+        spec.trainPerClass = 2;
+        spec.testPerClass = 4;
+        spec.seed = 43;
+        const auto probe = data::makeSyntheticDataset(spec);
+        for (const auto &s : probe.test) {
+            inputs.push_back(s.input);
+            nn::Tensor x = s.input;
+            for (std::size_t e = 0; e < x.size(); ++e)
+                x[e] += static_cast<float>(rng.uniform(-0.08, 0.08));
+            inputs.push_back(std::move(x));
+        }
+    }
+
+    static core::DetectorModel
+    buildModel(nn::Network &net)
+    {
+        data::DatasetSpec spec;
+        spec.numClasses = 10;
+        spec.trainPerClass = 20;
+        spec.testPerClass = 4;
+        spec.seed = 42;
+        const auto ds = data::makeSyntheticDataset(spec);
+        nn::heInit(net, 7);
+        nn::TrainConfig tc;
+        tc.epochs = 3;
+        tc.learningRate = 0.02;
+        nn::Trainer trainer(tc);
+        trainer.train(net, ds.train);
+
+        core::DetectorBuilder bld(
+            net,
+            path::ExtractionConfig::bwCu(
+                static_cast<int>(net.weightedNodes().size()), 0.5),
+            spec.numClasses);
+        bld.profileClassPaths(ds.train, 12);
+        Rng rng(0x51AB);
+        std::vector<nn::Tensor> clean, noisy;
+        for (const auto &s : ds.test) {
+            clean.push_back(s.input);
+            nn::Tensor x = s.input;
+            for (std::size_t e = 0; e < x.size(); ++e)
+                x[e] += static_cast<float>(rng.uniform(-0.1, 0.1));
+            noisy.push_back(std::move(x));
+        }
+        classify::FeatureMatrix benign, adversarial;
+        bld.featuresBatch(clean, benign);
+        bld.featuresBatch(noisy, adversarial);
+        bld.fitClassifier(benign, adversarial);
+        return std::move(bld).build();
+    }
+};
+
+/** Closed-loop fused-batch capacity: the ceiling the sweep is scaled
+ *  against. */
+double
+measureCapacity(ServeWorld &w)
+{
+    core::DetectorSession sess(w.model);
+    std::vector<const nn::Tensor *> xptrs;
+    for (const auto &x : w.inputs)
+        xptrs.push_back(&x);
+    std::vector<core::Decision> out(xptrs.size());
+    const std::span<const nn::Tensor *const> xs(xptrs.data(),
+                                                xptrs.size());
+    const std::span<core::Decision> os(out.data(), out.size());
+    sess.detectBatch(xs, os); // warm
+    sess.detectBatch(xs, os);
+    const auto start = Clock::now();
+    std::size_t served = 0;
+    double elapsed = 0.0;
+    do {
+        sess.detectBatch(xs, os);
+        served += xptrs.size();
+        elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < 0.3);
+    return static_cast<double>(served) / elapsed;
+}
+
+struct SweepPoint
+{
+    double offeredQps = 0.0;
+    std::size_t submitted = 0;
+    std::size_t ok = 0;
+    std::size_t shedCount = 0;
+    double throughputPerSec = 0.0;
+    double shedRate = 0.0;
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0; ///< µs, kOk only
+    std::size_t allocs = 0; ///< heap allocations in the measured window
+};
+
+double
+percentile(std::vector<double> &v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    const auto k = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    std::nth_element(v.begin(),
+                     v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
+    return v[k];
+}
+
+/**
+ * One open-loop point: pace @p total submissions at @p qps through a
+ * reused request slab (a slot is re-armed only after its previous
+ * flight resolved, so in-flight never exceeds the slab). The measured
+ * window must be allocation-free.
+ */
+SweepPoint
+runPoint(serve::DetectorServer &server, ServeWorld &w, double qps,
+         std::size_t total, std::vector<serve::ServeRequest> &slab,
+         std::vector<double> &latencies)
+{
+    SweepPoint pt;
+    pt.offeredQps = qps;
+    latencies.clear();
+
+    const auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / qps));
+    const auto t0 = Clock::now();
+    auto next = t0;
+    const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < total; ++k) {
+        // Pace: coarse sleep, fine spin (sub-ms precision matters at
+        // the top of the sweep).
+        for (;;) {
+            const auto now = Clock::now();
+            if (now >= next)
+                break;
+            if (next - now > std::chrono::microseconds(500))
+                std::this_thread::sleep_for(next - now -
+                                            std::chrono::microseconds(200));
+        }
+        next += interval;
+
+        serve::ServeRequest &r = slab[k % slab.size()];
+        // Harvest the slot's previous flight before re-arming it.
+        if (k >= slab.size()) {
+            if (server.wait(r) == serve::RequestStatus::kOk)
+                latencies.push_back(r.latencyMicros());
+        }
+        r.reset(w.inputs[k % w.inputs.size()]);
+        ++pt.submitted;
+        server.submit(r); // shed resolves synchronously; harvested above
+    }
+    // Drain the tail.
+    const std::size_t tail = std::min(slab.size(), total);
+    for (std::size_t i = 0; i < tail; ++i) {
+        serve::ServeRequest &r = slab[(total - tail + i) % slab.size()];
+        if (server.wait(r) == serve::RequestStatus::kOk)
+            latencies.push_back(r.latencyMicros());
+    }
+    pt.allocs = g_allocs.load(std::memory_order_relaxed) - before;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    pt.ok = latencies.size();
+    pt.shedCount = pt.submitted - pt.ok; // no deadlines/faults in sweep
+    pt.throughputPerSec = static_cast<double>(pt.ok) / elapsed;
+    pt.shedRate = static_cast<double>(pt.shedCount) /
+                  static_cast<double>(pt.submitted);
+    pt.p50 = percentile(latencies, 0.50);
+    pt.p95 = percentile(latencies, 0.95);
+    pt.p99 = percentile(latencies, 0.99);
+    return pt;
+}
+
+/**
+ * Splice a "serve" JSON block into @p out_path: appended as a last
+ * member when the perf_smoke artifact already exists, else written as
+ * a fresh document.
+ */
+bool
+writeServeBlock(const std::string &out_path, const std::string &block)
+{
+    std::string existing;
+    {
+        std::ifstream is(out_path);
+        if (is)
+            existing.assign(std::istreambuf_iterator<char>(is),
+                            std::istreambuf_iterator<char>());
+    }
+    std::string prefix;
+    const std::size_t close = existing.rfind('}');
+    if (close != std::string::npos && existing.find('{') < close) {
+        prefix = existing.substr(0, close);
+        while (!prefix.empty() &&
+               (prefix.back() == '\n' || prefix.back() == ' '))
+            prefix.pop_back();
+        prefix += ",\n";
+    } else {
+        prefix = "{\n"; // fresh document (sweep ran before perf_smoke)
+    }
+    std::ofstream os(out_path, std::ios::trunc);
+    if (!os)
+        return false;
+    os << prefix << block << "\n}\n";
+    return os.good();
+}
+
+int
+runSweep(ServeWorld &w, const std::string &out_path)
+{
+    const double capacity = measureCapacity(w);
+    std::printf("closed-loop capacity: %.0f detections/s\n", capacity);
+
+    serve::ServeConfig cfg;
+    cfg.queueDepth = 64;
+    cfg.maxBatch = 16;
+    cfg.batchWindowMicros = 200;
+    serve::DetectorServer server(w.model, cfg);
+
+    // Request slab, reused across every point. The warm-up pass below
+    // routes every slot through a served decision once so its Decision
+    // buffers reach steady-state capacity before anything is measured.
+    std::vector<serve::ServeRequest> slab(2 * cfg.queueDepth);
+    std::vector<double> latencies;
+    latencies.reserve(1 << 16);
+    for (std::size_t i = 0; i < slab.size(); ++i) {
+        slab[i].reset(w.inputs[i % w.inputs.size()]);
+        server.submit(slab[i]);
+        if (server.wait(slab[i]) != serve::RequestStatus::kOk) {
+            std::cerr << "FAIL: warm-up request " << i << " ended "
+                      << requestStatusName(slab[i].status.load()) << "\n";
+            return 1;
+        }
+    }
+    // Closed-loop warm-up only ever formed single-request batches;
+    // flood a few full bursts so every batch-width-dependent buffer
+    // (the dispatcher's maxBatch result slots included) reaches its
+    // high-water mark too.
+    for (int round = 0; round < 3; ++round) {
+        for (auto &r : slab) {
+            r.reset(w.inputs[r.seq % w.inputs.size()]);
+            server.submit(r);
+        }
+        for (auto &r : slab)
+            server.wait(r);
+    }
+
+    const double fractions[] = {0.5, 1.0, 2.0};
+    std::vector<SweepPoint> points;
+    for (const double f : fractions) {
+        const double qps = f * capacity;
+        const auto total = static_cast<std::size_t>(
+            std::clamp(qps * 0.4, 200.0, 6000.0));
+        points.push_back(runPoint(server, w, qps, total, slab, latencies));
+        const auto &pt = points.back();
+        std::printf("offered %.0f/s (%.1fx): served %.0f/s, shed %.1f%%, "
+                    "p50 %.0fus p95 %.0fus p99 %.0fus, allocs %zu\n",
+                    pt.offeredQps, f, pt.throughputPerSec,
+                    100.0 * pt.shedRate, pt.p50, pt.p95, pt.p99,
+                    pt.allocs);
+    }
+    server.stop();
+    const auto st = server.stats();
+    if (!st.conserved()) {
+        std::cerr << "FAIL: request conservation broken (submitted="
+                  << st.submitted << " resolved=" << st.resolved()
+                  << ")\n";
+        return 1;
+    }
+
+    std::size_t alloc_total = 0;
+    for (const auto &pt : points)
+        alloc_total += pt.allocs;
+
+    std::ostringstream block;
+    block << "  \"serve\": {\n"
+          << "    \"model\": \"2conv+1fc on 3x16x16, BwCu theta=0.5\",\n"
+          << "    \"queue_depth\": " << cfg.queueDepth << ",\n"
+          << "    \"max_batch\": " << cfg.maxBatch << ",\n"
+          << "    \"batch_window_us\": " << cfg.batchWindowMicros << ",\n"
+          << "    \"capacity_per_sec\": " << capacity << ",\n"
+          << "    \"steady_state_allocs\": " << alloc_total << ",\n"
+          << "    \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &pt = points[i];
+        block << "      { \"offered_qps\": " << pt.offeredQps
+              << ", \"submitted\": " << pt.submitted
+              << ", \"throughput_per_sec\": " << pt.throughputPerSec
+              << ", \"shed_rate\": " << pt.shedRate
+              << ", \"p50_us\": " << pt.p50
+              << ", \"p95_us\": " << pt.p95
+              << ", \"p99_us\": " << pt.p99 << " }"
+              << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    block << "    ]\n  }";
+    if (!writeServeBlock(out_path, block.str())) {
+        std::cerr << "FAIL: cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::printf("wrote serve block to %s\n", out_path.c_str());
+
+    if (alloc_total != 0) {
+        std::cerr << "FAIL: measured serving windows performed "
+                  << alloc_total << " heap allocations (expected 0)\n";
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Soak: shed-free tier under comfortable load, then the full fault
+ * campaign under concurrent retrying clients. Run under TSan in CI.
+ */
+int
+runSoak(ServeWorld &w)
+{
+    // Watchdog: the whole point of the soak is that nothing ever
+    // hangs; if it does, fail loudly instead of eating the CI timeout.
+    std::atomic<bool> done{false};
+    std::thread watchdog([&] {
+        const auto deadline =
+            Clock::now() + std::chrono::seconds(240);
+        while (!done.load(std::memory_order_acquire)) {
+            if (Clock::now() > deadline) {
+                std::fprintf(stderr,
+                             "FAIL: soak watchdog fired (serving tier "
+                             "hung)\n");
+                std::_Exit(7);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+    });
+
+    // Reference decisions: every kOk must match these bitwise, before,
+    // during and after hot swaps (the swap artifact is this same
+    // model).
+    std::vector<core::Decision> ref;
+    {
+        core::DetectorSession sess(w.model);
+        for (const auto &x : w.inputs)
+            ref.push_back(sess.detect(x));
+    }
+    const std::string swap_path = "serve_soak_swap.model";
+    if (!w.model.save(swap_path)) {
+        std::cerr << "FAIL: cannot save swap artifact\n";
+        return 1;
+    }
+    int failures = 0;
+    auto check_ok_decision = [&](const serve::ServeRequest &r,
+                                 std::size_t input_idx) {
+        const auto &a = r.decision;
+        const auto &b = ref[input_idx];
+        if (a.score != b.score || a.predictedClass != b.predictedClass ||
+            a.adversarial != b.adversarial) {
+            ++failures;
+            std::cerr << "FAIL: kOk decision diverged on input "
+                      << input_idx << "\n";
+        }
+    };
+
+    // ---- Phase 1: comfortable load, no faults: zero sheds, zero
+    // deadline misses, zero errors.
+    {
+        serve::ServeConfig cfg;
+        cfg.queueDepth = 64;
+        cfg.maxBatch = 8;
+        serve::DetectorServer server(w.model, cfg);
+        serve::ServeRequest req;
+        for (int k = 0; k < 300; ++k) {
+            const std::size_t idx = k % w.inputs.size();
+            req.reset(w.inputs[idx]);
+            server.submit(req);
+            if (server.wait(req) != serve::RequestStatus::kOk) {
+                ++failures;
+                std::cerr << "FAIL: shed-free phase request " << k
+                          << " ended "
+                          << requestStatusName(req.status.load()) << "\n";
+            } else {
+                check_ok_decision(req, idx);
+            }
+        }
+        server.stop();
+        const auto st = server.stats();
+        if (st.shed != 0 || st.deadlineExceeded != 0 || st.errors != 0 ||
+            !st.conserved()) {
+            ++failures;
+            std::cerr << "FAIL: shed-free phase counters: shed="
+                      << st.shed << " ddl=" << st.deadlineExceeded
+                      << " err=" << st.errors << " conserved="
+                      << st.conserved() << "\n";
+        }
+        std::printf("soak phase 1: 300/300 ok, shed-free\n");
+    }
+
+    // ---- Phase 2: full fault campaign under concurrent clients.
+    {
+        core::ServeFaultPlan plan;
+        plan.delayEveryNthBatch = 4;
+        plan.batchDelayMicros = 2000;
+        plan.poisonEveryNthRequest = 9;
+        serve::ServeConfig cfg;
+        cfg.queueDepth = 8;
+        cfg.maxBatch = 4;
+        cfg.batchWindowMicros = 100;
+        cfg.defaultDeadlineMicros = 100000;
+        serve::DetectorServer server(w.model, cfg, &plan);
+
+        constexpr int kClients = 2;
+        constexpr int kPerClient = 200;
+        std::atomic<std::size_t> resolved{0}, ok{0};
+        auto client = [&](int tid) {
+            serve::RetryClient::Options ropt;
+            ropt.maxAttempts = 3;
+            ropt.initialBackoffMicros = 200;
+            serve::RetryClient rc(server, ropt);
+            serve::ServeRequest req;
+            for (int i = 0; i < kPerClient; ++i) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(tid + i) % w.inputs.size();
+                const serve::RequestStatus s =
+                    rc.detect(req, w.inputs[idx]);
+                if (!serve::isResolved(s)) {
+                    ++failures;
+                    std::cerr << "FAIL: campaign request not resolved\n";
+                    continue;
+                }
+                resolved.fetch_add(1);
+                if (s == serve::RequestStatus::kOk) {
+                    ok.fetch_add(1);
+                    check_ok_decision(req, idx);
+                }
+            }
+        };
+        std::vector<std::thread> clients;
+        for (int t = 0; t < kClients; ++t)
+            clients.emplace_back(client, t);
+        for (int s = 0; s < 6; ++s) {
+            if (s % 3 == 2)
+                plan.failNextSwaps.store(1);
+            server.swapModel(swap_path);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        for (auto &t : clients)
+            t.join();
+        server.stop();
+
+        const auto st = server.stats();
+        if (!st.conserved()) {
+            ++failures;
+            std::cerr << "FAIL: campaign conservation broken (submitted="
+                      << st.submitted << " resolved=" << st.resolved()
+                      << ")\n";
+        }
+        if (resolved.load() !=
+            static_cast<std::size_t>(kClients) * kPerClient) {
+            ++failures;
+            std::cerr << "FAIL: lost client requests\n";
+        }
+        if (ok.load() == 0) {
+            ++failures;
+            std::cerr << "FAIL: campaign served nothing\n";
+        }
+        std::printf(
+            "soak phase 2: %zu/%d resolved (%zu ok), server: ok=%llu "
+            "shed=%llu ddl=%llu err=%llu swaps=%llu failed_swaps=%llu "
+            "batches=%llu | injected: delays=%zu poisons=%zu "
+            "swap_faults=%zu\n",
+            resolved.load(), kClients * kPerClient, ok.load(),
+            static_cast<unsigned long long>(st.ok),
+            static_cast<unsigned long long>(st.shed),
+            static_cast<unsigned long long>(st.deadlineExceeded),
+            static_cast<unsigned long long>(st.errors),
+            static_cast<unsigned long long>(st.swaps),
+            static_cast<unsigned long long>(st.failedSwaps),
+            static_cast<unsigned long long>(st.batches),
+            plan.delaysInjected.load(), plan.poisonsInjected.load(),
+            plan.swapFaultsInjected.load());
+    }
+    std::remove(swap_path.c_str());
+
+    done.store(true, std::memory_order_release);
+    watchdog.join();
+    if (failures) {
+        std::cerr << "FAIL: soak found " << failures << " violations\n";
+        return 1;
+    }
+    std::printf("soak passed\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_micro.json";
+    bool soak = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--soak") == 0)
+            soak = true;
+        else
+            out_path = argv[i];
+    }
+
+    ServeWorld w;
+    return soak ? runSoak(w) : runSweep(w, out_path);
+}

@@ -113,7 +113,7 @@ main()
     if (model.save("quickstart_detector.model")) {
         core::DetectorModel reloaded(
             net, path::ExtractionConfig::bwCu(n_layers, 0.5), 10);
-        if (reloaded.load("quickstart_detector.model")) {
+        if (reloaded.tryLoad("quickstart_detector.model")) {
             core::DetectorSession replay(reloaded);
             const auto d = replay.detect(traffic.front());
             std::printf("\nreloaded model agrees: class %zu, score %.2f\n",

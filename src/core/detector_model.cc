@@ -37,23 +37,31 @@ DetectorModel::save(const std::string &path) const
     return os.good();
 }
 
-bool
+void
 DetectorModel::load(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        return false;
+        throw ModelLoadError("cannot open '" + path + "'");
     std::string magic, sig;
     std::uint64_t num_classes;
-    if (!readString(is, magic) || magic != kModelMagic ||
-        !readString(is, sig) || sig != net->signature() ||
-        !readU64(is, num_classes))
-        return false;
+    if (!readString(is, magic) || magic != kModelMagic)
+        throw ModelLoadError("bad magic (not a detector artifact file, "
+                             "or a truncated/corrupt header)");
+    if (!readString(is, sig))
+        throw ModelLoadError("truncated architecture signature");
+    if (sig != net->signature())
+        throw ModelLoadError("architecture signature mismatch: file has '" +
+                             sig + "', network is '" + net->signature() +
+                             "'");
+    if (!readU64(is, num_classes))
+        throw ModelLoadError("truncated class count");
     path::ExtractionConfig cfg;
-    if (!cfg.deserialize(is) ||
-        cfg.numLayers() !=
-            static_cast<int>(net->weightedNodes().size()))
-        return false;
+    if (!cfg.deserialize(is))
+        throw ModelLoadError("corrupt extraction config");
+    if (cfg.numLayers() != static_cast<int>(net->weightedNodes().size()))
+        throw ModelLoadError("extraction config layer count does not "
+                             "match the network");
     // Rebuild the extractor for the loaded config before validating the
     // store against its layout: the offline and online phases must
     // agree on every knob, or the canary bits would not line up.
@@ -63,17 +71,31 @@ DetectorModel::load(const std::string &path)
     // Feature arity the served vectors will have ([overall,
     // perLayer...]): trees referencing features beyond it are corrupt.
     const std::size_t num_features = 1 + ex.layout().segments().size();
-    if (!loaded_store.deserialize(is) ||
-        !loaded_rf.deserialize(is, num_features))
-        return false;
-    if (loaded_store.numClasses() != num_classes ||
-        (loaded_store.numClasses() > 0 &&
-         loaded_store.numBits() != ex.layout().totalBits()))
-        return false;
+    if (!loaded_store.deserialize(is))
+        throw ModelLoadError("corrupt class-path store");
+    if (!loaded_rf.deserialize(is, num_features))
+        throw ModelLoadError("corrupt random forest");
+    if (loaded_store.numClasses() != num_classes)
+        throw ModelLoadError("class-path store class count does not "
+                             "match the header");
+    if (loaded_store.numClasses() > 0 &&
+        loaded_store.numBits() != ex.layout().totalBits())
+        throw ModelLoadError("class-path store bit width does not match "
+                             "the extraction layout");
     pathExtractor = std::move(ex);
     store = std::move(loaded_store);
     rf = std::move(loaded_rf);
-    return true;
+}
+
+bool
+DetectorModel::tryLoad(const std::string &path)
+{
+    try {
+        load(path);
+        return true;
+    } catch (const ModelLoadError &) {
+        return false;
+    }
 }
 
 namespace detail

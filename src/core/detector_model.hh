@@ -30,6 +30,7 @@
 #ifndef PTOLEMY_CORE_DETECTOR_MODEL_HH
 #define PTOLEMY_CORE_DETECTOR_MODEL_HH
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,24 @@ void featuresBatch(const DetectorModel &mdl,
                    std::vector<std::size_t> *predicted,
                    FeatureBatchScratch &scratch);
 } // namespace detail
+
+/**
+ * Typed error thrown by DetectorModel::load for every failure mode:
+ * unreadable file, bad magic, architecture-signature mismatch,
+ * truncation at any byte offset, or corrupt/inconsistent artifact data.
+ * Corrupt inputs never crash, read out of bounds, or attempt unbounded
+ * allocations — every length field is validated before use. The model
+ * under load is left unchanged (strong guarantee), so a failed hot
+ * swap keeps serving the old artifacts.
+ */
+class ModelLoadError : public std::runtime_error
+{
+  public:
+    explicit ModelLoadError(const std::string &what)
+        : std::runtime_error("DetectorModel::load: " + what)
+    {
+    }
+};
 
 /** Verdict for one input (one serving response). */
 struct Decision
@@ -133,13 +152,17 @@ class DetectorModel
     bool save(const std::string &path) const;
 
     /**
-     * Load fitted artifacts saved by save(). Fails (returning false,
-     * leaving the model unchanged on signature mismatch) unless the
-     * borrowed network's architecture signature matches the file's.
-     * Owner-phase only: never call on a model other threads are
-     * serving from.
+     * Load fitted artifacts saved by save(). Throws ModelLoadError —
+     * with the model unchanged (strong guarantee) — on every failure:
+     * unreadable file, bad magic, borrowed-network signature mismatch,
+     * truncation, or corrupt artifact data. Owner-phase only: never
+     * call on a model other threads are serving from (hot swap builds
+     * a fresh model and publishes it instead; see serve::DetectorServer).
      */
-    bool load(const std::string &path);
+    void load(const std::string &path);
+
+    /** load() variant returning false instead of throwing. */
+    bool tryLoad(const std::string &path);
 
   private:
     friend class DetectorBuilder;

@@ -1,5 +1,8 @@
 #include "detector_session.hh"
 
+#include <cassert>
+#include <stdexcept>
+
 #include "util/thread_pool.hh"
 
 namespace ptolemy::core
@@ -41,6 +44,18 @@ void
 DetectorSession::detectBatch(std::span<const nn::Tensor *const> xs,
                              std::span<Decision> out, ThreadPool *pool)
 {
+    // Documented contract (see header): the spans must pair up
+    // one-to-one. A length mismatch is a caller bug — debug-assert so
+    // it trips loudly in instrumented builds, and throw a typed error
+    // in release builds rather than writing out of bounds.
+    assert(xs.size() == out.size() &&
+           "detectBatch: requests/decisions span lengths differ");
+    if (xs.size() != out.size())
+        throw std::invalid_argument(
+            "DetectorSession::detectBatch: xs.size() != out.size()");
+    // Empty batch: explicit no-op — no pool touch, no slot growth.
+    if (xs.empty())
+        return;
     if (!pool)
         pool = &globalPool();
     // Grow (never shrink) the slot table to the pool width so warmed

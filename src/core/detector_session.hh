@@ -65,6 +65,13 @@ class DetectorSession
      * sample index, never by executing slot). A warmed-up session
      * performs no heap allocation per batch.
      *
+     * Contract: @p out must pair up with @p xs one-to-one —
+     * out.size() == xs.size(). A mismatch is a caller bug: it
+     * debug-asserts, and throws std::invalid_argument in release
+     * builds (never writes out of bounds). An empty @p xs is an
+     * explicit no-op: the session returns immediately without touching
+     * the pool or growing any scratch.
+     *
      * @param xs borrowed batch inputs.
      * @param out one Decision per input; out.size() must equal
      *        xs.size(). Reused Decision buffers (a persistent vector)

@@ -1,7 +1,9 @@
 #include "fault_injection.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "util/rng.hh"
 
@@ -79,6 +81,36 @@ runFaultCampaign(Detector &det, const nn::Dataset &inputs,
         }
     }
     return result;
+}
+
+void
+ServeFaultPlan::onBatchFormed(std::uint64_t batch_seq)
+{
+    if (delayEveryNthBatch == 0 || batch_seq % delayEveryNthBatch != 0)
+        return;
+    delaysInjected.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(batchDelayMicros));
+}
+
+void
+ServeFaultPlan::throwPoison(std::uint64_t request_seq)
+{
+    poisonsInjected.fetch_add(1, std::memory_order_relaxed);
+    throw PoisonedRequestError(request_seq);
+}
+
+void
+ServeFaultPlan::onSwapLoad()
+{
+    // Consume one armed fault atomically (several threads may swap).
+    std::size_t armed = failNextSwaps.load(std::memory_order_relaxed);
+    while (armed > 0) {
+        if (failNextSwaps.compare_exchange_weak(
+                armed, armed - 1, std::memory_order_relaxed)) {
+            swapFaultsInjected.fetch_add(1, std::memory_order_relaxed);
+            throw ModelLoadError("injected swap-during-load fault");
+        }
+    }
 }
 
 } // namespace ptolemy::core

@@ -1,0 +1,41 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ptolemy::serve
+{
+
+RetryClient::RetryClient(DetectorServer &server, Options opt_)
+    : srv(&server), opt(opt_)
+{
+    opt.maxAttempts = std::max(opt.maxAttempts, 1);
+    opt.backoffMultiplier = std::max(opt.backoffMultiplier, 1.0);
+}
+
+RequestStatus
+RetryClient::detect(ServeRequest &req, const nn::Tensor &x,
+                    Clock::time_point deadline)
+{
+    double backoff = static_cast<double>(opt.initialBackoffMicros);
+    for (int attempt = 0;; ++attempt) {
+        req.reset(x, deadline);
+        if (srv->submit(req) != RequestStatus::kShed)
+            return srv->wait(req);
+        if (attempt + 1 >= opt.maxAttempts)
+            return RequestStatus::kShed; // budget exhausted
+        // Backing off past the request's own deadline is pointless:
+        // give up as shed rather than sleep into certain expiry.
+        const auto pause =
+            std::chrono::microseconds(static_cast<std::uint64_t>(backoff));
+        if (deadline != Clock::time_point::max() &&
+            Clock::now() + pause >= deadline)
+            return RequestStatus::kShed;
+        ++retried;
+        std::this_thread::sleep_for(pause);
+        backoff *= opt.backoffMultiplier;
+    }
+}
+
+} // namespace ptolemy::serve

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * RetryClient: blocking convenience wrapper over DetectorServer with
+ * exponential-backoff retry on shed.
+ *
+ * Admission control resolves overload by shedding; a well-behaved
+ * client responds by backing off and retrying rather than hammering
+ * the queue. RetryClient packages that loop: submit, and on kShed
+ * sleep an exponentially growing backoff before trying again, up to a
+ * bounded attempt budget. Any other terminal status is returned as-is
+ * (a deadline miss or an execution error is not retryable — the
+ * request's moment has passed).
+ */
+
+#ifndef PTOLEMY_SERVE_CLIENT_HH
+#define PTOLEMY_SERVE_CLIENT_HH
+
+#include <cstdint>
+
+#include "serve/server.hh"
+#include "serve/serve_types.hh"
+
+namespace ptolemy::serve
+{
+
+/**
+ * Per-client-thread retry helper (not thread-safe; one instance per
+ * submitting thread, like DetectorSession).
+ */
+class RetryClient
+{
+  public:
+    struct Options
+    {
+        int maxAttempts = 4;                  ///< total submits per request
+        std::uint32_t initialBackoffMicros = 100;
+        double backoffMultiplier = 2.0;       ///< growth per retry
+    };
+
+    explicit RetryClient(DetectorServer &server)
+        : RetryClient(server, Options())
+    {
+    }
+
+    RetryClient(DetectorServer &server, Options opt);
+
+    /**
+     * Serve @p x through @p req (caller-owned, reused across calls):
+     * reset, submit, wait; on shed, back off and retry. @return the
+     * final terminal status — kOk (req.decision valid), kShed (budget
+     * exhausted), kDeadlineExceeded or kError.
+     */
+    RequestStatus detect(ServeRequest &req, const nn::Tensor &x,
+                         Clock::time_point deadline =
+                             Clock::time_point::max());
+
+    /** Total shed-then-retried submissions across all detect calls. */
+    std::uint64_t retries() const { return retried; }
+
+  private:
+    DetectorServer *srv;
+    Options opt;
+    std::uint64_t retried = 0;
+};
+
+} // namespace ptolemy::serve
+
+#endif // PTOLEMY_SERVE_CLIENT_HH

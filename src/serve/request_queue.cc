@@ -1,0 +1,101 @@
+#include "serve/request_queue.hh"
+
+#include <algorithm>
+
+namespace ptolemy::serve
+{
+
+RequestQueue::RequestQueue(std::size_t depth)
+    : ring(std::max<std::size_t>(depth, 1), nullptr)
+{
+}
+
+bool
+RequestQueue::tryPush(ServeRequest *r)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (isClosed || count == ring.size())
+            return false;
+        ring[(head + count) % ring.size()] = r;
+        ++count;
+    }
+    cv.notify_one();
+    return true;
+}
+
+ServeRequest *
+RequestQueue::popLocked()
+{
+    ServeRequest *r = ring[head];
+    ring[head] = nullptr;
+    head = (head + 1) % ring.size();
+    --count;
+    return r;
+}
+
+std::size_t
+RequestQueue::collectBatch(std::vector<ServeRequest *> &out,
+                           std::size_t max_batch,
+                           std::chrono::microseconds window)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return count > 0 || isClosed; });
+    if (count == 0)
+        return 0; // closed and drained: consumer exits
+
+    // The batch opens on its first request; the window is measured from
+    // here, not from the last arrival, so a trickle of stragglers can't
+    // hold the batch open indefinitely.
+    out.push_back(popLocked());
+    const Clock::time_point window_end = Clock::now() + window;
+
+    while (out.size() < max_batch) {
+        if (count > 0) {
+            out.push_back(popLocked());
+            continue;
+        }
+        if (isClosed)
+            break;
+        // Wait bound: the window close, tightened to the earliest
+        // deadline already collected — holding an about-to-expire
+        // request to wait for company would expire it pointlessly.
+        // The min() also keeps the bound finite (deadline-less
+        // requests carry time_point::max(), which must never reach
+        // wait_until).
+        Clock::time_point bound = window_end;
+        for (const ServeRequest *r : out)
+            bound = std::min(bound, r->deadline);
+        if (Clock::now() >= bound)
+            break;
+        if (cv.wait_until(lk, bound) == std::cv_status::timeout)
+            break;
+    }
+    return out.size();
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        isClosed = true;
+    }
+    cv.notify_all();
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return count;
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return isClosed;
+}
+
+} // namespace ptolemy::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bounded MPSC request queue with admission control and deadline-aware
+ * micro-batch collection.
+ *
+ * Producers (any number of client threads) call tryPush(), which NEVER
+ * blocks: when the queue is at capacity the push is refused and the
+ * caller sheds the request (RequestStatus::kShed) instead of stalling.
+ * The single consumer (the server's dispatcher thread) calls
+ * collectBatch(), which blocks for the first request of a batch and
+ * then tops the batch up until it fills, the batching window closes,
+ * or the earliest deadline among the collected requests would expire
+ * while waiting — whichever comes first.
+ *
+ * The ring storage is allocated once at construction; push/pop never
+ * allocate.
+ */
+
+#ifndef PTOLEMY_SERVE_REQUEST_QUEUE_HH
+#define PTOLEMY_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "serve/serve_types.hh"
+
+namespace ptolemy::serve
+{
+
+/**
+ * Fixed-capacity multi-producer single-consumer queue of borrowed
+ * ServeRequest pointers (the caller owns the requests; the queue only
+ * routes addresses).
+ */
+class RequestQueue
+{
+  public:
+    /** @param depth admission limit (must be >= 1). */
+    explicit RequestQueue(std::size_t depth);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admit @p r, or refuse without blocking. @return false when the
+     * queue is full (admission control: the caller must shed) or
+     * closed; true when the request was enqueued.
+     */
+    bool tryPush(ServeRequest *r);
+
+    /**
+     * Collect the next micro-batch into @p out (appended; caller
+     * clears). Blocks until at least one request arrives or the queue
+     * is closed AND drained (in which case it returns 0 — the consumer
+     * should exit). After the first request, keeps collecting until
+     * @p max_batch requests are gathered, @p window elapses from the
+     * moment the batch opened, or waiting any longer would overshoot
+     * the earliest deadline among the collected requests.
+     */
+    std::size_t collectBatch(std::vector<ServeRequest *> &out,
+                             std::size_t max_batch,
+                             std::chrono::microseconds window);
+
+    /**
+     * Close the queue: subsequent tryPush calls fail; collectBatch
+     * keeps returning already-admitted requests until drained, then
+     * returns 0. Idempotent.
+     */
+    void close();
+
+    /** Instantaneous depth (racy by nature; for stats/backpressure). */
+    std::size_t size() const;
+
+    bool closed() const;
+
+  private:
+    /** Pop one request; mu must be held and count > 0. */
+    ServeRequest *popLocked();
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<ServeRequest *> ring; ///< fixed capacity, never resized
+    std::size_t head = 0;             ///< index of the oldest entry
+    std::size_t count = 0;            ///< entries currently queued
+    bool isClosed = false;
+};
+
+} // namespace ptolemy::serve
+
+#endif // PTOLEMY_SERVE_REQUEST_QUEUE_HH

@@ -59,11 +59,22 @@ readF64(std::istream &is, double &v)
     return is.good();
 }
 
+namespace
+{
+// Upper bound on any length prefix this codebase writes (the largest
+// real payload is a network's conv weight vector, well under 2^26
+// elements). A corrupt length field — e.g. a flipped high byte turning
+// 19 into 2^56 — must be rejected before resize(), never handed to the
+// allocator: under AddressSanitizer an absurd allocation is a hard
+// error, and even without it the stream would fault or OOM.
+constexpr std::uint64_t kMaxLenPrefix = 1ull << 26;
+} // namespace
+
 bool
 readFloats(std::istream &is, std::vector<float> &v)
 {
     std::uint64_t n;
-    if (!readU64(is, n))
+    if (!readU64(is, n) || n > kMaxLenPrefix)
         return false;
     v.resize(n);
     is.read(reinterpret_cast<char *>(v.data()),
@@ -76,7 +87,7 @@ bool
 readString(std::istream &is, std::string &s)
 {
     std::uint64_t n;
-    if (!readU64(is, n))
+    if (!readU64(is, n) || n > kMaxLenPrefix)
         return false;
     s.resize(n);
     is.read(s.data(), static_cast<std::streamsize>(n));

@@ -30,7 +30,10 @@ void writeFloats(std::ostream &os, const std::vector<float> &v);
 /** Write a length-prefixed string. */
 void writeString(std::ostream &os, const std::string &s);
 
-/** Readers return false on EOF/short-read so callers can reject caches. */
+/** Readers return false on EOF/short-read so callers can reject caches.
+ *  Length-prefixed readers also bound the prefix (2^26) before any
+ *  allocation, so a corrupt length field is rejected instead of being
+ *  handed to the allocator. */
 bool readU64(std::istream &is, std::uint64_t &v);
 bool readU32(std::istream &is, std::uint32_t &v);
 bool readF64(std::istream &is, double &v);

@@ -20,6 +20,14 @@
  * thread. This is what lets the tile-parallel SGEMM live inside
  * Network::forwardBatch's sample-parallel loop without deadlocking on
  * the pool's single job slot.
+ *
+ * A throwing loop body no longer std::terminates the process: every
+ * index is still attempted, the exception from the lowest task index
+ * is captured, and exactly that one is rethrown on the calling thread
+ * once the loop has drained — deterministic at any thread count (see
+ * parallelForWithTid). This is what lets a serving tier above the pool
+ * turn a poisoned request into a typed per-request error instead of a
+ * process crash.
  */
 
 #ifndef PTOLEMY_UTIL_THREAD_POOL_HH
@@ -29,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -121,6 +130,16 @@ class ThreadPool
      * check runs inline under its own slot, typically 0): scratch
      * shared between concurrent calls must be synchronized by the
      * caller like any other shared state.
+     *
+     * Exception contract: a throwing task never terminates the
+     * process. Every index is still attempted (workers keep draining
+     * the index counter; cancelling mid-loop would make the executed
+     * set scheduling-dependent), the exception thrown by the LOWEST
+     * task index is captured, and that one exception is rethrown on
+     * the calling thread after the loop completes — deterministically,
+     * at any thread count, including the serial/nested inline paths.
+     * Exceptions from higher-indexed tasks are discarded. The pool
+     * stays fully usable after a rethrow.
      */
     template <typename Fn>
     void
@@ -135,9 +154,20 @@ class ThreadPool
             // under the slot id this thread already owns (its worker
             // slot inside a nested section, 0 otherwise), so nested
             // sections never alias another thread's slot scratch.
+            // Mirrors the pooled exception contract: run every index,
+            // rethrow the lowest-indexed exception at the end.
             const unsigned tid = detail::currentTidRef();
-            for (std::size_t i = 0; i < n; ++i)
-                fn(i, tid);
+            std::exception_ptr ex;
+            for (std::size_t i = 0; i < n; ++i) {
+                try {
+                    fn(i, tid);
+                } catch (...) {
+                    if (!ex) // ascending i: first caught = lowest index
+                        ex = std::current_exception();
+                }
+            }
+            if (ex)
+                std::rethrow_exception(ex);
             return;
         }
         {
@@ -146,15 +176,24 @@ class ThreadPool
             jobCtx = const_cast<void *>(static_cast<const void *>(&fn));
             jobSize = n;
             nextIndex.store(0, std::memory_order_relaxed);
+            firstEx = nullptr;
+            firstExIdx = 0;
             active = static_cast<unsigned>(workers.size());
             ++generation;
         }
         cv.notify_all();
         runIndices(jobFn, jobCtx, n, 0);
-        std::unique_lock<std::mutex> lk(mu);
-        doneCv.wait(lk, [this] { return active == 0; });
-        jobFn = nullptr;
+        std::exception_ptr ex;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            doneCv.wait(lk, [this] { return active == 0; });
+            jobFn = nullptr;
+            ex = firstEx;
+            firstEx = nullptr;
+        }
         inFlight.store(false, std::memory_order_release);
+        if (ex)
+            std::rethrow_exception(ex);
     }
 
   private:
@@ -167,6 +206,18 @@ class ThreadPool
         (*static_cast<const Fn *>(ctx))(i, tid);
     }
 
+    /** Record a task exception; the lowest task index wins so the
+     *  winner is independent of worker scheduling. */
+    void
+    recordException(std::size_t i)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!firstEx || i < firstExIdx) {
+            firstEx = std::current_exception();
+            firstExIdx = i;
+        }
+    }
+
     void
     runIndices(JobFn fn, void *ctx, std::size_t n, unsigned tid)
     {
@@ -175,7 +226,11 @@ class ThreadPool
                 nextIndex.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 break;
-            fn(ctx, i, tid);
+            try {
+                fn(ctx, i, tid);
+            } catch (...) {
+                recordException(i);
+            }
         }
     }
 
@@ -220,6 +275,8 @@ class ThreadPool
     std::atomic<std::size_t> nextIndex{0};
     std::atomic<unsigned> workerTid{0};
     std::atomic<bool> inFlight{false};
+    std::exception_ptr firstEx;  ///< lowest-index task exception (under mu)
+    std::size_t firstExIdx = 0;
     unsigned active = 0;
     std::uint64_t generation = 0;
     bool stopping = false;

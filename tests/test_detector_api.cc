@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
 #include <thread>
 #include <unistd.h>
 
@@ -236,6 +237,42 @@ TEST(DetectorApi, SessionReuseIsAllocationFreeAfterWarmup)
         << "steady-state single-sample serving performed allocations";
 }
 
+TEST(DetectorApi, EmptyBatchIsANoOp)
+{
+    const auto &model = fittedModel();
+    DetectorSession sess(model);
+
+    // Span form: no pool touch, no scratch growth, no allocation.
+    const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+    sess.detectBatch(std::span<const nn::Tensor *const>(),
+                     std::span<Decision>());
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before)
+        << "empty detectBatch allocated";
+
+    // Vector convenience form: out is cleared to match.
+    std::vector<nn::Tensor> xs;
+    std::vector<Decision> out(3);
+    sess.detectBatch(xs, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(DetectorApi, MismatchedSpanLengthsAreRejected)
+{
+    const auto &model = fittedModel();
+    const auto xs = probeInputs(2);
+    std::vector<const nn::Tensor *> xptrs{&xs[0], &xs[1]};
+    std::vector<Decision> out(1); // one short: caller bug
+    DetectorSession sess(model);
+
+    const std::span<const nn::Tensor *const> xspan(xptrs.data(), 2);
+    const std::span<Decision> ospan(out.data(), 1);
+#ifdef NDEBUG
+    EXPECT_THROW(sess.detectBatch(xspan, ospan), std::invalid_argument);
+#else
+    EXPECT_DEATH(sess.detectBatch(xspan, ospan), "span lengths differ");
+#endif
+}
+
 TEST(DetectorApi, SaveLoadRoundTripDetectsBitIdentically)
 {
     auto &w = ptolemy::testing::world();
@@ -248,7 +285,7 @@ TEST(DetectorApi, SaveLoadRoundTripDetectsBitIdentically)
     // must replace it wholesale (config travels with the artifacts).
     DetectorModel loaded(
         w.net, path::ExtractionConfig::bwCu(numWeighted(), 0.3), 10);
-    ASSERT_TRUE(loaded.load(path));
+    ASSERT_NO_THROW(loaded.load(path));
     EXPECT_EQ(loaded.variantName(), model.variantName());
     EXPECT_EQ(loaded.classPaths().numBits(), model.classPaths().numBits());
 
@@ -257,14 +294,16 @@ TEST(DetectorApi, SaveLoadRoundTripDetectsBitIdentically)
         expectDecisionsEqual(s_orig.detect(xs[i]), s_loaded.detect(xs[i]),
                              "round-trip sample " + std::to_string(i));
 
-    // A different architecture must be rejected by signature.
+    // A different architecture must be rejected by signature, with the
+    // typed load error (and the bool convenience wrapper agreeing).
     nn::Network other = ptolemy::testing::makeTinyNet(4);
     DetectorModel wrong(
         other,
         path::ExtractionConfig::bwCu(
             static_cast<int>(other.weightedNodes().size()), 0.5),
         4);
-    EXPECT_FALSE(wrong.load(path));
+    EXPECT_THROW(wrong.load(path), ModelLoadError);
+    EXPECT_FALSE(wrong.tryLoad(path));
 
     // Truncated files must be rejected, not half-applied.
     {
@@ -276,7 +315,7 @@ TEST(DetectorApi, SaveLoadRoundTripDetectsBitIdentically)
         ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
         DetectorModel fresh(
             w.net, path::ExtractionConfig::bwCu(numWeighted(), 0.5), 10);
-        EXPECT_FALSE(fresh.load(path));
+        EXPECT_THROW(fresh.load(path), ModelLoadError);
     }
     std::remove(path.c_str());
 }

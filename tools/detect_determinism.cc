@@ -164,7 +164,7 @@ main()
             path::ExtractionConfig::bwCu(
                 static_cast<int>(net.weightedNodes().size()), 0.5),
             spec.numClasses);
-        if (loaded.load(path)) {
+        if (loaded.tryLoad(path)) {
             core::DetectorSession ls(loaded);
             std::vector<core::Decision> replayed;
             ls.detectBatch(inputs, replayed);
