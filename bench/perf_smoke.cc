@@ -566,9 +566,14 @@ benchAttack(double min_time)
 struct DetectBenchResult
 {
     double singleStreamPerSec = 0.0;
-    double batchPerSec = 0.0;
+    double batchPerSec = 0.0;      ///< serving default (fused per-sample)
+    double widePerSec = 0.0;       ///< opt-in wide-batch layer-major path
     double legacyPerSec = 0.0;
+    double forwardUsPerDetect = 0.0; ///< cost split: wide forward
+    double extractUsPerDetect = 0.0; ///< cost split: path extraction
+    double scoreUsPerDetect = 0.0;   ///< cost split: similarity + forest
     std::size_t allocsPerBatch = 0;
+    std::size_t allocsPerBatchWide = 0;
     std::size_t chunk = 0;
 };
 
@@ -644,16 +649,20 @@ benchDetect(double min_time)
     const std::span<core::Decision> ospan(out.data(), out.size());
 
     // Warm until quiescent (pool-worker thread-locals settle on their
-    // own schedule, like the other benches).
-    int quiet = 0;
-    for (int i = 0; i < 50 && quiet < 3; ++i) {
-        const std::size_t before = g_allocs.load(std::memory_order_relaxed);
-        sess.detectBatch(xspan, ospan);
-        quiet = g_allocs.load(std::memory_order_relaxed) == before
-                    ? quiet + 1
-                    : 0;
-    }
-    {
+    // own schedule, like the other benches), then measure one serving
+    // path; repeated for the fused per-sample default and the opt-in
+    // wide-batch layer-major path.
+    auto measureServing = [&](bool wide, std::size_t &allocs_out) {
+        sess.setWideBatch(wide);
+        int quiet = 0;
+        for (int i = 0; i < 50 && quiet < 3; ++i) {
+            const std::size_t before =
+                g_allocs.load(std::memory_order_relaxed);
+            sess.detectBatch(xspan, ospan);
+            quiet = g_allocs.load(std::memory_order_relaxed) == before
+                        ? quiet + 1
+                        : 0;
+        }
         const std::size_t allocs_before =
             g_allocs.load(std::memory_order_relaxed);
         std::size_t calls = 0;
@@ -665,9 +674,52 @@ benchDetect(double min_time)
             min_time);
         const std::size_t allocs_after =
             g_allocs.load(std::memory_order_relaxed);
-        r.batchPerSec = static_cast<double>(kChunk) / spc;
-        r.allocsPerBatch =
-            calls ? (allocs_after - allocs_before) / calls : 0;
+        allocs_out = calls ? (allocs_after - allocs_before) / calls : 0;
+        return static_cast<double>(kChunk) / spc;
+    };
+    r.batchPerSec = measureServing(/*wide=*/false, r.allocsPerBatch);
+    r.widePerSec = measureServing(/*wide=*/true, r.allocsPerBatchWide);
+    {
+        // First-class cost split of one detection: the wide forward,
+        // the path extraction, and the similarity + forest scoring
+        // tail, each measured through the same public seams the serving
+        // path uses.
+        std::vector<nn::Network::Record> recs;
+        model.network().forwardBatchWide(xspan, recs); // warm + records
+        const double fwd_spc =
+            secsPerCall([&] { model.network().forwardBatchWide(xspan, recs); },
+                        min_time);
+        r.forwardUsPerDetect = fwd_spc / kChunk * 1e6;
+
+        path::ExtractionWorkspace ws;
+        BitVector pathBits;
+        std::size_t cursor = 0;
+        model.extractor().extractInto(recs[0], ws, pathBits); // warm
+        const double ext_spc = secsPerCall(
+            [&] {
+                model.extractor().extractInto(recs[cursor], ws, pathBits);
+                cursor = (cursor + 1) % kChunk;
+            },
+            min_time);
+        r.extractUsPerDetect = ext_spc * 1e6;
+
+        core::Decision d;
+        std::vector<double> feat;
+        volatile double sink = 0.0;
+        cursor = 0;
+        const double score_spc = secsPerCall(
+            [&] {
+                const std::size_t pred = recs[cursor].predictedClass();
+                path::computeSimilarityInto(pathBits,
+                                            model.classPaths().classPath(pred),
+                                            model.extractor().layout(),
+                                            d.features);
+                d.features.toVectorInto(feat);
+                sink = model.forest().predictProb(feat);
+                cursor = (cursor + 1) % kChunk;
+            },
+            min_time);
+        r.scoreUsPerDetect = score_spc * 1e6;
     }
     {
         std::size_t cursor = 0;
@@ -706,31 +758,58 @@ benchDetect(double min_time)
     return r;
 }
 
+struct SimWidthResult
+{
+    std::size_t bits = 0;
+    double opsPerSec = 0.0;       ///< active SIMD mode
+    double scalarOpsPerSec = 0.0; ///< forced-scalar reference
+    double jaccardPerSec = 0.0;   ///< active mode, fused inter+union
+};
+
 struct SimilarityBenchResult
 {
-    double opsPerSec = 0.0;
-    std::size_t bits = 0;
+    SimWidthResult narrow; ///< 4k bits (per-layer segment scale)
+    SimWidthResult wide;   ///< 64k bits (full-path scale)
 };
+
+SimWidthResult
+benchSimilarityWidth(std::size_t bits, double min_time)
+{
+    // Path-sized bit vectors at realistic densities: activation path
+    // ~5% dense, class path ~30% dense.
+    Rng rng(0xFACE);
+    BitVector p(bits), pc(bits);
+    for (std::size_t i = 0; i < bits / 20; ++i)
+        p.set(rng.below(bits));
+    for (std::size_t i = 0; i < bits * 3 / 10; ++i)
+        pc.set(rng.below(bits));
+
+    volatile std::size_t sink = 0;
+    volatile double dsink = 0.0;
+    SimWidthResult r;
+    r.bits = bits;
+    r.opsPerSec =
+        1.0 /
+        secsPerCall([&] { sink = sink + p.andPopcount(pc); }, min_time);
+    r.jaccardPerSec =
+        1.0 / secsPerCall([&] { dsink = p.jaccard(pc); }, min_time);
+    // Forced-scalar reference: same exact counts (popcounts are exact
+    // integers), so the ratio is a pure throughput number.
+    const SimdMode saved = ptolemy::simdMode();
+    ptolemy::simdMode() = SimdMode::Scalar;
+    r.scalarOpsPerSec =
+        1.0 /
+        secsPerCall([&] { sink = sink + p.andPopcount(pc); }, min_time);
+    ptolemy::simdMode() = saved;
+    return r;
+}
 
 SimilarityBenchResult
 benchSimilarity(double min_time)
 {
-    // Path-sized bit vectors at realistic densities: activation path
-    // ~5% dense, class path ~30% dense.
-    constexpr std::size_t kBits = 1 << 16;
-    Rng rng(0xFACE);
-    BitVector p(kBits), pc(kBits);
-    for (std::size_t i = 0; i < kBits / 20; ++i)
-        p.set(rng.below(kBits));
-    for (std::size_t i = 0; i < kBits * 3 / 10; ++i)
-        pc.set(rng.below(kBits));
-
-    volatile std::size_t sink = 0;
     SimilarityBenchResult r;
-    r.bits = kBits;
-    r.opsPerSec =
-        1.0 /
-        secsPerCall([&] { sink = sink + p.andPopcount(pc); }, min_time);
+    r.narrow = benchSimilarityWidth(4096, min_time);
+    r.wide = benchSimilarityWidth(std::size_t{1} << 16, min_time);
     return r;
 }
 
@@ -816,15 +895,36 @@ main(int argc, char **argv)
     j.kv("chunk", det.chunk);
     j.kv("single_stream_per_sec", det.singleStreamPerSec);
     j.kv("batch_per_sec", det.batchPerSec);
+    j.kv("wide_batch_per_sec", det.widePerSec);
     j.kv("legacy_per_sec", det.legacyPerSec);
     j.kv("batch_speedup_vs_single_stream",
          det.batchPerSec / det.singleStreamPerSec);
     j.kv("batch_speedup_vs_legacy", det.batchPerSec / det.legacyPerSec);
+    j.kv("wide_speedup_vs_fused", det.widePerSec / det.batchPerSec);
+    {
+        const double total = det.forwardUsPerDetect + det.extractUsPerDetect +
+                             det.scoreUsPerDetect;
+        j.kv("forward_us_per_detect", det.forwardUsPerDetect);
+        j.kv("extract_us_per_detect", det.extractUsPerDetect);
+        j.kv("score_us_per_detect", det.scoreUsPerDetect);
+        j.kv("forward_frac", det.forwardUsPerDetect / total);
+        j.kv("extract_frac", det.extractUsPerDetect / total);
+        j.kv("score_frac", det.scoreUsPerDetect / total);
+    }
     j.kv("allocs_per_batch", det.allocsPerBatch);
+    j.kv("allocs_per_batch_wide", det.allocsPerBatchWide);
     j.endObject();
     j.key("similarity").beginObject();
-    j.kv("bits", sim.bits);
-    j.kv("and_popcount_ops_per_sec", sim.opsPerSec);
+    j.kv("densities", "path ~5% vs class path ~30%");
+    for (const auto *w : {&sim.narrow, &sim.wide}) {
+        j.key(w->bits == 4096 ? "w4096" : "w65536").beginObject();
+        j.kv("bits", w->bits);
+        j.kv("and_popcount_ops_per_sec", w->opsPerSec);
+        j.kv("scalar_ops_per_sec", w->scalarOpsPerSec);
+        j.kv("avx2_vs_scalar", w->opsPerSec / w->scalarOpsPerSec);
+        j.kv("jaccard_ops_per_sec", w->jaccardPerSec);
+        j.endObject();
+    }
     j.endObject();
     j.endObject();
     os << "\n";
@@ -863,14 +963,24 @@ main(int argc, char **argv)
               << atk.allocsPerBatchBim << "/" << atk.allocsPerBatchPgd
               << " allocs per batch\n"
               << "detect (chunk " << det.chunk << "): "
-              << det.batchPerSec << " detections/s batched vs "
-              << det.singleStreamPerSec << "/s single-stream ("
-              << det.batchPerSec / det.singleStreamPerSec << "x) and "
+              << det.batchPerSec << " detections/s fused vs "
+              << det.widePerSec << "/s wide-batch ("
+              << det.widePerSec / det.batchPerSec << "x), "
+              << det.singleStreamPerSec << "/s single-stream, "
               << det.legacyPerSec << "/s legacy per-sample score ("
               << det.batchPerSec / det.legacyPerSec << "x), "
-              << det.allocsPerBatch << " allocs per batch\n"
-              << "similarity and+popcount (" << sim.bits
-              << " bits): " << sim.opsPerSec << " ops/s\n"
+              << det.allocsPerBatch << "/" << det.allocsPerBatchWide
+              << " allocs per batch (fused/wide)\n"
+              << "detect cost split: forward " << det.forwardUsPerDetect
+              << " us, extract " << det.extractUsPerDetect << " us, score "
+              << det.scoreUsPerDetect << " us per detection\n"
+              << "similarity and+popcount: 4096 bits "
+              << sim.narrow.opsPerSec << " ops/s (scalar "
+              << sim.narrow.scalarOpsPerSec << ", "
+              << sim.narrow.opsPerSec / sim.narrow.scalarOpsPerSec
+              << "x), 65536 bits " << sim.wide.opsPerSec << " ops/s (scalar "
+              << sim.wide.scalarOpsPerSec << ", "
+              << sim.wide.opsPerSec / sim.wide.scalarOpsPerSec << "x)\n"
               << "wrote " << out_path << "\n";
     if (ext.allocsPerExtract != 0) {
         std::cerr << "FAIL: steady-state extract loop performed "
@@ -897,10 +1007,11 @@ main(int argc, char **argv)
                   << "per batch (expected 0)\n";
         return 1;
     }
-    if (det.allocsPerBatch != 0) {
+    if (det.allocsPerBatch != 0 || det.allocsPerBatchWide != 0) {
         std::cerr << "FAIL: steady-state detectBatch serving loop "
-                  << "performed " << det.allocsPerBatch
-                  << " heap allocations per batch (expected 0)\n";
+                  << "performed " << det.allocsPerBatch << " (fused) / "
+                  << det.allocsPerBatchWide
+                  << " (wide) heap allocations per batch (expected 0)\n";
         return 1;
     }
     return 0;

@@ -1,15 +1,51 @@
 #include "detector_session.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "util/thread_pool.hh"
 
 namespace ptolemy::core
 {
 
+namespace
+{
+
+bool
+wideBatchDefault()
+{
+    // Off by default: on a single core the fused pipeline extracts each
+    // Record while its activations are still cache-hot, and that
+    // locality is worth more than the wide path's batched SGEMMs (the
+    // bench-compare harness measures both; see wide_speedup_vs_fused).
+    // The wide path stays available as the layer-major seam for
+    // multi-sample offload, opt-in via env or setWideBatch().
+    if (const char *s = std::getenv("PTOLEMY_WIDE_BATCH")) {
+        const std::string v(s);
+        return !(v == "0" || v == "off");
+    }
+    return false;
+}
+
+std::size_t
+wideChunkDefault()
+{
+    if (const char *s = std::getenv("PTOLEMY_WIDE_CHUNK")) {
+        const long v = std::atol(s);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return 64;
+}
+
+} // namespace
+
 DetectorSession::DetectorSession(const DetectorModel &model)
-    : mdl(&model), slots(1)
+    : mdl(&model), slots(1), wideBatch(wideBatchDefault()),
+      wideChunkSize(wideChunkDefault())
 {
 }
 
@@ -22,8 +58,15 @@ DetectorSession::detectInto(const nn::Tensor &x, Decision &d, Slot &s)
     // the extractor ranks them. Bit-identical to the historical
     // sequential pipeline: same float ops, same order.
     mdl->network().inferInto(x, s.rec);
-    d.predictedClass = s.rec.predictedClass();
-    mdl->extractor().extractInto(s.rec, s.ws, s.path);
+    finishDetect(s.rec, d, s);
+}
+
+void
+DetectorSession::finishDetect(const nn::Network::Record &rec, Decision &d,
+                              Slot &s)
+{
+    d.predictedClass = rec.predictedClass();
+    mdl->extractor().extractInto(rec, s.ws, s.path);
     path::computeSimilarityInto(
         s.path, mdl->classPaths().classPath(d.predictedClass),
         mdl->extractor().layout(), d.features);
@@ -62,9 +105,27 @@ DetectorSession::detectBatch(std::span<const nn::Tensor *const> xs,
     // buffers survive pool changes.
     if (slots.size() < pool->size())
         slots.resize(pool->size());
-    pool->parallelForWithTid(xs.size(), [&](std::size_t i, unsigned tid) {
-        detectInto(*xs[i], out[i], slot(tid));
-    });
+    if (!wideBatch) {
+        pool->parallelForWithTid(xs.size(), [&](std::size_t i, unsigned tid) {
+            detectInto(*xs[i], out[i], slot(tid));
+        });
+        return;
+    }
+    // Wide-batch path: the forward pass runs layer-major over chunks —
+    // one wide SGEMM per conv layer, one weight stream per linear layer
+    // — then the per-sample tail (extraction onward) fans out over the
+    // slot scratch. The wide forward's Records are bit-identical to
+    // inferInto's and the tail is the same code either way, so
+    // Decisions match the fused path exactly at any chunk size or
+    // thread count. wideRecs is persistent session scratch: steady
+    // state allocates nothing.
+    for (std::size_t base = 0; base < xs.size(); base += wideChunkSize) {
+        const std::size_t n = std::min(wideChunkSize, xs.size() - base);
+        mdl->network().forwardBatchWide(xs.subspan(base, n), wideRecs, pool);
+        pool->parallelForWithTid(n, [&](std::size_t i, unsigned tid) {
+            finishDetect(wideRecs[i], out[base + i], slot(tid));
+        });
+    }
 }
 
 void

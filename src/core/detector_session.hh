@@ -86,6 +86,23 @@ class DetectorSession
                      std::vector<Decision> &out,
                      ThreadPool *pool = nullptr);
 
+    /**
+     * Select between the wide-batch serving path (default: chunks of
+     * wideChunk() samples run layer-major through
+     * Network::forwardBatchWide — one wide SGEMM per conv layer, one
+     * weight stream per linear layer — then finish per sample) and the
+     * fused per-sample reference path. Decisions are bit-identical
+     * either way (the wide forward's contract); the switch exists for
+     * benchmarking and the determinism cross-checks. Initialized from
+     * PTOLEMY_WIDE_BATCH ("0"/"off" disables; default on).
+     */
+    void setWideBatch(bool on) { wideBatch = on; }
+    bool wideBatchEnabled() const { return wideBatch; }
+
+    /** Samples per wide forward chunk (PTOLEMY_WIDE_CHUNK, default 64). */
+    std::size_t wideChunk() const { return wideChunkSize; }
+    void setWideChunk(std::size_t n) { wideChunkSize = n > 0 ? n : 1; }
+
     /** Similarity features of a recorded inference against the canary
      *  path of its predicted class. @p trace optionally receives the
      *  extraction op counts. */
@@ -125,9 +142,17 @@ class DetectorSession
     /** The shared per-sample pipeline behind detect and detectBatch. */
     void detectInto(const nn::Tensor &x, Decision &d, Slot &s);
 
+    /** Post-inference tail of the pipeline (extraction, canary
+     *  comparison, forest scoring) over an already-recorded forward
+     *  pass; shared by detectInto and the wide-batch path. */
+    void finishDetect(const nn::Network::Record &rec, Decision &d, Slot &s);
+
     const DetectorModel *mdl;
     std::vector<Slot> slots;              ///< grown to pool width, kept warm
     detail::FeatureBatchScratch fbScratch; ///< featuresBatch only
+    bool wideBatch;                       ///< wide-batch serving path on?
+    std::size_t wideChunkSize;            ///< samples per wide chunk
+    std::vector<nn::Network::Record> wideRecs; ///< wide-chunk records, warm
 };
 
 } // namespace ptolemy::core

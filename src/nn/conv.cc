@@ -1,5 +1,6 @@
 #include "conv.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "nn/gemm.hh"
@@ -45,6 +46,80 @@ Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
         forwardNaive(in, out);
     else
         forwardGemm(in, out);
+}
+
+void
+Conv2d::forwardBatchInto(std::span<const Tensor *const> ins,
+                         std::span<Tensor *const> outs) const
+{
+    const std::size_t S = ins.size();
+    if (S <= 1 || naiveConvFlag()) {
+        Layer::forwardBatchInto(ins, outs);
+        return;
+    }
+    const Shape ishape = ins[0]->shape();
+    for (std::size_t s = 1; s < S; ++s) {
+        if (!(ins[s]->shape() == ishape)) {
+            Layer::forwardBatchInto(ins, outs);
+            return;
+        }
+    }
+    const int ih = ishape.h, iw = ishape.w;
+    const Shape oshape = outShapeFor(ishape);
+    const int oh = oshape.h, ow = oshape.w;
+    const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    const int kdim = inC * kSize * kSize;
+
+    // Cache-block the concatenation: if the whole chunk's column matrix
+    // went to scratch at once, im2col would evict it before the SGEMM
+    // reads it back — doubling the RAM traffic and losing to the
+    // per-sample path outright. Group samples so colWide + outWide stay
+    // roughly L2-resident; any grouping is bit-identical (per-element
+    // SGEMM results are independent of column placement), so the block
+    // size is purely a throughput knob.
+    constexpr std::size_t kWideBytesBudget = 192 * 1024;
+    const std::size_t bytes_per_sample =
+        (static_cast<std::size_t>(kdim) + outC) * ohw * sizeof(float);
+    const std::size_t group =
+        std::max<std::size_t>(1, kWideBytesBudget / bytes_per_sample);
+    if (group <= 1) {
+        // A single sample's matrices already fill the budget: the
+        // per-sample path (whose col scratch is read back while hot)
+        // is the faster schedule.
+        Layer::forwardBatchInto(ins, outs);
+        return;
+    }
+
+    auto &scratch = gemmScratch();
+    for (std::size_t base = 0; base < S; base += group) {
+        const std::size_t n = std::min(group, S - base);
+        const std::size_t n_wide = n * ohw;
+        scratch.colWide.resize(static_cast<std::size_t>(kdim) * n_wide);
+        scratch.outWide.resize(static_cast<std::size_t>(outC) * n_wide);
+        for (std::size_t s = 0; s < n; ++s)
+            im2colInto(ins[base + s]->data(), inC, ih, iw, kSize, strd,
+                       padding, oh, ow, scratch.colWide.data() + s * ohw,
+                       n_wide);
+        sgemm(outC, static_cast<int>(n_wide), kdim, weight.data(),
+              scratch.colWide.data(), scratch.outWide.data());
+        // Scatter the wide output back per sample with the bias fused
+        // in: out[i] = gemm + b is the same single addition
+        // forwardGemm's in-place `row[i] += b` performs on the same
+        // gemm value.
+        for (std::size_t s = 0; s < n; ++s) {
+            Tensor &out = *outs[base + s];
+            out.resize(oshape);
+            for (int oc = 0; oc < outC; ++oc) {
+                const float b = bias[oc];
+                const float *src = scratch.outWide.data() +
+                                   static_cast<std::size_t>(oc) * n_wide +
+                                   s * ohw;
+                float *dst = out.data() + static_cast<std::size_t>(oc) * ohw;
+                for (std::size_t i = 0; i < ohw; ++i)
+                    dst[i] = src[i] + b;
+            }
+        }
+    }
 }
 
 void
@@ -222,6 +297,33 @@ Conv2d::partialSums(const Tensor &input, std::size_t out_index,
 
     const int iy0 = oy * strd - padding;
     const int ix0 = ox * strd - padding;
+
+    if (iy0 >= 0 && ix0 >= 0 && iy0 + kSize <= ih && ix0 + kSize <= iw) {
+        // Interior neuron: the whole receptive field is in-image, so
+        // the per-tap bounds checks vanish and every tap emits. Same
+        // (ic, ky, kx) emission order and the same single-rounding
+        // products as the general loop below.
+        out.resize(static_cast<std::size_t>(inC) * kSize * kSize);
+        const float *w = &weight[(static_cast<std::size_t>(oc) * inC) *
+                                 kSize * kSize];
+        const float *in = input.data();
+        PartialSum *dst = out.data();
+        for (int ic = 0; ic < inC; ++ic) {
+            const std::size_t plane0 =
+                (static_cast<std::size_t>(ic) * ih + iy0) * iw + ix0;
+            for (int ky = 0; ky < kSize; ++ky) {
+                const float *row = in + plane0 + static_cast<std::size_t>(ky) * iw;
+                const std::uint32_t idx0 =
+                    static_cast<std::uint32_t>(plane0 + static_cast<std::size_t>(ky) * iw);
+                for (int kx = 0; kx < kSize; ++kx)
+                    *dst++ = {idx0 + static_cast<std::uint32_t>(kx),
+                              w[kx] * row[kx]};
+                w += kSize;
+            }
+        }
+        return;
+    }
+
     for (int ic = 0; ic < inC; ++ic) {
         for (int ky = 0; ky < kSize; ++ky) {
             const int iy = iy0 + ky;
@@ -232,7 +334,8 @@ Conv2d::partialSums(const Tensor &input, std::size_t out_index,
                 if (ix < 0 || ix >= iw)
                     continue;
                 const float v = wAt(oc, ic, ky, kx) * input.at(ic, iy, ix);
-                out.push_back({input.index(ic, iy, ix), v});
+                out.push_back(
+                    {static_cast<std::uint32_t>(input.index(ic, iy, ix)), v});
             }
         }
     }

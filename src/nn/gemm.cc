@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <string>
 
 #include "nn/gemm_kernels.hh"
 #include "util/thread_pool.hh"
@@ -122,36 +121,6 @@ useAvx2()
 
 } // namespace
 
-SimdMode &
-simdMode()
-{
-    static SimdMode mode = [] {
-        if (const char *s = std::getenv("PTOLEMY_SIMD")) {
-            if (std::string(s) == "scalar")
-                return SimdMode::Scalar;
-        }
-        return avx2Available() ? SimdMode::Avx2 : SimdMode::Scalar;
-    }();
-    return mode;
-}
-
-const char *
-simdModeName()
-{
-    return simdMode() == SimdMode::Avx2 ? "avx2" : "scalar";
-}
-
-bool
-avx2Available()
-{
-#ifdef PTOLEMY_HAVE_AVX2
-    static const bool ok = detail::avx2CpuSupported();
-    return ok;
-#else
-    return false;
-#endif
-}
-
 ThreadPool *&
 gemmPool()
 {
@@ -266,6 +235,30 @@ sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
         run(t);
 }
 
+namespace
+{
+
+/**
+ * One scalar gemv row: bias-seeded sequential dot product (the
+ * historical Linear-layer numerics). noinline pins a single codegen of
+ * the accumulation chain, so the single-sample and batched entry
+ * points below produce bit-identical results per (row, sample) — the
+ * compiler cannot contract or unroll them differently per call site.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+float
+scalarGemvRowDotBias(const float *a, const float *x, int K, float bias)
+{
+    float s = bias;
+    for (int k = 0; k < K; ++k)
+        s += a[k] * x[k];
+    return s;
+}
+
+} // namespace
+
 void
 sgemvBias(int M, int K, const float *A, const float *x, const float *bias,
           float *y)
@@ -276,15 +269,30 @@ sgemvBias(int M, int K, const float *A, const float *x, const float *bias,
         return;
     }
 #endif
-    // Scalar reference: seeds each dot product's accumulator with the
-    // bias (the historical Linear-layer numerics; the statistical
-    // fixtures were recalibrated when the AVX2 path above landed).
+    for (int i = 0; i < M; ++i)
+        y[i] = scalarGemvRowDotBias(A + static_cast<std::size_t>(i) * K, x,
+                                    K, bias[i]);
+}
+
+void
+sgemvBiasBatch(int M, int K, const float *A, const float *bias,
+               const float *const *xs, float *const *ys, int S)
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2()) {
+        detail::avx2GemvBiasBatch(M, K, A, bias, xs, ys, S);
+        return;
+    }
+#endif
+    // Weight-row loop outermost: A streams once per batch, the samples'
+    // input vectors stay cache-resident. Each cell runs the exact
+    // single-sample row kernel, so results are bit-identical to S
+    // sgemvBias calls.
     for (int i = 0; i < M; ++i) {
         const float *a = A + static_cast<std::size_t>(i) * K;
-        float s = bias[i];
-        for (int k = 0; k < K; ++k)
-            s += a[k] * x[k];
-        y[i] = s;
+        const float b = bias[i];
+        for (int s = 0; s < S; ++s)
+            ys[s][i] = scalarGemvRowDotBias(a, xs[s], K, b);
     }
 }
 
@@ -316,7 +324,14 @@ im2col(const float *in, int in_c, int ih, int iw, int k, int stride, int pad,
 {
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
     col.resize(static_cast<std::size_t>(in_c) * k * k * ohw);
-    float *dst = col.data();
+    im2colInto(in, in_c, ih, iw, k, stride, pad, oh, ow, col.data(), ohw);
+}
+
+void
+im2colInto(const float *in, int in_c, int ih, int iw, int k, int stride,
+           int pad, int oh, int ow, float *col, std::size_t row_stride)
+{
+    float *dst = col;
     for (int ic = 0; ic < in_c; ++ic) {
         const float *plane = in + static_cast<std::size_t>(ic) * ih * iw;
         for (int ky = 0; ky < k; ++ky) {
@@ -354,7 +369,7 @@ im2col(const float *in, int in_c, int ih, int iw, int k, int stride, int pad,
                         }
                     }
                 }
-                dst += ohw;
+                dst += row_stride;
             }
         }
     }

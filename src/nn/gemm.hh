@@ -23,7 +23,10 @@
 #ifndef PTOLEMY_NN_GEMM_HH
 #define PTOLEMY_NN_GEMM_HH
 
+#include <cstddef>
 #include <vector>
+
+#include "util/simd.hh"
 
 namespace ptolemy
 {
@@ -33,27 +36,13 @@ class ThreadPool;
 namespace ptolemy::nn
 {
 
-/** Kernel family used by the sgemm* entry points. */
-enum class SimdMode
-{
-    Scalar, ///< portable reference kernels (exact historical numerics)
-    Avx2,   ///< AVX2/FMA microkernels (tolerance-equal to Scalar)
-};
-
-/**
- * Process-wide kernel selector. Initialized to Avx2 when the build
- * compiled the AVX2 TU and the CPU supports it (override with the
- * PTOLEMY_SIMD=scalar environment variable); tests and benches may
- * flip it at runtime.
- */
-SimdMode &simdMode();
-
-/** Human-readable name of the *active* mode ("avx2" / "scalar"). */
-const char *simdModeName();
-
-/** True when the AVX2 kernels are compiled in and the CPU supports
- *  them (i.e. SimdMode::Avx2 is usable). */
-bool avx2Available();
+// The process-wide SIMD selector moved to util/simd.hh so util-level
+// code (BitVector) can dispatch without depending on nn; re-exported
+// here for the historical nn::simdMode() spelling.
+using ptolemy::SimdMode;
+using ptolemy::simdMode;
+using ptolemy::simdModeName;
+using ptolemy::avx2Available;
 
 /**
  * Pool the tiled kernels fan work out on. Defaults to the process-wide
@@ -94,6 +83,18 @@ void sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
 void sgemvBias(int M, int K, const float *A, const float *x,
                const float *bias, float *y);
 
+/**
+ * Batched Linear forward: ys[s][i] = bias[i] + dot(A row i, xs[s]) for
+ * @p S samples. The weight-row loop is outermost, so A streams from
+ * memory once per batch instead of once per sample — the dominant
+ * memory-traffic win for wide fully-connected layers. Each
+ * (row, sample) cell runs the exact sgemvBias row kernel of the active
+ * SIMD mode, so results are bit-identical to S independent sgemvBias
+ * calls at any batch size.
+ */
+void sgemvBiasBatch(int M, int K, const float *A, const float *bias,
+                    const float *const *xs, float *const *ys, int S);
+
 /** y[K] = A^T * x where A is [MxK] row-major (+= when @p accumulate). */
 void sgemvT(int M, int K, const float *A, const float *x, float *y,
             bool accumulate = false);
@@ -107,6 +108,10 @@ struct GemmScratch
 {
     std::vector<float> col;     ///< im2col matrix [inC*k*k x oh*ow]
     std::vector<float> colGrad; ///< col-space gradient for backward
+    std::vector<float> colWide; ///< wide-batch im2col [inC*k*k x S*oh*ow]
+    std::vector<float> outWide; ///< wide-batch output [outC x S*oh*ow]
+    std::vector<const float *> xsWide; ///< batched-gemv input pointers
+    std::vector<float *> ysWide;       ///< batched-gemv output pointers
 };
 
 /** Thread-local scratch shared by every conv layer on this thread. */
@@ -120,6 +125,17 @@ GemmScratch &gemmScratch();
  */
 void im2col(const float *in, int in_c, int ih, int iw, int k, int stride,
             int pad, int oh, int ow, std::vector<float> &col);
+
+/**
+ * im2col into caller-owned storage with an arbitrary row stride
+ * (@p row_stride >= oh*ow floats between consecutive matrix rows).
+ * This is the wide-batch building block: each sample of a serving
+ * chunk unrolls into the same [in_c*k*k x S*oh*ow] matrix at column
+ * offset s*oh*ow, so one SGEMM covers the whole chunk. Tap values and
+ * their in-row order are identical to im2col.
+ */
+void im2colInto(const float *in, int in_c, int ih, int iw, int k, int stride,
+                int pad, int oh, int ow, float *col, std::size_t row_stride);
 
 /**
  * Inverse scatter-add of im2col: accumulate the col-space gradient

@@ -20,9 +20,6 @@ namespace ptolemy::nn::detail
 
 #ifdef PTOLEMY_HAVE_AVX2
 
-/** True when the running CPU supports AVX2 + FMA. */
-bool avx2CpuSupported();
-
 /**
  * C tile [i0,i1) x [j0,j1) = A * B over the full K extent (or += when
  * @p accumulate), with register-resident accumulators (6x16 FMA
@@ -35,9 +32,14 @@ bool avx2CpuSupported();
  * transposed copy. B and C are row-major with leading dimensions
  * @p ldb / @p ldc.
  *
- * Per-element results depend only on (i, j, K) and the absolute
- * 16-column blocking from column 0 — never on the tile partition — so
- * outputs are bit-identical across thread counts.
+ * Per-element results depend only on (i, j, K) — never on the tile
+ * partition or where the 16/8-column blocking lands: every column
+ * (vector lane or scalar tail) computes the same fold of
+ * fma(a_k, b_kj, acc) over k ascending. Outputs are therefore
+ * bit-identical across thread counts AND across column placement,
+ * which is what lets the wide-batch forward concatenate per-sample
+ * im2col columns at arbitrary offsets and reproduce the standalone
+ * per-sample product exactly.
  */
 void avx2GemmTile(int i0, int i1, int j0, int j1, int K,
                   const float *a_base, std::ptrdiff_t a_row_stride,
@@ -61,6 +63,16 @@ void avx2GemmNTRows(int i0, int i1, int N, int K, const float *A,
  */
 void avx2GemvBias(int M, int K, const float *A, const float *x,
                   const float *bias, float *y);
+
+/**
+ * Batched gemv: ys[s][i] = bias[i] + dot(A row i, xs[s]) for S
+ * samples, with the weight-row loop outermost so A streams from memory
+ * once per batch instead of once per sample. Each (row, sample) cell
+ * runs the exact avx2GemvBias row kernel — results are bit-identical
+ * to S independent avx2GemvBias calls.
+ */
+void avx2GemvBiasBatch(int M, int K, const float *A, const float *bias,
+                       const float *const *xs, float *const *ys, int S);
 
 #endif // PTOLEMY_HAVE_AVX2
 

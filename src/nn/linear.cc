@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "nn/gemm.hh"
+#include "nn/psum_kernels.hh"
 
 namespace ptolemy::nn
 {
@@ -31,6 +32,29 @@ Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     assert(static_cast<int>(in.size()) == inN);
     out.resize(flatShape(outN));
     sgemvBias(outN, inN, weight.data(), in.data(), bias.data(), out.data());
+}
+
+void
+Linear::forwardBatchInto(std::span<const Tensor *const> ins,
+                         std::span<Tensor *const> outs) const
+{
+    const std::size_t S = ins.size();
+    if (S <= 1) {
+        Layer::forwardBatchInto(ins, outs);
+        return;
+    }
+    auto &scratch = gemmScratch();
+    scratch.xsWide.resize(S);
+    scratch.ysWide.resize(S);
+    for (std::size_t s = 0; s < S; ++s) {
+        assert(static_cast<int>(ins[s]->size()) == inN);
+        outs[s]->resize(flatShape(outN));
+        scratch.xsWide[s] = ins[s]->data();
+        scratch.ysWide[s] = outs[s]->data();
+    }
+    sgemvBiasBatch(outN, inN, weight.data(), bias.data(),
+                   scratch.xsWide.data(), scratch.ysWide.data(),
+                   static_cast<int>(S));
 }
 
 void
@@ -73,11 +97,22 @@ void
 Linear::partialSums(const Tensor &input, std::size_t out_index,
                     std::vector<PartialSum> &out) const
 {
+    const float *wrow = &weight[out_index * inN];
+#ifdef PTOLEMY_HAVE_AVX2
+    if (simdMode() == SimdMode::Avx2) {
+        // Values are single products (one rounding each), so the vector
+        // kernel is bit-identical to the scalar loop below.
+        out.resize(static_cast<std::size_t>(inN));
+        detail::avx2PartialProducts(wrow, input.data(),
+                                    static_cast<std::uint32_t>(inN),
+                                    out.data());
+        return;
+    }
+#endif
     out.clear();
     out.reserve(inN);
-    const float *wrow = &weight[out_index * inN];
     for (int i = 0; i < inN; ++i)
-        out.push_back({static_cast<std::size_t>(i), wrow[i] * input[i]});
+        out.push_back({static_cast<std::uint32_t>(i), wrow[i] * input[i]});
 }
 
 std::size_t

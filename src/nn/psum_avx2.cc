@@ -1,0 +1,127 @@
+/**
+ * @file
+ * AVX2 partial-sum construction kernel (compiled with -mavx2 -mfma;
+ * empty TU otherwise). Extraction's hottest loop is building the
+ * per-neuron (input index, w*x) rows that feed the ranking heap — for
+ * the fc1 layer that is inN products per important neuron. Each value
+ * is a single multiply (one rounding), so this path is bit-identical
+ * to the scalar loop it replaces.
+ */
+
+#include "psum_kernels.hh"
+
+#ifdef PTOLEMY_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "nn/layer.hh"
+
+namespace ptolemy::nn::detail
+{
+
+static_assert(sizeof(PartialSum) == 8,
+              "interleaved stores assume packed {u32 index, f32 value}");
+
+void
+avx2PartialProducts(const float *w, const float *x, std::uint32_t n,
+                    PartialSum *out)
+{
+    const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i step = _mm256_set1_epi32(8);
+    __m256i iv = iota;
+    std::uint32_t i = 0;
+    auto *dst = reinterpret_cast<__m256i *>(out);
+    for (; i + 8 <= n; i += 8) {
+        const __m256 pv = _mm256_mul_ps(_mm256_loadu_ps(w + i),
+                                        _mm256_loadu_ps(x + i));
+        const __m256i pvi = _mm256_castps_si256(pv);
+        // Interleave indices and values into (index, value) pairs:
+        // unpack works per 128-bit half, the permutes stitch the halves
+        // back into memory order.
+        const __m256i lo = _mm256_unpacklo_epi32(iv, pvi);
+        const __m256i hi = _mm256_unpackhi_epi32(iv, pvi);
+        _mm256_storeu_si256(dst++, _mm256_permute2x128_si256(lo, hi, 0x20));
+        _mm256_storeu_si256(dst++, _mm256_permute2x128_si256(lo, hi, 0x31));
+        iv = _mm256_add_epi32(iv, step);
+    }
+    for (; i < n; ++i)
+        out[i] = {i, w[i] * x[i]};
+}
+
+std::size_t
+avx2ArgmaxRanked(const PartialSum *p, std::size_t n)
+{
+    // Scalar reference order: best if value greater, or equal value and
+    // smaller inputIndex. Lanes additionally track the array position so
+    // the winner can be swapped into place by the caller.
+    std::size_t best = 0;
+    std::size_t i = 1;
+    if (n >= 16) {
+        const auto *words = reinterpret_cast<const __m256i *>(p);
+        // Each 64-byte pair of loads covers structs [i, i+8):
+        // v0 = {i0 f0 i1 f1 | i2 f2 i3 f3}, v1 = {i4 f4 ... f7}.
+        // shuffle_ps picks (per 128-bit half) the value or index slots;
+        // the resulting lane order is scrambled but identical between
+        // the value, index and position vectors, which is all the
+        // max-tracking needs.
+        __m256 bval = _mm256_set1_ps(p[0].value);
+        __m256i bidx = _mm256_set1_epi32(
+            static_cast<std::int32_t>(p[0].inputIndex));
+        __m256i bpos = _mm256_setzero_si256();
+        const __m256i lane_pos =
+            _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+        const __m256i step = _mm256_set1_epi32(8);
+        __m256i pos = lane_pos;
+        i = 0;
+        for (; i + 8 <= n; i += 8) {
+            const __m256 v0 = _mm256_castsi256_ps(
+                _mm256_loadu_si256(words + i / 4));
+            const __m256 v1 = _mm256_castsi256_ps(
+                _mm256_loadu_si256(words + i / 4 + 1));
+            const __m256 val = _mm256_shuffle_ps(v0, v1, 0xDD);
+            const __m256i idx =
+                _mm256_castps_si256(_mm256_shuffle_ps(v0, v1, 0x88));
+            const __m256 gt = _mm256_cmp_ps(val, bval, _CMP_GT_OQ);
+            const __m256 eq = _mm256_cmp_ps(val, bval, _CMP_EQ_OQ);
+            const __m256i smaller = _mm256_cmpgt_epi32(bidx, idx);
+            const __m256 take = _mm256_or_ps(
+                gt, _mm256_and_ps(eq, _mm256_castsi256_ps(smaller)));
+            bval = _mm256_blendv_ps(bval, val, take);
+            bidx = _mm256_castps_si256(
+                _mm256_blendv_ps(_mm256_castsi256_ps(bidx),
+                                 _mm256_castsi256_ps(idx), take));
+            bpos = _mm256_castps_si256(
+                _mm256_blendv_ps(_mm256_castsi256_ps(bpos),
+                                 _mm256_castsi256_ps(pos), take));
+            pos = _mm256_add_epi32(pos, step);
+        }
+        alignas(32) float vals[8];
+        alignas(32) std::uint32_t idxs[8];
+        alignas(32) std::uint32_t poss[8];
+        _mm256_store_ps(vals, bval);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(idxs), bidx);
+        _mm256_store_si256(reinterpret_cast<__m256i *>(poss), bpos);
+        best = poss[0];
+        float bv = vals[0];
+        std::uint32_t bi = idxs[0];
+        for (int l = 1; l < 8; ++l) {
+            if (vals[l] > bv || (vals[l] == bv && idxs[l] < bi)) {
+                bv = vals[l];
+                bi = idxs[l];
+                best = poss[l];
+            }
+        }
+    }
+    for (; i < n; ++i) {
+        const bool better =
+            p[i].value > p[best].value ||
+            (p[i].value == p[best].value &&
+             p[i].inputIndex < p[best].inputIndex);
+        best = better ? i : best;
+    }
+    return best;
+}
+
+} // namespace ptolemy::nn::detail
+
+#endif // PTOLEMY_HAVE_AVX2

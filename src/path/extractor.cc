@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "nn/psum_kernels.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 #include "util/thread_pool.hh"
 
 namespace ptolemy::path
@@ -30,6 +32,32 @@ heapLess(const nn::PartialSum &a, const nn::PartialSum &b)
 {
     return rankedBefore(b, a);
 }
+
+/** Array position of the rankedBefore-first entry of p[0, n). Pure
+ *  comparisons under the same total order as the sort/heap paths, so
+ *  all three selection strategies pick identical elements. The scan is
+ *  branchless (conditional moves / AVX2 blends) where the heap walk
+ *  mispredicts on essentially every random float comparison. */
+inline std::size_t
+argmaxRanked(const nn::PartialSum *p, std::size_t n)
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    if (n >= 16 && simdMode() == SimdMode::Avx2)
+        return nn::detail::avx2ArgmaxRanked(p, n);
+#endif
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+        const bool better = rankedBefore(p[i], p[best]);
+        best = better ? i : best;
+    }
+    return best;
+}
+
+/** Selection prefixes are typically a handful of elements, so a few
+ *  successive argmax scans beat heapifying the whole receptive field;
+ *  past this many passes the remainder falls back to the heap so a
+ *  pathological wide prefix stays O(n + k log n). */
+constexpr int kMaxScanPasses = 32;
 
 } // namespace
 
@@ -142,9 +170,9 @@ PathExtractor::selectImportantInputs(const nn::Layer &layer,
     // reaches theta * output. A non-positive output has no meaningful
     // coverage target; keep the single largest contributor (minimal set).
     if (out_val <= 0.0f) {
-        const auto top =
-            std::max_element(scratch.begin(), scratch.end(), heapLess);
-        selected.push_back(top->inputIndex);
+        selected.push_back(
+            scratch[argmaxRanked(scratch.data(), scratch.size())]
+                .inputIndex);
         return;
     }
     const double target = policy.theta * out_val;
@@ -159,14 +187,32 @@ PathExtractor::selectImportantInputs(const nn::Layer &layer,
         }
         return;
     }
-    // Heap prefix: O(n) heapify, then pop only until coverage. Typical
-    // prefixes are a small fraction of the receptive field, so this
-    // replaces the former full sort's n*log(n) with n + k*log(n).
-    std::make_heap(scratch.begin(), scratch.end(), heapLess);
-    auto end = scratch.end();
+    // Successive argmax scans: each pass swaps the ranked-next element
+    // to the front of the unselected region, so elements are emitted —
+    // and cum accumulated — in exactly the reference sort's order.
+    const std::size_t n = scratch.size();
+    std::size_t head = 0;
     double cum = 0.0;
-    while (end != scratch.begin()) {
-        std::pop_heap(scratch.begin(), end, heapLess);
+    for (int pass = 0; pass < kMaxScanPasses && head < n; ++pass) {
+        const std::size_t best =
+            head + argmaxRanked(scratch.data() + head, n - head);
+        std::swap(scratch[head], scratch[best]);
+        selected.push_back(scratch[head].inputIndex);
+        cum += scratch[head].value;
+        ++head;
+        if (cum >= target)
+            return;
+    }
+    // Wide prefix: heapify the remaining elements and pop until
+    // coverage (n + k log n worst case). The heap pops continue the
+    // same ranked order, so the selection stays identical.
+    std::make_heap(scratch.begin() + static_cast<std::ptrdiff_t>(head),
+                   scratch.end(), heapLess);
+    auto end = scratch.end();
+    const auto heap_begin =
+        scratch.begin() + static_cast<std::ptrdiff_t>(head);
+    while (end != heap_begin) {
+        std::pop_heap(heap_begin, end, heapLess);
         --end;
         selected.push_back(end->inputIndex);
         cum += end->value;

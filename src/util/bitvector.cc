@@ -5,8 +5,35 @@
 #include <cassert>
 #include <cstring>
 
+#include "bitvector_kernels.hh"
+#include "simd.hh"
+
 namespace ptolemy
 {
+
+namespace
+{
+
+/**
+ * Word count below which the scalar loop wins (kernel setup + the
+ * horizontal fold cost more than a handful of std::popcount calls).
+ * Dispatch is observationally invisible either way — the kernels
+ * compute the same exact integers.
+ */
+constexpr std::size_t kAvx2MinWords = 8;
+
+inline bool
+useAvx2(std::size_t nwords)
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    return nwords >= kAvx2MinWords && simdMode() == SimdMode::Avx2;
+#else
+    (void)nwords;
+    return false;
+#endif
+}
+
+} // namespace
 
 void
 BitVector::reset()
@@ -17,6 +44,10 @@ BitVector::reset()
 std::size_t
 BitVector::popcount() const
 {
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2(words.size()))
+        return detail::avx2Popcount(words.data(), words.size());
+#endif
     std::size_t total = 0;
     for (std::uint64_t w : words)
         total += std::popcount(w);
@@ -51,8 +82,18 @@ BitVector::popcountRange(std::size_t begin, std::size_t end) const
     }
     std::size_t total =
         std::popcount(words[first_word] & wordMask(begin & 63, 64));
-    for (std::size_t w = first_word + 1; w < last_word; ++w)
-        total += std::popcount(words[w]);
+    // Boundary words stay scalar (they need the partial-word masks);
+    // the interior full-word span dispatches to the AVX2 kernel.
+    const std::size_t mid = last_word - first_word - 1;
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2(mid)) {
+        total += detail::avx2Popcount(words.data() + first_word + 1, mid);
+    } else
+#endif
+    {
+        for (std::size_t w = first_word + 1; w < last_word; ++w)
+            total += std::popcount(words[w]);
+    }
     total += std::popcount(words[last_word] & wordMask(0, ((end - 1) & 63) + 1));
     return total;
 }
@@ -93,6 +134,11 @@ std::size_t
 BitVector::andPopcount(const BitVector &other) const
 {
     assert(numBits == other.numBits);
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2(words.size()))
+        return detail::avx2AndPopcount(words.data(), other.words.data(),
+                                       words.size());
+#endif
     std::size_t total = 0;
     for (std::size_t i = 0; i < words.size(); ++i)
         total += std::popcount(words[i] & other.words[i]);
@@ -115,8 +161,21 @@ BitVector::andPopcountRange(const BitVector &other, std::size_t begin,
     if (first_word == last_word)
         return masked(first_word, wordMask(begin & 63, ((end - 1) & 63) + 1));
     std::size_t total = masked(first_word, wordMask(begin & 63, 64));
-    for (std::size_t w = first_word + 1; w < last_word; ++w)
-        total += std::popcount(words[w] & other.words[w]);
+    // Partial boundary words scalar, interior full-word span vectorized
+    // (the per-class prefix sweeps hand this spans of thousands of
+    // words, so the interior dominates).
+    const std::size_t mid = last_word - first_word - 1;
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2(mid)) {
+        total += detail::avx2AndPopcount(words.data() + first_word + 1,
+                                         other.words.data() + first_word + 1,
+                                         mid);
+    } else
+#endif
+    {
+        for (std::size_t w = first_word + 1; w < last_word; ++w)
+            total += std::popcount(words[w] & other.words[w]);
+    }
     total += masked(last_word, wordMask(0, ((end - 1) & 63) + 1));
     return total;
 }
@@ -126,6 +185,13 @@ BitVector::jaccard(const BitVector &other) const
 {
     assert(numBits == other.numBits);
     std::size_t inter = 0, uni = 0;
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2(words.size())) {
+        detail::avx2AndOrPopcount(words.data(), other.words.data(),
+                                  words.size(), inter, uni);
+        return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+    }
+#endif
     for (std::size_t i = 0; i < words.size(); ++i) {
         inter += std::popcount(words[i] & other.words[i]);
         uni += std::popcount(words[i] | other.words[i]);

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * AVX2 popcount kernels for BitVector (the only util TU compiled with
+ * -mavx2). Muła's vpshufb nibble-LUT popcount: each 256-bit load splits
+ * bytes into nibbles, looks their popcounts up in a 16-entry in-register
+ * table, and _mm256_sad_epu8 folds the byte counts into four 64-bit
+ * lanes accumulated across the loop. Counts are exact integers, so the
+ * kernels are bit-identical to the scalar std::popcount loops.
+ */
+
+#include "bitvector_kernels.hh"
+
+#ifdef PTOLEMY_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace ptolemy::detail
+{
+
+namespace
+{
+
+/** Per-64-bit-lane byte popcount of @p v (Muła nibble LUT + SAD). */
+inline __m256i
+popcount256(__m256i v)
+{
+    const __m256i lut =
+        _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                         0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/** Horizontal sum of the four 64-bit lanes of @p acc. */
+inline std::size_t
+hsum64(__m256i acc)
+{
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    const __m128i s = _mm_add_epi64(lo, hi);
+    return static_cast<std::size_t>(_mm_cvtsi128_si64(s)) +
+           static_cast<std::size_t>(
+               _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+} // namespace
+
+std::size_t
+avx2Popcount(const std::uint64_t *w, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(w + i));
+        acc = _mm256_add_epi64(acc, popcount256(v));
+    }
+    std::size_t total = hsum64(acc);
+    for (; i < n; ++i)
+        total += std::popcount(w[i]);
+    return total;
+}
+
+std::size_t
+avx2AndPopcount(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_add_epi64(acc, popcount256(_mm256_and_si256(va, vb)));
+    }
+    std::size_t total = hsum64(acc);
+    for (; i < n; ++i)
+        total += std::popcount(a[i] & b[i]);
+    return total;
+}
+
+void
+avx2AndOrPopcount(const std::uint64_t *a, const std::uint64_t *b,
+                  std::size_t n, std::size_t &inter, std::size_t &uni)
+{
+    __m256i acc_and = _mm256_setzero_si256();
+    __m256i acc_or = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + i));
+        acc_and =
+            _mm256_add_epi64(acc_and, popcount256(_mm256_and_si256(va, vb)));
+        acc_or =
+            _mm256_add_epi64(acc_or, popcount256(_mm256_or_si256(va, vb)));
+    }
+    std::size_t s_inter = hsum64(acc_and);
+    std::size_t s_uni = hsum64(acc_or);
+    for (; i < n; ++i) {
+        s_inter += std::popcount(a[i] & b[i]);
+        s_uni += std::popcount(a[i] | b[i]);
+    }
+    inter = s_inter;
+    uni = s_uni;
+}
+
+} // namespace ptolemy::detail
+
+#endif // PTOLEMY_HAVE_AVX2

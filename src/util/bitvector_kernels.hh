@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Internal AVX2 word-kernel interface for BitVector, shared between the
+ * dispatch TU (bitvector.cc) and the AVX2 TU (bitvector_avx2.cc).
+ *
+ * Mirrors the nn/gemm_kernels.hh arrangement: only bitvector_avx2.cc is
+ * compiled with -mavx2, the dispatch TU merely learns the symbols exist
+ * via PTOLEMY_HAVE_AVX2. All kernels compute exact integer popcounts
+ * over full 64-bit words, so they are trivially bit-identical to the
+ * scalar std::popcount loops they replace — dispatch never changes an
+ * observable result, only throughput.
+ */
+
+#ifndef PTOLEMY_UTIL_BITVECTOR_KERNELS_HH
+#define PTOLEMY_UTIL_BITVECTOR_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ptolemy::detail
+{
+
+#ifdef PTOLEMY_HAVE_AVX2
+
+/**
+ * Population count of @p n 64-bit words starting at @p w (no alignment
+ * requirement). Muła nibble-LUT (vpshufb) popcount, 4 words per
+ * iteration, scalar std::popcount tail.
+ */
+std::size_t avx2Popcount(const std::uint64_t *w, std::size_t n);
+
+/** Popcount of (a[i] & b[i]) over @p n words — set-intersection size. */
+std::size_t avx2AndPopcount(const std::uint64_t *a, const std::uint64_t *b,
+                            std::size_t n);
+
+/**
+ * Fused intersection and union popcounts over @p n words, one pass over
+ * both operands (the Jaccard numerator and denominator).
+ */
+void avx2AndOrPopcount(const std::uint64_t *a, const std::uint64_t *b,
+                       std::size_t n, std::size_t &inter, std::size_t &uni);
+
+#endif // PTOLEMY_HAVE_AVX2
+
+} // namespace ptolemy::detail
+
+#endif // PTOLEMY_UTIL_BITVECTOR_KERNELS_HH

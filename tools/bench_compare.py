@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_smoke/serve_load JSON against a checked-in baseline.
+
+The gate distinguishes three kinds of metric:
+
+* **Ratio keys** (``*speedup*``, ``avx2_vs_scalar``) are machine
+  independent — both sides of the division ran on the same host, so a
+  drop past the noise band means a real relative regression (e.g. the
+  AVX2 kernel silently falling back to scalar, or the batched path
+  losing to the one it replaced).  These HARD-FAIL everywhere.
+* **Allocation counters** (``allocs_*``, ``steady_state_allocs``) must
+  never increase: the serving steady state is allocation-free by
+  contract and a single new alloc per batch is a real leak of that
+  contract, not noise.  These HARD-FAIL everywhere, with zero band.
+* **Absolute throughputs** (``*_per_sec``, ``*gflops*``) depend on the
+  host.  They hard-fail locally (same machine as the baseline) but only
+  WARN under ``--warn-only-absolutes`` (CI runners differ from the
+  machine that recorded the baseline).
+
+Keys present in only one file are reported but never fatal, so adding a
+benchmark does not require updating the baseline atomically.  Latency
+percentiles and shed rates under ``serve.points`` are skipped: they are
+load-dependent coordinates, not metrics with a monotone "better".
+
+Exit status: 0 clean, 1 on any hard failure, 2 on usage/IO errors.
+
+Usage:
+    bench_compare.py BASELINE FRESH [--noise 0.30] [--warn-only-absolutes]
+    bench_compare.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics where a *decrease* is a regression but the absolute value is
+# machine-dependent.  Substring match on the flattened dotted key.
+HIGHER_IS_BETTER = (
+    "_per_sec",
+    "gflops",
+    "ops_per_sec",
+    "capacity_per_sec",
+)
+
+# Machine-independent ratios: both numerator and denominator were
+# measured on the same host in the same process.
+RATIO_MARKERS = ("speedup", "avx2_vs_scalar")
+
+# Ratios that compare two near-equal schedules and jitter with cache
+# state; they are reported but gated only as absolutes (warn-only in
+# CI).  wide-vs-fused in particular is expected to hover around 1.0 on
+# a single core, where the fused pipeline's cache locality offsets the
+# wide path's batched GEMMs.
+INFORMATIONAL_RATIOS = (
+    "detect.wide_speedup_vs_fused",
+    "detect.batch_speedup_vs_single_stream",
+    "train.speedup_vs_1thread",
+)
+
+ALLOC_MARKERS = ("allocs", "steady_state_allocs")
+
+# Load-curve coordinates, not monotone metrics.
+SKIP_MARKERS = ("serve.points", "path_bits_last", "shed_rate")
+
+
+def flatten(obj, prefix=""):
+    """Flatten nested dicts/lists into dotted-path -> scalar."""
+    out = {}
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            out.update(flatten(v, f"{prefix}{k}."))
+    elif isinstance(obj, list):
+        for i, v in enumerate(obj):
+            out.update(flatten(v, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = obj
+    return out
+
+
+def classify(key):
+    lk = key.lower()
+    if any(m in lk for m in SKIP_MARKERS):
+        return "skip"
+    if any(m in lk for m in ALLOC_MARKERS):
+        return "alloc"
+    if any(m in lk for m in RATIO_MARKERS):
+        if any(lk == m or lk.endswith(m) for m in INFORMATIONAL_RATIOS):
+            return "absolute"
+        return "ratio"
+    if any(m in lk for m in HIGHER_IS_BETTER):
+        return "absolute"
+    return "skip"
+
+
+def compare(baseline, fresh, noise, warn_only_absolutes, out=sys.stdout):
+    """Return (hard_failures, warnings) comparing two flattened dicts."""
+    base = flatten(baseline)
+    new = flatten(fresh)
+    failures = []
+    warnings = []
+
+    for key in sorted(set(base) & set(new)):
+        kind = classify(key)
+        if kind == "skip":
+            continue
+        b, f = base[key], new[key]
+        if not isinstance(b, (int, float)) or not isinstance(f, (int, float)):
+            continue
+        if kind == "alloc":
+            if f > b:
+                failures.append(
+                    f"ALLOC  {key}: {b} -> {f} (steady state must not "
+                    "allocate more)")
+            continue
+        floor = b * (1.0 - noise)
+        if f >= floor:
+            continue
+        msg = (f"{key}: {f:.4g} < {b:.4g} * (1 - {noise:.2f}) "
+               f"= {floor:.4g}")
+        if kind == "ratio":
+            failures.append("RATIO  " + msg)
+        elif warn_only_absolutes:
+            warnings.append("ABS    " + msg)
+        else:
+            failures.append("ABS    " + msg)
+
+    for key in sorted(set(base) - set(new)):
+        if classify(key) != "skip":
+            warnings.append(f"MISSING {key}: in baseline but not in fresh "
+                            "run")
+    for key in sorted(set(new) - set(base)):
+        if classify(key) != "skip":
+            warnings.append(f"NEW     {key}: not in baseline (consider "
+                            "tools/bench_update_baseline)")
+
+    for w in warnings:
+        print(f"warn: {w}", file=out)
+    for f in failures:
+        print(f"FAIL: {f}", file=out)
+    if not failures:
+        n = len([k for k in set(base) & set(new) if classify(k) != "skip"])
+        print(f"bench_compare: {n} gated metrics within "
+              f"{noise:.0%} of baseline", file=out)
+    return failures, warnings
+
+
+def self_test():
+    """Gate sanity: an injected regression must fail, a clean run must not."""
+    baseline = {
+        "detect": {
+            "batch_per_sec": 4000.0,
+            "batch_speedup_vs_legacy": 3.3,
+            "allocs_per_batch": 0,
+        },
+        "similarity": {
+            "w65536": {"and_popcount_ops_per_sec": 3.0e6,
+                       "avx2_vs_scalar": 7.0}
+        },
+    }
+    import copy
+
+    clean = copy.deepcopy(baseline)
+    clean["detect"]["batch_per_sec"] *= 1.02  # ordinary jitter
+    f, _ = compare(baseline, clean, 0.30, False)
+    assert not f, f"clean run flagged: {f}"
+
+    ratio_reg = copy.deepcopy(baseline)
+    ratio_reg["similarity"]["w65536"]["avx2_vs_scalar"] = 1.0  # kernel lost
+    f, _ = compare(baseline, ratio_reg, 0.30, True)
+    assert any("avx2_vs_scalar" in x for x in f), \
+        "injected ratio regression not caught under --warn-only-absolutes"
+
+    alloc_reg = copy.deepcopy(baseline)
+    alloc_reg["detect"]["allocs_per_batch"] = 1
+    f, _ = compare(baseline, alloc_reg, 0.30, True)
+    assert any("allocs_per_batch" in x for x in f), \
+        "injected allocation regression not caught"
+
+    abs_reg = copy.deepcopy(baseline)
+    abs_reg["detect"]["batch_per_sec"] = 1000.0
+    f, _ = compare(baseline, abs_reg, 0.30, False)
+    assert any("batch_per_sec" in x for x in f), \
+        "absolute regression not caught in local mode"
+    f, w = compare(baseline, abs_reg, 0.30, True)
+    assert not f and any("batch_per_sec" in x for x in w), \
+        "absolute regression should only warn under --warn-only-absolutes"
+
+    print("bench_compare: self-test passed")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument("--noise", type=float, default=0.30,
+                    help="allowed fractional drop before failing "
+                         "(default 0.30)")
+    ap.add_argument("--warn-only-absolutes", action="store_true",
+                    help="machine-dependent absolutes warn instead of "
+                         "failing (for CI runners that differ from the "
+                         "baseline host)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate catches injected regressions")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        ap.error("BASELINE and FRESH are required unless --self-test")
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        with open(args.fresh) as fh:
+            fresh = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+    failures, _ = compare(baseline, fresh, args.noise,
+                          args.warn_only_absolutes)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
