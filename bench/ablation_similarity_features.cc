@@ -21,7 +21,7 @@ namespace
 
 /** AUC with features truncated to the first @p k dims. */
 double
-aucWithFeatureDims(core::Detector &det,
+aucWithFeatureDims(core::DetectorSession &sess,
                    const std::vector<core::DetectionPair> &pairs,
                    std::size_t k)
 {
@@ -35,8 +35,8 @@ aucWithFeatureDims(core::Detector &det,
 
     auto feats = [&](const nn::Tensor &x) {
         nn::Network::Record rec;
-        det.network().inferInto(x, rec); // const online view
-        auto f = det.featuresFor(rec);
+        sess.model().network().inferInto(x, rec); // const online view
+        auto f = sess.featuresFor(rec);
         f.resize(std::min(k, f.size()));
         return f;
     };
@@ -72,7 +72,9 @@ main()
     std::printf("=== Ablation: similarity feature set ===\n\n");
     auto &b = bench::getBundle("alexnet100");
     const int n = static_cast<int>(b.net.weightedNodes().size());
-    auto det = bench::makeDetector(b, path::ExtractionConfig::bwCu(n, 0.5));
+    auto bld =
+        bench::makeBuilder(b, path::ExtractionConfig::bwCu(n, 0.5));
+    core::DetectorSession sess(bld->model());
 
     auto attacks = attack::makeStandardAttacks();
     Table t("AUC by feature set (feature 0 is the paper's overall S; "
@@ -80,8 +82,8 @@ main()
     t.header({"attack", "overall S only", "S + per-layer"});
     for (auto &atk : attacks) {
         auto pairs = bench::getPairs(b, *atk, 80);
-        t.row({atk->name(), fmt(aucWithFeatureDims(det, pairs, 1), 3),
-               fmt(aucWithFeatureDims(det, pairs, 1 + n), 3)});
+        t.row({atk->name(), fmt(aucWithFeatureDims(sess, pairs, 1), 3),
+               fmt(aucWithFeatureDims(sess, pairs, 1 + n), 3)});
     }
     t.print(std::cout);
     return 0;

@@ -1,6 +1,8 @@
 #include "workspace.hh"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -12,7 +14,9 @@
 #include "nn/init.hh"
 #include "nn/trainer.hh"
 #include "path/extractor.hh"
+#include "util/rng.hh"
 #include "util/serialize.hh"
+#include "util/thread_pool.hh"
 
 namespace ptolemy::bench
 {
@@ -185,19 +189,19 @@ path::ExtractionTrace
 profileTrace(Bundle &b, const path::ExtractionConfig &cfg, int samples)
 {
     path::PathExtractor ex(b.net, cfg);
-    std::vector<path::ExtractionTrace> traces;
+    std::vector<const nn::Tensor *> xs;
     const std::size_t stride =
         std::max<std::size_t>(1, b.data.test.size() / samples);
     for (std::size_t i = 0;
-         i < b.data.test.size() && traces.size() <
-             static_cast<std::size_t>(samples);
-         i += stride) {
-        auto rec = b.net.forward(b.data.test[i].input);
-        path::ExtractionTrace t;
-        ex.extract(rec, &t);
-        traces.push_back(std::move(t));
-    }
-    return path::averageTraces(traces);
+         i < b.data.test.size() &&
+         xs.size() < static_cast<std::size_t>(samples);
+         i += stride)
+        xs.push_back(&b.data.test[i].input);
+    std::vector<nn::Network::Record> recs;
+    b.net.forwardBatch(std::span<const nn::Tensor *const>(xs.data(),
+                                                          xs.size()),
+                       recs, &globalPool());
+    return ex.profileBatch(recs, &globalPool());
 }
 
 CostResult
@@ -232,13 +236,126 @@ costOf(Bundle &b, const path::ExtractionConfig &cfg,
     return costOfTrace(b, cfg, profileTrace(b, cfg), opts, hw_cfg);
 }
 
-core::Detector
-makeDetector(Bundle &b, path::ExtractionConfig cfg, int profile_per_class)
+std::unique_ptr<core::DetectorBuilder>
+makeBuilder(Bundle &b, path::ExtractionConfig cfg, int profile_per_class)
 {
-    core::Detector det(b.net, std::move(cfg),
-                       static_cast<std::size_t>(b.numClasses));
-    det.buildClassPaths(b.data.train, profile_per_class);
-    return det;
+    auto bld = std::make_unique<core::DetectorBuilder>(
+        b.net, std::move(cfg), static_cast<std::size_t>(b.numClasses));
+    bld->profileClassPaths(b.data.train, profile_per_class);
+    return bld;
+}
+
+namespace
+{
+
+double
+benchMinTime()
+{
+    if (const char *s = std::getenv("PTOLEMY_BENCH_MIN_TIME"))
+        return std::atof(s);
+    return 0.05;
+}
+
+template <typename Fn>
+double
+secsPerCall(Fn &&fn, double min_seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    std::size_t reps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        fn();
+        ++reps;
+        elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+    } while (elapsed < min_seconds);
+    return elapsed / static_cast<double>(reps);
+}
+
+} // namespace
+
+SwDetectCost
+measureSwDetectCost(Bundle &b, const path::ExtractionConfig &cfg,
+                    int profile_per_class)
+{
+    // Fit a real model on the bundle: profiled class paths plus a forest
+    // trained on clean-vs-noisy rows, so the score stage pays the same
+    // tree walks production scoring does.
+    auto bld = makeBuilder(b, cfg, profile_per_class);
+    {
+        Rng rng(0x5C0FE);
+        std::vector<nn::Tensor> clean, noisy;
+        const std::size_t stride =
+            std::max<std::size_t>(1, b.data.test.size() / 16);
+        for (std::size_t i = 0;
+             i < b.data.test.size() && clean.size() < 16; i += stride) {
+            clean.push_back(b.data.test[i].input);
+            nn::Tensor p = clean.back();
+            for (std::size_t e = 0; e < p.size(); ++e)
+                p[e] += static_cast<float>(rng.uniform(-0.1, 0.1));
+            noisy.push_back(std::move(p));
+        }
+        classify::FeatureMatrix benign, adversarial;
+        bld->featuresBatch(clean, benign);
+        bld->featuresBatch(noisy, adversarial);
+        bld->fitClassifier(benign, adversarial);
+    }
+    const core::DetectorModel &model = bld->model();
+
+    std::vector<const nn::Tensor *> xs;
+    const std::size_t stride =
+        std::max<std::size_t>(1, b.data.test.size() / 16);
+    for (std::size_t i = 0; i < b.data.test.size() && xs.size() < 16;
+         i += stride)
+        xs.push_back(&b.data.test[i].input);
+    const std::span<const nn::Tensor *const> xspan(xs.data(), xs.size());
+    const double min_time = benchMinTime();
+
+    SwDetectCost cost;
+    // Stage 1: the wide batched forward (one SGEMM per layer across the
+    // chunk), amortized per sample.
+    std::vector<nn::Network::Record> recs;
+    model.network().forwardBatchWide(xspan, recs); // warm + records
+    cost.forwardUs =
+        secsPerCall([&] { model.network().forwardBatchWide(xspan, recs); },
+                    min_time) /
+        static_cast<double>(xs.size()) * 1e6;
+
+    // Stage 2: path extraction with the default branchless workspace.
+    path::ExtractionWorkspace ws;
+    BitVector path_bits;
+    std::size_t cursor = 0;
+    model.extractor().extractInto(recs[0], ws, path_bits); // warm
+    cost.extractUs = secsPerCall(
+                         [&] {
+                             model.extractor().extractInto(recs[cursor], ws,
+                                                           path_bits);
+                             cursor = (cursor + 1) % recs.size();
+                         },
+                         min_time) *
+                     1e6;
+
+    // Stage 3: similarity features + forest probability.
+    path::SimilarityFeatures feats;
+    std::vector<double> feat_vec;
+    volatile double sink = 0.0;
+    cursor = 0;
+    cost.scoreUs =
+        secsPerCall(
+            [&] {
+                const std::size_t pred = recs[cursor].predictedClass();
+                path::computeSimilarityInto(
+                    path_bits, model.classPaths().classPath(pred),
+                    model.extractor().layout(), feats);
+                feats.toVectorInto(feat_vec);
+                sink = model.forest().predictProb(feat_vec);
+                cursor = (cursor + 1) % recs.size();
+            },
+            min_time) *
+        1e6;
+    (void)sink;
+    return cost;
 }
 
 VariantSet

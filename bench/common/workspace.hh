@@ -18,12 +18,14 @@
 #ifndef PTOLEMY_BENCH_COMMON_WORKSPACE_HH
 #define PTOLEMY_BENCH_COMMON_WORKSPACE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "attack/attack.hh"
 #include "compiler/compiler.hh"
-#include "core/detector.hh"
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
 #include "core/evaluation.hh"
 #include "data/synthetic.hh"
 #include "hw/config.hh"
@@ -59,7 +61,10 @@ std::vector<core::DetectionPair> getPairs(Bundle &b, attack::Attack &atk,
 path::ExtractionConfig calibrated(Bundle &b, path::ExtractionConfig cfg,
                                   double fraction = 0.05);
 
-/** Average extraction trace over a few test inputs. */
+/** Average extraction trace over a few test inputs. Rides the batched
+ *  profiling pipeline (Network::forwardBatch +
+ *  PathExtractor::profileBatch), bit-identical to the per-sample walk
+ *  at any thread count. */
 path::ExtractionTrace profileTrace(Bundle &b,
                                    const path::ExtractionConfig &cfg,
                                    int samples = 5);
@@ -85,9 +90,39 @@ CostResult costOfTrace(Bundle &b, const path::ExtractionConfig &cfg,
                        compiler::CompileOptions opts = {},
                        hw::HwConfig hw_cfg = hw::HwConfig::baseline());
 
-/** Build a detector with class paths already profiled. */
-core::Detector makeDetector(Bundle &b, path::ExtractionConfig cfg,
-                            int profile_per_class = 100);
+/**
+ * Offline phase for one (bundle, config) pair: a DetectorBuilder with
+ * class paths already profiled. Serve from it by binding sessions to
+ * builder->model(); fitClassifier mutates the model in place, so bound
+ * sessions observe the fit. unique_ptr because DetectorBuilder is
+ * neither copyable nor movable (its internal session is bound to the
+ * model member).
+ */
+std::unique_ptr<core::DetectorBuilder>
+makeBuilder(Bundle &b, path::ExtractionConfig cfg,
+            int profile_per_class = 100);
+
+/**
+ * Measured per-detection cost split of the optimized software serving
+ * path (the detectBatch stages timed through their public seams):
+ * the wide batched forward, branchless-workspace path extraction, and
+ * the similarity + forest scoring tail. This is the honest software
+ * baseline the HW co-design benches normalize against — wall-clock of
+ * the engine that actually serves, not a modeled pipeline.
+ */
+struct SwDetectCost
+{
+    double forwardUs = 0.0;
+    double extractUs = 0.0;
+    double scoreUs = 0.0;
+    double totalUs() const { return forwardUs + extractUs + scoreUs; }
+};
+
+/** Measure the serving cost split for @p cfg on @p b's model. Honors
+ *  PTOLEMY_BENCH_MIN_TIME for the per-stage measurement window. */
+SwDetectCost measureSwDetectCost(Bundle &b,
+                                 const path::ExtractionConfig &cfg,
+                                 int profile_per_class = 16);
 
 /** The standard variant set of Sec. VI-B, calibrated for @p b. */
 struct VariantSet

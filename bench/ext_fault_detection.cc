@@ -36,11 +36,12 @@ main()
     const std::pair<const char *, const path::ExtractionConfig *> rows[] = {
         {"BwCu", &variants.bwCu}, {"FwAb", &variants.fwAb}};
     for (const auto &[name, cfg] : rows) {
-        auto det = bench::makeDetector(b, *cfg);
+        auto bld = bench::makeBuilder(b, *cfg);
+        core::DetectorSession sess(bld->model());
         attack::Fgsm fgsm;
         auto pairs = bench::getPairs(b, fgsm, 80);
-        core::fitAndScore(det, pairs, 0.5);
-        const auto res = core::runFaultCampaign(det, b.data.test, 300);
+        core::fitAndScore(*bld, sess, pairs, 0.5);
+        const auto res = core::runFaultCampaign(sess, b.data.test, 300);
         t.row({name, std::to_string(res.mispredictions),
                std::to_string(res.detected), fmtPct(res.detectionRate()),
                std::to_string(res.falseAlarms)});

@@ -32,9 +32,9 @@ runModel(const char *bundle_name, const char *paper_role, int sample_classes)
 {
     auto &b = bench::getBundle(bundle_name);
     const int n = static_cast<int>(b.net.weightedNodes().size());
-    auto det = bench::makeDetector(
+    auto bld = bench::makeBuilder(
         b, path::ExtractionConfig::bwCu(n, 0.5), 100);
-    const auto &store = det.classPaths();
+    const auto &store = bld->model().classPaths();
 
     // Sample evenly-spaced classes (the paper samples 10 of 1000),
     // skipping classes whose canary path is empty because the scaled

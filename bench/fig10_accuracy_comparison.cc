@@ -45,11 +45,12 @@ runModel(const char *bundle_name, const char *paper_role, int max_samples)
     std::vector<Row> rows;
     auto eval_variant = [&](const std::string &name,
                             const path::ExtractionConfig &cfg) {
-        auto det = bench::makeDetector(b, cfg);
+        auto bld = bench::makeBuilder(b, cfg);
+        core::DetectorSession sess(bld->model());
         Row r{name, {}};
         for (std::size_t a = 0; a < attacks.size(); ++a)
             r.perAttackAuc.push_back(
-                core::fitAndScore(det, pairs[a], 0.5).auc);
+                core::fitAndScore(*bld, sess, pairs[a], 0.5).auc);
         rows.push_back(std::move(r));
     };
     eval_variant("BwCu", variants.bwCu);

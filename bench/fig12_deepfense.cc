@@ -41,10 +41,11 @@ main()
 
     auto eval_variant = [&](const std::string &name,
                             const path::ExtractionConfig &cfg) {
-        auto det = bench::makeDetector(b, cfg);
+        auto bld = bench::makeBuilder(b, cfg);
+        core::DetectorSession sess(bld->model());
         std::vector<double> aucs;
         for (std::size_t a = 0; a < attacks.size(); ++a)
-            aucs.push_back(core::fitAndScore(det, pairs[a], 0.5).auc);
+            aucs.push_back(core::fitAndScore(*bld, sess, pairs[a], 0.5).auc);
         acc.row({name, fmt(mean(aucs), 3), fmt(minOf(aucs), 3),
                  fmt(maxOf(aucs), 3)});
         const auto c = bench::costOf(b, cfg);

@@ -52,11 +52,12 @@ main()
         variant_rows[] = {{"BwCu", &variants.bwCu},
                           {"FwAb", &variants.fwAb}};
     for (const auto &[name, cfg] : variant_rows) {
-        auto det = bench::makeDetector(b, *cfg);
+        auto bld = bench::makeBuilder(b, *cfg);
+        core::DetectorSession sess(bld->model());
         std::vector<std::string> cells{name};
         for (std::size_t a = 0; a < attacks.size(); ++a)
             cells.push_back(
-                fmt(core::fitAndScore(det, pairs[a], 0.5).auc, 3));
+                fmt(core::fitAndScore(*bld, sess, pairs[a], 0.5).auc, 3));
         t.row(cells);
     }
     t.print(std::cout);

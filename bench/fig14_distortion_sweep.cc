@@ -28,7 +28,9 @@ main()
                 "distortion ===\n\n");
     auto &b = bench::getBundle("alexnet100");
     const int n = static_cast<int>(b.net.weightedNodes().size());
-    auto det = bench::makeDetector(b, path::ExtractionConfig::bwCu(n, 0.5));
+    auto bld =
+        bench::makeBuilder(b, path::ExtractionConfig::bwCu(n, 0.5));
+    core::DetectorSession sess(bld->model());
 
     // Pool all adaptive attack strengths so the distortion axis is
     // populated (cached from fig13 when it ran first).
@@ -39,7 +41,7 @@ main()
         for (auto &p : bench::getPairs(b, atk, 50))
             pairs.push_back(std::move(p));
     }
-    const auto scored = core::fitAndScore(det, pairs, 0.5);
+    const auto scored = core::fitAndScore(*bld, sess, pairs, 0.5);
 
     // Cumulative accuracy at distortion <= x, like the paper's plot.
     std::vector<double> mses;

@@ -26,7 +26,9 @@ main()
                 "class-path similarity ===\n\n");
     auto &b = bench::getBundle("alexnet100");
     const int n = static_cast<int>(b.net.weightedNodes().size());
-    auto det = bench::makeDetector(b, path::ExtractionConfig::bwCu(n, 0.5));
+    auto bld =
+        bench::makeBuilder(b, path::ExtractionConfig::bwCu(n, 0.5));
+    core::DetectorSession sess(bld->model());
 
     std::vector<core::DetectionPair> pairs;
     for (int at_n : {2, 3, 8}) {
@@ -35,12 +37,12 @@ main()
         for (auto &p : bench::getPairs(b, atk, 50))
             pairs.push_back(std::move(p));
     }
-    const auto scored = core::fitAndScore(det, pairs, 0.5);
+    const auto scored = core::fitAndScore(*bld, sess, pairs, 0.5);
 
     // For each held-out adversarial sample, the original class is the
     // clean label and the "target" is whatever class the model now
     // predicts; bucket by the class-path similarity between the two.
-    const auto &store = det.classPaths();
+    const auto &store = bld->model().classPaths();
     std::vector<double> sims;
     for (const auto &s : scored.heldOut)
         if (s.label == 1 && s.trueClass != s.predictedClass)

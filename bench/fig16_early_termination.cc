@@ -37,8 +37,9 @@ main()
     for (int term = n; term >= 1; --term) {
         auto cfg = path::ExtractionConfig::bwCu(n, 0.5);
         cfg.selectFrom(term - 1);
-        auto det = bench::makeDetector(b, cfg);
-        const double auc = core::fitAndScore(det, pairs, 0.5).auc;
+        auto bld = bench::makeBuilder(b, cfg);
+        core::DetectorSession sess(bld->model());
+        const double auc = core::fitAndScore(*bld, sess, pairs, 0.5).auc;
         const auto cost = bench::costOf(b, cfg);
         t.row({std::to_string(term), std::to_string(n - term + 1),
                fmt(auc, 3), fmtX(cost.latencyXNoCls),

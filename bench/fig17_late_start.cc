@@ -36,8 +36,9 @@ main()
     for (int start = n; start >= 1; --start) {
         auto cfg = base;
         cfg.selectFrom(start - 1);
-        auto det = bench::makeDetector(b, cfg);
-        const double auc = core::fitAndScore(det, pairs, 0.5).auc;
+        auto bld = bench::makeBuilder(b, cfg);
+        core::DetectorSession sess(bld->model());
+        const double auc = core::fitAndScore(*bld, sess, pairs, 0.5).auc;
         const auto cost = bench::costOf(b, cfg);
         t.row({std::to_string(start), std::to_string(n - start + 1),
                fmt(auc, 3), fmt(cost.latencyXNoCls, 3) + "x",

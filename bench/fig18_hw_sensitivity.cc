@@ -32,6 +32,17 @@ main()
     const auto base_cost = bench::costOfTrace(b, cfg, trace);
     const double base_power = base_cost.detection.avgPowerMw(250.0);
 
+    // Anchor every sweep against the measured software serving cost:
+    // the provisioning question only matters relative to what the
+    // optimized detectBatch engine already delivers in software.
+    const auto sw = bench::measureSwDetectCost(b, cfg);
+    const double base_us = base_cost.detection.latencyUs(250.0);
+    std::printf("Baseline HW detect: %.2f us/detection; measured SW "
+                "serving: %.1f us (fwd %.1f + extract %.1f + score %.1f) "
+                "-> %.1fx HW speedup\n\n",
+                base_us, sw.totalUs(), sw.forwardUs, sw.extractUs,
+                sw.scoreUs, sw.totalUs() / base_us);
+
     Table a("Fig. 18a: merge-tree length sweep");
     a.header({"merge length", "Latency", "Power (norm.)"});
     for (int len : {4, 8, 16, 32}) {

@@ -32,13 +32,13 @@ main()
     for (const char *name : {"vgg16c10", "inceptionc10"}) {
         auto &b = bench::getBundle(name);
         const int n = static_cast<int>(b.net.weightedNodes().size());
-        auto det = bench::makeDetector(
+        auto bld = bench::makeBuilder(
             b, path::ExtractionConfig::bwCu(n, 0.5));
+        const auto &store = bld->model().classPaths();
         std::vector<double> sims;
         for (int a = 0; a < b.numClasses; ++a)
             for (int c = a + 1; c < b.numClasses; ++c)
-                sims.push_back(
-                    det.classPaths().interClassSimilarity(a, c));
+                sims.push_back(store.interClassSimilarity(a, c));
         sim.row({name, fmtPct(mean(sims)), fmtPct(maxOf(sims))});
     }
     sim.print(std::cout);
@@ -47,11 +47,12 @@ main()
     {
         auto &b = bench::getBundle("densenetc10");
         const int n = static_cast<int>(b.net.weightedNodes().size());
-        auto det = bench::makeDetector(
+        auto bld = bench::makeBuilder(
             b, path::ExtractionConfig::bwCu(n, 0.5));
+        core::DetectorSession sess(bld->model());
         attack::Bim bim;
         auto pairs = bench::getPairs(b, bim, 80);
-        const auto scored = core::fitAndScore(det, pairs, 0.5);
+        const auto scored = core::fitAndScore(*bld, sess, pairs, 0.5);
         std::vector<double> scores;
         std::vector<int> labels;
         for (const auto &s : scored.heldOut) {
@@ -71,11 +72,12 @@ main()
     {
         auto &b = bench::getBundle("resnet26c10");
         const int n = static_cast<int>(b.net.weightedNodes().size());
-        auto det = bench::makeDetector(
+        auto bld = bench::makeBuilder(
             b, path::ExtractionConfig::bwCu(n, 0.5));
+        core::DetectorSession sess(bld->model());
         attack::Fgsm fgsm;
         auto pairs = bench::getPairs(b, fgsm, 80);
-        const double ours = core::fitAndScore(det, pairs, 0.5).auc;
+        const double ours = core::fitAndScore(*bld, sess, pairs, 0.5).auc;
         baselines::EpBaseline ep(b.net, b.numClasses);
         ep.profile(b.net, b.data.train);
         const double ep_auc =
@@ -85,6 +87,32 @@ main()
         r.header({"BwCu AUC", "EP AUC"});
         r.row({fmt(ours, 3), fmt(ep_auc, 3)});
         r.print(std::cout);
+    }
+
+    // Hardware co-design across the zoo: every Sec. VII-H model goes
+    // through the compiler (profiled BwCu trace at theta=0.5) and the
+    // cycle-level simulator, so the larger/denser topologies exercise
+    // the full program-emission path, not just detection accuracy.
+    {
+        Table c("Zoo models through the compiler (BwCu theta=0.5, "
+                "baseline hardware)");
+        c.header({"model", "instrs", "code bytes", "detect cycles",
+                  "latency vs inf"});
+        for (const char *name : {"vgg16c10", "inceptionc10", "densenetc10",
+                                 "resnet26c10"}) {
+            auto &b = bench::getBundle(name);
+            const int n = static_cast<int>(b.net.weightedNodes().size());
+            const auto cfg = path::ExtractionConfig::bwCu(n, 0.5);
+            const auto trace = bench::profileTrace(b, cfg);
+            compiler::Compiler comp(b.net, cfg);
+            const auto prog = comp.compile(trace);
+            const auto cost = bench::costOfTrace(b, cfg, trace);
+            c.row({name, std::to_string(prog.size()),
+                   std::to_string(prog.codeBytes()),
+                   std::to_string(cost.detection.cycles),
+                   fmtX(cost.latencyXNoCls)});
+        }
+        c.print(std::cout);
     }
     return 0;
 }

@@ -27,7 +27,7 @@ main()
     Table t("Unoptimized BwCu cost (per model)");
     t.header({"model", "psum mem / fmap+weight mem",
               "important-neuron fraction (theta=0.9)",
-              "software-only latency"});
+              "SW detect us (fwd+ext+score)", "SW detect / SW inference"});
 
     for (const char *name : {"alexnet100", "resnet18c100"}) {
         auto &b = bench::getBundle(name);
@@ -55,28 +55,27 @@ main()
         const double imp_frac =
             static_cast<double>(trace9.pathBits) / total_neurons;
 
-        // Software-only: no pipelining, no recompute, and the sort /
-        // accumulate run serially on the scalar controller rather than
-        // the parallel path-constructor hardware (modeled by a
-        // single-sort-unit, single-way-merge configuration).
+        // Software latency: measured on the optimized serving engine
+        // (detectBatch cost split), not a modeled single-sort-unit
+        // simulator configuration. The detect/inference ratio is the
+        // honest software-only overhead the paper's 15.4x/50.7x claim
+        // corresponds to.
         const auto cfg5 = path::ExtractionConfig::bwCu(n, 0.5);
-        compiler::CompileOptions sw;
-        sw.neuronPipelining = false;
-        sw.layerPipelining = false;
-        sw.recomputePsums = false;
-        hw::HwConfig sw_hw = hw::HwConfig::baseline();
-        sw_hw.numSortUnits = 1;
-        sw_hw.mergeTreeLen = 2;
-        const auto cost = bench::costOf(b, cfg5, sw, sw_hw);
+        const auto sw = bench::measureSwDetectCost(b, cfg5);
 
         t.row({name, fmtX(mem_ratio), fmtPct(imp_frac),
-               fmtX(cost.latencyXNoCls)});
+               fmt(sw.totalUs(), 1) + " us (" + fmt(sw.forwardUs, 1) +
+                   "+" + fmt(sw.extractUs, 1) + "+" + fmt(sw.scoreUs, 1) +
+                   ")",
+               fmtX(sw.totalUs() / sw.forwardUs)});
     }
     t.print(std::cout);
     std::printf("(Paper points: 9-420x memory, <5%% important neurons, "
                 "15.4x/50.7x software latency. Mini models are less\n"
                 " sparse than ImageNet-scale networks, so the "
                 "important-neuron fraction runs higher; orderings and "
-                "ratios are the result.)\n");
+                "ratios are the result.\n Software latency is wall-clock "
+                "of the optimized detectBatch engine, measured per "
+                "stage.)\n");
     return 0;
 }

@@ -32,8 +32,9 @@ main()
 
     for (double theta : {0.1, 0.5, 0.9}) {
         auto cfg = path::ExtractionConfig::bwCu(n, theta);
-        auto det = bench::makeDetector(b, cfg);
-        const double auc = core::fitAndScore(det, pairs, 0.5).auc;
+        auto bld = bench::makeBuilder(b, cfg);
+        core::DetectorSession sess(bld->model());
+        const double auc = core::fitAndScore(*bld, sess, pairs, 0.5).auc;
         const auto trace = bench::profileTrace(b, cfg);
         const auto cost = bench::costOfTrace(b, cfg, trace);
         t.row({fmt(theta, 1), fmt(auc, 3), fmtX(cost.latencyXNoCls),

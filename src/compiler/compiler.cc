@@ -108,14 +108,19 @@ Compiler::compile(const path::ExtractionTrace &trace) const
     for (const auto &lt : trace.layers)
         total_path_bits += lt.inputFmapSize;
 
-    // Inference instruction for weighted layer w.
-    auto emit_inf = [&](int w) {
+    // Inference instruction for weighted layer w. Loop-body samples of a
+    // batch program run with the weights already resident on chip (the
+    // first sample paid the DMA), which is exactly the amortization
+    // detectBatch gets from sharing one DetectorModel.
+    auto emit_inf = [&](int w, bool weights_resident) {
         const int id = weighted[w];
         InstrMeta m;
         m.layerNode = id;
         m.macs = path::weightedLayerMacs(*net, id);
         m.ifmBytes = net->nodeInputShape(id).numel() * kElemBytes;
-        m.wBytes = layerParamCount(net->layerAt(id)) * kElemBytes;
+        m.wBytes = weights_resident
+            ? 0
+            : layerParamCount(net->layerAt(id)) * kElemBytes;
         m.ofmBytes = net->nodeOutputShape(id).numel() * kElemBytes;
 
         const auto &lp = cfg.layers[w];
@@ -181,6 +186,19 @@ Compiler::compile(const path::ExtractionTrace &trace) const
         csps_m.macs = rf_avg;
         InstrMeta sort_m;
         sort_m.seqLen = rf_avg;
+        // PR 7 ranked-prefix selection semantics: when the profiled
+        // trace recorded the selection shape, the sort unit runs
+        // successive argmax sweeps (one per selected element, at most
+        // kMaxSelectScanPasses) plus the heap-fallback pops for wide
+        // prefixes — not a full bitonic sort of the receptive field.
+        // Traces without selection data (hand-built workloads) keep the
+        // full-sort cost model.
+        if (lt.selectScanPasses > 0) {
+            sort_m.selectPasses = std::min<std::size_t>(
+                static_cast<std::size_t>(path::kMaxSelectScanPasses),
+                std::max<std::size_t>(1, lt.selectScanPasses / trips));
+            sort_m.heapPops = lt.heapPops / trips;
+        }
         InstrMeta acum_m;
         acum_m.accumLen = accum_avg;
         const int r_src = opts.recomputePsums ? rPsum : rRf;
@@ -270,41 +288,60 @@ Compiler::compile(const path::ExtractionTrace &trace) const
     };
 
     // ---------------------------------------------------------- emit ----
-    if (cfg.direction == path::Direction::Backward) {
-        for (int w = 0; w < n_w; ++w)
-            emit_inf(w);
-        // Barrier: extraction is seeded by the predicted class, so it
-        // starts only after the last layer's inference completes.
-        const int last_out = (n_w - 1) % 2 == 0 ? rFmapB : rFmapA;
-        prog.append(isa::makeMovR(rAPath, last_out));
-        for (int w = n_w - 1; w >= 0; --w)
-            if (cfg.layers[w].extract && by_layer.count(w))
-                emit_backward_block(w);
-    } else {
-        if (opts.layerPipelining && n_w > 0) {
-            // Fig. 7a: inf(j+1) is emitted before the extraction of
-            // layer j, overlapping inference with extraction.
-            emit_inf(0);
-            for (int w = 0; w + 1 < n_w; ++w) {
-                emit_inf(w + 1);
+    // Batch programs reuse r15 as the outer per-sample countdown, so
+    // their cls writes the selection-cursor register instead; single-
+    // sample programs keep the historical result register.
+    const int r_batch = rResult;
+    const int r_cls_dst = opts.batchSize > 1 ? rSel : rResult;
+
+    // One full detection (inference + extraction + classification).
+    auto emit_body = [&](bool weights_resident) {
+        if (cfg.direction == path::Direction::Backward) {
+            for (int w = 0; w < n_w; ++w)
+                emit_inf(w, weights_resident);
+            // Barrier: extraction is seeded by the predicted class, so
+            // it starts only after the last layer's inference completes.
+            const int last_out = (n_w - 1) % 2 == 0 ? rFmapB : rFmapA;
+            prog.append(isa::makeMovR(rAPath, last_out));
+            for (int w = n_w - 1; w >= 0; --w)
                 if (cfg.layers[w].extract && by_layer.count(w))
-                    emit_forward_block(w);
-            }
-            if (cfg.layers[n_w - 1].extract && by_layer.count(n_w - 1))
-                emit_forward_block(n_w - 1);
+                    emit_backward_block(w);
         } else {
-            for (int w = 0; w < n_w; ++w) {
-                emit_inf(w);
-                if (cfg.layers[w].extract && by_layer.count(w))
-                    emit_forward_block(w);
+            if (opts.layerPipelining && n_w > 0) {
+                // Fig. 7a: inf(j+1) is emitted before the extraction of
+                // layer j, overlapping inference with extraction.
+                emit_inf(0, weights_resident);
+                for (int w = 0; w + 1 < n_w; ++w) {
+                    emit_inf(w + 1, weights_resident);
+                    if (cfg.layers[w].extract && by_layer.count(w))
+                        emit_forward_block(w);
+                }
+                if (cfg.layers[n_w - 1].extract && by_layer.count(n_w - 1))
+                    emit_forward_block(n_w - 1);
+            } else {
+                for (int w = 0; w < n_w; ++w) {
+                    emit_inf(w, weights_resident);
+                    if (cfg.layers[w].extract && by_layer.count(w))
+                        emit_forward_block(w);
+                }
             }
         }
-    }
+        InstrMeta cls_m;
+        cls_m.bits = total_path_bits;
+        cls_m.mcuOps = opts.classifierOps;
+        prog.append(isa::makeCls(rCPath, rAPath, r_cls_dst), cls_m);
+    };
 
-    InstrMeta cls_m;
-    cls_m.bits = total_path_bits;
-    cls_m.mcuOps = opts.classifierOps;
-    prog.append(isa::makeCls(rCPath, rAPath, rResult), cls_m);
+    // Sample 0 pays the weight DMA; the remaining batchSize-1 samples
+    // loop over a weights-resident body (the detectBatch amortization).
+    emit_body(/*weights_resident=*/false);
+    if (opts.batchSize > 1) {
+        prog.append(isa::makeMov(r_batch, clampImm(opts.batchSize - 1)));
+        const std::uint16_t loop = static_cast<std::uint16_t>(prog.size());
+        emit_body(/*weights_resident=*/true);
+        prog.append(isa::makeDec(r_batch));
+        prog.append(isa::makeJne(r_batch, loop));
+    }
     prog.append(isa::makeHalt());
     return prog;
 }

@@ -39,6 +39,18 @@ struct CompileOptions
     bool neuronPipelining = true;
     bool recomputePsums = true;
     std::size_t classifierOps = 1200; ///< random-forest MCU ops for cls
+
+    /**
+     * Micro-batch dimension: compile one program that detects
+     * batchSize samples back-to-back the way
+     * DetectorSession::detectBatch serves them. Sample 0 runs with
+     * cold weights; the remaining samples execute an outer countdown
+     * loop whose inference instructions carry zero weight-DMA bytes
+     * (the weights are resident, amortized across the micro-batch), so
+     * infsp/csps and both pipelining passes amortize too. batchSize=1
+     * emits the historical single-sample program byte-for-byte.
+     */
+    std::size_t batchSize = 1;
 };
 
 /** DRAM footprint of the detection data structures for one inference. */

@@ -98,6 +98,9 @@ class Detector
     /** The underlying immutable model (share it across sessions). */
     const DetectorModel &model() const { return bld->model(); }
 
+    /** The façade's offline-phase builder (profiling/fitting). */
+    DetectorBuilder &builder() { return *bld; }
+
     /** The façade's own serving session (single-client scratch). */
     DetectorSession &session() { return *sess; }
 

@@ -95,8 +95,9 @@ buildAttackPairs(nn::Network &net, attack::Attack &atk,
 }
 
 PairScores
-fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
-            double train_fraction, std::uint64_t seed)
+fitAndScore(DetectorBuilder &bld, DetectorSession &sess,
+            const std::vector<DetectionPair> &pairs, double train_fraction,
+            std::uint64_t seed)
 {
     PairScores out;
     if (pairs.size() < 4)
@@ -123,12 +124,12 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
     xs.reserve(n_train);
     for (std::size_t i = 0; i < n_train; ++i)
         xs.push_back(pairs[order[i]].clean);
-    det.featuresBatch(xs, benign);
+    bld.featuresBatch(xs, benign);
     xs.clear();
     for (std::size_t i = 0; i < n_train; ++i)
         xs.push_back(pairs[order[i]].adversarial);
-    det.featuresBatch(xs, adversarial);
-    det.fitClassifier(benign, adversarial);
+    bld.featuresBatch(xs, adversarial);
+    bld.fitClassifier(benign, adversarial);
 
     // Held-out scoring goes through the real serving path: one fused
     // detectBatch over borrowed held-out views (clean/adversarial
@@ -142,7 +143,7 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
         xptrs.push_back(&pairs[order[i]].adversarial);
     }
     std::vector<Decision> decisions(xptrs.size());
-    det.session().detectBatch(
+    sess.detectBatch(
         std::span<const nn::Tensor *const>(xptrs.data(), xptrs.size()),
         std::span<Decision>(decisions.data(), decisions.size()));
 
@@ -167,9 +168,18 @@ fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
     return out;
 }
 
+PairScores
+fitAndScore(Detector &det, const std::vector<DetectionPair> &pairs,
+            double train_fraction, std::uint64_t seed)
+{
+    return fitAndScore(det.builder(), det.session(), pairs, train_fraction,
+                       seed);
+}
+
 AttackEvalResult
-evaluateAttack(nn::Network &net, Detector &det, attack::Attack &atk,
-               const nn::Dataset &test, int max_samples, std::uint64_t seed)
+evaluateAttack(nn::Network &net, DetectorBuilder &bld, DetectorSession &sess,
+               attack::Attack &atk, const nn::Dataset &test, int max_samples,
+               std::uint64_t seed)
 {
     AttackEvalResult r;
     r.attackName = atk.name();
@@ -188,12 +198,20 @@ evaluateAttack(nn::Network &net, Detector &det, attack::Attack &atk,
     for (const auto &p : pairs)
         mse_sum += p.mse;
     r.avgMse = pairs.empty() ? 0.0 : mse_sum / pairs.size();
-    r.auc = fitAndScore(det, pairs, 0.5, seed).auc;
+    r.auc = fitAndScore(bld, sess, pairs, 0.5, seed).auc;
     return r;
 }
 
+AttackEvalResult
+evaluateAttack(nn::Network &net, Detector &det, attack::Attack &atk,
+               const nn::Dataset &test, int max_samples, std::uint64_t seed)
+{
+    return evaluateAttack(net, det.builder(), det.session(), atk, test,
+                          max_samples, seed);
+}
+
 SuiteEvalResult
-evaluateSuite(nn::Network &net, Detector &det,
+evaluateSuite(nn::Network &net, DetectorBuilder &bld, DetectorSession &sess,
               const std::vector<std::unique_ptr<attack::Attack>> &attacks,
               const nn::Dataset &test, int max_samples_per_attack,
               std::uint64_t seed)
@@ -201,7 +219,7 @@ evaluateSuite(nn::Network &net, Detector &det,
     SuiteEvalResult suite;
     double sum = 0.0;
     for (const auto &atk : attacks) {
-        auto r = evaluateAttack(net, det, *atk, test,
+        auto r = evaluateAttack(net, bld, sess, *atk, test,
                                 max_samples_per_attack, seed);
         sum += r.auc;
         suite.minAuc = std::min(suite.minAuc, r.auc);
@@ -212,6 +230,16 @@ evaluateSuite(nn::Network &net, Detector &det,
         ? 0.0
         : sum / suite.perAttack.size();
     return suite;
+}
+
+SuiteEvalResult
+evaluateSuite(nn::Network &net, Detector &det,
+              const std::vector<std::unique_ptr<attack::Attack>> &attacks,
+              const nn::Dataset &test, int max_samples_per_attack,
+              std::uint64_t seed)
+{
+    return evaluateSuite(net, det.builder(), det.session(), attacks, test,
+                         max_samples_per_attack, seed);
 }
 
 } // namespace ptolemy::core

@@ -89,16 +89,25 @@ std::vector<DetectionPair> buildAttackPairs(nn::Network &net,
                                             int *attempted_out = nullptr);
 
 /**
- * Fit @p det's classifier on a @p train_fraction split of the pairs'
- * benign/adversarial features, then score the held-out split. The
- * train split is clamped to [2, pairs.size() - 2] so the held-out
- * split is never empty, whatever @p train_fraction says.
+ * Fit the builder's classifier on a @p train_fraction split of the
+ * pairs' benign/adversarial features, then score the held-out split
+ * through @p sess. The train split is clamped to
+ * [2, pairs.size() - 2] so the held-out split is never empty, whatever
+ * @p train_fraction says.
  *
+ * @p sess must be bound to @p bld's model; fitClassifier mutates the
+ * model in place, so the session observes the freshly fitted forest.
  * Held-out scoring rides the real serving path — one fused
  * DetectorSession::detectBatch over the held-out inputs — so the
  * Sec. VI harness exercises exactly what production traffic would,
  * with scores bit-identical to per-sample score() calls.
  */
+PairScores fitAndScore(DetectorBuilder &bld, DetectorSession &sess,
+                       const std::vector<DetectionPair> &pairs,
+                       double train_fraction = 0.5,
+                       std::uint64_t seed = 17);
+
+/** Façade wrapper over the builder/session overload. */
 PairScores fitAndScore(Detector &det,
                        const std::vector<DetectionPair> &pairs,
                        double train_fraction = 0.5,
@@ -107,9 +116,15 @@ PairScores fitAndScore(Detector &det,
 /**
  * buildAttackPairs + fitAndScore for one attack. Attack generation
  * needs gradient passes against @p net — the one mutable-network use
- * in the harness — so the network is passed explicitly; @p det only
- * ever reads (it borrows the same network const).
+ * in the harness — so the network is passed explicitly; the detector
+ * side only ever reads (it borrows the same network const).
  */
+AttackEvalResult evaluateAttack(nn::Network &net, DetectorBuilder &bld,
+                                DetectorSession &sess, attack::Attack &atk,
+                                const nn::Dataset &test, int max_samples,
+                                std::uint64_t seed = 17);
+
+/** Façade wrapper over the builder/session overload. */
 AttackEvalResult evaluateAttack(nn::Network &net, Detector &det,
                                 attack::Attack &atk,
                                 const nn::Dataset &test, int max_samples,
@@ -121,6 +136,13 @@ AttackEvalResult evaluateAttack(nn::Network &net, Detector &det,
  * scales with the process-wide pool while the summary stays
  * bit-identical to the sample-serial path at any thread count.
  */
+SuiteEvalResult evaluateSuite(
+    nn::Network &net, DetectorBuilder &bld, DetectorSession &sess,
+    const std::vector<std::unique_ptr<attack::Attack>> &attacks,
+    const nn::Dataset &test, int max_samples_per_attack,
+    std::uint64_t seed = 17);
+
+/** Façade wrapper over the builder/session overload. */
 SuiteEvalResult evaluateSuite(
     nn::Network &net, Detector &det,
     const std::vector<std::unique_ptr<attack::Attack>> &attacks,

@@ -46,12 +46,12 @@ forwardWithFault(const nn::Network &net, const nn::Tensor &x,
 }
 
 FaultCampaignResult
-runFaultCampaign(Detector &det, const nn::Dataset &inputs,
+runFaultCampaign(DetectorSession &sess, const nn::Dataset &inputs,
                  int num_injections, std::uint64_t seed)
 {
     Rng rng(seed);
     FaultCampaignResult result;
-    const nn::Network &net = det.network(); // const-only online view
+    const nn::Network &net = sess.model().network(); // const online view
     nn::Network::Record predScratch;
 
     for (int i = 0; i < num_injections; ++i) {
@@ -71,7 +71,7 @@ runFaultCampaign(Detector &det, const nn::Dataset &inputs,
         auto rec = forwardWithFault(net, sample.input, fault);
         ++result.injections;
         const bool mispredicts = rec.predictedClass() != clean_pred;
-        const bool flagged = det.score(rec) >= 0.5;
+        const bool flagged = sess.score(rec) >= 0.5;
         if (mispredicts) {
             ++result.mispredictions;
             if (flagged)
@@ -81,6 +81,13 @@ runFaultCampaign(Detector &det, const nn::Dataset &inputs,
         }
     }
     return result;
+}
+
+FaultCampaignResult
+runFaultCampaign(Detector &det, const nn::Dataset &inputs,
+                 int num_injections, std::uint64_t seed)
+{
+    return runFaultCampaign(det.session(), inputs, num_injections, seed);
 }
 
 void

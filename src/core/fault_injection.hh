@@ -77,10 +77,16 @@ struct FaultCampaignResult
 /**
  * Inject @p num_injections random high-order bit flips into random
  * feature-map elements during inferences over @p inputs, and score each
- * faulty execution with @p det. The detector must already be fitted
- * (class paths + classifier); faults whose execution mispredicts count
- * as "detected" when the detector's score crosses 0.5.
+ * faulty execution through @p sess. The session's model must already be
+ * fitted (class paths + classifier); faults whose execution mispredicts
+ * count as "detected" when the detector's score crosses 0.5.
  */
+FaultCampaignResult runFaultCampaign(DetectorSession &sess,
+                                     const nn::Dataset &inputs,
+                                     int num_injections,
+                                     std::uint64_t seed = 0xFA017);
+
+/** Façade wrapper over the session overload. */
 FaultCampaignResult runFaultCampaign(Detector &det,
                                      const nn::Dataset &inputs,
                                      int num_injections,

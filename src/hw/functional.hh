@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Functional execution of compiled detection programs.
+ *
+ * The cycle-level Simulator (simulator.hh) models *timing*; this module
+ * gives the same programs *semantics*: it walks the instruction stream
+ * with the architectural register file driving control flow (mov / movr
+ * / dec / jne execute exactly as in the cycle model, so a batch
+ * program's outer countdown loop replays its body the compiled number
+ * of times), and interprets the detection macro-ops against a
+ * DetectorModel — inference runs the recorded forward pass, the
+ * sort/acum/genmasks chain realizes the reference ranked-prefix
+ * selection (full sort by value with input-index tie-breaks, the
+ * specification the optimized branchless engine must match), and cls
+ * scores the assembled path against the class canary with the fitted
+ * forest.
+ *
+ * The contract — enforced by tests/test_codesign.cc and the CI codesign
+ * leg — is bit-identity: the selected path bits and the Decisions
+ * (class, score, verdict, features) of a functional run must equal
+ * DetectorSession::detectBatch on the same inputs. That keeps the
+ * hardware co-design layer honest against the batched software engine
+ * instead of a modeled pipeline nobody ships.
+ */
+
+#ifndef PTOLEMY_HW_FUNCTIONAL_HH
+#define PTOLEMY_HW_FUNCTIONAL_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/detector_model.hh"
+#include "isa/program.hh"
+#include "util/bitvector.hh"
+
+namespace ptolemy::hw
+{
+
+/** Functional output of one program run over a batch of inputs. */
+struct FunctionalResult
+{
+    /** Selected activation-path bits, one per completed detection. */
+    std::vector<BitVector> paths;
+    /** Serving decisions, one per completed detection (same fields and
+     *  bit pattern as DetectorSession::detectBatch). */
+    std::vector<core::Decision> decisions;
+    std::uint64_t instructionsExecuted = 0;
+    bool halted = false; ///< reached halt/fall-through (not the instr cap)
+};
+
+/**
+ * Execute @p prog functionally against @p model. Every cls retired by
+ * the program consumes the next input: a batchSize-N compiled program
+ * detects inputs[0..N); a single-sample program consumes one. Execution
+ * stops at halt, at fall-through, when the inputs are exhausted, or at
+ * a runaway-loop instruction cap (halted stays false in the last case).
+ */
+FunctionalResult runFunctional(const isa::Program &prog,
+                               const core::DetectorModel &model,
+                               std::span<const nn::Tensor *const> inputs);
+
+} // namespace ptolemy::hw
+
+#endif // PTOLEMY_HW_FUNCTIONAL_HH

@@ -171,6 +171,39 @@ Simulator::durationOf(const Instruction &ins, const InstrMeta &meta,
       case Opcode::Sort: {
         const std::uint64_t len =
             seq_len > 0 ? seq_len : std::max<std::size_t>(1, meta.seqLen);
+        if (meta.selectPasses > 0) {
+            // Ranked-prefix selection (the PR 7 software semantics
+            // mapped onto the same hardware): each pass streams the
+            // remaining candidates through the sort units as parallel
+            // max reducers — one beat per numSortUnits*sortUnitWidth
+            // lanes — and the per-unit partial maxima reduce through
+            // the merge tree. Wide prefixes pay log-depth heap pops
+            // past the scan passes.
+            const std::uint64_t lanes = static_cast<std::uint64_t>(
+                cfg.numSortUnits) * cfg.sortUnitWidth;
+            const std::uint64_t beats = ceilDiv(len, lanes);
+            // Tournament depth inside one sort unit: reducing its slice
+            // of candidates to a single max takes ceil(log2) comparator
+            // levels per beat.
+            const std::uint64_t in_unit = std::min<std::uint64_t>(
+                len, static_cast<std::uint64_t>(cfg.sortUnitWidth));
+            std::uint64_t depth = 0;
+            while ((1ull << depth) < in_unit)
+                ++depth;
+            std::uint64_t levels = 0;
+            for (std::uint64_t rem = ceilDiv(len, cfg.sortUnitWidth);
+                 rem > 1; rem = ceilDiv(rem, cfg.mergeTreeLen))
+                ++levels;
+            std::uint64_t heap = 0;
+            if (meta.heapPops > 0) {
+                std::uint64_t lg = 0;
+                while ((1ull << lg) < len)
+                    ++lg;
+                heap = meta.heapPops * (lg + 1);
+            }
+            return std::max<std::uint64_t>(
+                1, meta.selectPasses * (beats + depth + levels) + heap);
+        }
         const std::uint64_t n_sub = ceilDiv(len, cfg.sortUnitWidth);
         const std::uint64_t sub_cycles =
             ceilDiv(n_sub, cfg.numSortUnits) *
@@ -265,6 +298,18 @@ Simulator::run(const isa::Program &prog) const
                 1, seq_len > 0 ? seq_len : meta.seqLen);
             const double lg = std::log2(static_cast<double>(
                 std::max<std::uint64_t>(2, len)));
+            if (meta.selectPasses > 0) {
+                // Ranked-prefix selection: each argmax pass compares
+                // every remaining candidate once and re-reads it from
+                // SRAM; fallback heap pops pay log-depth compares.
+                const double cmps =
+                    static_cast<double>(meta.selectPasses) * len +
+                    static_cast<double>(meta.heapPops) * lg;
+                e += cmps * energy.sortCompare();
+                e += static_cast<double>(meta.selectPasses) * len *
+                     cfg.elemBytes() * energy.sramByte();
+                break;
+            }
             e += len * lg * energy.sortCompare();
             // Every merge pass re-streams the sequence through the SRAM
             // (read + write), plus the initial sub-sort pass.

@@ -14,11 +14,13 @@ Program::append(const Instruction &ins, const InstrMeta &meta)
 std::string
 Program::disassemble() const
 {
+    // Output must reassemble: mnemonic lines only, with the instruction
+    // index as a trailing comment so the listing stays navigable.
     std::string out;
     for (std::size_t i = 0; i < instrs.size(); ++i) {
-        out += std::to_string(i);
-        out += ":\t";
         out += instrs[i].toString();
+        out += "\t; ";
+        out += std::to_string(i);
         out += "\n";
     }
     return out;

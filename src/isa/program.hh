@@ -38,6 +38,9 @@ struct InstrMeta
     std::size_t bits = 0;        ///< genmasks / cls path bits
     std::size_t mcuOps = 0;      ///< controller ops (cls random forest)
     std::size_t tripCount = 1;   ///< loop executions this instr sees
+    std::size_t selectPasses = 0; ///< sort: ranked-prefix argmax sweeps
+                                  ///< (0 = full bitonic sort/merge)
+    std::size_t heapPops = 0;     ///< sort: ranked-prefix heap-fallback pops
 };
 
 /**

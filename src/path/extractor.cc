@@ -56,8 +56,9 @@ argmaxRanked(const nn::PartialSum *p, std::size_t n)
 /** Selection prefixes are typically a handful of elements, so a few
  *  successive argmax scans beat heapifying the whole receptive field;
  *  past this many passes the remainder falls back to the heap so a
- *  pathological wide prefix stays O(n + k log n). */
-constexpr int kMaxScanPasses = 32;
+ *  pathological wide prefix stays O(n + k log n). The constant lives in
+ *  trace.hh so the compiler can mirror it in static trip counts. */
+constexpr int kMaxScanPasses = kMaxSelectScanPasses;
 
 } // namespace
 
@@ -143,6 +144,42 @@ PathExtractor::extractBatch(const std::vector<nn::Network::Record> &recs,
     std::vector<BitVector> out;
     extractBatch(recs, out, bws, pool);
     return out;
+}
+
+ExtractionTrace
+PathExtractor::profileBatch(const std::vector<nn::Network::Record> &recs,
+                            std::vector<BitVector> &out,
+                            BatchExtractionWorkspace &bws,
+                            ThreadPool *pool) const
+{
+    out.resize(recs.size());
+    std::vector<ExtractionTrace> traces(recs.size());
+    const unsigned slots = pool ? pool->size() : 1;
+    if (bws.perThread.size() < slots)
+        bws.perThread.resize(slots);
+    if (pool && pool->size() > 1 && recs.size() > 1) {
+        // Same safety argument as extractBatch: per-sample traces are
+        // indexed by i, so the averaged result is order-independent of
+        // pool scheduling.
+        pool->parallelForWithTid(
+            recs.size(), [&](std::size_t i, unsigned tid) {
+                extractInto(recs[i], bws.perThread[tid], out[i],
+                            &traces[i]);
+            });
+    } else {
+        for (std::size_t i = 0; i < recs.size(); ++i)
+            extractInto(recs[i], bws.perThread[0], out[i], &traces[i]);
+    }
+    return averageTraces(traces);
+}
+
+ExtractionTrace
+PathExtractor::profileBatch(const std::vector<nn::Network::Record> &recs,
+                            ThreadPool *pool) const
+{
+    BatchExtractionWorkspace bws;
+    std::vector<BitVector> out;
+    return profileBatch(recs, out, bws, pool);
 }
 
 void
@@ -290,10 +327,23 @@ PathExtractor::extractBackward(const nn::Network::Record &rec,
                 selectImportantInputs(*node.layer, input, o,
                                       rec.outputs[id][o], policy, ws);
                 lt.psumsConsidered += ws.scratch.size();
-                if (policy.kind == ThresholdKind::Cumulative)
+                if (policy.kind == ThresholdKind::Cumulative) {
                     lt.sortedElems += ws.scratch.size();
-                else
+                    // Selection shape: the scan path emits exactly one
+                    // element per pass, so the pass/pop counts follow
+                    // from the selected prefix length (identical for
+                    // the reference-sort strategy, which picks the same
+                    // set).
+                    const std::size_t k = ws.selected.size();
+                    lt.selectScanPasses += std::min<std::size_t>(
+                        k, static_cast<std::size_t>(kMaxScanPasses));
+                    if (k > static_cast<std::size_t>(kMaxScanPasses)) {
+                        ++lt.heapFallbackNeurons;
+                        lt.heapPops += k - kMaxScanPasses;
+                    }
+                } else {
                     lt.thresholdCmps += ws.scratch.size();
+                }
                 for (std::size_t in_idx : ws.selected) {
                     if (!bits.test(seg->bitOffset + in_idx)) {
                         bits.set(seg->bitOffset + in_idx);
@@ -411,6 +461,12 @@ PathExtractor::extractForward(const nn::Network::Record &rec,
                         break;
                 }
             }
+            // Forward cumulative ranks the whole feature map in one
+            // heapified pass (one "neuron", importantIn pops) — the
+            // ranked-prefix scan rewrite applies to the backward
+            // per-neuron receptive fields only.
+            lt.heapFallbackNeurons = 1;
+            lt.heapPops = lt.importantIn;
         }
         if (trace)
             trace->layers.push_back(lt);

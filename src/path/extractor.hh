@@ -129,6 +129,24 @@ class PathExtractor
     extractBatch(const std::vector<nn::Network::Record> &recs,
                  ThreadPool *pool = nullptr) const;
 
+    /**
+     * Batched profiling entry point: extract every record with the same
+     * deterministic fan-out as extractBatch while tracing each sample,
+     * and return the element-wise averaged trace (the workload the
+     * compiler consumes). out[i] is always the path of recs[i] and the
+     * averaged trace is bit-identical to tracing the records one at a
+     * time in order, at any pool size.
+     */
+    ExtractionTrace
+    profileBatch(const std::vector<nn::Network::Record> &recs,
+                 std::vector<BitVector> &out, BatchExtractionWorkspace &bws,
+                 ThreadPool *pool = nullptr) const;
+
+    /** Allocating convenience overload of profileBatch (paths dropped). */
+    ExtractionTrace
+    profileBatch(const std::vector<nn::Network::Record> &recs,
+                 ThreadPool *pool = nullptr) const;
+
   private:
     void extractBackward(const nn::Network::Record &rec,
                          ExtractionWorkspace &ws, BitVector &bits,

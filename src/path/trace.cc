@@ -26,6 +26,9 @@ averageTraces(const std::vector<ExtractionTrace> &traces)
             dst.thresholdCmps += src.thresholdCmps;
             dst.masksWritten += src.masksWritten;
             dst.importantIn += src.importantIn;
+            dst.selectScanPasses += src.selectScanPasses;
+            dst.heapFallbackNeurons += src.heapFallbackNeurons;
+            dst.heapPops += src.heapPops;
         }
     }
     avg.pathBits /= n;
@@ -36,6 +39,9 @@ averageTraces(const std::vector<ExtractionTrace> &traces)
         lt.thresholdCmps /= n;
         lt.masksWritten /= n;
         lt.importantIn /= n;
+        lt.selectScanPasses /= n;
+        lt.heapFallbackNeurons /= n;
+        lt.heapPops /= n;
     }
     return avg;
 }

@@ -26,6 +26,11 @@ class Network;
 namespace ptolemy::path
 {
 
+/** Ranked-prefix selection runs this many successive argmax scans per
+ *  neuron before falling back to a heap (see PathExtractor); the
+ *  compiler reads the same constant to bound its static trip counts. */
+inline constexpr int kMaxSelectScanPasses = 32;
+
 /** Per-weighted-layer extraction work counts. */
 struct LayerTrace
 {
@@ -42,6 +47,14 @@ struct LayerTrace
     std::size_t thresholdCmps = 0;   ///< absolute-threshold comparisons
     std::size_t masksWritten = 0;    ///< single-bit masks stored
     std::size_t importantIn = 0;     ///< path bits set at this layer
+
+    // Ranked-prefix selection shape (cumulative layers): how the theta
+    // prefix was actually found. Each scan pass is one full argmax sweep
+    // of the remaining candidates; neurons whose prefix outgrows
+    // kMaxSelectScanPasses fall back to a heap and pay heapPops pops.
+    std::size_t selectScanPasses = 0;   ///< argmax sweeps across neurons
+    std::size_t heapFallbackNeurons = 0; ///< neurons that hit the fallback
+    std::size_t heapPops = 0;           ///< fallback heap pops
 };
 
 /** Whole-network extraction trace for one input. */

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Hardware/software co-design cross-validation: the compiled programs'
+ * functional execution (hw::runFunctional) must be bit-identical to the
+ * software serving engine (DetectorSession::detectBatch) — selected path
+ * bits AND Decisions — at both the argmax-selection and heap-fallback
+ * operating points; batch programs must be functionally equivalent to
+ * repeating the single-sample program; and the compiler's static output
+ * is pinned per optimization-pass combination so any emission change is
+ * a deliberate, visible diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/test_models.hh"
+#include "compiler/compiler.hh"
+#include "core/detector_model.hh"
+#include "core/detector_session.hh"
+#include "hw/functional.hh"
+#include "path/extractor.hh"
+#include "path/trace.hh"
+#include "util/rng.hh"
+
+namespace ptolemy::hw
+{
+namespace
+{
+
+int
+numWeighted()
+{
+    return static_cast<int>(
+        ptolemy::testing::world().net.weightedNodes().size());
+}
+
+/** Mixed clean/perturbed probe inputs (same recipe as the serving-API
+ *  tests: half the batch nudged off-manifold so decisions differ). */
+std::vector<nn::Tensor>
+probeInputs(std::size_t n)
+{
+    auto &w = ptolemy::testing::world();
+    Rng rng(0xC0DE516);
+    std::vector<nn::Tensor> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+        nn::Tensor x = w.dataset.test[i % w.dataset.test.size()].input;
+        if (i % 2 == 1)
+            for (std::size_t e = 0; e < x.size(); ++e)
+                x[e] += static_cast<float>(rng.uniform(-0.08, 0.08));
+        xs.push_back(std::move(x));
+    }
+    return xs;
+}
+
+/** Fully-fitted model (class paths + forest) at one theta. */
+core::DetectorModel
+makeModel(double theta)
+{
+    auto &w = ptolemy::testing::world();
+    core::DetectorBuilder bld(
+        w.net, path::ExtractionConfig::bwCu(numWeighted(), theta), 10);
+    bld.profileClassPaths(w.dataset.train, 20);
+    Rng rng(0x51AB5);
+    std::vector<nn::Tensor> clean, noisy;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const auto &s = w.dataset.test[i];
+        clean.push_back(s.input);
+        nn::Tensor x = s.input;
+        for (std::size_t e = 0; e < x.size(); ++e)
+            x[e] += static_cast<float>(rng.uniform(-0.1, 0.1));
+        noisy.push_back(std::move(x));
+    }
+    classify::FeatureMatrix benign, adversarial;
+    bld.featuresBatch(clean, benign);
+    bld.featuresBatch(noisy, adversarial);
+    bld.fitClassifier(benign, adversarial);
+    return std::move(bld).build();
+}
+
+/** Profiled trace over the probe inputs via the batched entry point. */
+path::ExtractionTrace
+profiledTrace(const core::DetectorModel &model, const nn::Network &net,
+              const std::vector<nn::Tensor> &xs)
+{
+    std::vector<nn::Network::Record> recs;
+    net.forwardBatch(xs, recs);
+    return model.extractor().profileBatch(recs);
+}
+
+void
+expectDecisionsEqual(const core::Decision &a, const core::Decision &b,
+                     const std::string &what)
+{
+    EXPECT_EQ(a.predictedClass, b.predictedClass) << what;
+    EXPECT_EQ(a.adversarial, b.adversarial) << what;
+    EXPECT_EQ(a.score, b.score) << what; // bitwise: doubles must match
+    EXPECT_EQ(a.features.overall, b.features.overall) << what;
+    ASSERT_EQ(a.features.perLayer.size(), b.features.perLayer.size())
+        << what;
+    for (std::size_t l = 0; l < a.features.perLayer.size(); ++l)
+        EXPECT_EQ(a.features.perLayer[l], b.features.perLayer[l])
+            << what << " layer " << l;
+}
+
+/** Core cross-validation: a batch-N compiled program executed
+ *  functionally must reproduce DetectorSession::detectBatch bit for bit
+ *  (selected path bits and full Decisions). */
+void
+crossValidate(const nn::Network &net, const core::DetectorModel &model,
+              const std::vector<nn::Tensor> &xs, double theta)
+{
+    const auto trace = profiledTrace(model, net, xs);
+    compiler::CompileOptions opts;
+    opts.batchSize = xs.size();
+    const auto cfg = path::ExtractionConfig::bwCu(
+        static_cast<int>(net.weightedNodes().size()), theta);
+    const auto prog = compiler::Compiler(net, cfg, opts).compile(trace);
+
+    std::vector<const nn::Tensor *> ptrs;
+    for (const auto &x : xs)
+        ptrs.push_back(&x);
+    const std::span<const nn::Tensor *const> span(ptrs.data(), ptrs.size());
+
+    const auto hw_res = runFunctional(prog, model, span);
+    ASSERT_TRUE(hw_res.halted);
+    ASSERT_EQ(hw_res.decisions.size(), xs.size());
+    ASSERT_EQ(hw_res.paths.size(), xs.size());
+
+    // Software side: the serving engine's decisions...
+    core::DetectorSession sess(model);
+    std::vector<core::Decision> sw(xs.size());
+    sess.detectBatch(span, {sw.data(), sw.size()});
+
+    // ...and its selected path bits (branchless argmax selection — a
+    // different selection algorithm than the simulator's reference
+    // sort, so matching bits are a real cross-check).
+    path::ExtractionWorkspace ws;
+    nn::Network::Record rec;
+    BitVector sw_path;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const std::string what =
+            "theta=" + std::to_string(theta) + " sample " +
+            std::to_string(i);
+        expectDecisionsEqual(hw_res.decisions[i], sw[i], what);
+        model.network().inferInto(xs[i], rec);
+        model.extractor().extractInto(rec, ws, sw_path);
+        EXPECT_TRUE(hw_res.paths[i] == sw_path) << what << ": selected "
+                                                   "path bits diverge";
+    }
+}
+
+TEST(Codesign, FunctionalSimMatchesSessionArgmaxSelection)
+{
+    auto &w = ptolemy::testing::world();
+    const core::DetectorModel model = makeModel(0.5);
+    const auto xs = probeInputs(6);
+
+    // The trained world's psum mass is concentrated: every ranked
+    // prefix fits in the scan-pass budget, so this covers exactly the
+    // argmax selection path.
+    const auto trace = profiledTrace(model, w.net, xs);
+    EXPECT_EQ(trace.sum(
+                  [](const path::LayerTrace &lt) { return lt.heapPops; }),
+              0u)
+        << "expected a pure argmax-selection workload";
+
+    crossValidate(w.net, model, xs, 0.5);
+}
+
+TEST(Codesign, FunctionalSimMatchesSessionHeapFallback)
+{
+    // Trained layers concentrate their psum mass, so no realistic theta
+    // overflows the 32-pass scan budget on the tiny world (even 0.999
+    // stays under it — cancellation keeps ranked prefixes short). To
+    // cover the heap-fallback selection path for real, build a wide
+    // all-positive FC net whose psums are near-uniform: at theta=0.98
+    // the minimal prefix spans ~98% of a 256-wide receptive field,
+    // far past the budget on both the session (scan -> heap) and the
+    // functional simulator (reference sort) sides.
+    nn::Network net("widefc", nn::flatShape(256));
+    auto fc1 = std::make_unique<nn::Linear>("fc1", 256, 24);
+    auto fc2 = std::make_unique<nn::Linear>("fc2", 24, 4);
+    Rng wrng(0xFA11BAC);
+    for (nn::Linear *fc : {fc1.get(), fc2.get()}) {
+        for (auto &v : fc->weights())
+            v = static_cast<float>(wrng.uniform(0.5, 1.5));
+        for (auto &v : fc->biases())
+            v = 0.0f;
+    }
+    net.add(std::move(fc1));
+    net.add(std::make_unique<nn::ReLU>("relu"));
+    net.add(std::move(fc2));
+
+    Rng rng(0x4EA9);
+    std::vector<nn::Tensor> xs;
+    for (int i = 0; i < 4; ++i) {
+        nn::Tensor x(nn::flatShape(256));
+        for (std::size_t e = 0; e < x.size(); ++e)
+            x[e] = static_cast<float>(rng.uniform(0.5, 1.0));
+        xs.push_back(std::move(x));
+    }
+
+    core::DetectorBuilder bld(
+        net, path::ExtractionConfig::bwCu(2, 0.98), 4);
+    {
+        nn::Dataset profile;
+        nn::Network::Record rec;
+        for (const auto &x : xs)
+            profile.push_back({x, net.inferPredict(x, rec)});
+        bld.profileClassPaths(profile, 4);
+        std::vector<nn::Tensor> noisy;
+        for (const auto &x : xs) {
+            nn::Tensor p = x;
+            for (std::size_t e = 0; e < p.size(); ++e)
+                p[e] += static_cast<float>(rng.uniform(-0.1, 0.1));
+            noisy.push_back(std::move(p));
+        }
+        classify::FeatureMatrix benign, adversarial;
+        bld.featuresBatch(xs, benign);
+        bld.featuresBatch(noisy, adversarial);
+        bld.fitClassifier(benign, adversarial);
+    }
+    const core::DetectorModel model = std::move(bld).build();
+
+    // Coverage proof: the workload must actually overflow the scan-pass
+    // budget, or this test silently collapses onto the argmax path.
+    const auto trace = profiledTrace(model, net, xs);
+    EXPECT_GT(trace.sum([](const path::LayerTrace &lt) {
+        return lt.heapFallbackNeurons;
+    }), 0u) << "workload never overflowed the scan-pass budget";
+    EXPECT_GT(trace.sum(
+                  [](const path::LayerTrace &lt) { return lt.heapPops; }),
+              0u);
+
+    crossValidate(net, model, xs, 0.98);
+}
+
+TEST(Codesign, BatchProgramEquivalentToRepeatedSingleSample)
+{
+    auto &w = ptolemy::testing::world();
+    const core::DetectorModel model = makeModel(0.5);
+    const auto xs = probeInputs(5);
+    const auto trace = profiledTrace(model, w.net, xs);
+    const auto cfg = path::ExtractionConfig::bwCu(numWeighted(), 0.5);
+
+    compiler::CompileOptions single;
+    const auto prog1 = compiler::Compiler(w.net, cfg, single).compile(trace);
+    compiler::CompileOptions batched;
+    batched.batchSize = xs.size();
+    const auto progN =
+        compiler::Compiler(w.net, cfg, batched).compile(trace);
+
+    std::vector<const nn::Tensor *> ptrs;
+    for (const auto &x : xs)
+        ptrs.push_back(&x);
+    const auto batch_res = runFunctional(
+        progN, model, {ptrs.data(), ptrs.size()});
+    ASSERT_TRUE(batch_res.halted);
+    ASSERT_EQ(batch_res.decisions.size(), xs.size());
+
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto one = runFunctional(prog1, model, {&ptrs[i], 1});
+        ASSERT_TRUE(one.halted);
+        ASSERT_EQ(one.decisions.size(), 1u);
+        const std::string what = "sample " + std::to_string(i);
+        expectDecisionsEqual(batch_res.decisions[i], one.decisions[0],
+                             what);
+        EXPECT_TRUE(batch_res.paths[i] == one.paths[0]) << what;
+    }
+}
+
+TEST(Codesign, BatchOneProgramIdenticalToSingleSampleProgram)
+{
+    // batchSize=1 must emit the historical single-sample program byte
+    // for byte — no countdown loop, no movr/dec/jne scaffolding.
+    auto &w = ptolemy::testing::world();
+    const core::DetectorModel model = makeModel(0.5);
+    const auto trace = profiledTrace(model, w.net, probeInputs(4));
+    const auto cfg = path::ExtractionConfig::bwCu(numWeighted(), 0.5);
+
+    compiler::CompileOptions implicit;
+    compiler::CompileOptions explicit1;
+    explicit1.batchSize = 1;
+    const auto a = compiler::Compiler(w.net, cfg, implicit).compile(trace);
+    const auto b = compiler::Compiler(w.net, cfg, explicit1).compile(trace);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.instruction(i).encode(), b.instruction(i).encode())
+            << "instruction " << i;
+}
+
+TEST(Codesign, GoldenInstructionCountsPerOptionCombination)
+{
+    // Static program sizes for the shared trained world, pinned per
+    // optimization-pass combination. These are deterministic functions
+    // of the compiler's emission logic and the network topology (4
+    // weighted layers): an unexpected change here means program
+    // emission changed and must be reviewed (and the hw block of
+    // bench/baselines/default.json re-recorded).
+    auto &w = ptolemy::testing::world();
+    const core::DetectorModel model = makeModel(0.5);
+    const auto trace = profiledTrace(model, w.net, probeInputs(4));
+    const auto cfg = path::ExtractionConfig::bwCu(numWeighted(), 0.5);
+
+    const auto size_for = [&](const compiler::CompileOptions &opts) {
+        return compiler::Compiler(w.net, cfg, opts).compile(trace).size();
+    };
+
+    compiler::CompileOptions all;
+    compiler::CompileOptions no_neuron = all;
+    no_neuron.neuronPipelining = false;
+    compiler::CompileOptions no_layer = all;
+    no_layer.layerPipelining = false;
+    compiler::CompileOptions no_recompute = all;
+    no_recompute.recomputePsums = false;
+    compiler::CompileOptions none;
+    none.neuronPipelining = false;
+    none.layerPipelining = false;
+    none.recomputePsums = false;
+    compiler::CompileOptions batch8 = all;
+    batch8.batchSize = 8;
+
+    EXPECT_EQ(size_for(all), 65u);
+    EXPECT_EQ(size_for(no_neuron), 55u);
+    EXPECT_EQ(size_for(no_layer), 65u);
+    EXPECT_EQ(size_for(no_recompute), 59u);
+    EXPECT_EQ(size_for(none), 51u);
+    EXPECT_EQ(size_for(batch8), 132u);
+}
+
+} // namespace
+} // namespace ptolemy::hw

@@ -148,14 +148,16 @@ TEST(Assembler, IgnoresCommentsAndBlankLines)
 
 TEST(Assembler, RoundTripsThroughDisassembly)
 {
-    const auto res = assemble("mov r3, 0x20\nsort r1, r3, r6\nhalt\n");
-    ASSERT_TRUE(res.ok);
-    const auto res2 = assemble(res.program.disassemble() == ""
-                                   ? "halt"
-                                   : "mov r3, 0x20\nsort r1, r3, r6\nhalt");
-    ASSERT_TRUE(res2.ok);
+    const auto res = assemble("mov r3, 0x20\nsort r1, r3, r6\n"
+                              "infsp r0, r1, r2, r10\ndec r11\n"
+                              "jne r11, 1\nhalt\n");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto res2 = assemble(res.program.disassemble());
+    ASSERT_TRUE(res2.ok) << res2.error;
+    ASSERT_EQ(res2.program.size(), res.program.size());
     for (std::size_t i = 0; i < res.program.size(); ++i)
-        EXPECT_EQ(res.program.instruction(i), res2.program.instruction(i));
+        EXPECT_EQ(res.program.instruction(i).encode(),
+                  res2.program.instruction(i).encode());
 }
 
 } // namespace

@@ -16,6 +16,17 @@ The gate distinguishes three kinds of metric:
   host.  They hard-fail locally (same machine as the baseline) but only
   WARN under ``--warn-only-absolutes`` (CI runners differ from the
   machine that recorded the baseline).
+* **Exact metrics** (everything under ``hw.``) are deterministic
+  integers — cycle counts, instruction counts, DRAM bytes from the
+  cycle-level simulator over a fixed profiled trace.  There is no noise
+  band and no direction: ANY difference from the baseline hard-fails,
+  in either direction, like the allocation counters.  An intentional
+  compiler or timing-model change must re-baseline via
+  ``tools/bench_update_baseline``.
+
+``--prefix hw.`` restricts the comparison to keys under one dotted
+prefix (the CI codesign leg gates only the deterministic hw block that
+way, leaving throughput gating to the perf leg).
 
 Keys present in only one file are reported but never fatal, so adding a
 benchmark does not require updating the baseline atomically.  Latency
@@ -59,6 +70,10 @@ INFORMATIONAL_RATIOS = (
 
 ALLOC_MARKERS = ("allocs", "steady_state_allocs")
 
+# Deterministic simulator/compiler metrics: gated exactly, both
+# directions, zero band.
+EXACT_PREFIXES = ("hw.",)
+
 # Load-curve coordinates, not monotone metrics.
 SKIP_MARKERS = ("serve.points", "path_bits_last", "shed_rate")
 
@@ -81,6 +96,8 @@ def classify(key):
     lk = key.lower()
     if any(m in lk for m in SKIP_MARKERS):
         return "skip"
+    if any(lk.startswith(p) for p in EXACT_PREFIXES):
+        return "exact"
     if any(m in lk for m in ALLOC_MARKERS):
         return "alloc"
     if any(m in lk for m in RATIO_MARKERS):
@@ -92,10 +109,14 @@ def classify(key):
     return "skip"
 
 
-def compare(baseline, fresh, noise, warn_only_absolutes, out=sys.stdout):
+def compare(baseline, fresh, noise, warn_only_absolutes, out=sys.stdout,
+            prefix=None):
     """Return (hard_failures, warnings) comparing two flattened dicts."""
     base = flatten(baseline)
     new = flatten(fresh)
+    if prefix:
+        base = {k: v for k, v in base.items() if k.startswith(prefix)}
+        new = {k: v for k, v in new.items() if k.startswith(prefix)}
     failures = []
     warnings = []
 
@@ -105,6 +126,14 @@ def compare(baseline, fresh, noise, warn_only_absolutes, out=sys.stdout):
             continue
         b, f = base[key], new[key]
         if not isinstance(b, (int, float)) or not isinstance(f, (int, float)):
+            continue
+        if kind == "exact":
+            if f != b:
+                failures.append(
+                    f"EXACT  {key}: {b} -> {f} (deterministic hw metric "
+                    "must match the baseline exactly; re-baseline via "
+                    "tools/bench_update_baseline if the change is "
+                    "intentional)")
             continue
         if kind == "alloc":
             if f > b:
@@ -124,12 +153,23 @@ def compare(baseline, fresh, noise, warn_only_absolutes, out=sys.stdout):
         else:
             failures.append("ABS    " + msg)
 
+    # Exact metrics must exist on both sides: a vanished or un-baselined
+    # hw key is a silent hole in the deterministic gate, not an optional
+    # extra benchmark.
     for key in sorted(set(base) - set(new)):
-        if classify(key) != "skip":
+        kind = classify(key)
+        if kind == "exact":
+            failures.append(f"EXACT  {key}: in baseline but missing from "
+                            "fresh run")
+        elif kind != "skip":
             warnings.append(f"MISSING {key}: in baseline but not in fresh "
                             "run")
     for key in sorted(set(new) - set(base)):
-        if classify(key) != "skip":
+        kind = classify(key)
+        if kind == "exact" and isinstance(new[key], (int, float)):
+            failures.append(f"EXACT  {key}: not in baseline (re-baseline "
+                            "via tools/bench_update_baseline)")
+        elif kind != "skip":
             warnings.append(f"NEW     {key}: not in baseline (consider "
                             "tools/bench_update_baseline)")
 
@@ -155,6 +195,10 @@ def self_test():
         "similarity": {
             "w65536": {"and_popcount_ops_per_sec": 3.0e6,
                        "avx2_vs_scalar": 7.0}
+        },
+        "hw": {
+            "inference_cycles": 6994,
+            "opt_all": {"cycles": 14995, "instrs": 88},
         },
     }
     import copy
@@ -185,6 +229,36 @@ def self_test():
     assert not f and any("batch_per_sec" in x for x in w), \
         "absolute regression should only warn under --warn-only-absolutes"
 
+    # Deterministic hw metrics are gated exactly, with no noise band and
+    # in BOTH directions — a one-cycle change must fail even under
+    # --warn-only-absolutes, and so must an "improvement".
+    cyc_reg = copy.deepcopy(baseline)
+    cyc_reg["hw"]["opt_all"]["cycles"] += 1
+    f, _ = compare(baseline, cyc_reg, 0.30, True)
+    assert any("hw.opt_all.cycles" in x for x in f), \
+        "injected cycle-count change not caught"
+    cyc_imp = copy.deepcopy(baseline)
+    cyc_imp["hw"]["opt_all"]["cycles"] -= 1000
+    f, _ = compare(baseline, cyc_imp, 0.30, True)
+    assert any("hw.opt_all.cycles" in x for x in f), \
+        "un-baselined cycle-count improvement not caught"
+    missing_hw = copy.deepcopy(baseline)
+    del missing_hw["hw"]["inference_cycles"]
+    f, _ = compare(baseline, missing_hw, 0.30, True)
+    assert any("hw.inference_cycles" in x for x in f), \
+        "vanished hw metric not caught"
+
+    # --prefix restricts the gate: with prefix hw., a throughput
+    # regression is invisible but the cycle change still fails.
+    both = copy.deepcopy(baseline)
+    both["detect"]["batch_per_sec"] = 1000.0
+    both["hw"]["opt_all"]["cycles"] += 1
+    f, _ = compare(baseline, both, 0.30, False, prefix="hw.")
+    assert any("hw.opt_all.cycles" in x for x in f), \
+        "cycle change not caught under --prefix hw."
+    assert not any("batch_per_sec" in x for x in f), \
+        "--prefix hw. should not gate non-hw keys"
+
     print("bench_compare: self-test passed")
     return 0
 
@@ -200,6 +274,10 @@ def main(argv):
                     help="machine-dependent absolutes warn instead of "
                          "failing (for CI runners that differ from the "
                          "baseline host)")
+    ap.add_argument("--prefix",
+                    help="gate only keys under this dotted prefix "
+                         "(e.g. 'hw.' for the deterministic codesign "
+                         "block)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate catches injected regressions")
     args = ap.parse_args(argv)
@@ -217,7 +295,7 @@ def main(argv):
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
     failures, _ = compare(baseline, fresh, args.noise,
-                          args.warn_only_absolutes)
+                          args.warn_only_absolutes, prefix=args.prefix)
     return 1 if failures else 0
 
 

@@ -8,6 +8,13 @@
  *   ptolemy_asm dis  <file.s>          assemble then disassemble (check)
  *   ptolemy_asm sim  <file.s> [--merge N] [--sort-units N] [--accum N]
  *                                      assemble and run on the cycle model
+ *   ptolemy_asm roundtrip [file.s]     disassemble -> reassemble -> compare
+ *                                      encodings; exits non-zero on any
+ *                                      byte mismatch. Without a file, runs
+ *                                      the check over a built-in set of
+ *                                      compiler-emitted programs
+ *                                      (inference-only, BwCu, BwCu batch-8,
+ *                                      BwCu store-psums).
  *
  * The simulator flags mirror the path-constructor provisioning knobs of
  * paper Fig. 18. `--accum N` sets the profiled accumulate length used for
@@ -19,9 +26,15 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "compiler/compiler.hh"
 #include "hw/simulator.hh"
 #include "isa/assembler.hh"
+#include "models/zoo.hh"
+#include "path/extractor.hh"
+#include "util/rng.hh"
 
 using namespace ptolemy;
 
@@ -33,7 +46,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: ptolemy_asm asm|dis|sim <file.s> "
-                 "[--merge N] [--sort-units N] [--accum N]\n");
+                 "[--merge N] [--sort-units N] [--accum N]\n"
+                 "       ptolemy_asm roundtrip [file.s]\n");
     return 2;
 }
 
@@ -49,14 +63,98 @@ readFile(const std::string &path, std::string &out)
     return true;
 }
 
+/**
+ * Disassemble @p prog, reassemble the text, and byte-compare every
+ * instruction encoding. Returns 0 on a clean round trip, 1 otherwise.
+ */
+int
+roundtripCheck(const std::string &name, const isa::Program &prog)
+{
+    const std::string listing = prog.disassemble();
+    const auto res = isa::assemble(listing);
+    if (!res.ok) {
+        std::fprintf(stderr, "%s: reassembly failed: %s\n", name.c_str(),
+                     res.error.c_str());
+        return 1;
+    }
+    if (res.program.size() != prog.size()) {
+        std::fprintf(stderr,
+                     "%s: instruction count changed: %zu -> %zu\n",
+                     name.c_str(), prog.size(), res.program.size());
+        return 1;
+    }
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        const auto a = prog.instruction(i).encode();
+        const auto b = res.program.instruction(i).encode();
+        if (a != b) {
+            std::fprintf(stderr,
+                         "%s: byte mismatch at %zu: %06x -> %06x (%s)\n",
+                         name.c_str(), i, a, b,
+                         prog.instruction(i).toString().c_str());
+            return 1;
+        }
+    }
+    std::printf("%s: %zu instructions round-trip byte-identical\n",
+                name.c_str(), prog.size());
+    return 0;
+}
+
+/** Built-in round-trip corpus: real compiler output, covering every
+ *  emission shape (plain inference, infsp/csps extraction loops, and the
+ *  batch countdown loop with its mov/dec/jne control flow). */
+int
+roundtripBuiltins()
+{
+    nn::Network net = models::makeMiniAlexNet(10);
+    Rng rng(0x1517);
+    nn::Tensor x(net.inputShape());
+    for (auto &v : x.vec())
+        v = static_cast<float>(rng.gaussian());
+    auto rec = net.forward(x);
+
+    const int n = static_cast<int>(net.weightedNodes().size());
+    const auto cfg = path::ExtractionConfig::bwCu(n, 0.5);
+    path::PathExtractor ex(net, cfg);
+    path::ExtractionTrace trace;
+    ex.extract(rec, &trace);
+
+    std::vector<std::pair<std::string, isa::Program>> progs;
+    progs.emplace_back("inference-only",
+                       compiler::Compiler::inferenceOnly(net));
+    compiler::CompileOptions all;
+    progs.emplace_back("bwcu",
+                       compiler::Compiler(net, cfg, all).compile(trace));
+    compiler::CompileOptions batched;
+    batched.batchSize = 8;
+    progs.emplace_back(
+        "bwcu-batch8",
+        compiler::Compiler(net, cfg, batched).compile(trace));
+    compiler::CompileOptions store;
+    store.recomputePsums = false;
+    progs.emplace_back(
+        "bwcu-storepsums",
+        compiler::Compiler(net, cfg, store).compile(trace));
+
+    int rc = 0;
+    for (const auto &[name, prog] : progs)
+        rc |= roundtripCheck(name, prog);
+    return rc;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     const std::string mode = argv[1];
+
+    if (mode == "roundtrip" && argc == 2)
+        return roundtripBuiltins();
+
+    if (argc < 3)
+        return usage();
     std::string source;
     if (!readFile(argv[2], source)) {
         std::fprintf(stderr, "cannot read %s\n", argv[2]);
@@ -78,6 +176,8 @@ main(int argc, char **argv)
         std::fputs(res.program.disassemble().c_str(), stdout);
         return 0;
     }
+    if (mode == "roundtrip")
+        return roundtripCheck(argv[2], res.program);
     if (mode != "sim")
         return usage();
 
