@@ -14,6 +14,7 @@
  * (default 0.3), so the harness stays CI-friendly.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -106,6 +107,82 @@ secsPerCall(Fn &&fn, double min_seconds)
     return elapsed / static_cast<double>(reps);
 }
 
+/** {min, median, max} seconds-per-call over repeated timing trials. */
+struct TimingStat
+{
+    double min = 0.0;
+    double median = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * Noise-resistant timing: one untimed warm-up call, then @p trials
+ * independent secsPerCall measurements whose budgets split
+ * @p min_seconds between them, reported as {min, median, max}. The
+ * gated headline value is the median — on a shared CI core a single
+ * secsPerCall window can land on a scheduling hiccup and swing +-20%,
+ * which the median of five absorbs — while min/max record the spread
+ * so a wide run is visible in the artifact.
+ */
+template <typename Fn>
+TimingStat
+medianSecsPerCall(Fn &&fn, double min_seconds, int trials = 5)
+{
+    fn(); // warm-up: fault in scratch and caches outside the timing
+    std::vector<double> t(static_cast<std::size_t>(trials));
+    for (auto &x : t)
+        x = secsPerCall(fn, min_seconds / trials);
+    std::sort(t.begin(), t.end());
+    TimingStat s;
+    s.min = t.front();
+    s.median = t[t.size() / 2];
+    s.max = t.back();
+    return s;
+}
+
+TimingStat
+statOf(std::vector<double> t)
+{
+    std::sort(t.begin(), t.end());
+    TimingStat s;
+    s.min = t.front();
+    s.median = t[t.size() / 2];
+    s.max = t.back();
+    return s;
+}
+
+/**
+ * A/B timing with the trials INTERLEAVED (a, b, a, b, ...) rather than
+ * run as two back-to-back blocks: the two arms of a same-host ratio
+ * (packed vs per-call-packed forward) then see the same slow drift —
+ * frequency steps, a neighbor landing on the core — instead of one arm
+ * eating a whole bad window, so the gated ratio of the medians is far
+ * steadier than two independent measurements minutes apart. @p knob is
+ * flipped true for the A arm, false for B, and restored.
+ */
+template <typename Fn>
+std::pair<TimingStat, TimingStat>
+interleavedABSecsPerCall(Fn &&fn, bool &knob, double min_seconds,
+                         int trials = 5)
+{
+    const bool saved = knob;
+    knob = true;
+    fn(); // warm arm A
+    knob = false;
+    fn(); // warm arm B
+    std::vector<double> ta(static_cast<std::size_t>(trials));
+    std::vector<double> tb(static_cast<std::size_t>(trials));
+    const double budget = min_seconds / (2 * trials);
+    for (int i = 0; i < trials; ++i) {
+        knob = true;
+        ta[static_cast<std::size_t>(i)] = secsPerCall(fn, budget);
+        knob = false;
+        tb[static_cast<std::size_t>(i)] = secsPerCall(fn, budget);
+    }
+    knob = saved;
+    return {statOf(std::move(ta)), statOf(std::move(tb))};
+}
+
 void
 randomFill(std::vector<float> &v, Rng &rng, float scale)
 {
@@ -116,7 +193,10 @@ randomFill(std::vector<float> &v, Rng &rng, float scale)
 /** VGG-style conv layer: 64 -> 64 channels, 32x32, k=3, s=1, p=1. */
 struct ConvBenchResult
 {
-    double gemmGflops = 0.0;
+    double gemmGflops = 0.0;    ///< median, persistent packed weights
+    double gemmGflopsMin = 0.0; ///< spread (slowest trial)
+    double gemmGflopsMax = 0.0; ///< spread (fastest trial)
+    double nopackGflops = 0.0;  ///< median, per-call B-panel packing
     double naiveGflops = 0.0;
 };
 
@@ -127,6 +207,7 @@ benchConv(double min_time)
     Rng rng(0xC0FFEE);
     randomFill(conv.weights(), rng, 0.2f);
     randomFill(conv.biases(), rng, 0.2f);
+    conv.prepackWeights(); // after the fills (accessors invalidate)
     nn::Tensor in(nn::mapShape(64, 32, 32));
     for (std::size_t i = 0; i < in.size(); ++i)
         in[i] = static_cast<float>(rng.uniform());
@@ -137,16 +218,17 @@ benchConv(double min_time)
 
     const bool saved = nn::naiveConvFlag();
     nn::naiveConvFlag() = false;
-    conv.forwardInto({&in}, out, false); // warm scratch
-    r.gemmGflops =
-        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false); },
-                            min_time) /
-        1e9;
+    auto fwd = [&] { conv.forwardInto({&in}, out, false); };
+
+    const auto [packed, nopack] = interleavedABSecsPerCall(
+        fwd, nn::prepackEnabled(), 2.0 * min_time);
+    r.gemmGflops = flops / packed.median / 1e9;
+    r.gemmGflopsMin = flops / packed.max / 1e9;
+    r.gemmGflopsMax = flops / packed.min / 1e9;
+    r.nopackGflops = flops / nopack.median / 1e9;
+
     nn::naiveConvFlag() = true;
-    r.naiveGflops =
-        flops / secsPerCall([&] { conv.forwardInto({&in}, out, false); },
-                            min_time) /
-        1e9;
+    r.naiveGflops = flops / medianSecsPerCall(fwd, min_time).median / 1e9;
     nn::naiveConvFlag() = saved;
     return r;
 }
@@ -572,7 +654,10 @@ struct DetectBenchResult
     double batchPerSec = 0.0;      ///< serving default (fused per-sample)
     double widePerSec = 0.0;       ///< opt-in wide-batch layer-major path
     double legacyPerSec = 0.0;
-    double forwardUsPerDetect = 0.0; ///< cost split: wide forward
+    double forwardUsPerDetect = 0.0; ///< cost split: forward (median)
+    double forwardUsPerDetectMin = 0.0; ///< spread (fastest trial)
+    double forwardUsPerDetectMax = 0.0; ///< spread (slowest trial)
+    double forwardNopackUsPerDetect = 0.0; ///< per-call packing forced
     double extractUsPerDetect = 0.0; ///< cost split: path extraction
     double scoreUsPerDetect = 0.0;   ///< cost split: similarity + forest
     std::size_t allocsPerBatch = 0;
@@ -687,41 +772,54 @@ benchDetect(double min_time)
         // the path extraction, and the similarity + forest scoring
         // tail, each measured through the same public seams the serving
         // path uses.
+        // Packed vs per-call-packing on the same seam, measured with
+        // interleaved trials so both arms see the same machine drift.
+        // On this small probe net the two schedules land within noise
+        // of each other (the fused packed path's win concentrates in
+        // wider channel counts — conv_fwd.prepack_speedup above is the
+        // stable, hard-gated prepack ratio), so the forward ratio is
+        // recorded for visibility but gated as informational.
         std::vector<nn::Network::Record> recs;
         model.network().forwardBatchWide(xspan, recs); // warm + records
-        const double fwd_spc =
-            secsPerCall([&] { model.network().forwardBatchWide(xspan, recs); },
-                        min_time);
-        r.forwardUsPerDetect = fwd_spc / kChunk * 1e6;
+        auto fwd = [&] { model.network().forwardBatchWide(xspan, recs); };
+        const auto [fwd_spc, fwd_np] = interleavedABSecsPerCall(
+            fwd, nn::prepackEnabled(), 2.0 * min_time);
+        r.forwardUsPerDetect = fwd_spc.median / kChunk * 1e6;
+        r.forwardUsPerDetectMin = fwd_spc.min / kChunk * 1e6;
+        r.forwardUsPerDetectMax = fwd_spc.max / kChunk * 1e6;
+        r.forwardNopackUsPerDetect = fwd_np.median / kChunk * 1e6;
 
         path::ExtractionWorkspace ws;
         BitVector pathBits;
         std::size_t cursor = 0;
         model.extractor().extractInto(recs[0], ws, pathBits); // warm
-        const double ext_spc = secsPerCall(
-            [&] {
-                model.extractor().extractInto(recs[cursor], ws, pathBits);
-                cursor = (cursor + 1) % kChunk;
-            },
-            min_time);
+        const double ext_spc =
+            medianSecsPerCall(
+                [&] {
+                    model.extractor().extractInto(recs[cursor], ws, pathBits);
+                    cursor = (cursor + 1) % kChunk;
+                },
+                min_time)
+                .median;
         r.extractUsPerDetect = ext_spc * 1e6;
 
         core::Decision d;
         std::vector<double> feat;
         volatile double sink = 0.0;
         cursor = 0;
-        const double score_spc = secsPerCall(
-            [&] {
-                const std::size_t pred = recs[cursor].predictedClass();
-                path::computeSimilarityInto(pathBits,
-                                            model.classPaths().classPath(pred),
-                                            model.extractor().layout(),
-                                            d.features);
-                d.features.toVectorInto(feat);
-                sink = model.forest().predictProb(feat);
-                cursor = (cursor + 1) % kChunk;
-            },
-            min_time);
+        const double score_spc =
+            medianSecsPerCall(
+                [&] {
+                    const std::size_t pred = recs[cursor].predictedClass();
+                    path::computeSimilarityInto(
+                        pathBits, model.classPaths().classPath(pred),
+                        model.extractor().layout(), d.features);
+                    d.features.toVectorInto(feat);
+                    sink = model.forest().predictProb(feat);
+                    cursor = (cursor + 1) % kChunk;
+                },
+                min_time)
+                .median;
         r.scoreUsPerDetect = score_spc * 1e6;
     }
     {
@@ -976,6 +1074,10 @@ main(int argc, char **argv)
     j.key("conv_fwd").beginObject();
     j.kv("shape", "64->64ch 32x32 k3 s1 p1");
     j.kv("gemm_gflops", conv.gemmGflops);
+    j.kv("gemm_gflops_trial_min", conv.gemmGflopsMin);
+    j.kv("gemm_gflops_trial_max", conv.gemmGflopsMax);
+    j.kv("nopack_gflops", conv.nopackGflops);
+    j.kv("prepack_speedup", conv.gemmGflops / conv.nopackGflops);
     j.kv("naive_gflops", conv.naiveGflops);
     j.kv("speedup", conv.gemmGflops / conv.naiveGflops);
     j.endObject();
@@ -1032,6 +1134,11 @@ main(int argc, char **argv)
         const double total = det.forwardUsPerDetect + det.extractUsPerDetect +
                              det.scoreUsPerDetect;
         j.kv("forward_us_per_detect", det.forwardUsPerDetect);
+        j.kv("forward_us_per_detect_trial_min", det.forwardUsPerDetectMin);
+        j.kv("forward_us_per_detect_trial_max", det.forwardUsPerDetectMax);
+        j.kv("forward_nopack_us_per_detect", det.forwardNopackUsPerDetect);
+        j.kv("forward_prepack_speedup",
+             det.forwardNopackUsPerDetect / det.forwardUsPerDetect);
         j.kv("extract_us_per_detect", det.extractUsPerDetect);
         j.kv("score_us_per_detect", det.scoreUsPerDetect);
         j.kv("forward_frac", det.forwardUsPerDetect / total);
@@ -1105,8 +1212,12 @@ main(int argc, char **argv)
     std::cout << "env: " << threads << " threads on " << cores
               << " cores, simd " << nn::simdModeName() << "\n"
               << "conv fwd (64->64ch 32x32 k3): gemm " << conv.gemmGflops
-              << " GFLOP/s, naive " << conv.naiveGflops << " GFLOP/s ("
-              << conv.gemmGflops / conv.naiveGflops << "x)\n"
+              << " GFLOP/s packed (" << conv.nopackGflops
+              << " unpacked, " << conv.gemmGflops / conv.nopackGflops
+              << "x; trial spread " << conv.gemmGflopsMin << ".."
+              << conv.gemmGflopsMax << "), naive " << conv.naiveGflops
+              << " GFLOP/s (" << conv.gemmGflops / conv.naiveGflops
+              << "x)\n"
               << "extraction BwCu: " << ext.newPerSec
               << " extractions/s single-stream, " << ext.batchPerSec
               << "/s batched (legacy " << ext.legacyPerSec << "/s, "
@@ -1140,7 +1251,10 @@ main(int argc, char **argv)
               << det.allocsPerBatch << "/" << det.allocsPerBatchWide
               << " allocs per batch (fused/wide)\n"
               << "detect cost split: forward " << det.forwardUsPerDetect
-              << " us, extract " << det.extractUsPerDetect << " us, score "
+              << " us packed (" << det.forwardNopackUsPerDetect
+              << " us unpacked, "
+              << det.forwardNopackUsPerDetect / det.forwardUsPerDetect
+              << "x), extract " << det.extractUsPerDetect << " us, score "
               << det.scoreUsPerDetect << " us per detection\n"
               << "similarity and+popcount: 4096 bits "
               << sim.narrow.opsPerSec << " ops/s (scalar "

@@ -49,11 +49,47 @@ Conv2d::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
 }
 
 void
+Conv2d::prepackWeights() const
+{
+    const int K = inC * kSize * kSize;
+    if (!packedWt.empty() && packedWt.K == K && packedWt.N == outC)
+        return; // fresh — stay a pure read (serving-safe no-op)
+    // B[k][oc] = W^T, packed straight from the [outC x K] weight rows.
+    packBMatrixStrided(weight.data(), /*k_stride=*/1, /*n_stride=*/K, K,
+                       outC, packedWt);
+}
+
+bool
+Conv2d::usePackedForward() const
+{
+#ifdef PTOLEMY_HAVE_AVX2
+    // Order matters: the simd/knob checks touch no layer state, so a
+    // thread can never observe a half-built pack unless it is already
+    // serving this network — which the DetectorModel ownership contract
+    // forbids before the constructor (which packs) returns.
+    return simdMode() == SimdMode::Avx2 && prepackEnabled() &&
+           !packedWt.empty();
+#else
+    return false;
+#endif
+}
+
+void
 Conv2d::forwardBatchInto(std::span<const Tensor *const> ins,
                          std::span<Tensor *const> outs) const
 {
     const std::size_t S = ins.size();
     if (S <= 1 || naiveConvFlag()) {
+        Layer::forwardBatchInto(ins, outs);
+        return;
+    }
+    if (usePackedForward()) {
+        // The fused packed path beats the concatenated wide SGEMM: the
+        // weights are already packed, the A panel never materializes,
+        // and the bias is folded into the kernel store — so there is
+        // nothing left for cross-sample batching to amortize. The
+        // per-sample loop lands in forwardGemm's packed branch and
+        // stays bit-identical by the same kernel contract.
         Layer::forwardBatchInto(ins, outs);
         return;
     }
@@ -128,6 +164,17 @@ Conv2d::forwardGemm(const Tensor &in, Tensor &out) const
     const int ih = in.shape().h, iw = in.shape().w;
     const int oh = out.shape().h, ow = out.shape().w;
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
+    if (usePackedForward()) {
+        // Fused serving path: the im2col A panel is emitted strip by
+        // strip straight into the microkernel's broadcast operand, so
+        // the [K x oh*ow] column matrix never materializes. Bias is
+        // added once to the accumulators — the same single addition as
+        // the `row[i] += b` pass below. Bit-identical per the
+        // gemm_kernels.hh contract.
+        convForwardPacked(in.data(), inC, ih, iw, kSize, strd, padding, oh,
+                          ow, packedWt, bias.data(), out.data());
+        return;
+    }
     auto &scratch = gemmScratch();
     im2col(in.data(), inC, ih, iw, kSize, strd, padding, oh, ow, scratch.col);
     sgemm(outC, static_cast<int>(ohw), inC * kSize * kSize, weight.data(),

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "nn/gemm.hh"
 #include "nn/layer.hh"
 
 namespace ptolemy::nn
@@ -59,19 +60,44 @@ class Conv2d : public Layer
                      std::vector<PartialSum> &out) const override;
     std::size_t receptiveFieldSize() const override;
 
+    /**
+     * Pack W^T [inC*k*k x outC] into the persistent blocked panel
+     * layout the fused serving forward consumes (convForwardPacked).
+     * Pure read when already fresh; see Layer::prepackWeights for the
+     * ownership contract.
+     */
+    void prepackWeights() const override;
+    void invalidatePackedWeights() override { packedWt.clear(); }
+
     int inChannels() const { return inC; }
     int outChannels() const { return outC; }
     int kernel() const { return kSize; }
     int strideOf() const { return strd; }
     int padOf() const { return padding; }
 
-    /** Direct access for initializers and tests. */
-    std::vector<float> &weights() { return weight; }
-    std::vector<float> &biases() { return bias; }
+    /** Direct access for initializers and tests. Non-const access
+     *  invalidates the packed weight cache (the values may change). */
+    std::vector<float> &
+    weights()
+    {
+        invalidatePackedWeights();
+        return weight;
+    }
+    std::vector<float> &
+    biases()
+    {
+        // Bias is read live by every forward path (never packed), but
+        // dropping the cache keeps the staleness story uniform.
+        invalidatePackedWeights();
+        return bias;
+    }
 
   private:
     /** Output shape for one input shape, allocation-free. */
     Shape outShapeFor(const Shape &in) const;
+    /** True when the fused packed serving forward should run: AVX2
+     *  build+mode, PTOLEMY_PREPACK on, and a fresh packed panel. */
+    bool usePackedForward() const;
     /** Scalar reference forward (PTOLEMY_NAIVE_CONV / equivalence tests). */
     void forwardNaive(const Tensor &in, Tensor &out) const;
     /** GEMM forward: im2col + cache-blocked sgemm (the hot path). */
@@ -104,6 +130,9 @@ class Conv2d : public Layer
     int inC, outC, kSize, strd, padding;
     std::vector<float> weight, bias;
     std::vector<float> gradWeight, gradBias;
+    /** Serving-time packed W^T panels; mutable const-cache filled by
+     *  prepackWeights (owner phase only — see Layer contract). */
+    mutable PackedB packedWt;
 };
 
 } // namespace ptolemy::nn

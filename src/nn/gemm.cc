@@ -1,6 +1,7 @@
 #include "gemm.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 
@@ -26,6 +27,16 @@ constexpr int TN = 256;
 // Products below this many FLOPs (2*M*N*K) are not worth waking the
 // pool for; they run serially on the calling thread.
 constexpr double kParallelFlopCutoff = 2.0 * 1024 * 1024;
+
+/** Pool gate shared by every tiled entry point: enough threads, enough
+ *  tasks (see gemmInlineTaskCutoff), enough arithmetic. */
+bool
+usePoolFor(ThreadPool *pool, std::size_t n_tasks, double flops)
+{
+    return pool && pool->size() > 1 && n_tasks > 1 &&
+           n_tasks >= static_cast<std::size_t>(gemmInlineTaskCutoff()) &&
+           flops >= kParallelFlopCutoff;
+}
 
 /**
  * Inner scalar kernel: C[i0..imax) x [j0..jmax) += A-panel * B-panel.
@@ -100,8 +111,7 @@ forEachTile(int M, int N, double flops, TileFn tile)
         const int j0 = static_cast<int>(t % nt) * TN;
         tile(i0, std::min(M, i0 + TM), j0, std::min(N, j0 + TN));
     };
-    if (pool && pool->size() > 1 && n_tasks > 1 &&
-        flops >= kParallelFlopCutoff) {
+    if (usePoolFor(pool, n_tasks, flops)) {
         pool->parallelFor(n_tasks, run);
         return;
     }
@@ -126,6 +136,30 @@ gemmPool()
 {
     static ThreadPool *pool = &globalPool();
     return pool;
+}
+
+bool &
+prepackEnabled()
+{
+    static bool on = [] {
+        const char *env = std::getenv("PTOLEMY_PREPACK");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return on;
+}
+
+int &
+gemmInlineTaskCutoff()
+{
+    static int cutoff = [] {
+        if (const char *env = std::getenv("PTOLEMY_GEMM_INLINE_TILES")) {
+            const int parsed = std::atoi(env);
+            if (parsed > 0)
+                return parsed;
+        }
+        return 4;
+    }();
+    return cutoff;
 }
 
 namespace
@@ -226,8 +260,7 @@ sgemmNT(int M, int N, int K, const float *A, const float *B, float *C,
 #endif
         scalarNTRows(i0, i1, N, K, A, B, C, accumulate);
     };
-    if (pool && pool->size() > 1 && n_tasks > 1 &&
-        flops >= kParallelFlopCutoff) {
+    if (usePoolFor(pool, n_tasks, flops)) {
         pool->parallelFor(n_tasks, run);
         return;
     }
@@ -319,8 +352,229 @@ gemmScratch()
 }
 
 void
+packBMatrixStrided(const float *b, std::ptrdiff_t k_stride,
+                   std::ptrdiff_t n_stride, int K, int N, PackedB &out)
+{
+    const auto L = detail::packedBLayout(K, N);
+    out.K = K;
+    out.N = N;
+    // assign zeroes the alignment padding between panels so the buffer
+    // content is fully deterministic (the pad floats are never read).
+    out.data.assign(L.total, 0.0f);
+    float *base = out.data.data();
+    auto at = [&](int k, int n) { return b[k * k_stride + n * n_stride]; };
+    for (int blk = 0; blk < L.nFull; ++blk) {
+        float *dst = base + static_cast<std::size_t>(blk) * K * 16;
+        for (int k = 0; k < K; ++k)
+            for (int c = 0; c < 16; ++c)
+                dst[static_cast<std::size_t>(k) * 16 + c] =
+                    at(k, blk * 16 + c);
+    }
+    if (L.has8) {
+        float *dst = base + L.off8;
+        const int j0 = L.nFull * 16;
+        for (int k = 0; k < K; ++k)
+            for (int c = 0; c < 8; ++c)
+                dst[static_cast<std::size_t>(k) * 8 + c] = at(k, j0 + c);
+    }
+    if (L.tail > 0) {
+        float *dst = base + L.offTail;
+        const int j0 = L.nFull * 16 + (L.has8 ? 8 : 0);
+        for (int k = 0; k < K; ++k)
+            for (int c = 0; c < L.tail; ++c)
+                dst[static_cast<std::size_t>(k) * L.tail + c] =
+                    at(k, j0 + c);
+    }
+}
+
+void
+packBMatrix(const float *B, int ldb, int K, int N, PackedB &out)
+{
+    packBMatrixStrided(B, ldb, 1, K, N, out);
+}
+
+namespace
+{
+
+/**
+ * Scalar prepacked tile: replays scalarTile's exact accumulation order
+ * — zero fill, then for each absolute BK block the grouped-4 panel
+ * kernel — but reads B from the packed panels. The k-group boundaries
+ * are multiples of BK regardless of column, so every element's float
+ * chain is identical to scalarTile on the unpacked matrix.
+ */
+void
+scalarPrepackedTile(int i0, int imax, int j0, int jmax, int K, int N,
+                    const float *A, const float *packed, float *C,
+                    bool accumulate)
+{
+    const auto L = detail::packedBLayout(K, N);
+    if (!accumulate)
+        for (int i = i0; i < imax; ++i)
+            std::fill(C + static_cast<std::size_t>(i) * N + j0,
+                      C + static_cast<std::size_t>(i) * N + jmax, 0.0f);
+    for (int k0 = 0; k0 < K; k0 += BK) {
+        const int kmax = std::min(K, k0 + BK);
+        int j = j0;
+        while (j < jmax) {
+            // Panel containing column j. Tile bounds sit on multiples
+            // of TN (a multiple of 16), so panels never straddle them.
+            const float *P;
+            int w, col0;
+            if (j < L.nFull * 16) {
+                const int blk = j / 16;
+                P = packed + static_cast<std::size_t>(blk) * K * 16;
+                w = 16;
+                col0 = blk * 16;
+            } else if (L.has8 && j < L.nFull * 16 + 8) {
+                P = packed + L.off8;
+                w = 8;
+                col0 = L.nFull * 16;
+            } else {
+                P = packed + L.offTail;
+                w = L.tail;
+                col0 = L.nFull * 16 + (L.has8 ? 8 : 0);
+            }
+            const int jend = std::min(jmax, col0 + w);
+            for (int i = i0; i < imax; ++i) {
+                const float *a = A + static_cast<std::size_t>(i) * K;
+                float *c = C + static_cast<std::size_t>(i) * N;
+                int k = k0;
+                for (; k + 3 < kmax; k += 4) {
+                    const float a0 = a[k];
+                    const float a1 = a[k + 1];
+                    const float a2 = a[k + 2];
+                    const float a3 = a[k + 3];
+                    const float *b0 = P + static_cast<std::size_t>(k) * w;
+                    const float *b1 = b0 + w;
+                    const float *b2 = b1 + w;
+                    const float *b3 = b2 + w;
+                    for (int jj = j; jj < jend; ++jj) {
+                        const int c0 = jj - col0;
+                        c[jj] += a0 * b0[c0] + a1 * b1[c0] + a2 * b2[c0] +
+                                 a3 * b3[c0];
+                    }
+                }
+                for (; k < kmax; ++k) {
+                    const float ak = a[k];
+                    const float *bk = P + static_cast<std::size_t>(k) * w;
+                    for (int jj = j; jj < jend; ++jj)
+                        c[jj] += ak * bk[jj - col0];
+                }
+            }
+            j = jend;
+        }
+    }
+}
+
+} // namespace
+
+void
+sgemmPrepacked(int M, const float *A, const PackedB &B, float *C,
+               bool accumulate)
+{
+    const int N = B.N;
+    const int K = B.K;
+    const double flops = 2.0 * M * N * K;
+#ifdef PTOLEMY_HAVE_AVX2
+    if (useAvx2()) {
+        forEachTile(M, N, flops, [&](int i0, int imax, int j0, int jmax) {
+            detail::avx2GemmTilePrepacked(i0, imax, j0, jmax, K, A,
+                                          /*a_row_stride=*/K,
+                                          /*a_elem_stride=*/1,
+                                          B.data.data(), N, C, N,
+                                          accumulate);
+        });
+        return;
+    }
+#endif
+    forEachTile(M, N, flops, [&](int i0, int imax, int j0, int jmax) {
+        scalarPrepackedTile(i0, imax, j0, jmax, K, N, A, B.data.data(), C,
+                            accumulate);
+    });
+}
+
+
+#ifdef PTOLEMY_HAVE_AVX2
+namespace
+{
+
+/** Per-thread fused A-panel scratch (6 x K floats, cache-aligned). */
+util::AlignedF32 &
+convPanelScratch()
+{
+    thread_local util::AlignedF32 panel;
+    return panel;
+}
+
+} // namespace
+#endif
+
+void
+convForwardPacked(const float *in, int in_c, int ih, int iw, int k,
+                  int stride, int pad, int oh, int ow, const PackedB &wt,
+                  float const *bias, float *out)
+{
+#ifndef PTOLEMY_HAVE_AVX2
+    (void)in;
+    (void)in_c;
+    (void)ih;
+    (void)iw;
+    (void)k;
+    (void)stride;
+    (void)pad;
+    (void)oh;
+    (void)ow;
+    (void)wt;
+    (void)bias;
+    (void)out;
+    assert(false && "convForwardPacked requires the AVX2 build");
+#else
+    const int K = wt.K;
+    const int outC = wt.N;
+    const int ohw = oh * ow;
+    assert(K == in_c * k * k);
+    // Block whole output rows so one fused A panel covers ~96 output
+    // positions. Row-aligned blocks keep the panel emission on
+    // im2colRowsInto's contiguous-run memcpys (the exact im2col inner
+    // loop — just restricted to the block's rows, so only a [K x P]
+    // slice ever materializes, L2-resident and consumed immediately),
+    // and the blocked kernel then reuses each K x 16 weight panel
+    // across every strip of the block. One block is also the pool-task
+    // grain. Positions are independent and per-element results
+    // partition-invariant, so the blocking is scheduling-only.
+    constexpr int kTargetBlockPositions = 96;
+    const int rows_per_block = std::max(
+        1, std::min(oh, (kTargetBlockPositions + ow - 1) / ow));
+    const std::size_t n_tasks = static_cast<std::size_t>(
+        (oh + rows_per_block - 1) / rows_per_block);
+    const double flops = 2.0 * outC * ohw * K;
+    auto run = [&](std::size_t t) {
+        const int oy0 = static_cast<int>(t) * rows_per_block;
+        const int oy1 = std::min(oh, oy0 + rows_per_block);
+        const int P = (oy1 - oy0) * ow; // positions in this block
+        auto &panel = convPanelScratch();
+        panel.resize(static_cast<std::size_t>(K) * P);
+        im2colRowsInto(in, in_c, ih, iw, k, stride, pad, ow, oy0, oy1,
+                       panel.data(), static_cast<std::size_t>(P));
+        const int n_strips = (P + 5) / 6;
+        detail::avx2ConvPackedBlock(K, outC, panel.data(), P, n_strips,
+                                    P - 6 * (n_strips - 1), wt.data.data(),
+                                    bias, out + oy0 * ow, ohw);
+    };
+    ThreadPool *pool = gemmPool();
+    if (usePoolFor(pool, n_tasks, flops)) {
+        pool->parallelFor(n_tasks, run);
+        return;
+    }
+    for (std::size_t t = 0; t < n_tasks; ++t)
+        run(t);
+#endif
+}
+
+void
 im2col(const float *in, int in_c, int ih, int iw, int k, int stride, int pad,
-       int oh, int ow, std::vector<float> &col)
+       int oh, int ow, util::AlignedF32 &col)
 {
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;
     col.resize(static_cast<std::size_t>(in_c) * k * k * ohw);
@@ -331,14 +585,24 @@ void
 im2colInto(const float *in, int in_c, int ih, int iw, int k, int stride,
            int pad, int oh, int ow, float *col, std::size_t row_stride)
 {
+    im2colRowsInto(in, in_c, ih, iw, k, stride, pad, ow, 0, oh, col,
+                   row_stride);
+}
+
+void
+im2colRowsInto(const float *in, int in_c, int ih, int iw, int k, int stride,
+               int pad, int ow, int oy0, int oy1, float *col,
+               std::size_t row_stride)
+{
     float *dst = col;
     for (int ic = 0; ic < in_c; ++ic) {
         const float *plane = in + static_cast<std::size_t>(ic) * ih * iw;
         for (int ky = 0; ky < k; ++ky) {
             for (int kx = 0; kx < k; ++kx) {
-                for (int oy = 0; oy < oh; ++oy) {
+                for (int oy = oy0; oy < oy1; ++oy) {
                     const int iy = oy * stride - pad + ky;
-                    float *row = dst + static_cast<std::size_t>(oy) * ow;
+                    float *row =
+                        dst + static_cast<std::size_t>(oy - oy0) * ow;
                     if (iy < 0 || iy >= ih) {
                         std::memset(row, 0, sizeof(float) * ow);
                         continue;
@@ -376,7 +640,7 @@ im2colInto(const float *in, int in_c, int ih, int iw, int k, int stride,
 }
 
 void
-col2im(const std::vector<float> &col, int in_c, int ih, int iw, int k,
+col2im(const util::AlignedF32 &col, int in_c, int ih, int iw, int k,
        int stride, int pad, int oh, int ow, float *grad_in)
 {
     const std::size_t ohw = static_cast<std::size_t>(oh) * ow;

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.hh"
 #include "util/simd.hh"
 
 namespace ptolemy
@@ -57,6 +58,102 @@ ThreadPool *&gemmPool();
  */
 void sgemm(int M, int N, int K, const float *A, const float *B, float *C,
            bool accumulate = false);
+
+/**
+ * A B matrix [K x N] packed once into the blocked panel layout the
+ * tile kernels consume (see detail::packedBLayout), 64-byte-aligned.
+ * Serving-path weights are immutable, so packing them at model-build
+ * time removes the per-call packBPanel copy from every forward SGEMM.
+ */
+struct PackedB
+{
+    int K = 0;
+    int N = 0;
+    util::AlignedF32 data;
+
+    bool empty() const { return data.empty(); }
+
+    void
+    clear()
+    {
+        K = N = 0;
+        util::AlignedF32().swap(data);
+    }
+};
+
+/** Pack row-major B [K x N] (leading dimension @p ldb) into @p out. */
+void packBMatrix(const float *B, int ldb, int K, int N, PackedB &out);
+
+/**
+ * Pack a B matrix given arbitrary element strides: element (k, n) is
+ * b[k * k_stride + n * n_stride]. This packs a transposed view without
+ * materializing it — conv weights [outC x K] pack as W^T with
+ * (k_stride, n_stride) = (1, K).
+ */
+void packBMatrixStrided(const float *b, std::ptrdiff_t k_stride,
+                        std::ptrdiff_t n_stride, int K, int N,
+                        PackedB &out);
+
+/**
+ * C[MxN] = A[MxK] * B from a persistent packed panel (or += when
+ * @p accumulate), with N and K taken from @p B. Bit-identical to
+ * sgemm(M, N, K, A, B_unpacked, C, accumulate) in both SIMD modes:
+ * the AVX2 tiles skip the per-call pack but consume the exact blocked
+ * layout packBPanel produced, and the scalar path replays the
+ * reference kernel's BK-blocked grouped-4 accumulation order over the
+ * packed panels (k-group boundaries are absolute, so per-element
+ * numerics cannot shift).
+ */
+void sgemmPrepacked(int M, const float *A, const PackedB &B, float *C,
+                    bool accumulate = false);
+
+/**
+ * Fused packed conv forward (AVX2 serving fast path): per block of
+ * output rows, emit a [K x P] slice of the im2col matrix into a
+ * reusable L2-resident panel (the full col matrix is never
+ * materialized) and run the flipped 6-position x 16-channel register
+ * tiles against the persistent packed W^T panels, bias fused into the
+ * store. Output is channel-major [outC x oh*ow], bit-identical to
+ * im2col + sgemm + bias (see avx2ConvPackedBlock). Row blocks fan out
+ * on gemmPool() like sgemm tiles. Caller must hold simdMode() == Avx2
+ * and an AVX2 build; @p wt must be the packed [K x outC] transposed
+ * weight matrix with K = in_c*k*k.
+ */
+void convForwardPacked(const float *in, int in_c, int ih, int iw, int k,
+                       int stride, int pad, int oh, int ow,
+                       const PackedB &wt, const float *bias, float *out);
+
+/**
+ * Emit the im2col columns of output rows [oy0, oy1) as a row-major
+ * [K x (oy1-oy0)*ow] matrix at leading dimension @p row_stride (tap
+ * row order (ic, ky, kx) as im2col). This is im2colInto restricted to
+ * a row range — the same contiguous-run memcpy inner loop — and is the
+ * fused per-block A-panel emission behind convForwardPacked, exposed
+ * for tests and reuse. im2colInto delegates here with the full range.
+ */
+void im2colRowsInto(const float *in, int in_c, int ih, int iw, int k,
+                    int stride, int pad, int ow, int oy0, int oy1,
+                    float *col, std::size_t row_stride);
+
+/**
+ * Process-wide switch for the persistent-packed serving path
+ * (convForwardPacked / packed Linear weights). Initialized from
+ * PTOLEMY_PREPACK (default on; "0" disables); benches and bench_sweep
+ * flip it at runtime to measure the packed-vs-on-the-fly delta. Gates
+ * *use* of packed panels only — layers still build them — so flipping
+ * it is always bit-identity-safe.
+ */
+bool &prepackEnabled();
+
+/**
+ * Minimum task count before a tiled kernel fans out to gemmPool():
+ * below it the product runs inline on the calling thread, skipping
+ * pool dispatch latency that dominates the 2-3-tile shapes detectBatch
+ * actually sees. From PTOLEMY_GEMM_INLINE_TILES (default 4); the FLOP
+ * cutoff still applies independently. Scheduling only — results are
+ * bit-identical either way.
+ */
+int &gemmInlineTaskCutoff();
 
 /**
  * C[MxN] = A^T * B where A is [KxM] row-major, or += when @p accumulate.
@@ -106,10 +203,10 @@ void sgemvT(int M, int K, const float *A, const float *x, float *y,
  */
 struct GemmScratch
 {
-    std::vector<float> col;     ///< im2col matrix [inC*k*k x oh*ow]
-    std::vector<float> colGrad; ///< col-space gradient for backward
-    std::vector<float> colWide; ///< wide-batch im2col [inC*k*k x S*oh*ow]
-    std::vector<float> outWide; ///< wide-batch output [outC x S*oh*ow]
+    util::AlignedF32 col;     ///< im2col matrix [inC*k*k x oh*ow]
+    util::AlignedF32 colGrad; ///< col-space gradient for backward
+    util::AlignedF32 colWide; ///< wide-batch im2col [inC*k*k x S*oh*ow]
+    util::AlignedF32 outWide; ///< wide-batch output [outC x S*oh*ow]
     std::vector<const float *> xsWide; ///< batched-gemv input pointers
     std::vector<float *> ysWide;       ///< batched-gemv output pointers
 };
@@ -124,7 +221,7 @@ GemmScratch &gemmScratch();
  * weight matrix multiplies @p col directly.
  */
 void im2col(const float *in, int in_c, int ih, int iw, int k, int stride,
-            int pad, int oh, int ow, std::vector<float> &col);
+            int pad, int oh, int ow, util::AlignedF32 &col);
 
 /**
  * im2col into caller-owned storage with an arbitrary row stride
@@ -142,7 +239,7 @@ void im2colInto(const float *in, int in_c, int ih, int iw, int k, int stride,
  * @p col [in_c*k*k x oh*ow] back into the image gradient @p grad_in
  * (CHW, must be pre-zeroed by the caller).
  */
-void col2im(const std::vector<float> &col, int in_c, int ih, int iw, int k,
+void col2im(const util::AlignedF32 &col, int in_c, int ih, int iw, int k,
             int stride, int pad, int oh, int ow, float *grad_in);
 
 /**

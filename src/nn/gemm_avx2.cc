@@ -18,8 +18,11 @@
 
 #include <immintrin.h>
 
+#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "util/aligned.hh"
 
 namespace ptolemy::nn::detail
 {
@@ -60,7 +63,7 @@ kernelRx16(int K, const APanel &a, const float *B, int ldb, float *c,
     for (int r = 0; r < R; ++r)
         arow[r] = a.row(r);
     const std::ptrdiff_t astep = STRIDE1 ? 1 : a.elemStride;
-    for (int k = 0; k < K; ++k) {
+    auto step = [&](int k) {
         const float *brow = B + static_cast<std::ptrdiff_t>(k) * ldb;
         const __m256 b0 = _mm256_loadu_ps(brow);
         const __m256 b1 = _mm256_loadu_ps(brow + 8);
@@ -69,7 +72,21 @@ kernelRx16(int K, const APanel &a, const float *B, int ldb, float *c,
             acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
             acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
         }
+    };
+    int k = 0;
+    // K x4 unroll. Each element keeps its single accumulator chain in
+    // the same k-ascending order (splitting the chain would change the
+    // rounding and break bit-identity); the unroll only removes
+    // loop-carried branch overhead and lets the B loads of the next
+    // steps issue while the FMA chain drains.
+    for (; k + 4 <= K; k += 4) {
+        step(k);
+        step(k + 1);
+        step(k + 2);
+        step(k + 3);
     }
+    for (; k < K; ++k)
+        step(k);
     for (int r = 0; r < R; ++r) {
         float *crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
         if (accumulate) {
@@ -94,13 +111,23 @@ kernelRx8(int K, const APanel &a, const float *B, int ldb, float *c,
     for (int r = 0; r < R; ++r)
         arow[r] = a.row(r);
     const std::ptrdiff_t astep = STRIDE1 ? 1 : a.elemStride;
-    for (int k = 0; k < K; ++k) {
+    auto step = [&](int k) {
         const __m256 b0 =
             _mm256_loadu_ps(B + static_cast<std::ptrdiff_t>(k) * ldb);
         for (int r = 0; r < R; ++r)
             acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(arow[r][k * astep]),
                                      b0, acc[r]);
+    };
+    int k = 0;
+    // Same K x4 single-chain unroll as kernelRx16.
+    for (; k + 4 <= K; k += 4) {
+        step(k);
+        step(k + 1);
+        step(k + 2);
+        step(k + 3);
     }
+    for (; k < K; ++k)
+        step(k);
     for (int r = 0; r < R; ++r) {
         float *crow = c + static_cast<std::ptrdiff_t>(r) * ldc;
         if (accumulate)
@@ -165,6 +192,53 @@ packScratch()
     return buf;
 }
 
+/**
+ * Run the 6-row microkernels over one packed B panel of @p width (16
+ * or 8) columns at absolute column @p j. Shared by the on-the-fly tile
+ * (which just packed the panel) and the prepacked tile (persistent
+ * panel) — both therefore execute the exact same kernel sequence.
+ */
+template <bool STRIDE1>
+inline void
+panelColumns(int width, int i0, int i1, int j, int K, const float *a_base,
+             std::ptrdiff_t a_row_stride, std::ptrdiff_t a_elem_stride,
+             const float *bp, float *C, int ldc, bool accumulate)
+{
+    int i = i0;
+    for (; i + 6 <= i1; i += 6) {
+        const APanel a{a_base + i * a_row_stride, a_row_stride,
+                       a_elem_stride};
+        float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
+        if (width == 16)
+            kernelRx16<6, STRIDE1>(K, a, bp, 16, c, ldc, accumulate);
+        else
+            kernelRx8<6, STRIDE1>(K, a, bp, 8, c, ldc, accumulate);
+    }
+    const int rem = i1 - i;
+    if (rem > 0) {
+        const APanel a{a_base + i * a_row_stride, a_row_stride,
+                       a_elem_stride};
+        float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
+        if (width == 16) {
+            switch (rem) {
+              case 1: kernelRx16<1, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+              case 2: kernelRx16<2, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+              case 3: kernelRx16<3, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+              case 4: kernelRx16<4, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+              default: kernelRx16<5, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
+            }
+        } else {
+            switch (rem) {
+              case 1: kernelRx8<1, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+              case 2: kernelRx8<2, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+              case 3: kernelRx8<3, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+              case 4: kernelRx8<4, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+              default: kernelRx8<5, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
+            }
+        }
+    }
+}
+
 template <bool STRIDE1>
 void
 gemmTileImpl(int i0, int i1, int j0, int j1, int K, const float *a_base,
@@ -181,41 +255,9 @@ gemmTileImpl(int i0, int i1, int j0, int j1, int K, const float *a_base,
         const int width = (j + 16 <= j1) ? 16 : 8;
         pack.resize(static_cast<std::size_t>(K) * width);
         packBPanel(B, ldb, j, K, width, pack.data());
-        const float *bp = pack.data();
-
-        int i = i0;
-        for (; i + 6 <= i1; i += 6) {
-            const APanel a{a_base + i * a_row_stride, a_row_stride,
-                           a_elem_stride};
-            float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
-            if (width == 16)
-                kernelRx16<6, STRIDE1>(K, a, bp, 16, c, ldc, accumulate);
-            else
-                kernelRx8<6, STRIDE1>(K, a, bp, 8, c, ldc, accumulate);
-        }
-        const int rem = i1 - i;
-        if (rem > 0) {
-            const APanel a{a_base + i * a_row_stride, a_row_stride,
-                           a_elem_stride};
-            float *c = C + static_cast<std::ptrdiff_t>(i) * ldc + j;
-            if (width == 16) {
-                switch (rem) {
-                  case 1: kernelRx16<1, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
-                  case 2: kernelRx16<2, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
-                  case 3: kernelRx16<3, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
-                  case 4: kernelRx16<4, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
-                  default: kernelRx16<5, STRIDE1>(K, a, bp, 16, c, ldc, accumulate); break;
-                }
-            } else {
-                switch (rem) {
-                  case 1: kernelRx8<1, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
-                  case 2: kernelRx8<2, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
-                  case 3: kernelRx8<3, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
-                  case 4: kernelRx8<4, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
-                  default: kernelRx8<5, STRIDE1>(K, a, bp, 8, c, ldc, accumulate); break;
-                }
-            }
-        }
+        panelColumns<STRIDE1>(width, i0, i1, j, K, a_base, a_row_stride,
+                              a_elem_stride, pack.data(), C, ldc,
+                              accumulate);
     }
     if (j < j1) {
         // Scalar column tail (fewer than 8 columns at the matrix edge).
@@ -225,6 +267,53 @@ gemmTileImpl(int i0, int i1, int j0, int j1, int K, const float *a_base,
             kernelScalarCols(1, j, j1, K, a, B, ldb,
                              C + static_cast<std::ptrdiff_t>(i) * ldc, ldc,
                              accumulate);
+        }
+    }
+}
+
+template <bool STRIDE1>
+void
+gemmTilePrepackedImpl(int i0, int i1, int j0, int j1, int K,
+                      const float *a_base, std::ptrdiff_t a_row_stride,
+                      std::ptrdiff_t a_elem_stride, const float *packed,
+                      int packedN, float *C, int ldc, bool accumulate)
+{
+    const PackedBLayout L = packedBLayout(K, packedN);
+    // Same column blocking as gemmTileImpl: full 16s, one 8, scalar
+    // tail. Tile bounds sit on multiples of TN (a multiple of 16), so
+    // the persistent panels line up exactly with what packBPanel would
+    // have produced per tile.
+    int j = j0;
+    for (; j + 16 <= j1; j += 16) {
+        const float *bp = packed + static_cast<std::size_t>(j / 16) * K * 16;
+        assert(util::isAligned(bp));
+        panelColumns<STRIDE1>(16, i0, i1, j, K, a_base, a_row_stride,
+                              a_elem_stride, bp, C, ldc, accumulate);
+    }
+    if (j + 8 <= j1) {
+        const float *bp = packed + L.off8;
+        assert(L.has8 && j == L.nFull * 16 && util::isAligned(bp));
+        panelColumns<STRIDE1>(8, i0, i1, j, K, a_base, a_row_stride,
+                              a_elem_stride, bp, C, ldc, accumulate);
+        j += 8;
+    }
+    if (j < j1) {
+        // Scalar column tail from the packed [k][tail] panel: the same
+        // fmaf fold as kernelScalarCols, reading packed rows.
+        const float *P = packed + L.offTail;
+        const int col0 = L.nFull * 16 + (L.has8 ? 8 : 0);
+        for (int i = i0; i < i1; ++i) {
+            const float *arow = a_base + i * a_row_stride;
+            float *crow = C + static_cast<std::ptrdiff_t>(i) * ldc;
+            for (int jj = j; jj < j1; ++jj) {
+                const int c = jj - col0;
+                float s = 0.0f;
+                for (int k = 0; k < K; ++k)
+                    s = std::fmaf(
+                        arow[k * (STRIDE1 ? 1 : a_elem_stride)],
+                        P[static_cast<std::size_t>(k) * L.tail + c], s);
+                crow[jj] = accumulate ? crow[jj] + s : s;
+            }
         }
     }
 }
@@ -242,6 +331,249 @@ avx2GemmTile(int i0, int i1, int j0, int j1, int K, const float *a_base,
     else
         gemmTileImpl<false>(i0, i1, j0, j1, K, a_base, a_row_stride,
                             a_elem_stride, B, ldb, C, ldc, accumulate);
+}
+
+void
+avx2GemmTilePrepacked(int i0, int i1, int j0, int j1, int K,
+                      const float *a_base, std::ptrdiff_t a_row_stride,
+                      std::ptrdiff_t a_elem_stride, const float *packed,
+                      int packedN, float *C, int ldc, bool accumulate)
+{
+    if (a_elem_stride == 1)
+        gemmTilePrepackedImpl<true>(i0, i1, j0, j1, K, a_base,
+                                    a_row_stride, 1, packed, packedN, C,
+                                    ldc, accumulate);
+    else
+        gemmTilePrepackedImpl<false>(i0, i1, j0, j1, K, a_base,
+                                     a_row_stride, a_elem_stride, packed,
+                                     packedN, C, ldc, accumulate);
+}
+
+namespace
+{
+
+/** Row masks for storing R < 8 lanes (load at offset 8 - R). */
+alignas(32) constexpr int kRowMaskTab[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                             0,  0,  0,  0,  0,  0,  0,  0};
+
+inline __m256i
+rowMask(int R)
+{
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(kRowMaskTab + 8 - R));
+}
+
+/** In-register 8x8 float transpose (data movement only, no rounding). */
+inline void
+transpose8x8(__m256 r[8])
+{
+    __m256 t[8];
+    t[0] = _mm256_unpacklo_ps(r[0], r[1]);
+    t[1] = _mm256_unpackhi_ps(r[0], r[1]);
+    t[2] = _mm256_unpacklo_ps(r[2], r[3]);
+    t[3] = _mm256_unpackhi_ps(r[2], r[3]);
+    t[4] = _mm256_unpacklo_ps(r[4], r[5]);
+    t[5] = _mm256_unpackhi_ps(r[4], r[5]);
+    t[6] = _mm256_unpacklo_ps(r[6], r[7]);
+    t[7] = _mm256_unpackhi_ps(r[6], r[7]);
+    __m256 s[8];
+    s[0] = _mm256_shuffle_ps(t[0], t[2], 0x44);
+    s[1] = _mm256_shuffle_ps(t[0], t[2], 0xEE);
+    s[2] = _mm256_shuffle_ps(t[1], t[3], 0x44);
+    s[3] = _mm256_shuffle_ps(t[1], t[3], 0xEE);
+    s[4] = _mm256_shuffle_ps(t[4], t[6], 0x44);
+    s[5] = _mm256_shuffle_ps(t[4], t[6], 0xEE);
+    s[6] = _mm256_shuffle_ps(t[5], t[7], 0x44);
+    s[7] = _mm256_shuffle_ps(t[5], t[7], 0xEE);
+    r[0] = _mm256_permute2f128_ps(s[0], s[4], 0x20);
+    r[1] = _mm256_permute2f128_ps(s[1], s[5], 0x20);
+    r[2] = _mm256_permute2f128_ps(s[2], s[6], 0x20);
+    r[3] = _mm256_permute2f128_ps(s[3], s[7], 0x20);
+    r[4] = _mm256_permute2f128_ps(s[0], s[4], 0x31);
+    r[5] = _mm256_permute2f128_ps(s[1], s[5], 0x31);
+    r[6] = _mm256_permute2f128_ps(s[2], s[6], 0x31);
+    r[7] = _mm256_permute2f128_ps(s[3], s[7], 0x31);
+}
+
+/**
+ * Flipped conv register tile: R strip positions (broadcast operand) x
+ * 16 output channels (vector operand) over a packed [k][16] weight
+ * panel. @p ap is the depth-major A panel (ap[k*6 + r], see
+ * im2colPanelInto) — the 6 broadcasts of one depth step share a cache
+ * line. Per element this is the exact fold fma(a_k, w_ik, acc) over k
+ * ascending the unpacked path computes — fma's product operands merely
+ * swap roles, which rounds identically — followed by the one bias
+ * addition forwardGemm performs, so results are bit-identical. The
+ * accumulators hold 16 channels per strip position; an in-register
+ * 8x8 transpose turns them into per-channel rows of R positions for
+ * the masked store into the channel-major output.
+ */
+template <int R>
+inline void
+convStripKx16(int K, const float *ap, std::ptrdiff_t a_ld, const float *wp,
+              const float *bias, float *out, std::ptrdiff_t ldc)
+{
+    __m256 acc0[R], acc1[R];
+    for (int r = 0; r < R; ++r) {
+        acc0[r] = _mm256_setzero_ps();
+        acc1[r] = _mm256_setzero_ps();
+    }
+    auto step = [&](int k) {
+        const float *w = wp + static_cast<std::size_t>(k) * 16;
+        const float *a6 = ap + static_cast<std::ptrdiff_t>(k) * a_ld;
+        const __m256 b0 = _mm256_load_ps(w);
+        const __m256 b1 = _mm256_load_ps(w + 8);
+        for (int r = 0; r < R; ++r) {
+            const __m256 av = _mm256_set1_ps(a6[r]);
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+    };
+    int k = 0;
+    for (; k + 4 <= K; k += 4) {
+        step(k);
+        step(k + 1);
+        step(k + 2);
+        step(k + 3);
+    }
+    for (; k < K; ++k)
+        step(k);
+    // Bias before the transpose: out = gemm + b, the same single
+    // addition the unpacked path's bias pass performs.
+    const __m256 bv0 = _mm256_loadu_ps(bias);
+    const __m256 bv1 = _mm256_loadu_ps(bias + 8);
+    __m256 t0[8], t1[8];
+    for (int r = 0; r < 8; ++r)
+        t0[r] = t1[r] = _mm256_setzero_ps();
+    for (int r = 0; r < R; ++r) {
+        t0[r] = _mm256_add_ps(acc0[r], bv0);
+        t1[r] = _mm256_add_ps(acc1[r], bv1);
+    }
+    transpose8x8(t0);
+    transpose8x8(t1);
+    const __m256i mask = rowMask(R);
+    for (int c = 0; c < 8; ++c)
+        _mm256_maskstore_ps(out + static_cast<std::ptrdiff_t>(c) * ldc,
+                            mask, t0[c]);
+    for (int c = 0; c < 8; ++c)
+        _mm256_maskstore_ps(out + static_cast<std::ptrdiff_t>(8 + c) * ldc,
+                            mask, t1[c]);
+}
+
+/** 8-channel variant of convStripKx16 for the 8-wide channel panel. */
+template <int R>
+inline void
+convStripKx8(int K, const float *ap, std::ptrdiff_t a_ld, const float *wp,
+             const float *bias, float *out, std::ptrdiff_t ldc)
+{
+    __m256 acc[R];
+    for (int r = 0; r < R; ++r)
+        acc[r] = _mm256_setzero_ps();
+    auto step = [&](int k) {
+        const __m256 b0 =
+            _mm256_loadu_ps(wp + static_cast<std::size_t>(k) * 8);
+        const float *a6 = ap + static_cast<std::ptrdiff_t>(k) * a_ld;
+        for (int r = 0; r < R; ++r)
+            acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(a6[r]), b0, acc[r]);
+    };
+    int k = 0;
+    for (; k + 4 <= K; k += 4) {
+        step(k);
+        step(k + 1);
+        step(k + 2);
+        step(k + 3);
+    }
+    for (; k < K; ++k)
+        step(k);
+    const __m256 bv = _mm256_loadu_ps(bias);
+    __m256 t[8];
+    for (int r = 0; r < 8; ++r)
+        t[r] = _mm256_setzero_ps();
+    for (int r = 0; r < R; ++r)
+        t[r] = _mm256_add_ps(acc[r], bv);
+    transpose8x8(t);
+    const __m256i mask = rowMask(R);
+    for (int c = 0; c < 8; ++c)
+        _mm256_maskstore_ps(out + static_cast<std::ptrdiff_t>(c) * ldc,
+                            mask, t[c]);
+}
+
+/** Scalar-fmaf channel tail (fewer than 8 channels left). */
+inline void
+convStripScalarChannels(int K, const float *ap, std::ptrdiff_t a_ld, int R,
+                        const float *P, int w, const float *bias,
+                        float *out, std::ptrdiff_t ldc)
+{
+    for (int c = 0; c < w; ++c) {
+        const float b = bias[c];
+        float *crow = out + static_cast<std::ptrdiff_t>(c) * ldc;
+        for (int r = 0; r < R; ++r) {
+            float s = 0.0f;
+            for (int k = 0; k < K; ++k)
+                s = std::fmaf(ap[static_cast<std::ptrdiff_t>(k) * a_ld + r],
+                              P[static_cast<std::size_t>(k) * w + c], s);
+            crow[r] = s + b;
+        }
+    }
+}
+
+} // namespace
+
+void
+avx2ConvPackedBlock(int K, int N, const float *ap, std::ptrdiff_t a_ld,
+                    int n_strips, int r_last, const float *packed,
+                    const float *bias, float *out, std::ptrdiff_t ldc)
+{
+    assert(n_strips >= 1 && r_last >= 1 && r_last <= 6);
+    assert(a_ld >= (n_strips - 1) * 6 + r_last);
+    assert(util::isAligned(packed));
+    const PackedBLayout L = packedBLayout(K, N);
+    auto run16 = [&](int R, const float *sap, const float *wp,
+                     const float *bv, float *o) {
+        switch (R) {
+          case 1: convStripKx16<1>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 2: convStripKx16<2>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 3: convStripKx16<3>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 4: convStripKx16<4>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 5: convStripKx16<5>(K, sap, a_ld, wp, bv, o, ldc); break;
+          default: convStripKx16<6>(K, sap, a_ld, wp, bv, o, ldc); break;
+        }
+    };
+    auto run8 = [&](int R, const float *sap, const float *wp,
+                    const float *bv, float *o) {
+        switch (R) {
+          case 1: convStripKx8<1>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 2: convStripKx8<2>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 3: convStripKx8<3>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 4: convStripKx8<4>(K, sap, a_ld, wp, bv, o, ldc); break;
+          case 5: convStripKx8<5>(K, sap, a_ld, wp, bv, o, ldc); break;
+          default: convStripKx8<6>(K, sap, a_ld, wp, bv, o, ldc); break;
+        }
+    };
+    const auto stripR = [&](int s) { return s + 1 == n_strips ? r_last : 6; };
+    for (int blk = 0; blk < L.nFull; ++blk) {
+        const float *wp = packed + static_cast<std::size_t>(blk) * K * 16;
+        assert(util::isAligned(wp));
+        float *o = out + static_cast<std::ptrdiff_t>(blk) * 16 * ldc;
+        for (int s = 0; s < n_strips; ++s)
+            run16(stripR(s), ap + s * 6, wp, bias + blk * 16, o + s * 6);
+    }
+    int c0 = L.nFull * 16;
+    if (L.has8) {
+        const float *wp = packed + L.off8;
+        assert(util::isAligned(wp));
+        float *o = out + static_cast<std::ptrdiff_t>(c0) * ldc;
+        for (int s = 0; s < n_strips; ++s)
+            run8(stripR(s), ap + s * 6, wp, bias + c0, o + s * 6);
+        c0 += 8;
+    }
+    if (L.tail > 0) {
+        float *o = out + static_cast<std::ptrdiff_t>(c0) * ldc;
+        for (int s = 0; s < n_strips; ++s)
+            convStripScalarChannels(K, ap + s * 6, a_ld, stripR(s),
+                                    packed + L.offTail, L.tail, bias + c0,
+                                    o + s * 6, ldc);
+    }
 }
 
 void

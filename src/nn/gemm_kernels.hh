@@ -18,6 +18,59 @@
 namespace ptolemy::nn::detail
 {
 
+/**
+ * Blocked layout of a persistent packed B matrix [K x N]: the column
+ * space is split exactly the way the tile kernels block it — 16-wide
+ * panels, then one 8-wide panel when 8 <= N%16, then a <8-column
+ * scalar tail — and each panel is stored [k][width] contiguous, the
+ * shape packBPanel produced per call before packing became persistent.
+ * Panel starts are padded up to 64-byte boundaries so every AVX2 load
+ * of a panel row begins on a cache line (the backing buffer itself is
+ * allocated with util::AlignedF32).
+ *
+ * Both the packer (gemm.cc) and the consuming kernels (gemm_avx2.cc,
+ * the scalar prepacked tile) derive offsets from this one function, so
+ * layout and consumption cannot drift apart.
+ */
+struct PackedBLayout
+{
+    int K = 0;
+    int N = 0;
+    int nFull = 0;         ///< count of 16-wide panels
+    bool has8 = false;     ///< one 8-wide panel after the 16s
+    int tail = 0;          ///< scalar-tail columns (0..7)
+    std::size_t off8 = 0;  ///< float offset of the 8-wide panel
+    std::size_t offTail = 0; ///< float offset of the scalar tail panel
+    std::size_t total = 0; ///< total floats (incl. alignment padding)
+};
+
+/** Round a float count up to a 64-byte (16-float) boundary. */
+constexpr std::size_t
+alignFloats16(std::size_t n)
+{
+    return (n + 15u) & ~static_cast<std::size_t>(15u);
+}
+
+constexpr PackedBLayout
+packedBLayout(int K, int N)
+{
+    PackedBLayout L;
+    L.K = K;
+    L.N = N;
+    L.nFull = N / 16;
+    const int rem = N - L.nFull * 16;
+    L.has8 = rem >= 8;
+    L.tail = rem - (L.has8 ? 8 : 0);
+    // 16-wide panels are K*16 floats each — inherently 64-byte
+    // multiples — so only the 8-wide panel needs explicit padding.
+    L.off8 = static_cast<std::size_t>(L.nFull) * K * 16;
+    L.offTail =
+        L.off8 +
+        (L.has8 ? alignFloats16(static_cast<std::size_t>(K) * 8) : 0);
+    L.total = L.offTail + static_cast<std::size_t>(K) * L.tail;
+    return L;
+}
+
 #ifdef PTOLEMY_HAVE_AVX2
 
 /**
@@ -45,6 +98,53 @@ void avx2GemmTile(int i0, int i1, int j0, int j1, int K,
                   const float *a_base, std::ptrdiff_t a_row_stride,
                   std::ptrdiff_t a_elem_stride, const float *B, int ldb,
                   float *C, int ldc, bool accumulate);
+
+/**
+ * As avx2GemmTile, but B comes pre-packed in the packedBLayout blocked
+ * form (@p packed, layout derived from (K, @p packedN)) so the
+ * per-tile packBPanel copy is skipped entirely — the serving path's
+ * weight panels are packed once at model-build time instead of once
+ * per call. Tile boundaries must sit on multiples of 16 columns (the
+ * driver's TN grid guarantees this), which keeps the panel blocking
+ * identical to what packBPanel produced on the fly; per-element
+ * results are bit-identical to avx2GemmTile on the unpacked matrix.
+ */
+void avx2GemmTilePrepacked(int i0, int i1, int j0, int j1, int K,
+                           const float *a_base,
+                           std::ptrdiff_t a_row_stride,
+                           std::ptrdiff_t a_elem_stride,
+                           const float *packed, int packedN, float *C,
+                           int ldc, bool accumulate);
+
+/**
+ * Fused conv-forward block over one im2col A panel: out[i * ldc + j] =
+ * bias[i] + sum_k ap[k * a_ld + j] * packed weight (k, i) for channels
+ * i in [0, N) and the block's P = 6 * (n_strips - 1) + r_last output
+ * positions j. @p ap is a row-major [K x P] slice of the im2col matrix
+ * with leading dimension @p a_ld (im2colRowsInto emits it per block of
+ * output rows); @p packed the persistent transposed weight matrix
+ * W^T [K x N] in packedBLayout form.
+ *
+ * The register tile is flipped relative to avx2GemmTile — 6 positions
+ * (one strip) are the broadcast operand, 16 output channels the vector
+ * operand — and the results are transposed through registers into the
+ * channel-major output with the bias added before the store. The loop
+ * nest is channel-panel OUTER, strip INNER, so each K x 16 weight
+ * panel streams from cache once per block instead of once per strip —
+ * that weight reuse plus the never-materialized full im2col matrix is
+ * what makes the fused path beat im2col + sgemm.
+ *
+ * Per output element this performs the exact same chain as the
+ * unpacked path: a fold of fma(a_k, w_ik, acc) over k ascending from
+ * zero (fma(a, b, c) and fma(b, a, c) round identically), then one
+ * bias addition — so the fused path is bit-identical to
+ * im2col + sgemm + bias, and the strip/block partition is scheduling,
+ * not numerics.
+ */
+void avx2ConvPackedBlock(int K, int N, const float *ap,
+                         std::ptrdiff_t a_ld, int n_strips, int r_last,
+                         const float *packed, const float *bias,
+                         float *out, std::ptrdiff_t ldc);
 
 /**
  * NT row block: C[i][j] = dot(A row i, B row j) for i in [i0,i1),

@@ -248,6 +248,26 @@ class Layer
      */
     virtual void applyTrainState(const float *src) { (void)src; }
 
+    /**
+     * Build this layer's serving-time packed weight cache (see
+     * Conv2d/Linear). Const cache-fill into mutable members, called
+     * from Network::prepackForServing while the caller still owns the
+     * network exclusively (DetectorModel's constructor — before the
+     * model is shared with serving threads). Idempotent: when the
+     * cache is already fresh this is a pure read, so repeated calls
+     * (e.g. a hot-swap building a second model over an already-packed
+     * network) never write during serving. Default: no cache, no-op.
+     */
+    virtual void prepackWeights() const {}
+
+    /**
+     * Drop the packed weight cache after a weight mutation (training,
+     * load, direct weights() access). Forward falls back to the
+     * unpacked path — bit-identical, just slower — until the next
+     * prepackWeights().
+     */
+    virtual void invalidatePackedWeights() {}
+
     /** True for layers that own weights and define partial sums. */
     virtual bool weighted() const { return false; }
 

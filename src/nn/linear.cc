@@ -15,6 +15,21 @@ Linear::Linear(std::string name, int in_n, int out_n)
 {
 }
 
+void
+Linear::prepackWeights() const
+{
+    if (packedW.size() == weight.size())
+        return; // fresh — stay a pure read (serving-safe no-op)
+    packedW.assign(weight.begin(), weight.end());
+}
+
+const float *
+Linear::servingWeights() const
+{
+    return (!packedW.empty() && prepackEnabled()) ? packedW.data()
+                                                  : weight.data();
+}
+
 Shape
 Linear::outputShape(const std::vector<Shape> &ins) const
 {
@@ -31,7 +46,8 @@ Linear::forwardInto(const std::vector<const Tensor *> &ins, Tensor &out,
     const Tensor &in = *ins[0];
     assert(static_cast<int>(in.size()) == inN);
     out.resize(flatShape(outN));
-    sgemvBias(outN, inN, weight.data(), in.data(), bias.data(), out.data());
+    sgemvBias(outN, inN, servingWeights(), in.data(), bias.data(),
+              out.data());
 }
 
 void
@@ -52,7 +68,7 @@ Linear::forwardBatchInto(std::span<const Tensor *const> ins,
         scratch.xsWide[s] = ins[s]->data();
         scratch.ysWide[s] = outs[s]->data();
     }
-    sgemvBiasBatch(outN, inN, weight.data(), bias.data(),
+    sgemvBiasBatch(outN, inN, servingWeights(), bias.data(),
                    scratch.xsWide.data(), scratch.ysWide.data(),
                    static_cast<int>(S));
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "nn/layer.hh"
+#include "util/aligned.hh"
 
 namespace ptolemy::nn
 {
@@ -45,15 +46,48 @@ class Linear : public Layer
                      std::vector<PartialSum> &out) const override;
     std::size_t receptiveFieldSize() const override;
 
+    /**
+     * Copy the weight matrix into a 64-byte-aligned buffer the serving
+     * gemv streams from. The values are identical, so every SIMD mode
+     * is trivially bit-identical; the win is aligned vector loads and a
+     * cache-line-aligned stream. See Layer::prepackWeights for the
+     * ownership contract.
+     */
+    void prepackWeights() const override;
+    void invalidatePackedWeights() override
+    {
+        util::AlignedF32().swap(packedW);
+    }
+
     int inFeatures() const { return inN; }
     int outFeatures() const { return outN; }
-    std::vector<float> &weights() { return weight; }
-    std::vector<float> &biases() { return bias; }
+    /** Direct access for initializers and tests. Non-const access
+     *  invalidates the packed weight cache (the values may change). */
+    std::vector<float> &
+    weights()
+    {
+        invalidatePackedWeights();
+        return weight;
+    }
+    std::vector<float> &
+    biases()
+    {
+        // Bias is read live (never packed), but dropping the cache
+        // keeps the staleness story uniform.
+        invalidatePackedWeights();
+        return bias;
+    }
 
   private:
+    /** Serving weight pointer: aligned copy when fresh, else live. */
+    const float *servingWeights() const;
+
     int inN, outN;
     std::vector<float> weight, bias;
     std::vector<float> gradWeight, gradBias;
+    /** Aligned serving-time copy of weight; mutable const-cache filled
+     *  by prepackWeights (owner phase only — see Layer contract). */
+    mutable util::AlignedF32 packedW;
 };
 
 } // namespace ptolemy::nn

@@ -435,6 +435,20 @@ Network::applyTrainState(const float *src)
             nodes[id].layer->applyTrainState(src + nodeStateOffset[id]);
 }
 
+void
+Network::prepackForServing() const
+{
+    for (int id : weightedIds)
+        nodes[id].layer->prepackWeights();
+}
+
+void
+Network::invalidatePackedWeights()
+{
+    for (int id : weightedIds)
+        nodes[id].layer->invalidatePackedWeights();
+}
+
 std::string
 Network::signature() const
 {
@@ -493,6 +507,7 @@ Network::load(const std::string &path)
     std::uint64_t n_bufs;
     if (!readU64(is, n_bufs))
         return false;
+    invalidatePackedWeights(); // the weights below replace the packed ones
     for (auto &n : nodes) {
         for (auto p : n.layer->params()) {
             std::vector<float> v;

@@ -316,6 +316,19 @@ class Network
     void applyTrainState(const float *src);
 
     /**
+     * Build every weighted layer's serving-time packed weight cache
+     * (persistent packed SGEMM panels; see Layer::prepackWeights).
+     * Call while this thread still owns the network exclusively —
+     * core::DetectorModel's constructor does, before the model is
+     * shared with serving threads. Idempotent pure read when fresh.
+     */
+    void prepackForServing() const;
+
+    /** Drop all packed weight caches (weights are about to change).
+     *  Forward falls back to the unpacked paths, bit-identically. */
+    void invalidatePackedWeights();
+
+    /**
      * Architecture signature used to validate weight caches: layer names,
      * kinds and parameter sizes.
      */

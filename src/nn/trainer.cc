@@ -26,6 +26,11 @@ Trainer::trainInto(Network &net, const Dataset &data,
     if (data.empty())
         return; // nothing to fit; also keeps the shuffle below(0)-free
 
+    // Training writes weights through the flat-param pointers, which the
+    // layers cannot observe — drop any serving-time packed caches up
+    // front so a later forward never reads stale panels.
+    net.invalidatePackedWeights();
+
     ThreadPool &pool = config.pool ? *config.pool : globalPool();
     const auto &params = net.flatParams();
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * 64-byte-aligned allocation helper.
+ *
+ * The AVX2 microkernels read packed weight panels and im2col scratch
+ * with 256-bit loads; allocating those buffers on cache-line
+ * boundaries keeps every vector load within one line (unaligned
+ * std::vector storage makes roughly half of them line-splitting).
+ * AlignedVector is a drop-in std::vector with that guarantee; the
+ * packed-panel layouts additionally align every interior block start
+ * (see gemm_kernels.hh), and the AVX2 kernels debug-assert the
+ * resulting pointers via isAligned().
+ */
+
+#ifndef PTOLEMY_UTIL_ALIGNED_HH
+#define PTOLEMY_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace ptolemy::util
+{
+
+/** Cache-line alignment used by every packed kernel buffer. */
+inline constexpr std::size_t kKernelAlign = 64;
+
+/** True when @p p sits on an @p align-byte boundary. */
+inline bool
+isAligned(const void *p, std::size_t align = kKernelAlign)
+{
+    return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/**
+ * Minimal over-aligning allocator: storage comes from the C++17
+ * aligned operator new, so every allocation (not just large ones)
+ * starts on an @p Align boundary.
+ */
+template <typename T, std::size_t Align = kKernelAlign>
+struct AlignedAllocator
+{
+    using value_type = T;
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two covering T");
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &)
+    {}
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    bool operator==(const AlignedAllocator &) const { return true; }
+    bool operator!=(const AlignedAllocator &) const { return false; }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/** Float scratch on cache-line boundaries (packed panels, im2col). */
+using AlignedF32 = AlignedVector<float>;
+
+} // namespace ptolemy::util
+
+#endif // PTOLEMY_UTIL_ALIGNED_HH

@@ -66,6 +66,11 @@ INFORMATIONAL_RATIOS = (
     "detect.wide_speedup_vs_fused",
     "detect.batch_speedup_vs_single_stream",
     "train.speedup_vs_1thread",
+    # Packed-vs-per-call forward on the small serving probe: the two
+    # schedules measure within noise of each other there (the packed
+    # win concentrates in wider channel counts), so the hard prepack
+    # gate is conv_fwd.prepack_speedup and this one just reports.
+    "detect.forward_prepack_speedup",
 )
 
 ALLOC_MARKERS = ("allocs", "steady_state_allocs")
@@ -74,8 +79,11 @@ ALLOC_MARKERS = ("allocs", "steady_state_allocs")
 # directions, zero band.
 EXACT_PREFIXES = ("hw.",)
 
-# Load-curve coordinates, not monotone metrics.
-SKIP_MARKERS = ("serve.points", "path_bits_last", "shed_rate")
+# Load-curve coordinates, not monotone metrics.  The _trial_ markers
+# are perf_smoke's median-of-N spread diagnostics (fastest/slowest
+# trial): by construction noisier than the gated median, recorded for
+# humans reading the artifact, never gated.
+SKIP_MARKERS = ("serve.points", "path_bits_last", "shed_rate", "_trial_")
 
 
 def flatten(obj, prefix=""):
@@ -192,6 +200,11 @@ def self_test():
             "batch_speedup_vs_legacy": 3.3,
             "allocs_per_batch": 0,
         },
+        "conv_fwd": {
+            "gemm_gflops": 50.0,
+            "gemm_gflops_trial_min": 40.0,
+            "prepack_speedup": 1.3,
+        },
         "similarity": {
             "w65536": {"and_popcount_ops_per_sec": 3.0e6,
                        "avx2_vs_scalar": 7.0}
@@ -219,6 +232,21 @@ def self_test():
     f, _ = compare(baseline, alloc_reg, 0.30, True)
     assert any("allocs_per_batch" in x for x in f), \
         "injected allocation regression not caught"
+
+    # Packed-vs-on-the-fly is a same-host ratio: losing it (the packed
+    # path silently falling back or regressing) must hard-fail even
+    # under --warn-only-absolutes, while the median-of-N spread
+    # diagnostics are never gated no matter how wide the trials swing.
+    pack_reg = copy.deepcopy(baseline)
+    pack_reg["conv_fwd"]["prepack_speedup"] = 0.7
+    f, _ = compare(baseline, pack_reg, 0.30, True)
+    assert any("prepack_speedup" in x for x in f), \
+        "injected prepack ratio regression not caught"
+    spread = copy.deepcopy(baseline)
+    spread["conv_fwd"]["gemm_gflops_trial_min"] = 1.0
+    f, _ = compare(baseline, spread, 0.30, False)
+    assert not any("trial_min" in x for x in f), \
+        "trial-spread diagnostic should never be gated"
 
     abs_reg = copy.deepcopy(baseline)
     abs_reg["detect"]["batch_per_sec"] = 1000.0
