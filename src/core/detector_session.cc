@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
+#include "telemetry/hub.hh"
 #include "util/thread_pool.hh"
+#include "util/tuning.hh"
 
 namespace ptolemy::core
 {
@@ -17,6 +20,7 @@ namespace
 bool
 wideBatchDefault()
 {
+    ensureTuningApplied();
     // Off by default: on a single core the fused pipeline extracts each
     // Record while its activations are still cache-hot, and that
     // locality is worth more than the wide path's batched SGEMMs (the
@@ -33,6 +37,7 @@ wideBatchDefault()
 std::size_t
 wideChunkDefault()
 {
+    ensureTuningApplied();
     if (const char *s = std::getenv("PTOLEMY_WIDE_CHUNK")) {
         const long v = std::atol(s);
         if (v > 0)
@@ -72,7 +77,27 @@ DetectorSession::finishDetect(const nn::Network::Record &rec, Decision &d,
         mdl->extractor().layout(), d.features);
     d.features.toVectorInto(s.feat);
     d.score = mdl->forest().predictProb(s.feat);
-    d.adversarial = d.score >= 0.5;
+    if (!std::isfinite(d.score)) {
+        // Poisoned activation: a NaN/Inf somewhere upstream propagated
+        // into the score. Every comparison against a NaN is false, so
+        // `score >= 0.5` would silently wave the sample through —
+        // fail SAFE instead and flag it. Telemetry below routes the
+        // non-finite score to its typed poison counter (never a bin),
+        // so sketches and quantiles stay uncorrupted and the drift
+        // detector reports the poisoning as its own event class.
+        d.adversarial = true;
+    } else {
+        d.adversarial = d.score >= 0.5;
+    }
+    if (hub != nullptr) {
+        // Shard index = this slot's index, so concurrent loop bodies
+        // (distinct slots by the pool's contract) write disjoint
+        // shards. Integer counters only: Decisions and all sealed
+        // aggregates stay bit-identical at any thread count.
+        hub->ingest(static_cast<unsigned>(&s - slots.data()), d.score,
+                    d.predictedClass, d.adversarial,
+                    1.0 - d.features.overall, &s.path);
+    }
 }
 
 Decision

@@ -35,6 +35,11 @@ namespace ptolemy
 class ThreadPool;
 }
 
+namespace ptolemy::telemetry
+{
+class TelemetryHub;
+}
+
 namespace ptolemy::core
 {
 
@@ -103,6 +108,20 @@ class DetectorSession
     std::size_t wideChunk() const { return wideChunkSize; }
     void setWideChunk(std::size_t n) { wideChunkSize = n > 0 ? n : 1; }
 
+    /**
+     * Attach (or detach with nullptr) a telemetry hub: every Decision
+     * this session produces — detect() and both detectBatch() paths —
+     * is ingested into the hub's shard for the executing pool slot.
+     * Ingestion is a handful of integer counter bumps per record and
+     * never changes a Decision; scores stay bit-identical with
+     * telemetry attached or not. The hub is borrowed and must outlive
+     * the session (or be detached first). The hub should be built with
+     * at least as many slots as the widest pool this session fans out
+     * on; extra slots are harmless (they merge in as empty shards).
+     */
+    void attachTelemetry(telemetry::TelemetryHub *h) { hub = h; }
+    telemetry::TelemetryHub *telemetryHub() const { return hub; }
+
     /** Similarity features of a recorded inference against the canary
      *  path of its predicted class. @p trace optionally receives the
      *  extraction op counts. */
@@ -148,6 +167,7 @@ class DetectorSession
     void finishDetect(const nn::Network::Record &rec, Decision &d, Slot &s);
 
     const DetectorModel *mdl;
+    telemetry::TelemetryHub *hub = nullptr; ///< borrowed; may be null
     std::vector<Slot> slots;              ///< grown to pool width, kept warm
     detail::FeatureBatchScratch fbScratch; ///< featuresBatch only
     bool wideBatch;                       ///< wide-batch serving path on?

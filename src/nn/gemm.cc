@@ -142,6 +142,7 @@ bool &
 prepackEnabled()
 {
     static bool on = [] {
+        ensureTuningApplied();
         const char *env = std::getenv("PTOLEMY_PREPACK");
         return !(env && env[0] == '0' && env[1] == '\0');
     }();

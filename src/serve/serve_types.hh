@@ -26,6 +26,11 @@ namespace ptolemy
 class ThreadPool;
 }
 
+namespace ptolemy::telemetry
+{
+class TelemetryHub;
+}
+
 namespace ptolemy::serve
 {
 
@@ -142,6 +147,18 @@ struct ServeConfig
     /** Pool detectBatch fans out on; nullptr = the process-wide
      *  pool. */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Optional telemetry hub (borrowed; must outlive the server).
+     * When set, the dispatcher attaches it to its serving session —
+     * every kOk Decision is ingested into the hub's per-slot shards —
+     * and calls maybeSeal() between batches, so windows seal on the
+     * dispatcher thread, never on a worker mid-batch. Telemetry
+     * survives hot model swaps: the replacement session re-attaches
+     * the same hub, and window/reference state carries across the
+     * swap untouched.
+     */
+    telemetry::TelemetryHub *telemetry = nullptr;
 };
 
 /** Monotonic tier counters (readable while serving). */

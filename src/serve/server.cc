@@ -3,6 +3,8 @@
 #include <exception>
 #include <span>
 
+#include "telemetry/hub.hh"
+
 namespace ptolemy::serve
 {
 
@@ -128,6 +130,7 @@ DetectorServer::dispatchLoop()
 {
     pinned = pinModel();
     session = std::make_unique<core::DetectorSession>(*pinned);
+    session->attachTelemetry(cfg.telemetry);
     for (;;) {
         batch.clear();
         if (queue.collectBatch(batch, cfg.maxBatch,
@@ -152,6 +155,9 @@ DetectorServer::executeBatch(std::vector<ServeRequest *> &formed)
         if (now != pinned) {
             pinned = std::move(now);
             session = std::make_unique<core::DetectorSession>(*pinned);
+            // The hub outlives any one model: windows, reference and
+            // drift state carry across the swap.
+            session->attachTelemetry(cfg.telemetry);
         }
     }
 
@@ -201,6 +207,11 @@ DetectorServer::executeBatch(std::vector<ServeRequest *> &formed)
             resolve(*live[i], RequestStatus::kError);
         }
     }
+    // Seal on the dispatcher between batches: ingest is quiescent here
+    // (the fused batch above has fully joined), which is exactly the
+    // hub's seal-side contract.
+    if (cfg.telemetry != nullptr)
+        cfg.telemetry->maybeSeal();
 }
 
 } // namespace ptolemy::serve

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/tuning.hh"
+
 namespace ptolemy
 {
 
@@ -10,6 +12,7 @@ SimdMode &
 simdMode()
 {
     static SimdMode mode = [] {
+        ensureTuningApplied();
         if (const char *s = std::getenv("PTOLEMY_SIMD")) {
             if (std::string(s) == "scalar")
                 return SimdMode::Scalar;

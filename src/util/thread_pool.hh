@@ -42,6 +42,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/tuning.hh"
+
 namespace ptolemy
 {
 
@@ -292,6 +294,9 @@ inline ThreadPool &
 globalPool()
 {
     static ThreadPool pool([] {
+        // Honor a bench_sweep picks file before the first env read
+        // (explicit environment still wins; see util/tuning.hh).
+        ensureTuningApplied();
         if (const char *s = std::getenv("PTOLEMY_NUM_THREADS")) {
             const long n = std::strtol(s, nullptr, 10);
             if (n > 0)

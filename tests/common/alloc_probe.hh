@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Heap-allocation counter behind the test binary's global operator new
+ * replacement. The replacement itself is defined ONCE, in
+ * test_detector_api.cc (operator new can only be replaced once per
+ * program); every test file that asserts a zero-allocation steady
+ * state reads this shared counter.
+ */
+
+#ifndef PTOLEMY_TESTS_COMMON_ALLOC_PROBE_HH
+#define PTOLEMY_TESTS_COMMON_ALLOC_PROBE_HH
+
+#include <atomic>
+#include <cstddef>
+
+extern std::atomic<std::size_t> g_test_allocs;
+
+#endif // PTOLEMY_TESTS_COMMON_ALLOC_PROBE_HH

@@ -16,6 +16,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "common/alloc_probe.hh"
 #include "common/test_models.hh"
 #include "core/detector.hh"
 #include "core/detector_model.hh"
@@ -23,9 +24,13 @@
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
+// Shared with other test files through common/alloc_probe.hh (the
+// replacement below can exist only once per program).
+std::atomic<std::size_t> g_test_allocs{0};
+
 namespace
 {
-std::atomic<std::size_t> g_allocs{0};
+std::atomic<std::size_t> &g_allocs = g_test_allocs;
 } // namespace
 
 // Count every heap allocation in the test binary (pure counting, no

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tuning-file loader tests: a bench_sweep picks JSON applies its
+ * picked_env knobs at startup, explicit environment always wins,
+ * unknown knobs are never injected, and malformed/missing files are
+ * ignored without side effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "util/tuning.hh"
+
+namespace
+{
+
+/** Scoped env guard: remembers and restores one variable. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : key(name)
+    {
+        if (const char *v = std::getenv(name)) {
+            had = true;
+            old = v;
+        }
+        ::unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had)
+            ::setenv(key.c_str(), old.c_str(), 1);
+        else
+            ::unsetenv(key.c_str());
+    }
+
+  private:
+    std::string key, old;
+    bool had = false;
+};
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+}
+
+TEST(Tuning, PicksFileAppliesOnlyUnsetKnownKnobs)
+{
+    EnvGuard g1("PTOLEMY_WIDE_CHUNK"), g2("PTOLEMY_PREPACK"),
+        g3("PTOLEMY_SIMD"), g4("PTOLEMY_EVIL_INJECTION");
+    ::setenv("PTOLEMY_PREPACK", "1", 1); // explicitly pinned: must win
+
+    const std::string path = "tuning_picks_test.json";
+    // Shape matches tools/bench_sweep.py output: string AND bare-number
+    // values, plus a knob the whitelist must refuse.
+    writeFile(path, R"({
+  "select_key": "detect.batch_per_sec",
+  "picked_env": {
+    "PTOLEMY_WIDE_CHUNK": 48,
+    "PTOLEMY_PREPACK": "0",
+    "PTOLEMY_SIMD": "scalar",
+    "PTOLEMY_EVIL_INJECTION": "1"
+  },
+  "picked_knobs": {"threads": 1}
+})");
+
+    const unsigned applied = ptolemy::applyTuningFile(path.c_str());
+    EXPECT_EQ(applied, 2u) << "WIDE_CHUNK + SIMD (PREPACK was pinned, "
+                              "EVIL is not a knob)";
+    ASSERT_NE(std::getenv("PTOLEMY_WIDE_CHUNK"), nullptr);
+    EXPECT_STREQ(std::getenv("PTOLEMY_WIDE_CHUNK"), "48");
+    EXPECT_STREQ(std::getenv("PTOLEMY_SIMD"), "scalar");
+    EXPECT_STREQ(std::getenv("PTOLEMY_PREPACK"), "1")
+        << "explicit environment must beat the tuning file";
+    EXPECT_EQ(std::getenv("PTOLEMY_EVIL_INJECTION"), nullptr)
+        << "a tuning file must never inject arbitrary environment";
+    std::remove(path.c_str());
+}
+
+TEST(Tuning, MalformedAndMissingFilesAreIgnored)
+{
+    EnvGuard g1("PTOLEMY_WIDE_CHUNK");
+    EXPECT_EQ(ptolemy::applyTuningFile("tuning_no_such_file.json"), 0u);
+
+    const std::string path = "tuning_bad_test.json";
+    writeFile(path, "{\"rows\": []}"); // no picked_env block
+    EXPECT_EQ(ptolemy::applyTuningFile(path.c_str()), 0u);
+    writeFile(path, "not json at all");
+    EXPECT_EQ(ptolemy::applyTuningFile(path.c_str()), 0u);
+    writeFile(path, "{\"picked_env\": {\"PTOLEMY_WIDE_CHUNK\": }");
+    EXPECT_EQ(ptolemy::applyTuningFile(path.c_str()), 0u);
+    EXPECT_EQ(std::getenv("PTOLEMY_WIDE_CHUNK"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Tuning, EnsureTuningAppliedIsIdempotent)
+{
+    // The once-flag has long since fired in this process (the global
+    // pool reads it at first use); this just pins the API contract:
+    // callable any number of times, cheap, and the introspection
+    // counter is stable.
+    ptolemy::ensureTuningApplied();
+    const unsigned a = ptolemy::tuningKnobsApplied();
+    ptolemy::ensureTuningApplied();
+    EXPECT_EQ(ptolemy::tuningKnobsApplied(), a);
+}
+
+} // namespace

@@ -76,8 +76,11 @@ INFORMATIONAL_RATIOS = (
 ALLOC_MARKERS = ("allocs", "steady_state_allocs")
 
 # Deterministic simulator/compiler metrics: gated exactly, both
-# directions, zero band.
-EXACT_PREFIXES = ("hw.",)
+# directions, zero band.  telemetry.mem.* is the sketch geometry and
+# footprint derived purely from the (epsilon, delta) error-bound
+# config — any drift there is a silent change to the provable error
+# bound, not noise.
+EXACT_PREFIXES = ("hw.", "telemetry.mem.")
 
 # Load-curve coordinates, not monotone metrics.  The _trial_ markers
 # are perf_smoke's median-of-N spread diagnostics (fastest/slowest
@@ -213,6 +216,11 @@ def self_test():
             "inference_cycles": 6994,
             "opt_all": {"cycles": 14995, "instrs": 88},
         },
+        "telemetry": {
+            "attached_vs_plain_speedup": 1.01,
+            "allocs_per_window": 0,
+            "mem": {"sketch_width": 1024, "sketch_bytes": 20480},
+        },
     }
     import copy
 
@@ -286,6 +294,26 @@ def self_test():
         "cycle change not caught under --prefix hw."
     assert not any("batch_per_sec" in x for x in f), \
         "--prefix hw. should not gate non-hw keys"
+
+    # Telemetry gates: the ingest-overhead ratio is same-host (hard
+    # fails), the per-window allocation counter must never grow, and
+    # the error-bound-derived sketch geometry is exact in both
+    # directions like the hw block.
+    tel_ratio = copy.deepcopy(baseline)
+    tel_ratio["telemetry"]["attached_vs_plain_speedup"] = 0.5
+    f, _ = compare(baseline, tel_ratio, 0.30, True)
+    assert any("attached_vs_plain_speedup" in x for x in f), \
+        "injected telemetry overhead regression not caught"
+    tel_alloc = copy.deepcopy(baseline)
+    tel_alloc["telemetry"]["allocs_per_window"] = 3
+    f, _ = compare(baseline, tel_alloc, 0.30, True)
+    assert any("allocs_per_window" in x for x in f), \
+        "injected telemetry allocation regression not caught"
+    tel_mem = copy.deepcopy(baseline)
+    tel_mem["telemetry"]["mem"]["sketch_bytes"] = 10240  # bound shrank
+    f, _ = compare(baseline, tel_mem, 0.30, True)
+    assert any("telemetry.mem.sketch_bytes" in x for x in f), \
+        "sketch-geometry change not caught by the exact gate"
 
     print("bench_compare: self-test passed")
     return 0
